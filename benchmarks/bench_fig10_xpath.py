@@ -1,0 +1,46 @@
+"""Figure 10: LPath labeling scheme vs the XPath (start/end) labeling scheme.
+
+The 11 XPath-expressible queries run on both engines over the same
+WSJ-like corpus with identical physical design.  Expected shape (paper):
+"the performance of these two labeling schemes is almost the same" — the
+LPath scheme supports 12 more queries at no cost on the shared ones.
+"""
+
+from repro.bench import datasets, xpath_queries
+from repro.bench.harness import measure
+from repro.bench.report import speedup_summary, timing_table
+
+
+def test_fig10_labeling_scheme_comparison(benchmark, write_result, repeats):
+    lpath = datasets.lpath_engine("wsj")
+    xpath = datasets.xpath_engine("wsj")
+    queries = xpath_queries()
+    assert len(queries) == 11  # the paper's count
+
+    measurements = []
+    for query in queries:
+        # Both engines must agree exactly before we compare their speed.
+        assert lpath.query(query.lpath) == xpath.query(query.lpath), query.lpath
+        measurements.append(
+            measure("LPath-labels", query.qid,
+                    lambda q=query: lpath.count(q.lpath), repeats)
+        )
+        measurements.append(
+            measure("XPath-labels", query.qid,
+                    lambda q=query: xpath.count(q.lpath), repeats)
+        )
+    table = timing_table(
+        measurements,
+        "Figure 10: LPath vs XPath labeling, WSJ-like (s), 11 shared queries",
+    )
+    summary = speedup_summary(measurements, "XPath-labels", "LPath-labels")
+    write_result("fig10_xpath.txt", f"{table}\n\n{summary}")
+
+    benchmark(lambda: sum(xpath.count(q.lpath) for q in queries))
+
+    # Shape: same ballpark — total runtimes within 3x of each other.
+    totals: dict[str, float] = {}
+    for m in measurements:
+        totals[m.system] = totals.get(m.system, 0.0) + m.seconds
+    ratio = totals["LPath-labels"] / totals["XPath-labels"]
+    assert 1 / 3 < ratio < 3, f"labeling schemes diverged: ratio {ratio:.2f}"

@@ -1,0 +1,31 @@
+"""Figure 6(b): the ten most frequent tags in each dataset.
+
+The paper's qualitative signature — NP leads WSJ while -DFL- (disfluency)
+is at/near the top for SWB — must hold on the generated corpora.
+"""
+
+from repro.bench import datasets
+from repro.corpus import format_top_tags_table, top_tags
+
+
+def test_fig6b_top_tags(benchmark, write_result):
+    wsj = list(datasets.corpus("wsj"))
+    swb = list(datasets.corpus("swb"))
+
+    def compute():
+        return {
+            "WSJ-like": top_tags(wsj, 10),
+            "SWB-like": top_tags(swb, 10),
+        }
+
+    rows = benchmark(compute)
+    paper_note = (
+        "\nPaper top-3: WSJ = NP, VP, NN; SWB = -DFL-, VP, NP-SBJ."
+    )
+    write_result(
+        "fig6b_tags.txt",
+        "Figure 6(b): Top 10 Frequent Tags\n"
+        + format_top_tags_table(rows) + paper_note,
+    )
+    assert rows["WSJ-like"][0][0] == "NP"
+    assert "-DFL-" in [tag for tag, _ in rows["SWB-like"]]

@@ -1,0 +1,45 @@
+"""Figure 6(c): the 23-query evaluation set and its result sizes.
+
+Runs every query of the set on both generated corpora with the LPath
+engine and tabulates result sizes next to the paper's (which are on the
+~50x larger Treebank-3 corpora — the *relative* selectivity pattern is
+the reproduction target).
+"""
+
+from repro.bench import PAPER_RESULT_SIZES, QUERY_SET, datasets
+
+
+def render_table(sizes_wsj, sizes_swb) -> str:
+    lines = [
+        "Figure 6(c): Test Query Set and Result Sizes",
+        f"{'Q':<4}{'LPath query':<42}{'WSJ-like':>10}{'paper':>9}"
+        f"{'SWB-like':>10}{'paper':>9}",
+    ]
+    for query in QUERY_SET:
+        index = query.qid - 1
+        lines.append(
+            f"Q{query.qid:<3}{query.lpath:<42}"
+            f"{sizes_wsj[index]:>10}{PAPER_RESULT_SIZES['WSJ'][index]:>9}"
+            f"{sizes_swb[index]:>10}{PAPER_RESULT_SIZES['SWB'][index]:>9}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig6c_query_set_result_sizes(benchmark, write_result):
+    wsj_engine = datasets.lpath_engine("wsj")
+    swb_engine = datasets.lpath_engine("swb")
+
+    def run_set() -> list[int]:
+        return [wsj_engine.count(query.lpath) for query in QUERY_SET]
+
+    sizes_wsj = benchmark(run_set)
+    sizes_swb = [swb_engine.count(query.lpath) for query in QUERY_SET]
+    write_result("fig6c_queries.txt", render_table(sizes_wsj, sizes_swb))
+
+    by_id = {q.qid: s for q, s in zip(QUERY_SET, sizes_wsj)}
+    # Selectivity shape: high-frequency structural queries dwarf rare-tag ones.
+    assert by_id[2] > 20 * max(by_id[15], 1)       # //VB->NP >> //WHPP
+    assert by_id[9] > by_id[18]                    # not(//JJ) >> deep NP chain
+    # Containment invariants the paper's figures rely on.
+    assert by_id[4] <= by_id[3]                    # scoping shrinks Q3
+    assert by_id[5] <= by_id[6]                    # rightmost child ⊆ descendant

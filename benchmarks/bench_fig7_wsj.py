@@ -1,0 +1,55 @@
+"""Figure 7: query execution time on the WSJ-like dataset.
+
+LPath engine vs TGrep2 vs CorpusSearch across all 23 queries, using the
+paper's trimmed-mean protocol; the pytest-benchmark entry times the LPath
+engine on the full set for regression tracking.
+
+Expected shape (paper): LPath fastest on most queries, TGrep2 competitive
+on low-selectivity tag scans, CorpusSearch slowest overall.
+"""
+
+from repro.bench import QUERY_SET, datasets, run_suite
+from repro.bench.report import log_bar_chart, speedup_summary, timing_table
+
+PROFILE = "wsj"
+
+
+def _systems(profile):
+    lpath = datasets.lpath_engine(profile)
+    tgrep = datasets.tgrep2_engine(profile)
+    corpussearch = datasets.corpussearch_engine(profile)
+    queries = {q.qid: q for q in QUERY_SET}
+    return {
+        "LPath": lambda qid: (lambda: lpath.count(queries[qid].lpath)),
+        "TGrep2": lambda qid: (lambda: tgrep.count(queries[qid].tgrep2))
+        if queries[qid].tgrep2 else None,
+        "CorpusSearch": lambda qid: (lambda: corpussearch.count(queries[qid].corpussearch))
+        if queries[qid].corpussearch else None,
+    }
+
+
+def test_fig7_wsj_query_times(benchmark, write_result, repeats):
+    systems = _systems(PROFILE)
+    measurements = run_suite(systems, [q.qid for q in QUERY_SET], repeats=repeats)
+    table = timing_table(
+        measurements, f"Figure 7: Query Execution Time, {PROFILE.upper()}-like (s)"
+    )
+    chart = log_bar_chart(measurements, "Figure 7 (log-scale bars)")
+    summary = "\n".join(
+        [
+            speedup_summary(measurements, "TGrep2", "LPath"),
+            speedup_summary(measurements, "CorpusSearch", "LPath"),
+        ]
+    )
+    write_result("fig7_wsj.txt", f"{table}\n\n{summary}\n\n{chart}")
+
+    lpath = datasets.lpath_engine(PROFILE)
+    benchmark(lambda: sum(lpath.count(q.lpath) for q in QUERY_SET))
+
+    by_system = {}
+    for measurement in measurements:
+        if not measurement.unsupported:
+            by_system.setdefault(measurement.system, []).append(measurement.seconds)
+    # CorpusSearch must be the slowest system in total (paper's headline).
+    totals = {system: sum(times) for system, times in by_system.items()}
+    assert totals["CorpusSearch"] > totals["LPath"]

@@ -1,0 +1,38 @@
+"""Figure 8: query execution time on the SWB-like dataset.
+
+Same protocol as Figure 7 on the conversational corpus.  Expected shape
+(paper): the LPath engine wins across the board, because the tags the
+query set uses are much rarer in SWB, so its name-driven index probes
+touch little data.
+"""
+
+from repro.bench import QUERY_SET, datasets, run_suite
+from repro.bench.report import log_bar_chart, speedup_summary, timing_table
+from bench_fig7_wsj import _systems
+
+PROFILE = "swb"
+
+
+def test_fig8_swb_query_times(benchmark, write_result, repeats):
+    systems = _systems(PROFILE)
+    measurements = run_suite(systems, [q.qid for q in QUERY_SET], repeats=repeats)
+    table = timing_table(
+        measurements, f"Figure 8: Query Execution Time, {PROFILE.upper()}-like (s)"
+    )
+    chart = log_bar_chart(measurements, "Figure 8 (log-scale bars)")
+    summary = "\n".join(
+        [
+            speedup_summary(measurements, "TGrep2", "LPath"),
+            speedup_summary(measurements, "CorpusSearch", "LPath"),
+        ]
+    )
+    write_result("fig8_swb.txt", f"{table}\n\n{summary}\n\n{chart}")
+
+    lpath = datasets.lpath_engine(PROFILE)
+    benchmark(lambda: sum(lpath.count(q.lpath) for q in QUERY_SET))
+
+    totals: dict[str, float] = {}
+    for measurement in measurements:
+        if not measurement.unsupported:
+            totals[measurement.system] = totals.get(measurement.system, 0.0) + measurement.seconds
+    assert totals["CorpusSearch"] > totals["LPath"]

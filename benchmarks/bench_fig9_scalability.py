@@ -1,0 +1,60 @@
+"""Figure 9: query time as the WSJ-like dataset is replicated 0.5x-4x.
+
+The paper replicates WSJ between 0.5 and 4 times and plots Q3, Q6 and Q11
+for the three systems.  Expected shape: near-linear growth for every
+system, with the LPath engine keeping the lowest curve on the
+high-selectivity Q11.
+"""
+
+from repro.bench import by_id, datasets
+from repro.bench.harness import paper_timing
+from repro.bench.report import scaling_table
+
+FACTORS = (0.5, 1.0, 2.0, 4.0)
+FIGURE9_QUERIES = (3, 6, 11)
+
+
+def _series_for(qid: int, repeats: int) -> dict[str, list[tuple[float, float]]]:
+    query = by_id(qid)
+    series: dict[str, list[tuple[float, float]]] = {
+        "LPath": [], "TGrep2": [], "CorpusSearch": [],
+    }
+    for factor in FACTORS:
+        lpath = datasets.lpath_engine("wsj", factor)
+        tgrep = datasets.tgrep2_engine("wsj", factor)
+        corpussearch = datasets.corpussearch_engine("wsj", factor)
+        seconds, _ = paper_timing(lambda: lpath.count(query.lpath), repeats)
+        series["LPath"].append((factor, seconds))
+        seconds, _ = paper_timing(lambda: tgrep.count(query.tgrep2), repeats)
+        series["TGrep2"].append((factor, seconds))
+        seconds, _ = paper_timing(
+            lambda: corpussearch.count(query.corpussearch), repeats
+        )
+        series["CorpusSearch"].append((factor, seconds))
+    return series
+
+
+def test_fig9_scalability(benchmark, write_result, repeats):
+    sections = []
+    all_series = {}
+    for qid in FIGURE9_QUERIES:
+        series = _series_for(qid, repeats)
+        all_series[qid] = series
+        sections.append(
+            scaling_table(series, f"Figure 9 Q{qid}: time (s) vs WSJ-like scale")
+        )
+    write_result("fig9_scalability.txt", "\n\n".join(sections))
+
+    # Regression benchmark: the LPath engine at the largest factor.
+    query = by_id(11)
+    lpath = datasets.lpath_engine("wsj", FACTORS[-1])
+    benchmark(lambda: lpath.count(query.lpath))
+
+    # Shape: every system grows with data size (monotone within noise:
+    # the 4x point must exceed the 0.5x point).
+    for qid, series in all_series.items():
+        for system, points in series.items():
+            by_factor = dict(points)
+            assert by_factor[FACTORS[-1]] > by_factor[FACTORS[0]] * 0.8, (
+                f"{system} Q{qid} did not scale with data size"
+            )

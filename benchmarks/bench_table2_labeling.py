@@ -1,0 +1,40 @@
+"""Table 2: the labeling scheme — construction cost and axis conditions.
+
+Regenerates the axis-to-label-comparison mapping and benchmarks the single
+depth-first labeling pass of Definition 4.1 over the benchmark corpus.
+"""
+
+from repro.bench import datasets
+from repro.labeling import label_tree
+from repro.lpath.axes import CONDITIONS, OR_SELF_BASES, Axis
+
+
+def render_table2() -> str:
+    lines = [
+        "Table 2: Axes and Label Comparisons (x <axis> y)",
+        f"{'Axis':<30}{'Conditions (plus x.tid = y.tid)'}",
+    ]
+    for axis in Axis:
+        base = OR_SELF_BASES.get(axis)
+        conditions = " AND ".join(
+            f"x.{c.column} {c.op} y.{c.context_column}"
+            for c in CONDITIONS[base if base is not None else axis]
+        )
+        if base is not None:
+            conditions = f"({conditions}) OR x.id = y.id"
+        lines.append(f"{axis.value:<30}{conditions}")
+    return "\n".join(lines)
+
+
+def test_table2_labeling_pass(benchmark, write_result):
+    write_result("table2_labeling.txt", render_table2())
+    trees = list(datasets.corpus("wsj", sentences=500))
+
+    def label_all() -> int:
+        rows = 0
+        for tree in trees:
+            rows += len(label_tree(tree))
+        return rows
+
+    total = benchmark(label_all)
+    assert total > 0

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures and result-file plumbing.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SENTENCES`` — corpus size per profile (default 2000);
+* ``REPRO_BENCH_REPEATS``   — repeats for the paper-protocol harness
+  (default 3 here; the paper used 7 — set 7 to match exactly).
+
+Every bench module writes its paper-style table into
+``benchmarks/results/*.txt`` so EXPERIMENTS.md can be assembled from a
+single run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", 3))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    def writer(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return writer
+
+
+@pytest.fixture(scope="session")
+def repeats() -> int:
+    return bench_repeats()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Linguistic search over a treebank: the paper's motivating workload.
+
+Generates a WSJ-like treebank, loads it into the LPath engine, and walks
+through the kinds of questions linguists ask (Section 2 of the paper),
+printing matched sentences with the matched constituent highlighted.
+
+Run:  python examples/treebank_search.py [sentences]
+"""
+
+import sys
+
+from repro.corpus import generate_corpus
+from repro.lpath import LPathEngine
+
+INVESTIGATIONS = [
+    ("//VB->NP", "Which constituents immediately follow a verb?"),
+    ("//VP{/VB-->NN}",
+     "Nouns after the verb, but only inside the same verb phrase"),
+    ("//VP{//NP$}", "Noun phrases flush against the right edge of their VP"),
+    ("//NP[not(//JJ)]", "Noun phrases with no adjective anywhere inside"),
+    ("//S[//_[@lex=saw]]", "Sentences containing the word 'saw'"),
+    ("//NP/NP/NP", "Deeply stacked noun phrases (PP-attachment chains)"),
+    ("//VP[{//^VB->NP->PP$}]",
+     "VPs that consist exactly of verb + object + PP (edge-aligned)"),
+]
+
+
+def highlight(tree, node) -> str:
+    words = []
+    for leaf in tree.leaves():
+        word = leaf.word or ""
+        if node.left <= leaf.left and leaf.right <= node.right:
+            word = f"[{word}]"
+        words.append(word)
+    return " ".join(words)
+
+
+def main() -> None:
+    sentences = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    print(f"Generating a WSJ-like treebank with {sentences} sentences...")
+    corpus = generate_corpus("wsj", sentences=sentences, seed=1)
+    engine = LPathEngine(corpus)
+    trees = {tree.tid: tree for tree in corpus}
+
+    for query, question in INVESTIGATIONS:
+        matches = engine.query(query)
+        print(f"\n{question}")
+        print(f"  LPath: {query}")
+        print(f"  {len(matches)} matches", end="")
+        if not matches:
+            print()
+            continue
+        print("; first examples:")
+        for tid, node_id in matches[:3]:
+            tree = trees[tid]
+            node = tree.node_by_id(node_id)
+            print(f"    ({node.label}) {highlight(tree, node)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for editable installs in environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation`` offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Reproduction of Bird et al., "Designing and Evaluating an XPath Dialect
+for Linguistic Queries" (ICDE 2006): the LPath language, its labeling
+scheme and query engine, the comparison baselines, and the evaluation
+harness.
+
+Quick start::
+
+    from repro import LPathEngine, parse_tree
+
+    tree = parse_tree("(S (NP (PRP I)) (VP (VBD saw) (NP (DT the) (NN dog))))")
+    engine = LPathEngine([tree])
+    engine.nodes("//VBD->NP")       # immediate-following axis
+"""
+
+from .lpath import LPathEngine, TreeWalkEvaluator, parse
+from .tree import Tree, TreeNode, figure1_tree, iter_trees, parse_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LPathEngine",
+    "Tree",
+    "TreeNode",
+    "TreeWalkEvaluator",
+    "figure1_tree",
+    "iter_trees",
+    "parse",
+    "parse_tree",
+    "__version__",
+]

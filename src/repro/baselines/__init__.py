@@ -1,0 +1,6 @@
+"""Reimplementations of the paper's comparison systems."""
+
+from .corpussearch import CorpusSearchEngine
+from .tgrep2 import TGrep2Engine
+
+__all__ = ["CorpusSearchEngine", "TGrep2Engine"]

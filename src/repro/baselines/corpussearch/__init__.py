@@ -1,0 +1,20 @@
+"""CorpusSearch reimplementation (the paper's second comparator, [24])."""
+
+from .ast import AndExpr, Condition, NotExpr, OrExpr, RELATIONS
+from .engine import CorpusSearchEngine
+from .matcher import TreeEvaluator, check_relation, pattern_matches
+from .parser import CorpusSearchSyntaxError, parse_query
+
+__all__ = [
+    "AndExpr",
+    "Condition",
+    "CorpusSearchEngine",
+    "CorpusSearchSyntaxError",
+    "NotExpr",
+    "OrExpr",
+    "RELATIONS",
+    "TreeEvaluator",
+    "check_relation",
+    "parse_query",
+    "pattern_matches",
+]

@@ -1,0 +1,100 @@
+"""Query AST for the CorpusSearch reimplementation.
+
+A query is a boolean combination of binary conditions between *tag
+patterns* (literals with ``*`` wildcards).  As in CorpusSearch, identical
+pattern texts corefer: every occurrence of ``NP*`` denotes the same node
+within one match, and the first-mentioned pattern is the search target
+whose matches are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Relation names (case-insensitive in queries).  ``domsFirst`` and
+#: ``domsLast`` are our documented extensions for edge-aligned descendants;
+#: everything else follows the CorpusSearch manual.
+RELATIONS = (
+    "iDoms",
+    "Doms",
+    "iPrecedes",
+    "Precedes",
+    "iDomsFirst",
+    "iDomsLast",
+    "iDomsOnly",
+    "domsFirst",
+    "domsLast",
+    "hasSister",
+)
+RELATION_LOOKUP = {name.lower(): name for name in RELATIONS}
+
+
+class QueryExpr:
+    """Base class of query expressions."""
+
+
+def split_argument(argument: str) -> tuple[str, str]:
+    """Split ``var:pattern`` into (variable, pattern).
+
+    Without an explicit variable the pattern text itself is the variable,
+    which gives CorpusSearch's text-coreference behaviour; explicit
+    variables (``a:NP``) let a query mention the same tag twice without
+    coreference (needed for chain queries like Q18/Q19).
+    """
+    if ":" in argument:
+        variable, pattern = argument.split(":", 1)
+        if variable and pattern:
+            return variable, pattern
+    return argument, argument
+
+
+@dataclass(frozen=True)
+class Condition(QueryExpr):
+    """``(left REL right)`` where each side is ``[var:]pattern``."""
+
+    left: str
+    relation: str
+    right: str
+
+    @property
+    def left_variable(self) -> str:
+        return split_argument(self.left)[0]
+
+    @property
+    def left_pattern(self) -> str:
+        return split_argument(self.left)[1]
+
+    @property
+    def right_variable(self) -> str:
+        return split_argument(self.right)[0]
+
+    @property
+    def right_pattern(self) -> str:
+        return split_argument(self.right)[1]
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.relation} {self.right})"
+
+
+@dataclass(frozen=True)
+class AndExpr(QueryExpr):
+    parts: tuple[QueryExpr, ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(f"{part}" for part in self.parts)
+
+
+@dataclass(frozen=True)
+class OrExpr(QueryExpr):
+    parts: tuple[QueryExpr, ...]
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(f"{part}" for part in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class NotExpr(QueryExpr):
+    part: QueryExpr
+
+    def __str__(self) -> str:
+        return f"NOT ({self.part})"

@@ -1,0 +1,38 @@
+"""The CorpusSearch engine: unindexed per-tree scans."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ...tree.node import Tree
+from ..tgrep2.matcher import TTree
+from .ast import QueryExpr
+from .matcher import TreeEvaluator
+from .parser import parse_query
+
+Query = Union[str, QueryExpr]
+
+
+class CorpusSearchEngine:
+    """Search a corpus with CorpusSearch-style queries.
+
+    Unlike TGrep2 there is no corpus index: every query visits every tree
+    (CorpusSearch streams its input files), which is the behaviour the
+    paper's Figures 7-9 measure.
+    """
+
+    def __init__(self, trees: Sequence[Tree]) -> None:
+        self.trees = [TTree(tree) for tree in trees]
+
+    def query(self, query: Query) -> list[tuple[int, int]]:
+        """Distinct, sorted ``(tid, node_id)`` of the first pattern's matches."""
+        expr = parse_query(query) if isinstance(query, str) else query
+        results: set[tuple[int, int]] = set()
+        for view in self.trees:
+            for node in TreeEvaluator(view, expr).matches():
+                results.add((view.tid, node.node_id))
+        return sorted(results)
+
+    def count(self, query: Query) -> int:
+        """Number of distinct matches."""
+        return len(self.query(query))

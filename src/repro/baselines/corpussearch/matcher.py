@@ -1,0 +1,226 @@
+"""CorpusSearch evaluation: per-tree scans with pattern coreference.
+
+CorpusSearch walks every tree and tests the boolean search condition for
+each combination of nodes matching the query's patterns — no labeling
+scheme, no indexes.  That per-node scan strategy is why the paper measures
+it as the slowest system; we keep it, with the one pragmatic improvement
+of pruning a candidate combination as soon as a fully-bound conjunct
+fails.
+
+Semantics:
+
+* identical pattern texts corefer (bind to the same node);
+* patterns that occur only under ``NOT`` are not enumerated; a negated
+  condition with unbound patterns is an existential check, negated;
+* the reported matches are the bindings of the first-mentioned pattern.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Iterator, Optional
+
+from ..tgrep2.matcher import TNode, TTree
+from .ast import AndExpr, Condition, NotExpr, OrExpr, QueryExpr
+
+Bindings = dict[str, TNode]
+
+
+@lru_cache(maxsize=512)
+def _pattern_regex(pattern: str) -> re.Pattern:
+    return re.compile(re.escape(pattern).replace(r"\*", ".*") + r"\Z")
+
+
+def pattern_matches(pattern: str, label: str) -> bool:
+    """Tag-pattern match with ``*`` wildcards (``NP*`` matches ``NP-SBJ``)."""
+    if "*" not in pattern:
+        return pattern == label
+    return _pattern_regex(pattern).match(label) is not None
+
+
+def check_relation(x: TNode, relation: str, y: TNode) -> bool:
+    """One CorpusSearch relation between two bound nodes."""
+    if relation == "iDoms":
+        return y.parent is x
+    if relation == "Doms":
+        ancestor = y.parent
+        while ancestor is not None:
+            if ancestor is x:
+                return True
+            ancestor = ancestor.parent
+        return False
+    if relation == "iPrecedes":
+        return x.right == y.left
+    if relation == "Precedes":
+        return y.left >= x.right
+    if relation == "iDomsFirst":
+        return y.parent is x and y.index_in_parent == 0
+    if relation == "iDomsLast":
+        return y.parent is x and y.index_in_parent == len(x.children) - 1
+    if relation == "iDomsOnly":
+        return y.parent is x and len(x.children) == 1
+    if relation == "domsFirst":
+        return check_relation(x, "Doms", y) and y.left == x.left
+    if relation == "domsLast":
+        return check_relation(x, "Doms", y) and y.right == x.right
+    if relation == "hasSister":
+        return x is not y and x.parent is not None and x.parent is y.parent
+    raise ValueError(f"unknown relation {relation!r}")
+
+
+def collect_conditions(expr: QueryExpr) -> Iterator[tuple[Condition, bool]]:
+    """Yield every condition with whether it sits under an odd number of NOTs."""
+
+    def walk(node: QueryExpr, negated: bool) -> Iterator[tuple[Condition, bool]]:
+        if isinstance(node, Condition):
+            yield node, negated
+        elif isinstance(node, NotExpr):
+            yield from walk(node.part, not negated)
+        elif isinstance(node, (AndExpr, OrExpr)):
+            for part in node.parts:
+                yield from walk(part, negated)
+        else:  # pragma: no cover
+            raise TypeError(f"unexpected node {node!r}")
+
+    yield from walk(expr, False)
+
+
+def positive_variables(expr: QueryExpr) -> list[str]:
+    """Variables mentioned outside negation, in order of first mention."""
+    seen: list[str] = []
+    for condition, negated in collect_conditions(expr):
+        if negated:
+            continue
+        for variable in (condition.left_variable, condition.right_variable):
+            if variable not in seen:
+                seen.append(variable)
+    if not seen:
+        # Fully negated query: search from the first-mentioned variable.
+        for condition, _negated in collect_conditions(expr):
+            seen.append(condition.left_variable)
+            break
+    return seen
+
+
+def variable_patterns(expr: QueryExpr) -> dict[str, list[str]]:
+    """Every pattern each variable must match (usually one)."""
+    patterns: dict[str, list[str]] = {}
+    for condition, _negated in collect_conditions(expr):
+        for variable, pattern in (
+            (condition.left_variable, condition.left_pattern),
+            (condition.right_variable, condition.right_pattern),
+        ):
+            bucket = patterns.setdefault(variable, [])
+            if pattern not in bucket:
+                bucket.append(pattern)
+    return patterns
+
+
+class TreeEvaluator:
+    """Evaluate one query over one tree by candidate enumeration."""
+
+    def __init__(self, tree: TTree, expr: QueryExpr) -> None:
+        self.tree = tree
+        self.expr = expr
+        self.variables = positive_variables(expr)
+        self.patterns = variable_patterns(expr)
+        self.conjuncts = [
+            (condition, negated)
+            for condition, negated in collect_conditions(expr)
+            if _is_required(expr, condition)
+        ]
+
+    def matches(self) -> Iterator[TNode]:
+        """Bindings of the first-mentioned pattern that satisfy the query."""
+        if not self.variables:
+            return
+        produced: set[int] = set()
+        for bindings in self._enumerate(0, {}):
+            target = bindings[self.variables[0]]
+            if id(target) in produced:
+                continue
+            produced.add(id(target))
+            yield target
+
+    # -- enumeration ---------------------------------------------------------
+
+    def _candidates(self, variable: str) -> list[TNode]:
+        patterns = self.patterns.get(variable, [variable])
+        return [
+            node
+            for node in self.tree.nodes
+            if all(pattern_matches(pattern, node.label) for pattern in patterns)
+        ]
+
+    def _enumerate(self, position: int, bindings: Bindings) -> Iterator[Bindings]:
+        if position == len(self.variables):
+            if self._evaluate(self.expr, bindings):
+                yield dict(bindings)
+            return
+        variable = self.variables[position]
+        for node in self._candidates(variable):
+            bindings[variable] = node
+            if self._prune_ok(bindings):
+                yield from self._enumerate(position + 1, bindings)
+        bindings.pop(variable, None)
+
+    def _prune_ok(self, bindings: Bindings) -> bool:
+        """Check every required conjunct whose patterns are all bound."""
+        for condition, negated in self.conjuncts:
+            x = bindings.get(condition.left_variable)
+            y = bindings.get(condition.right_variable)
+            if x is None or y is None:
+                continue
+            holds = check_relation(x, condition.relation, y)
+            if holds == negated:
+                return False
+        return True
+
+    # -- boolean evaluation ------------------------------------------------------
+
+    def _evaluate(self, expr: QueryExpr, bindings: Bindings) -> bool:
+        if isinstance(expr, Condition):
+            return self._condition(expr, bindings)
+        if isinstance(expr, AndExpr):
+            return all(self._evaluate(part, bindings) for part in expr.parts)
+        if isinstance(expr, OrExpr):
+            return any(self._evaluate(part, bindings) for part in expr.parts)
+        if isinstance(expr, NotExpr):
+            return not self._evaluate(expr.part, bindings)
+        raise TypeError(f"unexpected node {expr!r}")  # pragma: no cover
+
+    def _condition(self, condition: Condition, bindings: Bindings) -> bool:
+        x = bindings.get(condition.left_variable)
+        y = bindings.get(condition.right_variable)
+        if x is not None and y is not None:
+            return check_relation(x, condition.relation, y)
+        if x is not None:
+            return any(
+                check_relation(x, condition.relation, node)
+                for node in self._candidates(condition.right_variable)
+            )
+        if y is not None:
+            return any(
+                check_relation(node, condition.relation, y)
+                for node in self._candidates(condition.left_variable)
+            )
+        return any(
+            check_relation(x_node, condition.relation, y_node)
+            for x_node in self._candidates(condition.left_variable)
+            for y_node in self._candidates(condition.right_variable)
+        )
+
+
+def _is_required(expr: QueryExpr, condition: Condition) -> bool:
+    """True when the condition is a positive conjunct on every path (safe to
+    use for pruning)."""
+
+    def walk(node: QueryExpr) -> Optional[bool]:
+        if node is condition:
+            return True
+        if isinstance(node, AndExpr):
+            return any(walk(part) for part in node.parts)
+        return False
+
+    return bool(walk(expr)) or expr is condition

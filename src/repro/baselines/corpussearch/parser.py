@@ -1,0 +1,91 @@
+"""Parser for the CorpusSearch query dialect."""
+
+from __future__ import annotations
+
+import re
+
+from .ast import AndExpr, Condition, NotExpr, OrExpr, QueryExpr, RELATION_LOOKUP
+
+
+class CorpusSearchSyntaxError(ValueError):
+    """Raised for malformed queries."""
+
+
+_TOKEN = re.compile(r"\(|\)|[^\s()]+")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _TOKEN.findall(text)
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> str:
+        position = self.index + offset
+        return self.tokens[position] if position < len(self.tokens) else ""
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token:
+            self.index += 1
+        return token
+
+    def fail(self, message: str) -> None:
+        raise CorpusSearchSyntaxError(f"{message} in query {self.text!r}")
+
+    def parse(self) -> QueryExpr:
+        expr = self.parse_or()
+        if self.peek():
+            self.fail(f"unexpected trailing {self.peek()!r}")
+        return expr
+
+    def parse_or(self) -> QueryExpr:
+        parts = [self.parse_and()]
+        while self.peek().upper() == "OR":
+            self.advance()
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else OrExpr(tuple(parts))
+
+    def parse_and(self) -> QueryExpr:
+        parts = [self.parse_unary()]
+        while self.peek().upper() == "AND":
+            self.advance()
+            parts.append(self.parse_unary())
+        return parts[0] if len(parts) == 1 else AndExpr(tuple(parts))
+
+    def parse_unary(self) -> QueryExpr:
+        token = self.peek()
+        if token.upper() == "NOT":
+            self.advance()
+            return NotExpr(self.parse_unary())
+        if token == "(":
+            # Either a condition "(A rel B)" or a grouped expression.
+            if self.peek(2).lower() in RELATION_LOOKUP:
+                return self.parse_condition()
+            self.advance()
+            inner = self.parse_or()
+            if self.advance() != ")":
+                self.fail("expected ')'")
+            return inner
+        self.fail(f"expected '(' or NOT but found {token or 'end of query'!r}")
+        raise AssertionError("unreachable")
+
+    def parse_condition(self) -> Condition:
+        if self.advance() != "(":
+            self.fail("expected '('")
+        left = self.advance()
+        relation_token = self.advance()
+        relation = RELATION_LOOKUP.get(relation_token.lower())
+        if relation is None:
+            self.fail(f"unknown relation {relation_token!r}")
+        right = self.advance()
+        if not left or not right:
+            self.fail("a condition needs two arguments")
+        if self.advance() != ")":
+            self.fail("expected ')' after condition")
+        return Condition(left, relation, right)
+
+
+def parse_query(text: str) -> QueryExpr:
+    """Parse a CorpusSearch query."""
+    return _Parser(text).parse()

@@ -1,0 +1,17 @@
+"""TGrep2 reimplementation (the paper's first comparator, [25])."""
+
+from .ast import Link, NodeSpec, Pattern
+from .engine import TGrep2Engine
+from .matcher import Matcher, TTree
+from .parser import TGrepSyntaxError, parse_pattern
+
+__all__ = [
+    "Link",
+    "Matcher",
+    "NodeSpec",
+    "Pattern",
+    "TGrep2Engine",
+    "TGrepSyntaxError",
+    "TTree",
+    "parse_pattern",
+]

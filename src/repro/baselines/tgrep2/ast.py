@@ -1,0 +1,68 @@
+"""Pattern AST for the TGrep2 reimplementation.
+
+A pattern is a head node specification plus a list of links; each link
+relates the head to a target (which may itself be a full pattern), possibly
+negated.  Node specifications are tag/word literals, alternations, the
+``__`` wildcard, or back-references to labelled nodes (``=name``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+WILDCARD = "__"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """What a pattern node matches: one of ``alternatives`` (or anything)."""
+
+    alternatives: tuple[str, ...]
+    label: Optional[str] = None        # `=name` binding
+    backreference: Optional[str] = None  # pure `=name` target
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.alternatives == (WILDCARD,)
+
+    def matches_name(self, name: str) -> bool:
+        return self.is_wildcard or name in self.alternatives
+
+    def __str__(self) -> str:
+        if self.backreference:
+            return f"={self.backreference}"
+        body = "|".join(self.alternatives)
+        return body + (f"={self.label}" if self.label else "")
+
+
+@dataclass(frozen=True)
+class Link:
+    """One relation from the current node to a target pattern."""
+
+    relation: str            # "<", ">", "<<", ">>", ".", ",", "..", ",,",
+                             # "$", "$.", "$,", "$..", "$,,", "<:", "<N", ">N"
+    target: "Pattern"
+    negated: bool = False
+    argument: Optional[int] = None  # the N of <N / >N (negative = from right)
+
+    def __str__(self) -> str:
+        bang = "!" if self.negated else ""
+        relation = self.relation
+        if self.argument is not None:
+            relation = relation[0] + str(self.argument)
+        return f"{bang}{relation} {self.target}"
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A node spec plus its links (implicitly conjoined)."""
+
+    spec: NodeSpec
+    links: tuple[Link, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.links:
+            return str(self.spec)
+        body = " ".join(str(link) for link in self.links)
+        return f"({self.spec} {body})"

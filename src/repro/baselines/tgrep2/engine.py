@@ -1,0 +1,63 @@
+"""The TGrep2 engine: compiled corpus + word index + pattern search."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ...tree.node import Tree
+from .ast import Pattern
+from .matcher import Matcher, TTree
+from .parser import parse_pattern
+
+
+class TGrep2Engine:
+    """Search a corpus with TGrep2 patterns.
+
+    Mirrors the tool's architecture: the constructor "compiles" the corpus
+    (tree views plus *an index on the words in the trees* — the paper's
+    Section 6 description).  Word-headed patterns (e.g. ``rapprochement``)
+    prune to the trees containing the word; tag-headed patterns scan every
+    tree with the backtracking matcher, which is why the tool's measured
+    times are flat across tag selectivities in Figures 7-9.
+    """
+
+    def __init__(self, trees: Sequence[Tree]) -> None:
+        self.trees = [TTree(tree) for tree in trees]
+        # Word index: leaf word -> positions of trees containing it.
+        self.word_index: dict[str, list[int]] = {}
+        self.tag_labels: set[str] = set()
+        for position, view in enumerate(self.trees):
+            seen: set[str] = set()
+            for node in view.nodes:
+                if node.is_word:
+                    if node.label not in seen:
+                        seen.add(node.label)
+                        self.word_index.setdefault(node.label, []).append(position)
+                else:
+                    self.tag_labels.add(node.label)
+
+    def query(self, query) -> list[tuple[int, int]]:
+        """Distinct, sorted ``(tid, node_id)`` pairs of matched head nodes."""
+        pattern = parse_pattern(query) if isinstance(query, str) else query
+        results: set[tuple[int, int]] = set()
+        for view in self._candidate_trees(pattern):
+            matcher = Matcher(view)
+            for node in matcher.match_heads(pattern):
+                results.add((view.tid, node.node_id))
+        return sorted(results)
+
+    def count(self, query) -> int:
+        """Number of distinct matched nodes."""
+        return len(self.query(query))
+
+    def _candidate_trees(self, pattern: Pattern) -> list[TTree]:
+        """Prune by the word index when the head matches only words."""
+        spec = pattern.spec
+        if spec.is_wildcard or spec.backreference is not None:
+            return self.trees
+        if any(name in self.tag_labels for name in spec.alternatives):
+            return self.trees  # tag-headed: no index, full scan
+        positions: set[int] = set()
+        for name in spec.alternatives:
+            positions.update(self.word_index.get(name, ()))
+        return [self.trees[position] for position in sorted(positions)]

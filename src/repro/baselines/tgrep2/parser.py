@@ -1,0 +1,206 @@
+"""Parser for the TGrep2 pattern dialect.
+
+Dialect notes (a practical subset of the TGrep2 manual):
+
+* relation operators (``< > << >> . , .. ,, $ $. $, $.. $,, <: <N >N <- >-``)
+  must be separated from node names by whitespace or parentheses when the
+  adjacent name could absorb them (names may contain ``.``, ``,``, ``$``
+  and ``-``, as Penn tags and words do);
+* ``A|B`` alternation on node names; ``__`` matches any node;
+* ``=name`` after a node spec labels it; a bare ``=name`` target is a
+  back-reference to the labelled node;
+* ``!`` negates the following link; ``[ ... ]`` groups conjoined links.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import Link, NodeSpec, Pattern
+
+
+class TGrepSyntaxError(ValueError):
+    """Raised for malformed patterns."""
+
+    def __init__(self, message: str, pattern: str, position: int) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{message}\n  {pattern}\n  {pointer}")
+        self.position = position
+
+
+_SPECIALS = set("()[]!=|&")
+_RELATION_START = set("<>.,$")
+#: Longest first, for maximal munch.
+_RELATIONS = (
+    "$..", "$,,", "$.", "$,", "<<", ">>", "..", ",,",
+    "<:", "<-", ">-", "<", ">", ".", ",", "$",
+)
+
+
+class _Lexer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+        self.tokens: list[tuple[str, str, int]] = []
+        self._scan()
+        self.index = 0
+
+    def _scan(self) -> None:
+        text, position = self.text, 0
+        while position < len(text):
+            char = text[position]
+            if char.isspace():
+                position += 1
+                continue
+            if char in "()[]!|&":
+                self.tokens.append((char, char, position))
+                position += 1
+                continue
+            if char == "=":
+                start = position + 1
+                end = start
+                while end < len(text) and (text[end].isalnum() or text[end] == "_"):
+                    end += 1
+                if end == start:
+                    raise TGrepSyntaxError("expected a label after '='", text, position)
+                self.tokens.append(("LABEL", text[start:end], position))
+                position = end
+                continue
+            if char in _RELATION_START:
+                relation, advance = self._relation(position)
+                self.tokens.append(("REL", relation, position))
+                position += advance
+                continue
+            start = position
+            while position < len(text) and not text[position].isspace() and \
+                    text[position] not in _SPECIALS and text[position] not in "<>":
+                position += 1
+            if position == start:
+                raise TGrepSyntaxError(f"unexpected character {char!r}", text, position)
+            self.tokens.append(("NAME", text[start:position], start))
+        self.tokens.append(("EOF", "", len(text)))
+
+    def _relation(self, position: int) -> tuple[str, int]:
+        text = self.text
+        # <N / >N / <-N / >-N (numbered child relations).
+        for head in ("<-", ">-", "<", ">"):
+            if text.startswith(head, position):
+                digits_at = position + len(head)
+                end = digits_at
+                while end < len(text) and text[end].isdigit():
+                    end += 1
+                if end > digits_at:
+                    return text[position:end], end - position
+        for relation in _RELATIONS:
+            if text.startswith(relation, position):
+                return relation, len(relation)
+        raise TGrepSyntaxError(
+            f"unknown relation at {text[position:position + 3]!r}", text, position
+        )
+
+    def peek(self) -> tuple[str, str, int]:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple[str, str, int]:
+        token = self.tokens[self.index]
+        if token[0] != "EOF":
+            self.index += 1
+        return token
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.lexer = _Lexer(text)
+
+    def fail(self, message: str) -> None:
+        raise TGrepSyntaxError(message, self.text, self.lexer.peek()[2])
+
+    def parse(self) -> Pattern:
+        pattern = self.parse_pattern()
+        if self.lexer.peek()[0] != "EOF":
+            self.fail(f"unexpected trailing {self.lexer.peek()[1]!r}")
+        return pattern
+
+    def parse_pattern(self) -> Pattern:
+        spec = self.parse_spec()
+        links: list[Link] = []
+        while True:
+            kind, _text, _pos = self.lexer.peek()
+            if kind in ("REL", "!"):
+                links.append(self.parse_link())
+            elif kind == "[":
+                self.lexer.advance()
+                while self.lexer.peek()[0] != "]":
+                    if self.lexer.peek()[0] == "&":
+                        self.lexer.advance()
+                        continue
+                    links.append(self.parse_link())
+                self.lexer.advance()
+            else:
+                break
+        return Pattern(spec, tuple(links))
+
+    def parse_spec(self) -> NodeSpec:
+        kind, text, _pos = self.lexer.peek()
+        if kind == "LABEL":
+            self.lexer.advance()
+            return NodeSpec((), backreference=text)
+        if kind != "NAME":
+            self.fail(f"expected a node name but found {text or 'end of pattern'!r}")
+        self.lexer.advance()
+        alternatives = [text]
+        while self.lexer.peek()[0] == "|":
+            self.lexer.advance()
+            kind, more, _pos = self.lexer.advance()
+            if kind != "NAME":
+                self.fail("expected a name after '|'")
+            alternatives.append(more)
+        label = None
+        if self.lexer.peek()[0] == "LABEL":
+            label = self.lexer.advance()[1]
+        return NodeSpec(tuple(alternatives), label=label)
+
+    def parse_link(self) -> Link:
+        negated = False
+        if self.lexer.peek()[0] == "!":
+            self.lexer.advance()
+            negated = True
+        kind, relation, _pos = self.lexer.advance()
+        if kind != "REL":
+            self.fail(f"expected a relation but found {relation!r}")
+        relation, argument = _split_relation(relation)
+        target = self.parse_target()
+        return Link(relation, target, negated=negated, argument=argument)
+
+    def parse_target(self) -> Pattern:
+        kind, text, _pos = self.lexer.peek()
+        if kind == "(":
+            self.lexer.advance()
+            pattern = self.parse_pattern()
+            if self.lexer.peek()[0] != ")":
+                self.fail("expected ')'")
+            self.lexer.advance()
+            return pattern
+        if kind in ("NAME", "LABEL"):
+            return Pattern(self.parse_spec())
+        self.fail(f"expected a target but found {text or 'end of pattern'!r}")
+        raise AssertionError("unreachable")
+
+
+def _split_relation(text: str) -> tuple[str, Optional[int]]:
+    """Normalize <N / >N / <- / >- / <-N / >-N into (relation, argument)."""
+    if text in ("<-", ">-"):
+        return text[0] + "N", -1
+    if len(text) > 1 and text[0] in "<>":
+        rest = text[1:]
+        if rest.isdigit():
+            return text[0] + "N", int(rest)
+        if rest.startswith("-") and rest[1:].isdigit():
+            return text[0] + "N", -int(rest[1:])
+    return text, None
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a TGrep2 pattern."""
+    return _Parser(text).parse()

@@ -1,0 +1,34 @@
+"""Benchmark harness: query set, datasets, timing protocol, reports."""
+
+from . import datasets, report
+from .harness import (
+    DEFAULT_REPEATS,
+    Measurement,
+    measure,
+    paper_timing,
+    run_suite,
+    unsupported,
+)
+from .queries import (
+    BenchQuery,
+    PAPER_RESULT_SIZES,
+    QUERY_SET,
+    by_id,
+    xpath_queries,
+)
+
+__all__ = [
+    "BenchQuery",
+    "DEFAULT_REPEATS",
+    "Measurement",
+    "PAPER_RESULT_SIZES",
+    "QUERY_SET",
+    "by_id",
+    "datasets",
+    "measure",
+    "paper_timing",
+    "report",
+    "run_suite",
+    "unsupported",
+    "xpath_queries",
+]

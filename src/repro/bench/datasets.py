@@ -1,0 +1,73 @@
+"""Benchmark datasets: generated once per process, sized by environment.
+
+``REPRO_BENCH_SENTENCES`` scales every benchmark (default 2000 sentences
+per corpus, roughly 1/50 of Treebank-3 — pure-Python engines cannot carry
+the full 3.5M-node corpora in reasonable benchmark time; Figure 9's
+scaling run shows the trend toward full size).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from ..baselines.corpussearch import CorpusSearchEngine
+from ..baselines.tgrep2 import TGrep2Engine
+from ..corpus.generator import generate_corpus, replicate_corpus
+from ..lpath.engine import LPathEngine
+from ..tree.node import Tree
+from ..xpath.engine import XPathEngine
+
+DEFAULT_SENTENCES = 2000
+SEED = 20060403  # ICDE 2006
+
+def bench_sentences() -> int:
+    """Benchmark corpus size (sentences), from the environment."""
+    return int(os.environ.get("REPRO_BENCH_SENTENCES", DEFAULT_SENTENCES))
+
+
+@lru_cache(maxsize=None)
+def corpus(profile: str, sentences: int | None = None) -> tuple[Tree, ...]:
+    """The benchmark corpus for a profile (cached)."""
+    count = sentences if sentences is not None else bench_sentences()
+    return tuple(generate_corpus(profile, sentences=count, seed=SEED))
+
+
+@lru_cache(maxsize=None)
+def scaled_corpus(profile: str, factor: float) -> tuple[Tree, ...]:
+    """Figure 9: the profile corpus replicated by ``factor``."""
+    return tuple(replicate_corpus(list(corpus(profile)), factor))
+
+
+@lru_cache(maxsize=None)
+def lpath_engine(profile: str, factor: float = 1.0) -> LPathEngine:
+    """The LPath engine loaded with a (possibly scaled) corpus."""
+    trees = corpus(profile) if factor == 1.0 else scaled_corpus(profile, factor)
+    return LPathEngine(list(trees), keep_trees=False)
+
+
+@lru_cache(maxsize=None)
+def tgrep2_engine(profile: str, factor: float = 1.0) -> TGrep2Engine:
+    """The TGrep2 engine on the same corpus."""
+    trees = corpus(profile) if factor == 1.0 else scaled_corpus(profile, factor)
+    return TGrep2Engine(list(trees))
+
+
+@lru_cache(maxsize=None)
+def corpussearch_engine(profile: str, factor: float = 1.0) -> CorpusSearchEngine:
+    """The CorpusSearch engine on the same corpus."""
+    trees = corpus(profile) if factor == 1.0 else scaled_corpus(profile, factor)
+    return CorpusSearchEngine(list(trees))
+
+
+@lru_cache(maxsize=None)
+def xpath_engine(profile: str) -> XPathEngine:
+    """The XPath-labeling engine on the same corpus."""
+    return XPathEngine(list(corpus(profile)))
+
+
+def clear_caches() -> None:
+    """Drop all cached corpora/engines (tests use this to bound memory)."""
+    for cached in (corpus, scaled_corpus, lpath_engine, tgrep2_engine,
+                   corpussearch_engine, xpath_engine):
+        cached.cache_clear()

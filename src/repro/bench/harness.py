@@ -1,0 +1,85 @@
+"""Timing harness reproducing the paper's measurement protocol.
+
+Section 5.1: "All experiments were repeated 7 times independently, and the
+average query evaluation time was reported, disregarding the maximum and
+minimum values."  :func:`paper_timing` implements exactly that trimmed
+mean; the pytest-benchmark targets use their own statistics and exist for
+regression tracking, while the EXPERIMENTS.md tables come from this
+harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+DEFAULT_REPEATS = 7
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed query on one system."""
+
+    system: str
+    qid: int
+    seconds: float          # trimmed mean
+    result_size: int
+    repeats: int
+    supported: bool = True
+
+    @property
+    def unsupported(self) -> bool:
+        return not self.supported
+
+
+def paper_timing(run: Callable[[], int], repeats: int = DEFAULT_REPEATS) -> tuple[float, int]:
+    """Trimmed-mean seconds and the result size of ``run``.
+
+    Repeats ``run`` ``repeats`` times, drops the fastest and slowest, and
+    averages the rest (the paper's protocol).  With fewer than 3 repeats a
+    plain mean is used.
+    """
+    timings: list[float] = []
+    result = 0
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = run()
+        timings.append(time.perf_counter() - started)
+    if len(timings) >= 3:
+        timings = sorted(timings)[1:-1]
+    return sum(timings) / len(timings), result
+
+
+def measure(
+    system: str,
+    qid: int,
+    run: Callable[[], int],
+    repeats: int = DEFAULT_REPEATS,
+) -> Measurement:
+    """Measure one query, tolerating unsupported queries."""
+    seconds, size = paper_timing(run, repeats=repeats)
+    return Measurement(system, qid, seconds, size, repeats)
+
+
+def unsupported(system: str, qid: int) -> Measurement:
+    """Placeholder for a query a system cannot express."""
+    return Measurement(system, qid, float("nan"), -1, 0, supported=False)
+
+
+def run_suite(
+    systems: dict[str, Callable[[int], Optional[Callable[[], int]]]],
+    qids: Sequence[int],
+    repeats: int = DEFAULT_REPEATS,
+) -> list[Measurement]:
+    """Run a suite: ``systems`` maps a name to a factory that, given a query
+    id, returns a zero-argument runnable (or ``None`` when unsupported)."""
+    measurements: list[Measurement] = []
+    for qid in qids:
+        for system, factory in systems.items():
+            runnable = factory(qid)
+            if runnable is None:
+                measurements.append(unsupported(system, qid))
+            else:
+                measurements.append(measure(system, qid, runnable, repeats=repeats))
+    return measurements

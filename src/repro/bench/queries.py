@@ -1,0 +1,193 @@
+"""The evaluation query set (Figure 6(c)) in every system's language.
+
+Each entry carries the LPath query exactly as printed in the paper plus
+the translations used for the comparison systems.  ``xpath`` marks the 11
+queries supported by the XPath-labeling engine (Figure 10's x-axis).
+The tools report different witness nodes for some queries (CorpusSearch
+reports the first-mentioned pattern; TGrep2 the pattern head), exactly as
+the real tools do; the timing comparisons are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BenchQuery:
+    """One query of the evaluation set, in all dialects."""
+
+    qid: int                      # 1-based, as in Figure 6(c)
+    lpath: str
+    tgrep2: Optional[str]
+    corpussearch: Optional[str]
+    xpath: bool                   # supported by the XPath-labeling engine?
+    description: str
+
+
+QUERY_SET: tuple[BenchQuery, ...] = (
+    BenchQuery(
+        1, "//S[//_[@lex=saw]]",
+        "S << saw",
+        "(S Doms saw)",
+        True, "sentences containing the word 'saw'",
+    ),
+    BenchQuery(
+        2, "//VB->NP",
+        "NP , VB",
+        "(VB iPrecedes NP)",
+        False, "NPs immediately following a verb",
+    ),
+    BenchQuery(
+        3, "//VP/VB-->NN",
+        "NN ,, (VB > VP)",
+        "(VP iDoms VB) AND (VB Precedes NN)",
+        False, "nouns following a verb that is a child of a VP",
+    ),
+    BenchQuery(
+        4, "//VP{/VB-->NN}",
+        "VP=v < (VB .. (NN >> =v))",
+        "(VP iDoms VB) AND (VB Precedes NN) AND (VP Doms NN)",
+        False, "scoped: nouns following the verb inside the same VP",
+    ),
+    BenchQuery(
+        5, "//VP{/NP$}",
+        "VP <- NP",
+        "(VP iDomsLast NP)",
+        False, "NPs that are the rightmost child of a VP",
+    ),
+    BenchQuery(
+        6, "//VP{//NP$}",
+        "NP >> (VP=v) !. (__ >> =v)",
+        "(VP domsLast NP)",
+        False, "NPs that are the rightmost descendant of a VP",
+    ),
+    BenchQuery(
+        7, "//VP[{//^VB->NP->PP$}]",
+        "VP=v << (VB !, (__ >> =v) . (NP >> =v . (PP >> =v !. (__ >> =v))))",
+        "(VP domsFirst VB) AND (VB iPrecedes NP) AND (NP iPrecedes PP) "
+        "AND (VP Doms NP) AND (VP domsLast PP)",
+        False, "VPs spanned exactly by VB NP PP",
+    ),
+    BenchQuery(
+        8, "//S[//NP/ADJP]",
+        "S << (NP < ADJP)",
+        "(S Doms NP) AND (NP iDoms ADJP)",
+        True, "sentences with an ADJP under an NP",
+    ),
+    BenchQuery(
+        9, "//NP[not(//JJ)]",
+        "NP !<< JJ",
+        "NOT (NP Doms JJ)",
+        True, "NPs not dominating an adjective",
+    ),
+    BenchQuery(
+        10, "//NP[->PP[//IN[@lex=of]]=>VP]",
+        "NP . (PP << of $. VP)",
+        "(NP iPrecedes PP) AND (PP Doms of) AND (PP iPrecedes VP) AND "
+        "(PP hasSister VP)",
+        False, "NPs before an of-PP whose next sibling is a VP",
+    ),
+    BenchQuery(
+        11, "//S[{//_[@lex=what]->_[@lex=building]}]",
+        "S=s << (what . (building >> =s))",
+        "(S Doms what) AND (S Doms building) AND (what iPrecedes building)",
+        False, "sentences with 'what' right before 'building'",
+    ),
+    BenchQuery(
+        12, "//_[@lex=rapprochement]",
+        "rapprochement",
+        "(* iDoms rapprochement)",
+        True, "the word 'rapprochement' (hapax)",
+    ),
+    BenchQuery(
+        13, "//_[@lex=1929]",
+        "1929",
+        "(* iDoms 1929)",
+        True, "the word '1929' (rare)",
+    ),
+    BenchQuery(
+        14, "//ADVP-LOC-CLR",
+        "ADVP-LOC-CLR",
+        "(ADVP-LOC-CLR iDoms *)",
+        True, "a very rare tag",
+    ),
+    BenchQuery(
+        15, "//WHPP",
+        "WHPP",
+        "(WHPP iDoms *)",
+        True, "a rare tag",
+    ),
+    BenchQuery(
+        16, "//RRC/PP-TMP",
+        "PP-TMP > RRC",
+        "(RRC iDoms PP-TMP)",
+        True, "temporal PP under a reduced relative clause",
+    ),
+    BenchQuery(
+        17, "//UCP-PRD/ADJP-PRD",
+        "ADJP-PRD > UCP-PRD",
+        "(UCP-PRD iDoms ADJP-PRD)",
+        True, "predicate ADJP under predicate UCP",
+    ),
+    BenchQuery(
+        18, "//NP/NP/NP/NP/NP",
+        "NP > (NP > (NP > (NP > NP)))",
+        "(a:NP iDoms b:NP) AND (b:NP iDoms c:NP) AND (c:NP iDoms d:NP) "
+        "AND (d:NP iDoms e:NP)",
+        True, "five vertically nested NPs (low selectivity)",
+    ),
+    BenchQuery(
+        19, "//VP/VP/VP",
+        "VP > (VP > VP)",
+        "(a:VP iDoms b:VP) AND (b:VP iDoms c:VP)",
+        True, "three vertically nested VPs",
+    ),
+    BenchQuery(
+        20, "//PP=>SBAR",
+        "SBAR $, PP",
+        "(PP iPrecedes SBAR) AND (PP hasSister SBAR)",
+        False, "SBAR as immediate following sibling of a PP",
+    ),
+    BenchQuery(
+        21, "//ADVP=>ADJP",
+        "ADJP $, ADVP",
+        "(ADVP iPrecedes ADJP) AND (ADVP hasSister ADJP)",
+        False, "ADJP right after a sibling ADVP",
+    ),
+    BenchQuery(
+        22, "//NP=>NP=>NP",
+        "NP $, (NP $, NP)",
+        "(a:NP iPrecedes b:NP) AND (a:NP hasSister b:NP) AND "
+        "(b:NP iPrecedes c:NP) AND (b:NP hasSister c:NP)",
+        False, "three adjacent sibling NPs (low selectivity)",
+    ),
+    BenchQuery(
+        23, "//VP=>VP",
+        "VP $, VP",
+        "(a:VP iPrecedes b:VP) AND (a:VP hasSister b:VP)",
+        False, "adjacent sibling VPs",
+    ),
+)
+
+#: Result sizes printed in Figure 6(c), for shape comparison.
+PAPER_RESULT_SIZES = {
+    "WSJ": [153, 23618, 63857, 46116, 29923, 215104, 2831, 7832, 211392,
+            192, 2, 1, 14, 60, 87, 8, 17, 254, 8769, 640, 15, 7, 20],
+    "SWB": [339, 16557, 32386, 25305, 22554, 112159, 1963, 2900, 109311,
+            31, 5, 0, 0, 0, 20, 3, 4, 12, 6093, 651, 37, 7, 72],
+}
+
+
+def by_id(qid: int) -> BenchQuery:
+    """Look up a query by its Figure 6(c) number."""
+    for query in QUERY_SET:
+        if query.qid == qid:
+            return query
+    raise KeyError(f"no query Q{qid}")
+
+
+def xpath_queries() -> list[BenchQuery]:
+    """The 11 queries of Figure 10."""
+    return [query for query in QUERY_SET if query.xpath]

@@ -1,0 +1,121 @@
+"""Rendering benchmark measurements as the paper's tables and figures.
+
+Figures 7-10 are log-scale bar/line charts; in a terminal we render the
+same series as aligned numeric tables plus ASCII log-scale bars, so "who
+wins, by roughly what factor, where the crossovers fall" is visible at a
+glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from .harness import Measurement
+
+
+def _by_system(measurements: Sequence[Measurement]) -> dict[str, dict[int, Measurement]]:
+    table: dict[str, dict[int, Measurement]] = {}
+    for measurement in measurements:
+        table.setdefault(measurement.system, {})[measurement.qid] = measurement
+    return table
+
+
+def format_time(measurement: Optional[Measurement]) -> str:
+    if measurement is None or measurement.unsupported:
+        return "n/a"
+    return f"{measurement.seconds:.4f}"
+
+
+def timing_table(
+    measurements: Sequence[Measurement],
+    title: str,
+    qids: Optional[Sequence[int]] = None,
+) -> str:
+    """An aligned per-query timing table (seconds, trimmed mean)."""
+    table = _by_system(measurements)
+    systems = list(table)
+    if qids is None:
+        qids = sorted({m.qid for m in measurements})
+    lines = [title, "%-6s" % "Query" + "".join(f"{system:>16}" for system in systems)
+             + f"{'result':>10}"]
+    for qid in qids:
+        cells = ["%-6s" % f"Q{qid}"]
+        size = ""
+        for system in systems:
+            measurement = table[system].get(qid)
+            cells.append(f"{format_time(measurement):>16}")
+            if measurement is not None and not measurement.unsupported:
+                size = str(measurement.result_size)
+        cells.append(f"{size:>10}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    measurements: Sequence[Measurement],
+    title: str,
+    width: int = 40,
+) -> str:
+    """ASCII log-scale bars, one group per query (the Figure 7/8 look)."""
+    table = _by_system(measurements)
+    real = [m.seconds for m in measurements if not m.unsupported and m.seconds > 0]
+    if not real:
+        return title + "\n(no data)"
+    low = math.log10(min(real))
+    high = math.log10(max(real))
+    span = max(high - low, 1e-9)
+    lines = [title, f"(log scale: {min(real):.4f}s .. {max(real):.4f}s)"]
+    for qid in sorted({m.qid for m in measurements}):
+        for system in table:
+            measurement = table[system].get(qid)
+            if measurement is None or measurement.unsupported:
+                lines.append(f"Q{qid:<3} {system:<14} n/a")
+                continue
+            fraction = (math.log10(max(measurement.seconds, 1e-9)) - low) / span
+            bar = "#" * max(1, int(round(fraction * width)))
+            lines.append(
+                f"Q{qid:<3} {system:<14} {bar} {measurement.seconds:.4f}s"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def scaling_table(
+    series: dict[str, list[tuple[float, float]]],
+    title: str,
+) -> str:
+    """Figure 9: time vs corpus-size factor, one column per system."""
+    systems = list(series)
+    factors = sorted({factor for points in series.values() for factor, _ in points})
+    lines = [title, "%-8s" % "scale" + "".join(f"{system:>16}" for system in systems)]
+    for factor in factors:
+        cells = ["%-8s" % f"{factor:g}x"]
+        for system in systems:
+            value = dict(series[system]).get(factor)
+            cells.append(f"{value:>16.4f}" if value is not None else f"{'n/a':>16}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def speedup_summary(
+    measurements: Sequence[Measurement],
+    baseline: str,
+    contender: str,
+) -> str:
+    """Geometric-mean speedup of ``contender`` over ``baseline``."""
+    table = _by_system(measurements)
+    ratios: list[float] = []
+    for qid, base in table.get(baseline, {}).items():
+        other = table.get(contender, {}).get(qid)
+        if other is None or base.unsupported or other.unsupported:
+            continue
+        if base.seconds > 0 and other.seconds > 0:
+            ratios.append(base.seconds / other.seconds)
+    if not ratios:
+        return f"{contender} vs {baseline}: no comparable queries"
+    geometric = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    return (
+        f"{contender} vs {baseline}: geometric-mean speedup "
+        f"{geometric:.2f}x over {len(ratios)} queries"
+    )

@@ -1,0 +1,200 @@
+"""Command-line interface: query, generate, translate and inspect treebanks.
+
+Usage (also via ``python -m repro``)::
+
+    repro generate --profile wsj --sentences 1000 --seed 7 -o corpus.mrg
+    repro query corpus.mrg '//VB->NP' --count
+    repro query corpus.mrg '//VP{//NP$}' --show 3
+    repro query corpus.mrg 'NP , VB' --engine tgrep2
+    repro sql '//NP[not(//JJ)]'
+    repro stats corpus.mrg
+
+The query command reads Penn-bracketed files (one or more trees, optionally
+with the Treebank-3 ``( ... )`` wrappers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, TextIO
+
+from .baselines.corpussearch import CorpusSearchEngine
+from .baselines.tgrep2 import TGrep2Engine
+from .corpus import (
+    corpus_stats,
+    format_stats_table,
+    format_top_tags_table,
+    generate_corpus,
+    top_tags,
+)
+from .lpath import LPathEngine, SQLGenerator, parse
+from .tree import iter_trees, write_trees
+from .xpath import XPathEngine
+
+ENGINES = ("lpath", "tgrep2", "corpussearch", "xpath", "treewalk", "sqlite")
+
+
+def _load_trees(path: str):
+    if path == "-":
+        return list(iter_trees(sys.stdin.read()))
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(iter_trees(handle.read()))
+
+
+def _command_generate(args: argparse.Namespace, out: TextIO) -> int:
+    trees = generate_corpus(args.profile, sentences=args.sentences, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            count = write_trees(trees, handle)
+        print(f"wrote {count} trees to {args.output}", file=out)
+    else:
+        write_trees(trees, out)
+    return 0
+
+
+def _command_query(args: argparse.Namespace, out: TextIO) -> int:
+    from . import store
+
+    engine_name = args.engine
+    compiled = args.corpus != "-" and store.is_compiled_corpus(args.corpus)
+    if compiled and engine_name not in ("lpath", "sqlite"):
+        print(
+            "error: compiled corpora only support --engine lpath/sqlite",
+            file=sys.stderr,
+        )
+        return 1
+    if engine_name in ("lpath", "treewalk", "sqlite"):
+        if compiled:
+            engine = LPathEngine.from_labels(store.load_corpus_labels(args.corpus))
+            trees = []
+        else:
+            trees = _load_trees(args.corpus)
+            engine = LPathEngine(trees)
+        backend = "plan" if engine_name == "lpath" else engine_name
+        pivot = getattr(args, "pivot", False) and backend == "plan"
+        matches = engine.query(args.query, backend=backend, pivot=pivot) \
+            if backend == "plan" else engine.query(args.query, backend=backend)
+    else:
+        trees = _load_trees(args.corpus)
+        if engine_name == "tgrep2":
+            matches = TGrep2Engine(trees).query(args.query)
+        elif engine_name == "corpussearch":
+            matches = CorpusSearchEngine(trees).query(args.query)
+        else:
+            matches = XPathEngine(trees).query(args.query)
+
+    if args.count or compiled:
+        print(len(matches), file=out)
+        if not args.count:
+            for tid, node_id in matches[: args.show or 10]:
+                print(f"tree {tid}\tnode {node_id}", file=out)
+        return 0
+    by_tid = {tree.tid: tree for tree in trees}
+    shown = 0
+    for tid, node_id in matches:
+        if args.show is not None and shown >= args.show:
+            remaining = len(matches) - shown
+            print(f"... and {remaining} more (use --show to adjust)", file=out)
+            break
+        tree = by_tid[tid]
+        node = tree.node_by_id(node_id)
+        words = " ".join(
+            f"[{leaf.word}]" if node.left <= leaf.left and leaf.right <= node.right
+            else (leaf.word or "")
+            for leaf in tree.leaves()
+        )
+        print(f"tree {tid}\t({node.label})\t{words}", file=out)
+        shown += 1
+    print(f"{len(matches)} match(es)", file=out)
+    return 0
+
+
+def _command_sql(args: argparse.Namespace, out: TextIO) -> int:
+    generator = SQLGenerator()
+    print(generator.generate(parse(args.query)), file=out)
+    return 0
+
+
+def _command_compile(args: argparse.Namespace, out: TextIO) -> int:
+    from . import store
+
+    trees = _load_trees(args.corpus)
+    rows = store.save_corpus(trees, args.output)
+    print(f"compiled {len(trees)} trees ({rows} label rows) to {args.output}",
+          file=out)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace, out: TextIO) -> int:
+    rows, tags = {}, {}
+    for path in args.corpus:
+        trees = _load_trees(path)
+        rows[path] = corpus_stats(trees)
+        tags[path] = top_tags(trees, 10)
+    print(format_stats_table(rows), file=out)
+    print("", file=out)
+    print(format_top_tags_table(tags), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LPath: an XPath dialect for linguistic queries "
+                    "(Bird et al., ICDE 2006 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic treebank")
+    generate.add_argument("--profile", choices=("wsj", "swb"), default="wsj")
+    generate.add_argument("--sentences", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", help="output file (default stdout)")
+    generate.set_defaults(handler=_command_generate)
+
+    query = commands.add_parser("query", help="run a query over a bracketed corpus")
+    query.add_argument("corpus", help="bracketed treebank file ('-' for stdin)")
+    query.add_argument("query", help="the query text")
+    query.add_argument("--engine", choices=ENGINES, default="lpath")
+    query.add_argument("--count", action="store_true", help="print only the result size")
+    query.add_argument("--show", type=int, default=10,
+                       help="matches to display (default 10)")
+    query.add_argument("--pivot", action="store_true",
+                       help="selectivity-driven join ordering (lpath engine)")
+    query.set_defaults(handler=_command_query)
+
+    sql = commands.add_parser("sql", help="translate an LPath query to SQL")
+    sql.add_argument("query")
+    sql.set_defaults(handler=_command_sql)
+
+    compile_cmd = commands.add_parser(
+        "compile", help="label a bracketed corpus into a binary file"
+    )
+    compile_cmd.add_argument("corpus", help="bracketed treebank file")
+    compile_cmd.add_argument("-o", "--output", required=True)
+    compile_cmd.set_defaults(handler=_command_compile)
+
+    stats = commands.add_parser("stats", help="dataset characteristics (Fig 6a/6b)")
+    stats.add_argument("corpus", nargs="+")
+    stats.set_defaults(handler=_command_stats)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out: TextIO = sys.stdout) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Exception as error:  # surface engine/parse errors cleanly
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Synthetic treebank generation (the Treebank-3 substitute) and statistics."""
+
+from .generator import (
+    DEFAULT_MAX_DEPTH,
+    generate_corpus,
+    generate_tree,
+    replicate_corpus,
+)
+from .grammar import Grammar, GrammarError, Production
+from .lexicon import Lexicon, swb_lexicon, wsj_lexicon
+from .profiles import PROFILES, QUERY_TAGS, swb_profile, wsj_profile
+from .stats import (
+    CorpusStats,
+    corpus_stats,
+    format_stats_table,
+    format_top_tags_table,
+    tag_frequencies,
+    top_tags,
+)
+
+__all__ = [
+    "CorpusStats",
+    "DEFAULT_MAX_DEPTH",
+    "Grammar",
+    "GrammarError",
+    "Lexicon",
+    "PROFILES",
+    "Production",
+    "QUERY_TAGS",
+    "corpus_stats",
+    "format_stats_table",
+    "format_top_tags_table",
+    "generate_corpus",
+    "generate_tree",
+    "replicate_corpus",
+    "swb_lexicon",
+    "swb_profile",
+    "tag_frequencies",
+    "top_tags",
+    "wsj_lexicon",
+    "wsj_profile",
+]

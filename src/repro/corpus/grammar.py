@@ -1,0 +1,84 @@
+"""Weighted context-free grammars for synthetic treebank generation."""
+
+from __future__ import annotations
+
+import random
+from typing import NamedTuple, Sequence
+
+from .lexicon import WeightedChoice
+
+
+class Production(NamedTuple):
+    """``lhs -> rhs`` with a selection weight."""
+
+    lhs: str
+    rhs: tuple[str, ...]
+    weight: float
+
+
+class GrammarError(ValueError):
+    """Raised for ill-formed grammars."""
+
+
+class Grammar:
+    """A weighted CFG whose terminals are POS tags (words come from a lexicon).
+
+    Every non-terminal must have at least one *shallow* production (an rhs
+    of POS tags only); beyond the generation depth limit only shallow
+    productions are used, which bounds tree depth without skewing shallow
+    statistics.
+    """
+
+    def __init__(self, start: str, productions: Sequence[Production], pos_tags: set[str]) -> None:
+        self.start = start
+        self.pos_tags = set(pos_tags)
+        self.productions: dict[str, list[Production]] = {}
+        for production in productions:
+            if production.lhs in self.pos_tags:
+                raise GrammarError(f"POS tag {production.lhs!r} cannot be an lhs")
+            self.productions.setdefault(production.lhs, []).append(production)
+        self.nonterminals = set(self.productions)
+        self._validate()
+        self._any_choice = {
+            lhs: WeightedChoice([(p, p.weight) for p in rules])
+            for lhs, rules in self.productions.items()
+        }
+        self._shallow_choice = {}
+        for lhs, rules in self.productions.items():
+            shallow = [p for p in rules if self._is_shallow(p)]
+            self._shallow_choice[lhs] = WeightedChoice(
+                [(p, p.weight) for p in shallow]
+            )
+
+    def _is_shallow(self, production: Production) -> bool:
+        return all(symbol in self.pos_tags for symbol in production.rhs)
+
+    def _validate(self) -> None:
+        if self.start not in self.productions:
+            raise GrammarError(f"start symbol {self.start!r} has no productions")
+        for lhs, rules in self.productions.items():
+            for production in rules:
+                if not production.rhs:
+                    raise GrammarError(f"empty rhs in {lhs!r}")
+                for symbol in production.rhs:
+                    if symbol not in self.pos_tags and symbol not in self.productions:
+                        raise GrammarError(
+                            f"symbol {symbol!r} in {lhs} -> {production.rhs} is "
+                            "neither a POS tag nor a defined non-terminal"
+                        )
+            if not any(self._is_shallow(p) for p in rules):
+                raise GrammarError(
+                    f"non-terminal {lhs!r} has no shallow (POS-only) production"
+                )
+
+    def choose(self, lhs: str, rng: random.Random, shallow_only: bool) -> Production:
+        """Sample a production for ``lhs``."""
+        table = self._shallow_choice if shallow_only else self._any_choice
+        try:
+            return table[lhs].sample(rng)
+        except KeyError:
+            raise GrammarError(f"unknown non-terminal {lhs!r}") from None
+
+    def tags(self) -> set[str]:
+        """Every tag the grammar can emit (non-terminals plus POS)."""
+        return self.nonterminals | self.pos_tags

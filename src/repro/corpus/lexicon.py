@@ -1,0 +1,118 @@
+"""Weighted lexicons for the synthetic treebank profiles.
+
+Words required by the paper's query set are present with tuned
+frequencies: ``saw`` (Q1: moderate), ``of`` (Q10: very frequent under
+``IN``), ``what``/``building`` (Q11: co-occurring under WHNP),
+``rapprochement`` (Q12: hapax-rare) and ``1929`` (Q13: rare, WSJ only).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Mapping, Sequence
+
+
+class WeightedChoice:
+    """Sample from weighted alternatives with a ``random.Random``."""
+
+    __slots__ = ("items", "_cumulative", "_total")
+
+    def __init__(self, weighted: Sequence[tuple[object, float]]) -> None:
+        if not weighted:
+            raise ValueError("need at least one alternative")
+        self.items = [item for item, _ in weighted]
+        weights = [weight for _, weight in weighted]
+        if min(weights) <= 0:
+            raise ValueError("weights must be positive")
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random):
+        point = rng.random() * self._total
+        return self.items[bisect.bisect_right(self._cumulative, point)]
+
+
+class Lexicon:
+    """Per-POS weighted word distributions."""
+
+    def __init__(self, entries: Mapping[str, Sequence[tuple[str, float]]]) -> None:
+        self._choices = {pos: WeightedChoice(words) for pos, words in entries.items()}
+        self.entries = {pos: list(words) for pos, words in entries.items()}
+
+    def sample(self, pos: str, rng: random.Random) -> str:
+        try:
+            choice = self._choices[pos]
+        except KeyError:
+            raise KeyError(f"no lexicon for POS tag {pos!r}") from None
+        return choice.sample(rng)
+
+    def pos_tags(self) -> set[str]:
+        return set(self._choices)
+
+
+_COMMON_NOUNS = [
+    ("company", 30.0), ("year", 28.0), ("market", 24.0), ("time", 20.0),
+    ("group", 16.0), ("building", 12.0), ("price", 12.0), ("man", 10.0),
+    ("government", 9.0), ("plan", 8.0), ("dog", 6.0), ("street", 6.0),
+    ("analyst", 5.0), ("week", 5.0), ("rapprochement", 0.06),
+]
+
+_WSJ_ENTRIES: dict[str, list[tuple[str, float]]] = {
+    "NN": _COMMON_NOUNS,
+    "NNS": [("shares", 20.0), ("years", 15.0), ("sales", 12.0), ("prices", 10.0),
+            ("analysts", 6.0), ("buildings", 4.0)],
+    "NNP": [("Japan", 12.0), ("Congress", 10.0), ("Friday", 8.0), ("UAL", 6.0),
+            ("Boeing", 6.0), ("October", 5.0), ("Wall", 5.0), ("Street", 5.0)],
+    "VB": [("said", 25.0), ("saw", 4.0), ("rose", 8.0), ("expect", 7.0),
+           ("buy", 7.0), ("sell", 6.0), ("make", 6.0), ("report", 5.0),
+           ("close", 4.0), ("offer", 4.0)],
+    "DT": [("the", 60.0), ("a", 30.0), ("an", 6.0), ("this", 5.0), ("that", 4.0)],
+    "JJ": [("new", 20.0), ("last", 14.0), ("big", 8.0), ("major", 8.0),
+           ("financial", 7.0), ("old", 6.0), ("federal", 5.0), ("strong", 4.0)],
+    "IN": [("of", 40.0), ("in", 22.0), ("for", 12.0), ("on", 9.0),
+           ("with", 8.0), ("at", 6.0), ("by", 6.0), ("from", 5.0), ("that", 4.0)],
+    "RB": [("also", 12.0), ("now", 9.0), ("still", 7.0), ("already", 4.0),
+           ("here", 4.0), ("abroad", 2.0), ("sharply", 3.0)],
+    "PRP": [("it", 20.0), ("he", 15.0), ("they", 12.0), ("we", 8.0), ("I", 7.0)],
+    "CD": [("10", 12.0), ("100", 8.0), ("50", 6.0), ("1987", 3.0),
+           ("1929", 1.0), ("millions", 2.0)],
+    "WP": [("what", 7.0), ("who", 3.0)],
+    "WDT": [("which", 8.0), ("that", 4.0)],
+    "MD": [("will", 10.0), ("would", 8.0), ("could", 5.0), ("may", 4.0)],
+    "CC": [("and", 20.0), ("but", 6.0), ("or", 5.0)],
+    "UH": [("yes", 2.0), ("well", 2.0), ("oh", 1.0)],
+    "-NONE-": [("*T*", 10.0), ("*", 8.0), ("*U*", 3.0), ("0", 3.0)],
+    "-DFL-": [("E_S", 10.0), ("N_S", 8.0), ("\\[", 3.0), ("\\]", 3.0), ("\\+", 2.0)],
+    ".": [(".", 20.0), ("?", 2.0), ("!", 0.5)],
+    ",": [(",", 1.0)],
+}
+
+_SWB_OVERRIDES: dict[str, list[tuple[str, float]]] = {
+    # Conversational vocabulary: no '1929', no 'rapprochement'.
+    "NN": [("thing", 20.0), ("time", 18.0), ("lot", 14.0), ("kid", 10.0),
+           ("house", 9.0), ("building", 3.0), ("dog", 8.0), ("car", 8.0),
+           ("job", 7.0), ("school", 6.0), ("man", 4.0)],
+    "VB": [("know", 25.0), ("think", 20.0), ("got", 12.0), ("saw", 6.0),
+           ("go", 10.0), ("mean", 8.0), ("like", 8.0), ("guess", 5.0)],
+    "NNP": [("Texas", 8.0), ("Dallas", 5.0), ("Christmas", 3.0)],
+    "CD": [("two", 10.0), ("three", 7.0), ("ten", 4.0), ("twenty", 3.0)],
+    "IN": [("of", 22.0), ("in", 20.0), ("with", 12.0), ("for", 10.0),
+           ("on", 9.0), ("about", 8.0), ("at", 6.0), ("like", 5.0)],
+    "UH": [("uh", 20.0), ("yeah", 18.0), ("well", 12.0), ("um", 10.0),
+           ("oh", 8.0), ("right", 6.0)],
+    "PRP": [("I", 30.0), ("you", 25.0), ("it", 20.0), ("we", 12.0), ("they", 10.0)],
+}
+
+
+def wsj_lexicon() -> Lexicon:
+    """Lexicon for the WSJ-like profile."""
+    return Lexicon(_WSJ_ENTRIES)
+
+
+def swb_lexicon() -> Lexicon:
+    """Lexicon for the Switchboard-like profile."""
+    entries = dict(_WSJ_ENTRIES)
+    entries.update(_SWB_OVERRIDES)
+    return Lexicon(entries)

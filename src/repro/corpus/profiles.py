@@ -1,0 +1,222 @@
+"""The WSJ-like and Switchboard-like grammar profiles.
+
+These grammars are engineered so that the statistical drivers of the
+paper's evaluation hold on generated corpora:
+
+* every tag used by the Figure 6(c) query set occurs, with the paper's
+  high/low selectivity split (``NP``/``VP``/``NN``/``IN`` frequent;
+  ``WHPP``/``RRC``/``UCP-PRD``/``ADVP-LOC-CLR`` rare);
+* recursive ``NP -> NP PP`` and auxiliary ``VP -> MD VP`` chains produce
+  the deep vertical patterns of Q18/Q19; ditransitives and apposition
+  produce the sibling chains of Q20-Q23;
+* the SWB profile makes ``-DFL-`` (disfluency) the most frequent tag and
+  sharply reduces the WSJ-heavy tags, reproducing the frequency shift the
+  paper uses to explain Figure 8.
+"""
+
+from __future__ import annotations
+
+from .grammar import Grammar, Production
+from .lexicon import Lexicon, swb_lexicon, wsj_lexicon
+
+#: Tags the Figure 6(c) query set mentions; tests assert all are generable.
+QUERY_TAGS = [
+    "S", "NP", "VP", "PP", "NN", "VB", "IN", "DT", "JJ", "NP-SBJ",
+    "-NONE-", "ADJP", "ADVP", "SBAR", "RB", "PRP", "-DFL-",
+    "WHPP", "RRC", "PP-TMP", "UCP-PRD", "ADJP-PRD", "ADVP-LOC-CLR",
+]
+
+_WSJ_POS = {
+    "NN", "NNS", "NNP", "VB", "DT", "JJ", "IN", "RB", "PRP", "CD",
+    "WP", "WDT", "MD", "CC", "UH", "-NONE-", "-DFL-", ".", ",",
+}
+
+
+def _p(lhs: str, rhs: str, weight: float) -> Production:
+    return Production(lhs, tuple(rhs.split()), weight)
+
+
+def _wsj_productions() -> list[Production]:
+    return [
+        # -- sentences -------------------------------------------------------
+        _p("S", "NP-SBJ VP .", 46.0),
+        _p("S", "NP-SBJ VP PP-TMP .", 5.0),
+        _p("S", "NP-SBJ VP ADVP .", 3.0),
+        _p("S", "PP S", 2.5),
+        _p("S", "NP-SBJ PP VP .", 1.6),      # Q10: ... NP] [PP of][VP ...
+        _p("S", "NP-SBJ VP VP .", 0.8),      # Q23: sibling VPs
+        _p("S", "NP-SBJ UCP-PRD .", 0.35),   # Q17: UCP-PRD under S
+        _p("S", "-NONE- VP .", 1.2),
+        _p("S", "NP-SBJ VP", 4.0),
+        _p("S", "PRP VB .", 0.8),          # shallow fallback at the depth cap
+        # -- subjects ---------------------------------------------------------
+        _p("NP-SBJ", "DT NN", 18.0),
+        _p("NP-SBJ", "NP", 3.0),   # unary chain (exercises depth disambiguation)
+        _p("NP-SBJ", "PRP", 14.0),
+        _p("NP-SBJ", "NNP", 9.0),
+        _p("NP-SBJ", "DT JJ NN", 7.0),
+        _p("NP-SBJ", "-NONE-", 7.0),
+        _p("NP-SBJ", "NP PP", 3.0),
+        _p("NP-SBJ", "NNS", 4.0),
+        # -- noun phrases ------------------------------------------------------
+        _p("NP", "DT NN", 26.0),
+        _p("NP", "NN", 9.0),
+        _p("NP", "DT JJ NN", 11.0),
+        _p("NP", "NNP", 7.0),
+        _p("NP", "NNS", 6.0),
+        _p("NP", "NP PP", 17.0),             # recursion: Q18 chains
+        _p("NP", "NP SBAR", 2.5),
+        _p("NP", "NP RRC", 0.35),            # Q16 host
+        _p("NP", "DT ADJP NN", 4.0),         # Q8: ADJP child of NP
+        _p("NP", "NP NP NP", 0.5),           # Q22: NP=>NP=>NP
+        _p("NP", "NP NP", 1.6),
+        _p("NP", "CD NN", 2.0),
+        _p("NP", "DT NN NN", 3.5),
+        _p("NP", "NP PP SBAR", 0.9),         # Q20: PP=>SBAR
+        _p("NP", "-NONE-", 2.0),
+        # -- verb phrases --------------------------------------------------------
+        _p("VP", "VB NP", 30.0),
+        _p("VP", "VB", 7.0),
+        _p("VP", "VB NP PP", 11.0),
+        _p("VP", "VB PP", 7.0),
+        _p("VP", "MD VP", 5.5),              # Q19: VP under VP
+        _p("VP", "VB VP", 3.0),              # and deeper chains
+        _p("VP", "VB SBAR", 4.0),
+        _p("VP", "VB NP NP", 2.0),           # ditransitive: NP=>NP
+        _p("VP", "ADVP VB NP", 1.5),
+        _p("VP", "VB ADVP ADJP", 0.28),      # Q21: ADVP=>ADJP
+        _p("VP", "VB NP ADVP-LOC-CLR", 0.11),  # Q14 host
+        _p("VP", "VB UCP-PRD", 0.25),
+        # -- prepositional phrases --------------------------------------------------
+        _p("PP", "IN NP", 55.0),
+        _p("PP", "IN", 1.8),
+        _p("PP-TMP", "IN NP", 5.0),
+        _p("PP-TMP", "IN CD", 1.0),
+        # -- clauses ------------------------------------------------------------------
+        _p("SBAR", "IN S", 7.0),
+        _p("SBAR", "WHNP S", 2.5),
+        _p("SBAR", "-NONE- S", 3.5),
+        _p("SBAR", "WHPP S", 0.5),           # Q15 host
+        _p("SBAR", "IN", 0.4),
+        # -- modifiers ------------------------------------------------------------------
+        _p("ADJP", "JJ", 7.0),
+        _p("ADJP", "RB JJ", 2.4),
+        _p("ADJP", "JJ PP", 1.2),
+        _p("ADJP-PRD", "JJ", 1.4),
+        _p("ADJP-PRD", "JJ PP", 0.6),
+        _p("ADVP", "RB", 8.0),
+        _p("ADVP", "RB RB", 0.8),
+        _p("ADVP-LOC-CLR", "RB", 0.6),
+        _p("ADVP-LOC-CLR", "RB PP", 0.25),
+        # -- rare constructions --------------------------------------------------------------
+        _p("WHNP", "WDT", 2.0),
+        _p("WHNP", "WP", 1.4),
+        _p("WHNP", "WP NN", 0.8),            # Q11: "what building"
+        _p("WHPP", "IN WHNP", 1.0),
+        _p("WHPP", "IN WP", 0.3),
+        _p("RRC", "VP PP-TMP", 0.45),        # Q16: RRC/PP-TMP
+        _p("RRC", "ADJP PP", 0.4),
+        _p("RRC", "JJ", 0.2),
+        _p("UCP-PRD", "ADJP-PRD PP", 0.6),   # Q17: UCP-PRD/ADJP-PRD
+        _p("UCP-PRD", "ADJP-PRD CC ADJP-PRD", 0.4),
+        _p("UCP-PRD", "JJ", 0.15),
+    ]
+
+
+def _swb_productions() -> list[Production]:
+    """Conversational profile: disfluencies everywhere, flatter syntax,
+    WSJ-heavy tags (IN/NNP/DT chains, deep NPs) much rarer."""
+    productions = [
+        # -- sentences: disfluency markers dominate ---------------------------
+        _p("S", "-DFL- NP-SBJ VP .", 16.0),
+        _p("S", "NP-SBJ VP . -DFL-", 10.0),
+        _p("S", "-DFL- S", 7.0),
+        _p("S", "UH , S", 6.0),
+        _p("S", "NP-SBJ VP .", 22.0),
+        _p("S", "NP-SBJ VP", 9.0),
+        _p("S", "NP-SBJ VP VP .", 1.6),       # Q23 more common in speech
+        _p("S", "UH .", 4.0),
+        _p("S", "NP-SBJ PP VP .", 0.5),
+        _p("S", "NP-SBJ UCP-PRD .", 0.22),
+        # -- subjects: pronouns rule ---------------------------------------------
+        _p("NP-SBJ", "PRP", 30.0),
+        _p("NP-SBJ", "NP", 2.0),   # unary chain
+        _p("NP-SBJ", "DT NN", 6.0),
+        _p("NP-SBJ", "-NONE-", 6.0),
+        _p("NP-SBJ", "NNP", 1.2),
+        _p("NP-SBJ", "NP -DFL- NP", 1.0),
+        _p("NP-SBJ", "NNS", 2.0),
+        # -- noun phrases: flatter, less recursion ----------------------------------
+        _p("NP", "PRP", 10.0),
+        _p("NP", "DT NN", 14.0),
+        _p("NP", "NN", 8.0),
+        _p("NP", "DT JJ NN", 4.0),
+        _p("NP", "NNS", 4.5),
+        _p("NP", "NP PP", 6.0),
+        _p("NP", "NP SBAR", 1.6),
+        _p("NP", "DT ADJP NN", 1.1),
+        _p("NP", "NP NP NP", 0.35),
+        _p("NP", "NP NP", 1.0),
+        _p("NP", "CD NN", 1.2),
+        _p("NP", "NP RRC", 0.16),
+        _p("NP", "NP PP SBAR", 0.5),
+        _p("NP", "-NONE-", 1.6),
+        _p("NP", "NNP", 0.9),
+        # -- verb phrases -------------------------------------------------------------
+        _p("VP", "VB NP", 22.0),
+        _p("VP", "VB", 9.0),
+        _p("VP", "VB SBAR", 7.0),
+        _p("VP", "VB NP PP", 4.5),
+        _p("VP", "MD VP", 4.5),
+        _p("VP", "VB VP", 3.2),
+        _p("VP", "VB PP", 4.0),
+        _p("VP", "VB NP NP", 1.2),
+        _p("VP", "ADVP VB NP", 1.5),
+        _p("VP", "VB ADVP ADJP", 0.5),
+        _p("VP", "VB -DFL- NP", 2.2),
+        _p("VP", "VB UCP-PRD", 0.18),
+        # -- the rest, scaled down ------------------------------------------------------
+        _p("PP", "IN NP", 18.0),
+        _p("PP", "IN", 1.0),
+        _p("PP-TMP", "IN NP", 1.1),
+        _p("PP-TMP", "IN CD", 0.3),
+        _p("SBAR", "IN S", 5.0),
+        _p("SBAR", "WHNP S", 2.0),
+        _p("SBAR", "-NONE- S", 3.0),
+        _p("SBAR", "WHPP S", 0.18),
+        _p("SBAR", "IN", 0.3),
+        _p("ADJP", "JJ", 4.0),
+        _p("ADJP", "RB JJ", 1.6),
+        _p("ADJP", "JJ PP", 0.5),
+        _p("ADJP-PRD", "JJ", 0.9),
+        _p("ADJP-PRD", "JJ PP", 0.3),
+        _p("ADVP", "RB", 9.0),
+        _p("ADVP", "RB RB", 1.2),
+        _p("ADVP-LOC-CLR", "RB", 0.25),
+        _p("ADVP-LOC-CLR", "RB PP", 0.08),
+        _p("WHNP", "WDT", 1.4),
+        _p("WHNP", "WP", 1.6),
+        _p("WHNP", "WP NN", 0.7),
+        _p("WHPP", "IN WHNP", 1.0),
+        _p("WHPP", "IN WP", 0.3),
+        _p("RRC", "VP PP-TMP", 0.2),
+        _p("RRC", "ADJP PP", 0.2),
+        _p("RRC", "JJ", 0.1),
+        _p("UCP-PRD", "ADJP-PRD PP", 0.3),
+        _p("UCP-PRD", "ADJP-PRD CC ADJP-PRD", 0.2),
+        _p("UCP-PRD", "JJ", 0.1),
+    ]
+    return productions
+
+
+def wsj_profile() -> tuple[Grammar, Lexicon]:
+    """Grammar + lexicon of the WSJ-like profile."""
+    return Grammar("S", _wsj_productions(), _WSJ_POS), wsj_lexicon()
+
+
+def swb_profile() -> tuple[Grammar, Lexicon]:
+    """Grammar + lexicon of the Switchboard-like profile."""
+    return Grammar("S", _swb_productions(), _WSJ_POS), swb_lexicon()
+
+
+PROFILES = {"wsj": wsj_profile, "swb": swb_profile}

@@ -1,0 +1,24 @@
+"""Labeling schemes: the LPath scheme (Definition 4.1) and the XPath baseline."""
+
+from . import predicates, xpath_scheme
+from .lpath_scheme import (
+    ATTRIBUTE_PREFIX,
+    COLUMNS,
+    Label,
+    attribute_labels,
+    label_corpus,
+    label_node,
+    label_tree,
+)
+
+__all__ = [
+    "ATTRIBUTE_PREFIX",
+    "COLUMNS",
+    "Label",
+    "attribute_labels",
+    "label_corpus",
+    "label_node",
+    "label_tree",
+    "predicates",
+    "xpath_scheme",
+]

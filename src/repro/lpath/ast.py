@@ -1,0 +1,195 @@
+"""Abstract syntax for LPath queries (Figure 4's grammar plus XPath 1.0 core).
+
+A query is a :class:`Path`: a sequence of :class:`Step` and :class:`Scope`
+items.  Scoping ``HP { RLP }`` is represented by a trailing :class:`Scope`
+item whose body is itself a :class:`Path` — per the paper's grammar, braces
+always close at the end of a (sub)path, so scopes nest but never resume.
+
+Predicates are boolean expressions over relative paths, comparisons and the
+core function library (``position``, ``last``, ``count``, ``name``,
+``not``...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .axes import Axis
+
+WILDCARD = "_"
+
+
+# -- predicate expressions -----------------------------------------------------
+
+
+class PredicateExpr:
+    """Base class for predicate expressions."""
+
+
+@dataclass(frozen=True)
+class OrExpr(PredicateExpr):
+    """Disjunction."""
+
+    parts: tuple[PredicateExpr, ...]
+
+    def __str__(self) -> str:
+        return " or ".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class AndExpr(PredicateExpr):
+    """Conjunction."""
+
+    parts: tuple[PredicateExpr, ...]
+
+    def __str__(self) -> str:
+        return " and ".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class NotExpr(PredicateExpr):
+    """``not(expr)``."""
+
+    part: PredicateExpr
+
+    def __str__(self) -> str:
+        return f"not({self.part})"
+
+
+@dataclass(frozen=True)
+class PathExists(PredicateExpr):
+    """A relative path used as a boolean: true iff it selects some node."""
+
+    path: "Path"
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class Literal(PredicateExpr):
+    """A string literal (bare words in comparisons are string literals)."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Number(PredicateExpr):
+    """A numeric literal."""
+
+    value: float
+
+    def __str__(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FunctionCall(PredicateExpr):
+    """A core-library function call: position(), last(), count(path), name()."""
+
+    name: str
+    args: tuple[PredicateExpr, ...] = ()
+
+    def __str__(self) -> str:
+        body = ", ".join(str(arg) for arg in self.args)
+        return f"{self.name}({body})"
+
+
+@dataclass(frozen=True)
+class Comparison(PredicateExpr):
+    """``left <op> right`` with XPath existential semantics for paths."""
+
+    left: PredicateExpr
+    op: str
+    right: PredicateExpr
+
+    def __str__(self) -> str:
+        return f"{self.left}{self.op}{self.right}"
+
+
+# -- steps and paths -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """What a step matches: a tag name, an attribute name, or the wildcard."""
+
+    name: str
+    is_attribute: bool = False
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == WILDCARD
+
+    def __str__(self) -> str:
+        return ("@" if self.is_attribute else "") + self.name
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: axis, alignment, node test and predicates."""
+
+    axis: Axis
+    test: NodeTest
+    left_aligned: bool = False
+    right_aligned: bool = False
+    predicates: tuple[PredicateExpr, ...] = ()
+
+    def __str__(self) -> str:
+        from .unparse import step_to_string  # local import to avoid a cycle
+
+        return step_to_string(self)
+
+
+@dataclass(frozen=True)
+class Scope:
+    """``{ body }`` — all steps in ``body`` stay within the scope node's subtree."""
+
+    body: "Path"
+
+    def __str__(self) -> str:
+        return "{" + str(self.body) + "}"
+
+
+PathItem = Union[Step, Scope]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A (possibly absolute) sequence of steps ending in at most one scope."""
+
+    items: tuple[PathItem, ...]
+    absolute: bool = False
+
+    @property
+    def steps(self) -> tuple[Step, ...]:
+        """The head-path steps (excluding any trailing scope)."""
+        return tuple(item for item in self.items if isinstance(item, Step))
+
+    @property
+    def scope(self) -> Optional[Scope]:
+        """The trailing scope, if present."""
+        for item in self.items:
+            if isinstance(item, Scope):
+                return item
+        return None
+
+    def last_step(self) -> Step:
+        """The step whose matches are the query result (recursing into scopes)."""
+        if not self.items:
+            raise ValueError("empty path has no result step")
+        last = self.items[-1]
+        if isinstance(last, Scope):
+            return last.body.last_step()
+        return last
+
+    def __str__(self) -> str:
+        from .unparse import path_to_string
+
+        return path_to_string(self)

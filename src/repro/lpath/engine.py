@@ -1,0 +1,163 @@
+"""The LPath query engine: load a corpus, answer LPath queries.
+
+Three backends share one parser and one axis semantics:
+
+* ``"plan"`` (default) — the Section 4 engine: Definition 4.1 labels stored
+  in the mini relational engine, queries compiled to index-nested-loop plans
+  (:mod:`repro.lpath.compiler`);
+* ``"sqlite"`` — the same labels in SQLite, executing the *emitted SQL text*
+  (:mod:`repro.lpath.sql`); a differential oracle for the translation;
+* ``"treewalk"`` — direct tree walking (:mod:`repro.lpath.treewalk`); the
+  reference semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..labeling.lpath_scheme import label_corpus
+from ..relational.database import Database, create_node_table
+from ..relational.sqlite_backend import SQLiteBackend
+from ..tree.node import Tree, TreeNode
+from .ast import Path
+from .compiler import CompiledQuery, PlanCompiler
+from .errors import LPathError
+from .parser import parse
+from .sql import SQLGenerator
+from .treewalk import TreeWalkEvaluator
+
+Query = Union[str, Path]
+BACKENDS = ("plan", "sqlite", "treewalk")
+
+
+class LPathEngine:
+    """Query a corpus of linguistic trees with LPath."""
+
+    def __init__(
+        self,
+        trees: Sequence[Tree],
+        extra_indexes: bool = False,
+        keep_trees: bool = True,
+    ) -> None:
+        self.trees = list(trees)
+        tids = [tree.tid for tree in self.trees]
+        if len(set(tids)) != len(tids):
+            raise LPathError("trees must have distinct tids")
+        rows = list(label_corpus(self.trees))
+        root_right = {tree.tid: tree.root.right for tree in self.trees}
+        self._init_from_rows(rows, root_right, extra_indexes)
+        self._treewalk = TreeWalkEvaluator(self.trees) if keep_trees else None
+        self._by_id = (
+            {tree.tid: tree for tree in self.trees} if keep_trees else None
+        )
+
+    @classmethod
+    def from_labels(
+        cls, rows: Sequence, extra_indexes: bool = False
+    ) -> "LPathEngine":
+        """Build an engine straight from label rows (e.g. a compiled corpus
+        loaded with :mod:`repro.store`).  Tree-dependent features
+        (:meth:`nodes`, the tree-walk backend) are unavailable."""
+        engine = cls.__new__(cls)
+        engine.trees = []
+        root_right: dict[int, int] = {}
+        for row in rows:
+            if row[5] == 0 and not row[6].startswith("@"):  # pid == 0, element
+                root_right[row[0]] = row[2]
+        engine._init_from_rows(list(rows), root_right, extra_indexes)
+        engine._treewalk = None
+        engine._by_id = None
+        return engine
+
+    def _init_from_rows(self, rows, root_right, extra_indexes: bool) -> None:
+        self.database = Database("lpath")
+        self.node_table = create_node_table(
+            self.database, rows, extra_indexes=extra_indexes
+        )
+        self.root_right = root_right
+        self._compiler = PlanCompiler(self.node_table, self.root_right)
+        self._sql = SQLGenerator()
+        self._rows = rows
+        self._sqlite: Optional[SQLiteBackend] = None
+
+    # -- queries ------------------------------------------------------------
+
+    def query(
+        self, query: Query, backend: str = "plan", pivot: bool = False
+    ) -> list[tuple[int, int]]:
+        """Distinct, sorted ``(tid, id)`` pairs matching the query.
+
+        ``pivot=True`` (plan backend only) enables selectivity-driven join
+        ordering for plain step chains."""
+        if backend == "plan":
+            return [tuple(row) for row in self.compile(query, pivot=pivot).rows()]
+        if backend == "sqlite":
+            sql = self.to_sql(query)
+            return sorted(tuple(row) for row in self.sqlite.execute(sql))
+        if backend == "treewalk":
+            return self.treewalk.query(query)
+        raise LPathError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+    def count(self, query: Query, backend: str = "plan") -> int:
+        """Result-set size (what the paper's experiments report)."""
+        return len(self.query(query, backend=backend))
+
+    def nodes(self, query: Query) -> list[TreeNode]:
+        """Matched tree nodes (needs ``keep_trees=True``)."""
+        if self._by_id is None:
+            raise LPathError("engine was built with keep_trees=False")
+        result = []
+        for tid, node_id in self.query(query):
+            result.append(self._by_id[tid].node_by_id(node_id))
+        return result
+
+    # -- compilation artifacts -------------------------------------------------
+
+    def compile(self, query: Query, pivot: bool = False) -> CompiledQuery:
+        """Compile to a mini-relational-engine plan."""
+        path = parse(query) if isinstance(query, str) else query
+        return self._compiler.compile(path, pivot=pivot)
+
+    def to_sql(self, query: Query) -> str:
+        """The SQL text the paper's translation module would emit."""
+        path = parse(query) if isinstance(query, str) else query
+        return self._sql.generate(path)
+
+    def explain(self, query: Query) -> str:
+        """Physical plan description."""
+        return self.compile(query).explain()
+
+    # -- backends ---------------------------------------------------------------
+
+    @property
+    def sqlite(self) -> SQLiteBackend:
+        """The lazily created SQLite differential backend."""
+        if self._sqlite is None:
+            self._sqlite = SQLiteBackend(self._rows)
+        return self._sqlite
+
+    @property
+    def treewalk(self) -> TreeWalkEvaluator:
+        """The tree-walking reference evaluator."""
+        if self._treewalk is None:
+            raise LPathError("engine was built with keep_trees=False")
+        return self._treewalk
+
+    def close(self) -> None:
+        """Release backend resources."""
+        if self._sqlite is not None:
+            self._sqlite.close()
+            self._sqlite = None
+
+    def __enter__(self) -> "LPathEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def engine_from_bracketed(text: str, **kwargs) -> LPathEngine:
+    """Convenience: build an engine straight from bracketed trees."""
+    from ..tree.bracket import iter_trees
+
+    return LPathEngine(list(iter_trees(text)), **kwargs)

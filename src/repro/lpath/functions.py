@@ -1,0 +1,50 @@
+"""The LPath core function library.
+
+The paper keeps XPath's function library (footnote 1); the subset needed by
+linguistic queries and the XPath-rewrite comparisons is implemented here:
+``position``, ``last``, ``count``, ``name``, ``true``, ``false`` (plus
+``not``, which the parser treats as a boolean connective).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from .ast import FunctionCall
+
+
+class FunctionSpec(NamedTuple):
+    """Name, arity bounds, and result kind of a library function."""
+
+    name: str
+    min_args: int
+    max_args: int
+    result: str  # "number" | "string" | "boolean"
+
+
+FUNCTIONS: dict[str, FunctionSpec] = {
+    spec.name: spec
+    for spec in (
+        FunctionSpec("position", 0, 0, "number"),
+        FunctionSpec("last", 0, 0, "number"),
+        FunctionSpec("count", 1, 1, "number"),
+        FunctionSpec("name", 0, 0, "string"),
+        FunctionSpec("true", 0, 0, "boolean"),
+        FunctionSpec("false", 0, 0, "boolean"),
+    )
+}
+
+
+def validate_call(call: FunctionCall) -> Optional[str]:
+    """An error message when the call is unknown or has bad arity, else None."""
+    spec = FUNCTIONS.get(call.name)
+    if spec is None:
+        known = ", ".join(sorted(FUNCTIONS))
+        return f"unknown function {call.name!r} (library: {known}, plus not(...))"
+    if not (spec.min_args <= len(call.args) <= spec.max_args):
+        if spec.min_args == spec.max_args:
+            want = str(spec.min_args)
+        else:
+            want = f"{spec.min_args}..{spec.max_args}"
+        return f"{call.name}() takes {want} argument(s), got {len(call.args)}"
+    return None

@@ -1,0 +1,181 @@
+"""Tokenizer for LPath queries.
+
+The main lexical subtlety is that Penn Treebank tag names contain ``-``
+(``-NONE-``, ``NP-SBJ``, ``ADVP-LOC-CLR``) while ``->`` and ``-->`` are
+axes.  The lexer uses maximal-munch with lookahead: inside a name, ``-`` is
+a name character unless it begins ``->`` or ``-->``.  Genuinely ambiguous
+tags (``PRP$``, punctuation tags like ``.``) can be written as quoted names
+``'PRP$'``.
+
+``<=`` is tokenized as the immediate-preceding-sibling axis; the parser
+reinterprets it as a comparison operator when the left operand cannot start
+a path continuation (e.g. ``position()<=3``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Optional
+
+from .axes import ARROWS, Axis
+from .errors import LPathSyntaxError
+
+
+class Token(NamedTuple):
+    """A lexical token: kind, surface text, axis payload, source offset."""
+
+    kind: str
+    text: str
+    axis: Optional[Axis]
+    position: int
+
+
+# Token kinds.
+DSLASH = "DSLASH"          # //
+SLASH = "SLASH"            # /
+BACKSLASH = "BACKSLASH"    # \
+ARROW = "ARROW"            # ->  -->  <-  <--  =>  ==>  <=  <==
+DOT = "DOT"                # .
+DDOT = "DDOT"              # ..
+AT = "AT"                  # @
+LBRACKET, RBRACKET = "LBRACKET", "RBRACKET"
+LBRACE, RBRACE = "LBRACE", "RBRACE"
+LPAREN, RPAREN = "LPAREN", "RPAREN"
+CARET, DOLLAR = "CARET", "DOLLAR"
+COLONCOLON = "COLONCOLON"  # ::
+COMMA = "COMMA"
+OP = "OP"                  # =  !=  <  >  >=
+NAME = "NAME"
+STRING = "STRING"          # quoted name or literal
+EOF = "EOF"
+
+_SIMPLE = {
+    "[": LBRACKET,
+    "]": RBRACKET,
+    "{": LBRACE,
+    "}": RBRACE,
+    "(": LPAREN,
+    ")": RPAREN,
+    "^": CARET,
+    "$": DOLLAR,
+    ",": COMMA,
+}
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_-"
+
+
+def _name_boundary(text: str, index: int) -> bool:
+    """True when the ``-`` at ``index`` starts an arrow rather than a name."""
+    return text.startswith("->", index) or text.startswith("-->", index)
+
+
+def tokenize(query: str) -> list[Token]:
+    """Tokenize a full query; raises :class:`LPathSyntaxError`."""
+    return list(_tokens(query))
+
+
+def _tokens(query: str) -> Iterator[Token]:
+    index, length = 0, len(query)
+    while index < length:
+        char = query[index]
+        if char.isspace():
+            index += 1
+            continue
+        # Arrows (longest first, from the shared table).
+        arrow = _match_arrow(query, index)
+        if arrow is not None:
+            text, axis = arrow
+            yield Token(ARROW, text, axis, index)
+            index += len(text)
+            continue
+        if query.startswith("//", index):
+            yield Token(DSLASH, "//", None, index)
+            index += 2
+            continue
+        if char == "/":
+            yield Token(SLASH, "/", None, index)
+            index += 1
+            continue
+        if char == "\\":
+            yield Token(BACKSLASH, "\\", None, index)
+            index += 1
+            continue
+        if query.startswith("::", index):
+            yield Token(COLONCOLON, "::", None, index)
+            index += 2
+            continue
+        if query.startswith("..", index):
+            yield Token(DDOT, "..", None, index)
+            index += 2
+            continue
+        if char == ".":
+            yield Token(DOT, ".", None, index)
+            index += 1
+            continue
+        if char == "@":
+            yield Token(AT, "@", None, index)
+            index += 1
+            continue
+        if char in _SIMPLE:
+            yield Token(_SIMPLE[char], char, None, index)
+            index += 1
+            continue
+        if query.startswith("!=", index):
+            yield Token(OP, "!=", None, index)
+            index += 2
+            continue
+        if query.startswith(">=", index):
+            yield Token(OP, ">=", None, index)
+            index += 2
+            continue
+        if char in "=<>":
+            yield Token(OP, char, None, index)
+            index += 1
+            continue
+        if char in "'\"":
+            text, advance = _read_string(query, index)
+            yield Token(STRING, text, None, index)
+            index += advance
+            continue
+        if _is_name_char(char) and not (char == "-" and _name_boundary(query, index)):
+            text, advance = _read_name(query, index)
+            yield Token(NAME, text, None, index)
+            index += advance
+            continue
+        raise LPathSyntaxError(f"unexpected character {char!r}", query, index)
+    yield Token(EOF, "", None, length)
+
+
+def _match_arrow(query: str, index: int) -> Optional[tuple[str, Axis]]:
+    for text, axis in ARROWS:
+        if query.startswith(text, index):
+            return text, axis
+    return None
+
+
+def _read_string(query: str, index: int) -> tuple[str, int]:
+    """Read a quoted string; a doubled quote escapes itself (``'o''clock'``)."""
+    quote = query[index]
+    parts: list[str] = []
+    end = index + 1
+    while end < len(query):
+        char = query[end]
+        if char == quote:
+            if end + 1 < len(query) and query[end + 1] == quote:
+                parts.append(quote)
+                end += 2
+                continue
+            return "".join(parts), end - index + 1
+        parts.append(char)
+        end += 1
+    raise LPathSyntaxError("unterminated string literal", query, index)
+
+
+def _read_name(query: str, index: int) -> tuple[str, int]:
+    end = index
+    while end < len(query) and _is_name_char(query[end]):
+        if query[end] == "-" and _name_boundary(query, end):
+            break
+        end += 1
+    return query[index:end], end - index

@@ -1,0 +1,339 @@
+"""Recursive-descent parser for LPath (Figure 4 grammar + XPath 1.0 core).
+
+Disambiguation rules (documented here because the surface syntax reuses
+symbols):
+
+* ``<=`` after a *path* continues the path as the immediate-preceding-
+  sibling axis; after a function call, number or literal it is the
+  comparison operator (e.g. ``position()<=3``).
+* A bare name on the right-hand side of a comparison is a string literal
+  (``[@lex=saw]``), matching the paper's query syntax; on the left-hand
+  side a bare name is a child-axis path, as in XPath (``[NP]``).
+* A scope ``{...}`` must be the last item of its (sub)path — the grammar
+  ``RLP ::= HP | HP '{' RLP '}'`` never resumes after a closing brace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import lexer as lx
+from .ast import (
+    AndExpr,
+    Comparison,
+    FunctionCall,
+    Literal,
+    NodeTest,
+    NotExpr,
+    Number,
+    OrExpr,
+    Path,
+    PathExists,
+    PathItem,
+    PredicateExpr,
+    Scope,
+    Step,
+    WILDCARD,
+)
+from .axes import Axis, NAMED_AXES
+from .errors import LPathSyntaxError
+from .functions import validate_call
+
+#: Tokens that may begin a step in a relative path (plus NAME/AT/STRING).
+_PATH_START_KINDS = frozenset(
+    {lx.DSLASH, lx.SLASH, lx.BACKSLASH, lx.ARROW, lx.DOT, lx.DDOT, lx.AT, lx.LBRACE}
+)
+#: Comparison operators (``<=`` arrives as an ARROW token, handled separately).
+_COMPARISON_OPS = frozenset({"=", "!=", "<", ">", ">="})
+
+
+class _Parser:
+    def __init__(self, query: str) -> None:
+        self.query = query
+        self.tokens = lx.tokenize(query)
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> lx.Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> lx.Token:
+        token = self.tokens[self.position]
+        if token.kind != lx.EOF:
+            self.position += 1
+        return token
+
+    def expect(self, kind: str) -> lx.Token:
+        token = self.peek()
+        if token.kind != kind:
+            self.fail(f"expected {kind} but found {token.text or 'end of query'!r}")
+        return self.advance()
+
+    def fail(self, message: str) -> None:
+        raise LPathSyntaxError(message, self.query, self.peek().position)
+
+    # -- queries ------------------------------------------------------------
+
+    def parse_query(self) -> Path:
+        token = self.peek()
+        if token.kind not in (lx.DSLASH, lx.SLASH):
+            self.fail("a query must start with '/' or '//'")
+        items = self.parse_items(first=True)
+        if self.peek().kind != lx.EOF:
+            self.fail(f"unexpected trailing {self.peek().text!r}")
+        if not items:
+            self.fail("empty query")
+        return Path(tuple(items), absolute=True)
+
+    # -- paths ----------------------------------------------------------------
+
+    def parse_relative_path(self) -> Path:
+        items = self.parse_items(first=True, relative=True)
+        if not items:
+            self.fail("expected a path")
+        return Path(tuple(items), absolute=False)
+
+    def parse_items(self, first: bool, relative: bool = False) -> list[PathItem]:
+        items: list[PathItem] = []
+        while True:
+            token = self.peek()
+            if token.kind == lx.LBRACE:
+                if not items and not relative:
+                    self.fail("a scope needs a head path or a context node")
+                self.advance()
+                body = self.parse_items(first=True, relative=True)
+                if not body:
+                    self.fail("empty scope '{}'")
+                self.expect(lx.RBRACE)
+                items.append(Scope(Path(tuple(body))))
+                if self.peek().kind in _PATH_START_KINDS:
+                    self.fail("no steps may follow a closing '}'")
+                return items
+            step = self.try_parse_step(is_first=first and not items, relative=relative)
+            if step is None:
+                return items
+            items.append(step)
+            first = False
+
+    def try_parse_step(self, is_first: bool, relative: bool) -> Optional[Step]:
+        token = self.peek()
+        if token.kind == lx.DSLASH:
+            self.advance()
+            return self.finish_step(Axis.DESCENDANT)
+        if token.kind == lx.SLASH:
+            self.advance()
+            if self.peek().kind == lx.AT:  # /@lex — the attribute axis
+                self.advance()
+                name = self.node_name()
+                return self.finish_step(
+                    Axis.ATTRIBUTE, test=NodeTest(name, is_attribute=True)
+                )
+            if self.peek().kind == lx.DOT:  # /. — XPath self abbreviation
+                self.advance()
+                return self.finish_step(Axis.SELF, implicit_wildcard=True)
+            if self.peek().kind == lx.DDOT:  # /.. — XPath parent abbreviation
+                self.advance()
+                return self.finish_step(Axis.PARENT, implicit_wildcard=True)
+            axis = self.named_axis_or(Axis.CHILD)
+            return self.finish_step(axis)
+        if token.kind == lx.BACKSLASH:
+            self.advance()
+            axis = self.named_axis_or(Axis.PARENT)
+            if axis not in (Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+                self.fail("'\\' only takes the ancestor axes")
+            return self.finish_step(axis)
+        if token.kind == lx.ARROW:
+            self.advance()
+            return self.finish_step(token.axis)
+        if token.kind == lx.DOT:
+            self.advance()
+            return self.finish_step(Axis.SELF, implicit_wildcard=True)
+        if token.kind == lx.DDOT:
+            self.advance()
+            return self.finish_step(Axis.PARENT, implicit_wildcard=True)
+        if token.kind == lx.AT:
+            self.advance()
+            name = self.node_name()
+            return self.finish_step(
+                Axis.ATTRIBUTE, test=NodeTest(name, is_attribute=True)
+            )
+        if is_first and relative:
+            # Leading steps of relative paths may omit the axis marker:
+            # `self::NP`, `following-sibling::_`, bare `NP` (child axis).
+            if token.kind in (lx.NAME, lx.STRING, lx.CARET):
+                axis = self.named_axis_or(Axis.CHILD)
+                return self.finish_step(axis)
+        return None
+
+    def named_axis_or(self, default: Axis) -> Axis:
+        """Consume ``axisname::`` when present, else use the default axis."""
+        token = self.peek()
+        if token.kind == lx.NAME and self.peek(1).kind == lx.COLONCOLON:
+            axis = NAMED_AXES.get(token.text)
+            if axis is None:
+                self.fail(f"unknown axis {token.text!r}")
+            self.advance()
+            self.advance()
+            if axis is Axis.ATTRIBUTE:
+                # attribute::lex — normalize to the @ form downstream.
+                return Axis.ATTRIBUTE
+            return axis
+        return default
+
+    def finish_step(
+        self,
+        axis: Axis,
+        test: Optional[NodeTest] = None,
+        implicit_wildcard: bool = False,
+    ) -> Step:
+        left_aligned = False
+        if test is None and not implicit_wildcard:
+            if self.peek().kind == lx.CARET:
+                self.advance()
+                left_aligned = True
+            if axis is Axis.ATTRIBUTE:
+                test = NodeTest(self.node_name(), is_attribute=True)
+            else:
+                test = NodeTest(self.node_name())
+        elif implicit_wildcard:
+            test = NodeTest(WILDCARD)
+        right_aligned = False
+        if self.peek().kind == lx.DOLLAR:
+            self.advance()
+            right_aligned = True
+        predicates = []
+        while self.peek().kind == lx.LBRACKET:
+            self.advance()
+            predicates.append(_normalize_positional(self.parse_or()))
+            self.expect(lx.RBRACKET)
+        return Step(
+            axis=axis,
+            test=test,
+            left_aligned=left_aligned,
+            right_aligned=right_aligned,
+            predicates=tuple(predicates),
+        )
+
+    def node_name(self) -> str:
+        token = self.peek()
+        if token.kind == lx.NAME:
+            self.advance()
+            return token.text
+        if token.kind == lx.STRING:
+            self.advance()
+            return token.text
+        self.fail(f"expected a node test but found {token.text or 'end of query'!r}")
+        raise AssertionError("unreachable")
+
+    # -- predicates -------------------------------------------------------------
+
+    def parse_or(self) -> PredicateExpr:
+        parts = [self.parse_and()]
+        while self.peek().kind == lx.NAME and self.peek().text == "or":
+            self.advance()
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else OrExpr(tuple(parts))
+
+    def parse_and(self) -> PredicateExpr:
+        parts = [self.parse_comparison()]
+        while self.peek().kind == lx.NAME and self.peek().text == "and":
+            self.advance()
+            parts.append(self.parse_comparison())
+        return parts[0] if len(parts) == 1 else AndExpr(tuple(parts))
+
+    def parse_comparison(self) -> PredicateExpr:
+        left = self.parse_value()
+        token = self.peek()
+        if token.kind == lx.OP and token.text in _COMPARISON_OPS:
+            self.advance()
+            right = self.parse_value(rhs=True)
+            return Comparison(left, token.text, right)
+        if (
+            token.kind == lx.ARROW
+            and token.text == "<="
+            and not isinstance(left, PathExists)
+        ):
+            # position()<=3 — reinterpret the sibling arrow as an operator.
+            self.advance()
+            right = self.parse_value(rhs=True)
+            return Comparison(left, "<=", right)
+        return left
+
+    def parse_value(self, rhs: bool = False) -> PredicateExpr:
+        token = self.peek()
+        if token.kind == lx.NAME and token.text == "not" and self.peek(1).kind == lx.LPAREN:
+            self.advance()
+            self.advance()
+            inner = self.parse_or()
+            self.expect(lx.RPAREN)
+            return NotExpr(inner)
+        if token.kind == lx.LPAREN:
+            self.advance()
+            inner = self.parse_or()
+            self.expect(lx.RPAREN)
+            return inner
+        if token.kind == lx.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.kind == lx.NAME and self.peek(1).kind == lx.LPAREN:
+            return self.parse_function_call()
+        if token.kind == lx.NAME and (rhs or _is_number(token.text)):
+            if self.peek(1).kind in _PATH_START_KINDS or self.peek(1).kind == lx.COLONCOLON:
+                return PathExists(self.parse_relative_path())
+            self.advance()
+            if _is_number(token.text):
+                return Number(float(token.text))
+            return Literal(token.text)
+        if token.kind in _PATH_START_KINDS or token.kind in (lx.NAME, lx.STRING, lx.CARET):
+            return PathExists(self.parse_relative_path())
+        self.fail(f"expected an expression but found {token.text or 'end of query'!r}")
+        raise AssertionError("unreachable")
+
+    def parse_function_call(self) -> PredicateExpr:
+        name_token = self.advance()
+        self.expect(lx.LPAREN)
+        args: list[PredicateExpr] = []
+        if self.peek().kind != lx.RPAREN:
+            args.append(self.parse_or())
+            while self.peek().kind == lx.COMMA:
+                self.advance()
+                args.append(self.parse_or())
+        self.expect(lx.RPAREN)
+        call = FunctionCall(name_token.text, tuple(args))
+        error = validate_call(call)
+        if error:
+            raise LPathSyntaxError(error, self.query, name_token.position)
+        return call
+
+
+def _is_number(text: str) -> bool:
+    return text.isdigit()
+
+
+#: Functions whose value is numeric; a bare numeric predicate like ``[1]``
+#: or ``[last()]`` abbreviates ``[position() = <expr>]`` (XPath 1.0 §2.4).
+_NUMERIC_FUNCTIONS = frozenset({"position", "last", "count"})
+
+
+def _normalize_positional(expr: PredicateExpr) -> PredicateExpr:
+    if isinstance(expr, Number) or (
+        isinstance(expr, FunctionCall) and expr.name in _NUMERIC_FUNCTIONS
+    ):
+        return Comparison(FunctionCall("position"), "=", expr)
+    return expr
+
+
+def parse(query: str) -> Path:
+    """Parse an absolute LPath query into a :class:`Path`."""
+    return _Parser(query).parse_query()
+
+
+def parse_relative(query: str) -> Path:
+    """Parse a relative path (as found inside predicates)."""
+    parser = _Parser(query)
+    path = parser.parse_relative_path()
+    if parser.peek().kind != lx.EOF:
+        parser.fail(f"unexpected trailing {parser.peek().text!r}")
+    return path

@@ -1,0 +1,119 @@
+"""Render LPath ASTs back to query text (LPath surface syntax).
+
+``parse(unparse(ast)) == ast`` is property-tested; round-tripping keeps the
+abbreviated forms (arrows, ``//``, ``\\``) rather than the verbose
+``axisname::`` spellings.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AndExpr,
+    Comparison,
+    FunctionCall,
+    Literal,
+    NotExpr,
+    Number,
+    OrExpr,
+    Path,
+    PathExists,
+    PredicateExpr,
+    Scope,
+    Step,
+)
+from .axes import Axis
+
+#: Preferred surface spelling per axis when it heads a step.
+_AXIS_PREFIX = {
+    Axis.CHILD: "/",
+    Axis.DESCENDANT: "//",
+    Axis.DESCENDANT_OR_SELF: "/descendant-or-self::",
+    Axis.PARENT: "\\",
+    Axis.ANCESTOR: "\\ancestor::",
+    Axis.ANCESTOR_OR_SELF: "\\ancestor-or-self::",
+    Axis.IMMEDIATE_FOLLOWING: "->",
+    Axis.FOLLOWING: "-->",
+    Axis.FOLLOWING_OR_SELF: "/following-or-self::",
+    Axis.IMMEDIATE_PRECEDING: "<-",
+    Axis.PRECEDING: "<--",
+    Axis.PRECEDING_OR_SELF: "/preceding-or-self::",
+    Axis.IMMEDIATE_FOLLOWING_SIBLING: "=>",
+    Axis.FOLLOWING_SIBLING: "==>",
+    Axis.FOLLOWING_SIBLING_OR_SELF: "/following-sibling-or-self::",
+    Axis.IMMEDIATE_PRECEDING_SIBLING: "<=",
+    Axis.PRECEDING_SIBLING: "<==",
+    Axis.PRECEDING_SIBLING_OR_SELF: "/preceding-sibling-or-self::",
+    Axis.SELF: "/self::",
+    Axis.ATTRIBUTE: "/@",
+}
+
+_PLAIN_NAME_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+
+
+def _render_name(name: str) -> str:
+    if name and all(char in _PLAIN_NAME_SAFE for char in name):
+        return name
+    return "'" + name + "'"
+
+
+def step_to_string(step: Step, leading: bool = False) -> str:
+    """Render one step; ``leading`` drops the axis marker where LPath allows."""
+    if step.axis is Axis.ATTRIBUTE:
+        prefix = "@" if leading else "/@"
+        body = _render_name(step.test.name)
+    else:
+        prefix = _AXIS_PREFIX[step.axis]
+        if leading and step.axis is Axis.CHILD:
+            prefix = ""
+        if leading and step.axis is Axis.SELF:
+            prefix = "self::"
+        body = _render_name(step.test.name)
+    caret = "^" if step.left_aligned else ""
+    dollar = "$" if step.right_aligned else ""
+    predicates = "".join(f"[{predicate_to_string(p)}]" for p in step.predicates)
+    return f"{prefix}{caret}{body}{dollar}{predicates}"
+
+
+def path_to_string(path: Path) -> str:
+    """Render a whole path."""
+    parts: list[str] = []
+    for position, item in enumerate(path.items):
+        if isinstance(item, Scope):
+            parts.append("{" + path_to_string(item.body) + "}")
+        else:
+            leading = position == 0 and not path.absolute
+            parts.append(step_to_string(item, leading=leading))
+    return "".join(parts)
+
+
+def predicate_to_string(expr: PredicateExpr) -> str:
+    """Render a predicate expression."""
+    if isinstance(expr, OrExpr):
+        return " or ".join(_grouped(part) for part in expr.parts)
+    if isinstance(expr, AndExpr):
+        return " and ".join(_grouped(part) for part in expr.parts)
+    if isinstance(expr, NotExpr):
+        return f"not({predicate_to_string(expr.part)})"
+    if isinstance(expr, PathExists):
+        return path_to_string(expr.path)
+    if isinstance(expr, Comparison):
+        return (
+            f"{predicate_to_string(expr.left)}{expr.op}"
+            f"{predicate_to_string(expr.right)}"
+        )
+    if isinstance(expr, Literal):
+        return "'" + expr.value + "'"
+    if isinstance(expr, Number):
+        value = expr.value
+        return str(int(value)) if value == int(value) else str(value)
+    if isinstance(expr, FunctionCall):
+        body = ", ".join(predicate_to_string(arg) for arg in expr.args)
+        return f"{expr.name}({body})"
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def _grouped(expr: PredicateExpr) -> str:
+    text = predicate_to_string(expr)
+    if isinstance(expr, (OrExpr, AndExpr)):
+        return f"({text})"
+    return text

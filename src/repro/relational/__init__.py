@@ -1,0 +1,37 @@
+"""A mini relational engine: tables, indexes, iterator operators, planning."""
+
+from . import expression, operators
+from .database import (
+    Database,
+    NODE_CLUSTERED_KEY,
+    NODE_COLUMNS,
+    NODE_SECONDARY_INDEXES,
+    create_node_table,
+)
+from .index import SortedIndex
+from .planner import AccessPath, choose_access_path, match_index
+from .schema import Row, Schema, SchemaError, encode_component, encode_key
+from .sqlite_backend import SQLiteBackend, quote_identifier
+from .table import Table
+
+__all__ = [
+    "AccessPath",
+    "Database",
+    "NODE_CLUSTERED_KEY",
+    "NODE_COLUMNS",
+    "NODE_SECONDARY_INDEXES",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "SortedIndex",
+    "SQLiteBackend",
+    "Table",
+    "choose_access_path",
+    "create_node_table",
+    "encode_component",
+    "encode_key",
+    "expression",
+    "match_index",
+    "operators",
+    "quote_identifier",
+]

@@ -1,0 +1,135 @@
+"""Row predicates for filters and joins.
+
+Predicates are small composable objects evaluating over a single tuple
+(possibly the concatenation of several joined rows — callers track column
+offsets).  They exist as objects rather than bare lambdas so that plans can
+be inspected, explained, and counted in tests.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Sequence
+
+from .schema import Row
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate:
+    """Base class: a callable ``row -> bool``."""
+
+    def __call__(self, row: Row) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def explain(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Const(Predicate):
+    """A constant truth value."""
+
+    def __init__(self, value: bool) -> None:
+        self.value = value
+
+    def __call__(self, row: Row) -> bool:
+        return self.value
+
+    def explain(self) -> str:
+        return "true" if self.value else "false"
+
+
+class ColConst(Predicate):
+    """``row[position] <op> constant``."""
+
+    def __init__(self, position: int, op: str, constant: Any) -> None:
+        self.position = position
+        self.op = op
+        self.constant = constant
+        self._fn = _OPS[op]
+
+    def __call__(self, row: Row) -> bool:
+        return self._fn(row[self.position], self.constant)
+
+    def explain(self) -> str:
+        return f"col[{self.position}] {self.op} {self.constant!r}"
+
+
+class ColCol(Predicate):
+    """``row[left] <op> row[right]`` — a join condition on a combined row."""
+
+    def __init__(self, left: int, op: str, right: int) -> None:
+        self.left = left
+        self.op = op
+        self.right = right
+        self._fn = _OPS[op]
+
+    def __call__(self, row: Row) -> bool:
+        return self._fn(row[self.left], row[self.right])
+
+    def explain(self) -> str:
+        return f"col[{self.left}] {self.op} col[{self.right}]"
+
+
+class And(Predicate):
+    """Conjunction of predicates; empty conjunction is true."""
+
+    def __init__(self, parts: Sequence[Predicate]) -> None:
+        self.parts = list(parts)
+
+    def __call__(self, row: Row) -> bool:
+        return all(part(row) for part in self.parts)
+
+    def explain(self) -> str:
+        if not self.parts:
+            return "true"
+        return " AND ".join(f"({part.explain()})" for part in self.parts)
+
+
+class Or(Predicate):
+    """Disjunction of predicates; empty disjunction is false."""
+
+    def __init__(self, parts: Sequence[Predicate]) -> None:
+        self.parts = list(parts)
+
+    def __call__(self, row: Row) -> bool:
+        return any(part(row) for part in self.parts)
+
+    def explain(self) -> str:
+        if not self.parts:
+            return "false"
+        return " OR ".join(f"({part.explain()})" for part in self.parts)
+
+
+class Not(Predicate):
+    """Negation."""
+
+    def __init__(self, part: Predicate) -> None:
+        self.part = part
+
+    def __call__(self, row: Row) -> bool:
+        return not self.part(row)
+
+    def explain(self) -> str:
+        return f"NOT ({self.part.explain()})"
+
+
+class Func(Predicate):
+    """Escape hatch for conditions not expressible with the classes above."""
+
+    def __init__(self, fn: Callable[[Row], bool], description: str) -> None:
+        self.fn = fn
+        self.description = description
+
+    def __call__(self, row: Row) -> bool:
+        return self.fn(row)
+
+    def explain(self) -> str:
+        return self.description

@@ -1,0 +1,110 @@
+"""Sorted composite-key indexes with prefix-equality + range scans.
+
+A :class:`SortedIndex` over columns ``(c1, ..., ck)`` supports the access
+pattern the LPath compiler needs: fix an equality prefix ``c1..cj`` and scan
+a (possibly unbounded) range on ``c(j+1)``.  This models both a clustered
+B-tree (the paper clusters the relation by ``{name, tid, left, right,
+depth, id, pid}``) and secondary indexes (``{tid, value, id}`` etc.).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterator, Optional, Sequence
+
+from .schema import Row, Schema, SchemaError, TOP, encode_component, encode_key
+
+
+class SortedIndex:
+    """An index over ``columns`` of rows that share ``schema``."""
+
+    __slots__ = ("name", "schema", "columns", "_positions", "_keys", "_rows")
+
+    def __init__(self, name: str, schema: Schema, columns: Sequence[str]) -> None:
+        if not columns:
+            raise SchemaError("an index needs at least one column")
+        self.name = name
+        self.schema = schema
+        self.columns: tuple[str, ...] = tuple(columns)
+        self._positions = schema.positions(columns)
+        self._keys: list[tuple] = []
+        self._rows: list[Row] = []
+
+    # -- construction -------------------------------------------------------
+
+    def build(self, rows: Sequence[Row]) -> None:
+        """(Re)build from scratch; sorts once."""
+        positions = self._positions
+        pairs = sorted(
+            (encode_key([row[p] for p in positions]), row) for row in rows
+        )
+        self._keys = [key for key, _ in pairs]
+        self._rows = [row for _, row in pairs]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- access -------------------------------------------------------------
+
+    def _check_prefix(self, prefix: Sequence[Any], with_range: bool) -> None:
+        limit = len(self.columns) - (1 if with_range else 0)
+        if len(prefix) > limit:
+            raise SchemaError(
+                f"prefix of length {len(prefix)} too long for index on {self.columns!r}"
+            )
+
+    def scan_eq(self, prefix: Sequence[Any]) -> Iterator[Row]:
+        """Rows whose first ``len(prefix)`` index columns equal ``prefix``."""
+        self._check_prefix(prefix, with_range=False)
+        key = encode_key(prefix)
+        low = bisect_left(self._keys, key)
+        high = bisect_left(self._keys, key + (TOP,))
+        return iter(self._rows[low:high])
+
+    def scan_range(
+        self,
+        prefix: Sequence[Any],
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Row]:
+        """Prefix-equality scan with a range on the next index column.
+
+        ``low``/``high`` bound the column after the prefix; ``None`` means
+        unbounded on that side.
+        """
+        self._check_prefix(prefix, with_range=True)
+        key = encode_key(prefix)
+        if low is None:
+            start_key = key
+        elif include_low:
+            start_key = key + (encode_component(low),)
+        else:
+            start_key = key + (encode_component(low), TOP)
+        if high is None:
+            end_key = key + (TOP,)
+        elif include_high:
+            end_key = key + (encode_component(high), TOP)
+        else:
+            end_key = key + (encode_component(high),)
+        start = bisect_left(self._keys, start_key)
+        end = bisect_left(self._keys, end_key)
+        return iter(self._rows[start:end])
+
+    def first(self, prefix: Sequence[Any]) -> Optional[Row]:
+        """The first row matching the equality prefix, if any."""
+        for row in self.scan_eq(prefix):
+            return row
+        return None
+
+    def count_eq(self, prefix: Sequence[Any]) -> int:
+        """Number of rows matching the equality prefix (two bisects)."""
+        self._check_prefix(prefix, with_range=False)
+        key = encode_key(prefix)
+        low = bisect_left(self._keys, key)
+        high = bisect_left(self._keys, key + (TOP,))
+        return high - low
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SortedIndex {self.name} on {self.columns!r} rows={len(self)}>"

@@ -1,0 +1,293 @@
+"""Physical operators (iterator / Volcano model).
+
+Every operator is an iterable of row tuples.  Joins concatenate tuples, so a
+pipeline over k joined relations yields tuples of width ``k * arity``;
+callers track offsets.  ``*Probe*`` joins follow the index-nested-loop
+pattern that dominates label-scheme query plans: for each outer tuple, an
+access-path function derives an index probe from the outer tuple's values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from .expression import Predicate
+from .schema import Row
+
+#: For each outer tuple, produce the matching inner rows (usually via index).
+ProbeFunction = Callable[[Row], Iterable[Row]]
+
+
+class Operator:
+    """Base class so plans can be introspected and explained."""
+
+    def __iter__(self) -> Iterator[Row]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Source(Operator):
+    """Wrap any row iterable (table scan, index scan, literal rows)."""
+
+    def __init__(self, rows: Callable[[], Iterable[Row]], description: str) -> None:
+        self.rows = rows
+        self.description = description
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows())
+
+    def explain(self, indent: int = 0) -> str:
+        return " " * indent + f"Source({self.description})"
+
+
+class Select(Operator):
+    """Filter rows by a predicate."""
+
+    def __init__(self, child: Operator, predicate: Predicate) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        predicate = self.predicate
+        return (row for row in self.child if predicate(row))
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}Select({self.predicate.explain()})\n{self.child.explain(indent + 2)}"
+
+
+class Project(Operator):
+    """Keep only the given positions, in order."""
+
+    def __init__(self, child: Operator, positions: Sequence[int]) -> None:
+        self.child = child
+        self.positions = tuple(positions)
+
+    def __iter__(self) -> Iterator[Row]:
+        positions = self.positions
+        for row in self.child:
+            yield tuple(row[position] for position in positions)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}Project{self.positions!r}\n{self.child.explain(indent + 2)}"
+
+
+class IndexNestedLoopJoin(Operator):
+    """For each outer tuple, append every probed inner row.
+
+    ``residual`` (if given) filters the *combined* tuple — used for the
+    label comparisons an index probe cannot cover (e.g. ``right <= c.right``
+    after a range probe on ``left``).
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        probe: ProbeFunction,
+        description: str,
+        residual: Optional[Predicate] = None,
+    ) -> None:
+        self.outer = outer
+        self.probe = probe
+        self.description = description
+        self.residual = residual
+
+    def __iter__(self) -> Iterator[Row]:
+        probe, residual = self.probe, self.residual
+        for outer_row in self.outer:
+            for inner_row in probe(outer_row):
+                combined = outer_row + inner_row
+                if residual is None or residual(combined):
+                    yield combined
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        extra = f" residual={self.residual.explain()}" if self.residual else ""
+        return (
+            f"{pad}IndexNestedLoopJoin({self.description}{extra})\n"
+            f"{self.outer.explain(indent + 2)}"
+        )
+
+
+class NestedLoopJoin(Operator):
+    """Materialized inner relation, scanned per outer tuple (fallback path)."""
+
+    def __init__(self, outer: Operator, inner: Operator, predicate: Predicate) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        inner_rows = list(self.inner)
+        predicate = self.predicate
+        for outer_row in self.outer:
+            for inner_row in inner_rows:
+                combined = outer_row + inner_row
+                if predicate(combined):
+                    yield combined
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}NestedLoopJoin({self.predicate.explain()})\n"
+            f"{self.outer.explain(indent + 2)}\n{self.inner.explain(indent + 2)}"
+        )
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the inner, probe with the outer."""
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner: Operator,
+        outer_positions: Sequence[int],
+        inner_positions: Sequence[int],
+        residual: Optional[Predicate] = None,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.outer_positions = tuple(outer_positions)
+        self.inner_positions = tuple(inner_positions)
+        self.residual = residual
+
+    def __iter__(self) -> Iterator[Row]:
+        buckets: dict[tuple, list[Row]] = {}
+        inner_positions = self.inner_positions
+        for row in self.inner:
+            key = tuple(row[position] for position in inner_positions)
+            buckets.setdefault(key, []).append(row)
+        outer_positions, residual = self.outer_positions, self.residual
+        for outer_row in self.outer:
+            key = tuple(outer_row[position] for position in outer_positions)
+            for inner_row in buckets.get(key, ()):
+                combined = outer_row + inner_row
+                if residual is None or residual(combined):
+                    yield combined
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}HashJoin(outer{self.outer_positions!r} = inner{self.inner_positions!r})\n"
+            f"{self.outer.explain(indent + 2)}\n{self.inner.explain(indent + 2)}"
+        )
+
+
+class SemiJoin(Operator):
+    """Keep outer tuples for which the probe yields at least one row (EXISTS)."""
+
+    def __init__(self, outer: Operator, probe: ProbeFunction, description: str) -> None:
+        self.outer = outer
+        self.probe = probe
+        self.description = description
+
+    def __iter__(self) -> Iterator[Row]:
+        probe = self.probe
+        for outer_row in self.outer:
+            for _ in probe(outer_row):
+                yield outer_row
+                break
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}SemiJoin({self.description})\n{self.outer.explain(indent + 2)}"
+
+
+class AntiJoin(Operator):
+    """Keep outer tuples for which the probe yields no rows (NOT EXISTS)."""
+
+    def __init__(self, outer: Operator, probe: ProbeFunction, description: str) -> None:
+        self.outer = outer
+        self.probe = probe
+        self.description = description
+
+    def __iter__(self) -> Iterator[Row]:
+        probe = self.probe
+        for outer_row in self.outer:
+            for _ in probe(outer_row):
+                break
+            else:
+                yield outer_row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}AntiJoin({self.description})\n{self.outer.explain(indent + 2)}"
+
+
+class Distinct(Operator):
+    """Drop duplicates, optionally keyed on a subset of positions.
+
+    When ``positions`` is given, the yielded rows are projected to it.
+    """
+
+    def __init__(self, child: Operator, positions: Optional[Sequence[int]] = None) -> None:
+        self.child = child
+        self.positions = tuple(positions) if positions is not None else None
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set = set()
+        positions = self.positions
+        for row in self.child:
+            key = row if positions is None else tuple(row[p] for p in positions)
+            if key not in seen:
+                seen.add(key)
+                yield key if positions is not None else row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}Distinct({self.positions!r})\n{self.child.explain(indent + 2)}"
+
+
+class Sort(Operator):
+    """Materializing sort on the given positions."""
+
+    def __init__(self, child: Operator, positions: Sequence[int], reverse: bool = False) -> None:
+        self.child = child
+        self.positions = tuple(positions)
+        self.reverse = reverse
+
+    def __iter__(self) -> Iterator[Row]:
+        positions = self.positions
+        rows = sorted(
+            self.child,
+            key=lambda row: tuple(row[p] for p in positions),
+            reverse=self.reverse,
+        )
+        return iter(rows)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}Sort{self.positions!r}\n{self.child.explain(indent + 2)}"
+
+
+class Limit(Operator):
+    """Stop after ``count`` rows."""
+
+    def __init__(self, child: Operator, count: int) -> None:
+        self.child = child
+        self.count = count
+
+    def __iter__(self) -> Iterator[Row]:
+        remaining = self.count
+        if remaining <= 0:
+            return
+        for row in self.child:
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}Limit({self.count})\n{self.child.explain(indent + 2)}"
+
+
+def count(plan: Operator) -> int:
+    """Number of rows a plan yields."""
+    total = 0
+    for _ in plan:
+        total += 1
+    return total

@@ -1,0 +1,81 @@
+"""Heuristic access-path selection.
+
+The LPath compiler knows, per query step, which columns of the label
+relation are equality-constrained (``name``, ``tid``, sometimes ``id`` or
+``pid``) and which single column carries a range constraint (usually
+``left``).  The planner picks the index whose key prefix covers the most of
+those constraints, modelling the clustered-index-first behaviour of the
+paper's commercial RDBMS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .index import SortedIndex
+from .table import Table
+
+
+class AccessPath:
+    """A chosen index plus how much of its prefix the constraints cover."""
+
+    __slots__ = ("index", "eq_columns", "range_column", "score")
+
+    def __init__(
+        self,
+        index: SortedIndex,
+        eq_columns: tuple[str, ...],
+        range_column: Optional[str],
+        score: float,
+    ) -> None:
+        self.index = index
+        self.eq_columns = eq_columns
+        self.range_column = range_column
+        self.score = score
+
+    def explain(self) -> str:
+        parts = [f"index={self.index.name}", f"eq={list(self.eq_columns)}"]
+        if self.range_column:
+            parts.append(f"range={self.range_column}")
+        return " ".join(parts)
+
+
+def match_index(
+    index: SortedIndex, eq_columns: Sequence[str], range_column: Optional[str]
+) -> Optional[AccessPath]:
+    """How well one index serves the constraints; ``None`` when useless."""
+    available = set(eq_columns)
+    usable: list[str] = []
+    for column in index.columns:
+        if column in available:
+            usable.append(column)
+        else:
+            break
+    next_position = len(usable)
+    range_usable = (
+        range_column is not None
+        and next_position < len(index.columns)
+        and index.columns[next_position] == range_column
+    )
+    if not usable and not range_usable:
+        return None
+    score = len(usable) + (0.5 if range_usable else 0.0)
+    return AccessPath(index, tuple(usable), range_column if range_usable else None, score)
+
+
+def choose_access_path(
+    table: Table, eq_columns: Sequence[str], range_column: Optional[str] = None
+) -> Optional[AccessPath]:
+    """The best access path over all of the table's indexes.
+
+    Prefers the highest score; ties go to the clustered index (sequential
+    access), then to the index declared first.
+    """
+    best: Optional[AccessPath] = None
+    for index in table.all_indexes():
+        candidate = match_index(index, eq_columns, range_column)
+        if candidate is None:
+            continue
+        if best is None or candidate.score > best.score:
+            best = candidate
+    return best

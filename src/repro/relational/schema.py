@@ -1,0 +1,82 @@
+"""Schemas and key encoding for the mini relational engine.
+
+Rows are plain tuples; a :class:`Schema` names their positions.  Key
+components are *encoded* before they enter an index so that heterogeneous
+values (``None`` < integers < strings) have a total order — the label
+relation's ``value`` column is ``None`` on element rows and text on
+attribute rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+Row = tuple
+#: Encoded key component sentinel greater than every real component.
+TOP = (9, 0)
+
+
+class SchemaError(ValueError):
+    """Raised for unknown columns or malformed rows."""
+
+
+class Schema:
+    """An ordered set of column names for one relation."""
+
+    __slots__ = ("columns", "_positions")
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        if len(set(columns)) != len(columns):
+            raise SchemaError(f"duplicate column names in {columns!r}")
+        self.columns: tuple[str, ...] = tuple(columns)
+        self._positions = {name: position for position, name in enumerate(self.columns)}
+
+    def position(self, column: str) -> int:
+        """0-based position of ``column``; raises :class:`SchemaError`."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {column!r}; have {self.columns!r}"
+            ) from None
+
+    def positions(self, columns: Sequence[str]) -> tuple[int, ...]:
+        """Positions for several columns."""
+        return tuple(self.position(column) for column in columns)
+
+    def check_row(self, row: Row) -> None:
+        """Validate arity."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity {len(self.columns)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema{self.columns!r}"
+
+
+def encode_component(value: Any) -> tuple:
+    """Encode one key component into the totally ordered space."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):  # bools are ints but keep them distinct
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    raise SchemaError(f"unsupported key component type: {type(value).__name__}")
+
+
+def encode_key(values: Sequence[Any]) -> tuple:
+    """Encode a composite key."""
+    return tuple(encode_component(value) for value in values)

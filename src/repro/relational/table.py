@@ -1,0 +1,77 @@
+"""Tables with clustered storage and secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .index import SortedIndex
+from .schema import Row, Schema, SchemaError
+
+
+class Table:
+    """A relation with one clustered order and any number of secondary indexes.
+
+    The clustered key determines physical row order (the paper clusters the
+    label relation by ``{name, tid, left, right, depth, id, pid}``); it is
+    exposed as :attr:`clustered`, a :class:`SortedIndex` whose scans model
+    sequential access to contiguous disk pages.
+    """
+
+    def __init__(self, name: str, schema: Schema, clustered_key: Sequence[str]) -> None:
+        self.name = name
+        self.schema = schema
+        self.clustered = SortedIndex(f"{name}_clustered", schema, clustered_key)
+        self.indexes: dict[str, SortedIndex] = {}
+        self._rows: list[Row] = []
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self, rows: Iterable[Row]) -> int:
+        """Bulk-load rows (replacing current contents); rebuilds all indexes."""
+        materialized = []
+        for row in rows:
+            if not isinstance(row, tuple):
+                row = tuple(row)
+            self.schema.check_row(row)
+            materialized.append(row)
+        self.clustered.build(materialized)
+        # Store rows in clustered order: scans in that order are "sequential".
+        self._rows = list(self.clustered.scan_eq(()))
+        for index in self.indexes.values():
+            index.build(self._rows)
+        return len(self._rows)
+
+    def create_index(self, name: str, columns: Sequence[str]) -> SortedIndex:
+        """Create (and build) a secondary index."""
+        if name in self.indexes:
+            raise SchemaError(f"index {name!r} already exists on table {self.name!r}")
+        index = SortedIndex(name, self.schema, columns)
+        index.build(self._rows)
+        self.indexes[name] = index
+        return index
+
+    # -- access ---------------------------------------------------------------
+
+    def scan(self) -> Iterator[Row]:
+        """Full scan in clustered order."""
+        return iter(self._rows)
+
+    def index(self, name: str) -> SortedIndex:
+        """Look up a secondary index by name."""
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise SchemaError(
+                f"no index {name!r} on table {self.name!r}; "
+                f"have {sorted(self.indexes)!r}"
+            ) from None
+
+    def all_indexes(self) -> list[SortedIndex]:
+        """The clustered index plus all secondary indexes."""
+        return [self.clustered, *self.indexes.values()]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {self.name} rows={len(self)} indexes={sorted(self.indexes)}>"

@@ -1,0 +1,156 @@
+"""Compiled-corpus storage: persist label relations to a binary file.
+
+TGrep2 queries a "binary file representation of the data"; the analogous
+artifact for the LPath engine is the labeled relation itself.  This module
+writes ``node(tid, left, right, depth, id, pid, name, value)`` rows to a
+compact binary file so an engine can start without re-parsing and
+re-labeling the treebank:
+
+* header: magic ``LPDB0001`` + row count,
+* string table: interned names and values (tags and words repeat heavily),
+* rows: seven varint-packed integers plus two string-table references.
+
+The format is self-contained and versioned; :func:`load_labels` verifies
+the magic and fails loudly on corruption.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, Iterable, Sequence
+
+from .labeling.lpath_scheme import Label
+
+MAGIC = b"LPDB0001"
+#: String-table index meaning "no value" (element rows).
+_NO_VALUE = 0
+
+
+class StoreError(ValueError):
+    """Raised for unreadable or corrupt corpus files."""
+
+
+def _write_varint(out: BinaryIO, value: int) -> None:
+    if value < 0:
+        raise StoreError(f"cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise StoreError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def save_labels(rows: Sequence[Label], stream: BinaryIO) -> int:
+    """Write label rows; returns the number of rows written."""
+    strings: dict[str, int] = {}
+
+    def intern(text: str) -> int:
+        index = strings.get(text)
+        if index is None:
+            index = len(strings) + 1  # 0 is reserved for "no value"
+            strings[text] = index
+        return index
+
+    body = io.BytesIO()
+    count = 0
+    for row in rows:
+        _write_varint(body, row.tid)
+        _write_varint(body, row.left)
+        _write_varint(body, row.right)
+        _write_varint(body, row.depth)
+        _write_varint(body, row.id)
+        _write_varint(body, row.pid)
+        _write_varint(body, intern(row.name))
+        _write_varint(body, _NO_VALUE if row.value is None else intern(row.value))
+        count += 1
+
+    stream.write(MAGIC)
+    header = io.BytesIO()
+    _write_varint(header, count)
+    _write_varint(header, len(strings))
+    for text in strings:  # insertion order == index order
+        encoded = text.encode("utf-8")
+        _write_varint(header, len(encoded))
+        header.write(encoded)
+    stream.write(header.getvalue())
+    stream.write(body.getvalue())
+    return count
+
+
+def load_labels(stream: BinaryIO) -> list[Label]:
+    """Read label rows written by :func:`save_labels`."""
+    data = stream.read()
+    if not data.startswith(MAGIC):
+        raise StoreError(
+            "not a compiled corpus file (bad magic; expected LPDB0001)"
+        )
+    offset = len(MAGIC)
+    count, offset = _read_varint(data, offset)
+    table_size, offset = _read_varint(data, offset)
+    table: list[str] = [""]  # index 0: no value
+    for _ in range(table_size):
+        length, offset = _read_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise StoreError("truncated string table")
+        table.append(data[offset:end].decode("utf-8"))
+        offset = end
+    rows: list[Label] = []
+    for _ in range(count):
+        tid, offset = _read_varint(data, offset)
+        left, offset = _read_varint(data, offset)
+        right, offset = _read_varint(data, offset)
+        depth, offset = _read_varint(data, offset)
+        node_id, offset = _read_varint(data, offset)
+        pid, offset = _read_varint(data, offset)
+        name_index, offset = _read_varint(data, offset)
+        value_index, offset = _read_varint(data, offset)
+        try:
+            name = table[name_index]
+            value = None if value_index == _NO_VALUE else table[value_index]
+        except IndexError:
+            raise StoreError("string-table reference out of range") from None
+        rows.append(Label(tid, left, right, depth, node_id, pid, name, value))
+    if offset != len(data):
+        raise StoreError(f"{len(data) - offset} trailing bytes after rows")
+    return rows
+
+
+def save_corpus(trees: Iterable, path: str) -> int:
+    """Label a corpus of trees and save it; returns the row count."""
+    from .labeling.lpath_scheme import label_corpus
+
+    with open(path, "wb") as handle:
+        return save_labels(list(label_corpus(trees)), handle)
+
+
+def load_corpus_labels(path: str) -> list[Label]:
+    """Load label rows from a compiled corpus file."""
+    with open(path, "rb") as handle:
+        return load_labels(handle)
+
+
+def is_compiled_corpus(path: str) -> bool:
+    """Cheap sniff: does the file start with the LPDB magic?"""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False

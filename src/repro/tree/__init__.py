@@ -1,0 +1,33 @@
+"""Ordered linguistic trees: data model, bracketed I/O, validation."""
+
+from .node import Tree, TreeError, TreeNode
+from .bracket import (
+    BracketParseError,
+    format_tree,
+    iter_trees,
+    parse_tree,
+    read_trees,
+    write_trees,
+)
+from .builder import figure1_tree, from_spec, node, sequences, tree_from_spec
+from .validate import validate, validate_spans, validate_structure
+
+__all__ = [
+    "Tree",
+    "TreeError",
+    "TreeNode",
+    "BracketParseError",
+    "format_tree",
+    "iter_trees",
+    "parse_tree",
+    "read_trees",
+    "write_trees",
+    "figure1_tree",
+    "from_spec",
+    "node",
+    "sequences",
+    "tree_from_spec",
+    "validate",
+    "validate_spans",
+    "validate_structure",
+]

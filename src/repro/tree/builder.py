@@ -1,0 +1,71 @@
+"""Convenience constructors for trees, including the paper's Figure 1 tree."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from .node import Tree, TreeNode
+
+Spec = Union[str, tuple]
+
+
+def node(label: str, *children: TreeNode, lex: Optional[str] = None,
+         attributes: Optional[Mapping[str, str]] = None) -> TreeNode:
+    """Build a :class:`TreeNode` with optional ``@lex`` shorthand."""
+    attrs = dict(attributes or {})
+    if lex is not None:
+        attrs["lex"] = lex
+    return TreeNode(label, children=list(children), attributes=attrs)
+
+
+def from_spec(spec: Spec) -> TreeNode:
+    """Build a node from a nested-tuple spec.
+
+    ``("NP", ("Det", "the"), ("N", "dog"))`` — a string in child position is
+    the terminal word of its parent (stored as ``@lex``).
+    """
+    if isinstance(spec, str):
+        raise TypeError("a bare string is a word, not a tree spec")
+    label, *rest = spec
+    if len(rest) == 1 and isinstance(rest[0], str):
+        return node(label, lex=rest[0])
+    children = [from_spec(child) for child in rest]
+    return node(label, *children)
+
+
+def tree_from_spec(spec: Spec, tid: int = 0) -> Tree:
+    """Build a :class:`Tree` from a nested-tuple spec."""
+    return Tree(from_spec(spec), tid=tid)
+
+
+def figure1_tree(tid: int = 0) -> Tree:
+    """The running example of the paper (Figure 1).
+
+    The sentence *"I saw the old man with a dog today"* with the analysis::
+
+        (S (NP I)
+           (VP (V saw)
+               (NP (NP (Det the) (Adj old) (N man))
+                   (PP (Prep with) (NP (Det a) (N dog)))))
+           (NP (N today)))
+
+    Node identifiers assigned by :meth:`Tree.index` follow document order,
+    so they can be compared against the label relation in Figure 5.
+    """
+    spec = (
+        "S",
+        ("NP", "I"),
+        ("VP",
+            ("V", "saw"),
+            ("NP",
+                ("NP", ("Det", "the"), ("Adj", "old"), ("N", "man")),
+                ("PP", ("Prep", "with"), ("NP", ("Det", "a"), ("N", "dog"))))),
+        ("NP", ("N", "today")),
+    )
+    return tree_from_spec(spec, tid=tid)
+
+
+def sequences(trees: Sequence[Spec], start_tid: int = 0) -> list[Tree]:
+    """Build a corpus (list of trees) from specs, assigning sequential tids."""
+    return [tree_from_spec(spec, tid=start_tid + offset)
+            for offset, spec in enumerate(trees)]

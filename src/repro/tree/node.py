@@ -1,0 +1,245 @@
+"""Ordered linguistic trees (the paper's Section 2.1 data model).
+
+A linguistic tree is an ordered labeled tree whose terminals are units of a
+linguistic artifact (words) and whose non-terminals are annotations.
+Following Figure 1 of the paper, terminal words are not separate tree nodes:
+they are ``@lex`` attributes attached to their pre-terminal node, so that
+every tree node is an *element* and attributes ride along with elements
+(Definition 4.1, items 8-9).
+
+The module also implements the interval spans that underpin the labeling
+scheme: every node carries ``left``/``right``/``depth`` positions computed in
+a single depth-first traversal (Definition 4.1, items 1-5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional, Sequence
+
+
+class TreeError(ValueError):
+    """Raised for structurally invalid trees or invalid tree operations."""
+
+
+class TreeNode:
+    """A node of an ordered linguistic tree.
+
+    Parameters
+    ----------
+    label:
+        The node tag (``S``, ``NP``, ``VP``, ``-NONE-``...).
+    children:
+        Ordered child nodes.  A node with no children is a terminal
+        (pre-terminal carrying a word, or an empty category).
+    attributes:
+        Attribute name to value mapping.  The conventional attribute for a
+        terminal's word is ``lex`` (rendered ``@lex`` in LPath).
+    """
+
+    __slots__ = (
+        "label",
+        "children",
+        "attributes",
+        "parent",
+        "left",
+        "right",
+        "depth",
+        "node_id",
+        "_index_in_parent",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        children: Optional[Sequence["TreeNode"]] = None,
+        attributes: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if not label:
+            raise TreeError("node label must be a non-empty string")
+        self.label = label
+        self.children: list[TreeNode] = []
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.parent: Optional[TreeNode] = None
+        # Span annotations; populated by Tree.index() in one DFS pass.
+        self.left: int = 0
+        self.right: int = 0
+        self.depth: int = 0
+        self.node_id: int = 0
+        self._index_in_parent: int = -1
+        for child in children or ():
+            self.append(child)
+
+    # -- structure ---------------------------------------------------------
+
+    def append(self, child: "TreeNode") -> "TreeNode":
+        """Attach ``child`` as the rightmost child and return it."""
+        if child.parent is not None:
+            raise TreeError("node already has a parent; detach it first")
+        child.parent = self
+        child._index_in_parent = len(self.children)
+        self.children.append(child)
+        return child
+
+    def detach(self) -> "TreeNode":
+        """Remove this node from its parent and return it."""
+        parent = self.parent
+        if parent is None:
+            return self
+        parent.children.remove(self)
+        for position, sibling in enumerate(parent.children):
+            sibling._index_in_parent = position
+        self.parent = None
+        self._index_in_parent = -1
+        return self
+
+    @property
+    def is_terminal(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    @property
+    def word(self) -> Optional[str]:
+        """The terminal word (``@lex`` attribute) if present."""
+        return self.attributes.get("lex")
+
+    @property
+    def index_in_parent(self) -> int:
+        """0-based position among siblings (-1 for a detached root)."""
+        return self._index_in_parent
+
+    # -- navigation primitives (used by the tree-walk evaluator) -----------
+
+    def ancestors(self) -> Iterator["TreeNode"]:
+        """Yield proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["TreeNode"]:
+        """Yield proper descendants in document (pre)order."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def preorder(self) -> Iterator["TreeNode"]:
+        """Yield this node and all descendants in document order."""
+        yield self
+        yield from self.descendants()
+
+    def leaves(self) -> Iterator["TreeNode"]:
+        """Yield terminal descendants (or self when terminal) in order."""
+        if self.is_terminal:
+            yield self
+            return
+        for node in self.descendants():
+            if node.is_terminal:
+                yield node
+
+    def next_sibling(self) -> Optional["TreeNode"]:
+        """The immediately following sibling, if any."""
+        if self.parent is None:
+            return None
+        siblings = self.parent.children
+        position = self._index_in_parent + 1
+        return siblings[position] if position < len(siblings) else None
+
+    def previous_sibling(self) -> Optional["TreeNode"]:
+        """The immediately preceding sibling, if any."""
+        if self.parent is None or self._index_in_parent == 0:
+            return None
+        return self.parent.children[self._index_in_parent - 1]
+
+    # -- rendering ----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        word = f" {self.word!r}" if self.word is not None else ""
+        return f"<TreeNode {self.label}{word} children={len(self.children)}>"
+
+
+class Tree:
+    """A rooted ordered tree plus its span index.
+
+    ``Tree`` owns the Definition 4.1 positional annotations: calling
+    :meth:`index` (done automatically on construction) assigns ``left``,
+    ``right``, ``depth`` and ``node_id`` to every node in one DFS pass.
+
+    * the leftmost leaf has ``left = 1`` and every leaf has
+      ``right = left + 1`` with consecutive leaves sharing a boundary
+      (items 1-3);
+    * a non-terminal spans from its first leaf's ``left`` to its last
+      leaf's ``right`` (item 4);
+    * the root has ``depth = 1`` (item 5);
+    * ``node_id`` is a nonzero document-order identifier (item 6).
+    """
+
+    __slots__ = ("root", "tid", "_nodes", "_id_to_node")
+
+    def __init__(self, root: TreeNode, tid: int = 0) -> None:
+        if root.parent is not None:
+            raise TreeError("tree root must not have a parent")
+        self.root = root
+        self.tid = tid
+        self._nodes: list[TreeNode] = []
+        self._id_to_node: dict[int, TreeNode] = {}
+        self.index()
+
+    def index(self) -> None:
+        """(Re)compute spans, depths and identifiers in one DFS pass."""
+        self._nodes = list(self.root.preorder())
+        self._id_to_node = {}
+        next_left = 1
+        # Iterative post-order assignment of leaf boundaries, then spans.
+        for node_id, node in enumerate(self._nodes, start=1):
+            node.node_id = node_id
+            node.depth = 1 if node.parent is None else node.parent.depth + 1
+            self._id_to_node[node_id] = node
+        for node in self._postorder():
+            if node.is_terminal:
+                node.left = next_left
+                node.right = next_left + 1
+                next_left = node.right
+            else:
+                node.left = node.children[0].left
+                node.right = node.children[-1].right
+
+    def _postorder(self) -> Iterator[TreeNode]:
+        stack: list[tuple[TreeNode, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[TreeNode]:
+        """All nodes in document order."""
+        return self._nodes
+
+    def node_by_id(self, node_id: int) -> TreeNode:
+        """Look up a node by its document-order identifier."""
+        try:
+            return self._id_to_node[node_id]
+        except KeyError:
+            raise TreeError(f"no node with id {node_id}") from None
+
+    def leaves(self) -> list[TreeNode]:
+        """Terminal nodes in order."""
+        return [node for node in self._nodes if node.is_terminal]
+
+    def words(self) -> list[str]:
+        """The sentence: the ``@lex`` values of terminals, in order."""
+        return [leaf.word for leaf in self.leaves() if leaf.word is not None]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tree tid={self.tid} nodes={len(self._nodes)}>"

@@ -1,0 +1,77 @@
+"""Structural validation of trees and of their Definition 4.1 spans."""
+
+from __future__ import annotations
+
+from .node import Tree, TreeError, TreeNode
+
+
+def validate_structure(tree: Tree) -> None:
+    """Check parent/child pointer consistency; raise :class:`TreeError`."""
+    seen: set[int] = set()
+    for node in tree.root.preorder():
+        if id(node) in seen:
+            raise TreeError("node appears twice in the tree (cycle or shared child)")
+        seen.add(id(node))
+        for position, child in enumerate(node.children):
+            if child.parent is not node:
+                raise TreeError(
+                    f"child {child.label!r} of {node.label!r} has a stale parent pointer"
+                )
+            if child.index_in_parent != position:
+                raise TreeError(
+                    f"child {child.label!r} of {node.label!r} has a stale sibling index"
+                )
+    if tree.root.parent is not None:
+        raise TreeError("root must not have a parent")
+
+
+def validate_spans(tree: Tree) -> None:
+    """Check the Definition 4.1 interval invariants; raise :class:`TreeError`.
+
+    * leaves tile ``[1, n+1)`` with ``right = left + 1``;
+    * every non-terminal spans exactly its children, which tile its interval;
+    * ``depth`` increases by one per level, root depth is 1;
+    * identifiers are unique and nonzero.
+    """
+    ids: set[int] = set()
+    expected_left = 1
+    for leaf in tree.leaves():
+        if leaf.left != expected_left or leaf.right != leaf.left + 1:
+            raise TreeError(
+                f"leaf {leaf.label!r} has span [{leaf.left},{leaf.right}], "
+                f"expected [{expected_left},{expected_left + 1}]"
+            )
+        expected_left = leaf.right
+    for node in tree.nodes:
+        if node.node_id == 0:
+            raise TreeError(f"node {node.label!r} has a zero identifier")
+        if node.node_id in ids:
+            raise TreeError(f"duplicate node identifier {node.node_id}")
+        ids.add(node.node_id)
+        expected_depth = 1 if node.parent is None else node.parent.depth + 1
+        if node.depth != expected_depth:
+            raise TreeError(
+                f"node {node.label!r} has depth {node.depth}, expected {expected_depth}"
+            )
+        if node.children:
+            if node.left != node.children[0].left or node.right != node.children[-1].right:
+                raise TreeError(
+                    f"node {node.label!r} span [{node.left},{node.right}] does not "
+                    "cover its children"
+                )
+            for before, after in zip(node.children, node.children[1:]):
+                if before.right != after.left:
+                    raise TreeError(
+                        f"children of {node.label!r} do not tile its interval: "
+                        f"[{before.left},{before.right}] then [{after.left},{after.right}]"
+                    )
+        if node.left >= node.right:
+            raise TreeError(
+                f"node {node.label!r} has an empty span [{node.left},{node.right}]"
+            )
+
+
+def validate(tree: Tree) -> None:
+    """Run all validations."""
+    validate_structure(tree)
+    validate_spans(tree)

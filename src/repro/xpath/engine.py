@@ -1,0 +1,62 @@
+"""The baseline XPath engine (Section 5.4).
+
+Identical machinery to the LPath engine — same mini relational engine, same
+clustering and secondary indexes, same plan shapes — but labels come from
+the start/end scheme of [11].  Per the paper: "To compare the performance,
+we set other components of both labeling schemes to be the same."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..labeling import xpath_scheme
+from ..lpath.ast import Path
+from ..lpath.errors import LPathError
+from ..lpath.parser import parse
+from ..relational.database import Database
+from ..relational.table import Table
+from ..tree.node import Tree
+from .compiler import VERTICAL_FRAGMENT, XPATH_AXES, XPathPlanCompiler
+
+XNODE_COLUMNS = ("tid", "start", "end", "depth", "id", "pid", "name", "value")
+XNODE_CLUSTERED_KEY = ("name", "tid", "start", "end", "depth", "id", "pid")
+XNODE_SECONDARY_INDEXES = {
+    "idx_tid_value_id": ("tid", "value", "id"),
+    "idx_value_tid_id": ("value", "tid", "id"),
+    "idx_tid_id": ("tid", "id", "start", "end", "depth", "pid"),
+}
+
+Query = Union[str, Path]
+
+
+def create_xnode_table(db: Database, rows, name: str = "xnode") -> Table:
+    """Load the start/end label relation with the shared physical design."""
+    table = db.create_table(name, XNODE_COLUMNS, XNODE_CLUSTERED_KEY)
+    table.load(rows)
+    for index_name, columns in XNODE_SECONDARY_INDEXES.items():
+        table.create_index(index_name, columns)
+    return table
+
+
+class XPathEngine:
+    """Query a corpus with the XPath-expressible fragment of LPath syntax."""
+
+    def __init__(self, trees: Sequence[Tree], axes: frozenset = VERTICAL_FRAGMENT) -> None:
+        self.trees = list(trees)
+        tids = [tree.tid for tree in self.trees]
+        if len(set(tids)) != len(tids):
+            raise LPathError("trees must have distinct tids")
+        rows = [tuple(row) for row in xpath_scheme.label_corpus(self.trees)]
+        self.database = Database("xpath")
+        self.xnode_table = create_xnode_table(self.database, rows)
+        self._compiler = XPathPlanCompiler(self.xnode_table, axes=axes)
+
+    def query(self, query: Query) -> list[tuple[int, int]]:
+        """Distinct, sorted ``(tid, id)`` pairs matching the query."""
+        path = parse(query) if isinstance(query, str) else query
+        return [tuple(row) for row in self._compiler.compile(path).rows()]
+
+    def count(self, query: Query) -> int:
+        """Result-set size."""
+        return len(self.query(query))

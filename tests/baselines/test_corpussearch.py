@@ -1,0 +1,131 @@
+"""Tests for the CorpusSearch reimplementation."""
+
+import pytest
+
+from repro.baselines.corpussearch import (
+    CorpusSearchEngine,
+    CorpusSearchSyntaxError,
+    parse_query,
+    pattern_matches,
+)
+from repro.baselines.corpussearch.ast import AndExpr, Condition, NotExpr, OrExpr
+from repro.tree import figure1_tree, tree_from_spec
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CorpusSearchEngine([figure1_tree()])
+
+
+class TestParser:
+    def test_single_condition(self):
+        expr = parse_query("(NP iDoms Det)")
+        assert expr == Condition("NP", "iDoms", "Det")
+
+    def test_relation_names_case_insensitive(self):
+        expr = parse_query("(NP idoms Det)")
+        assert isinstance(expr, Condition)
+        assert expr.relation == "iDoms"
+
+    def test_and_or_not(self):
+        expr = parse_query("(NP iDoms Det) AND NOT (NP Doms Adj) OR (VP iDoms V)")
+        assert isinstance(expr, OrExpr)
+        assert isinstance(expr.parts[0], AndExpr)
+        assert isinstance(expr.parts[0].parts[1], NotExpr)
+
+    def test_grouping(self):
+        expr = parse_query("((NP iDoms Det) OR (NP iDoms N)) AND (S Doms NP)")
+        assert isinstance(expr, AndExpr)
+        assert isinstance(expr.parts[0], OrExpr)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "(NP iDoms)", "(NP frobs Det)", "NP iDoms Det", "(NP iDoms Det", "()"],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(CorpusSearchSyntaxError):
+            parse_query(bad)
+
+
+class TestPatterns:
+    def test_literal(self):
+        assert pattern_matches("NP", "NP")
+        assert not pattern_matches("NP", "NP-SBJ")
+
+    def test_trailing_star(self):
+        assert pattern_matches("NP*", "NP-SBJ")
+        assert pattern_matches("NP*", "NP")
+        assert not pattern_matches("NP*", "VP")
+
+    def test_inner_star(self):
+        assert pattern_matches("*-TMP", "PP-TMP")
+        assert pattern_matches("*", "anything")
+
+
+class TestRelations:
+    def test_idoms(self, engine):
+        assert engine.count("(NP iDoms Det)") == 2
+        assert engine.count("(VP iDoms V)") == 1
+
+    def test_doms_includes_words(self, engine):
+        assert engine.count("(S Doms saw)") == 1
+        assert engine.count("(NP Doms dog)") == 2  # NP(a dog), NP(obj)
+
+    def test_iprecedes_is_adjacency(self, engine):
+        # The counterpart of //V->NP, reported from the V side.
+        assert engine.count("(V iPrecedes NP)") == 1
+
+    def test_precedes(self, engine):
+        assert engine.count("(V Precedes N)") == 1
+
+    def test_idoms_first_last(self, engine):
+        assert engine.count("(VP iDomsLast NP)") == 1
+        assert engine.count("(NP iDomsFirst Det)") == 2
+
+    def test_idoms_only(self, engine):
+        assert engine.count("(NP iDomsOnly N)") == 1  # unary NP over "today"
+
+    def test_doms_last_extension(self, engine):
+        # Rightmost descendant (our documented extension): //VP{//NP$}.
+        assert engine.count("(VP domsLast NP)") == 1  # result = the VP
+
+    def test_has_sister(self, engine):
+        assert engine.count("(PP hasSister NP)") == 1
+
+
+class TestCoreference:
+    def test_same_pattern_corefers(self):
+        # One NP must both dominate a Det and precede a PP.
+        engine = CorpusSearchEngine([figure1_tree()])
+        both = engine.count("(NP iDoms Det) AND (NP iPrecedes PP)")
+        assert both == 1  # only NP(the old man)
+
+    def test_distinct_patterns_do_not_corefer(self):
+        engine = CorpusSearchEngine([figure1_tree()])
+        # NP* and NP are different pattern texts, hence different nodes OK.
+        count = engine.count("(NP iDoms Det) AND (NP* iDoms N)")
+        assert count == 2
+
+    def test_negation_with_unbound_pattern(self, engine):
+        assert engine.count("(NP iDoms Det) AND NOT (NP Doms Adj)") == 1
+
+    def test_result_is_first_mentioned_pattern(self, engine):
+        # Matches are reported for the left argument of the first condition.
+        v_results = engine.query("(V iPrecedes NP)")
+        tree = figure1_tree()
+        v_id = [n for n in tree.nodes if n.label == "V"][0].node_id
+        assert v_results == [(0, v_id)]
+
+
+class TestEngine:
+    def test_multiple_trees(self):
+        engine = CorpusSearchEngine([figure1_tree(tid=0), figure1_tree(tid=3)])
+        assert engine.count("(VP iDoms V)") == 2
+
+    def test_empty_result(self, engine):
+        assert engine.query("(VP iDoms WHPP)") == []
+
+    def test_wildcard_query(self):
+        trees = [tree_from_spec(("S", ("NP-SBJ", ("D", "x")), ("VP", "y")))]
+        engine = CorpusSearchEngine(trees)
+        assert engine.count("(NP* iDoms D)") == 1

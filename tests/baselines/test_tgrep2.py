@@ -1,0 +1,140 @@
+"""Tests for the TGrep2 reimplementation."""
+
+import pytest
+
+from repro.baselines.tgrep2 import TGrep2Engine, TGrepSyntaxError, parse_pattern
+from repro.tree import figure1_tree, tree_from_spec
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return TGrep2Engine([figure1_tree()])
+
+
+class TestParser:
+    def test_simple_dominance(self):
+        pattern = parse_pattern("NP < Det")
+        assert pattern.spec.alternatives == ("NP",)
+        assert pattern.links[0].relation == "<"
+        assert pattern.links[0].target.spec.alternatives == ("Det",)
+
+    def test_nested_target(self):
+        pattern = parse_pattern("VP < (V . NP)")
+        inner = pattern.links[0].target
+        assert inner.links[0].relation == "."
+
+    def test_negation(self):
+        pattern = parse_pattern("NP !<< Adj")
+        assert pattern.links[0].negated
+
+    def test_alternation(self):
+        pattern = parse_pattern("NP|VP < Det")
+        assert pattern.spec.alternatives == ("NP", "VP")
+
+    def test_labels_and_backreferences(self):
+        pattern = parse_pattern("NP >> (VP=v) !. (__ >> =v)")
+        assert pattern.links[0].target.spec.label == "v"
+        negated = pattern.links[1]
+        assert negated.negated
+        assert negated.target.links[0].target.spec.backreference == "v"
+
+    def test_numbered_child(self):
+        pattern = parse_pattern("NP <2 Adj")
+        assert pattern.links[0].relation == "<N"
+        assert pattern.links[0].argument == 2
+
+    def test_last_child_shorthand(self):
+        pattern = parse_pattern("VP <- NP")
+        assert pattern.links[0].relation == "<N"
+        assert pattern.links[0].argument == -1
+
+    def test_bracket_groups(self):
+        pattern = parse_pattern("NP [< Det & < N]")
+        assert len(pattern.links) == 2
+
+    def test_dashed_tags(self):
+        pattern = parse_pattern("-NONE- > NP")
+        assert pattern.spec.alternatives == ("-NONE-",)
+
+    @pytest.mark.parametrize("bad", ["", "NP <", "NP < )", "< NP", "NP <& X", "(NP", "NP ="])
+    def test_malformed(self, bad):
+        with pytest.raises(TGrepSyntaxError):
+            parse_pattern(bad)
+
+
+class TestRelations:
+    def test_dominance(self, engine):
+        assert engine.count("VP < V") == 1
+        assert engine.count("V > VP") == 1
+        assert engine.count("S << dog") == 1      # word as leaf node
+        assert engine.count("Det >> VP") == 2
+
+    def test_immediate_precedence_is_adjacency(self, engine):
+        # NP , V: NPs immediately following the verb — the paper's Q3.
+        assert engine.count("NP , V") == 2
+
+    def test_precedence(self, engine):
+        assert engine.count("N ,, V") == 3  # man, dog, today follow saw
+
+    def test_sisters(self, engine):
+        assert engine.count("NP $. PP") == 1   # NP(the old man) before PP
+        assert engine.count("PP $, NP") == 1
+        assert engine.count("NP $ V") == 1
+
+    def test_numbered_children(self, engine):
+        assert engine.count("NP <1 Det") == 2
+        assert engine.count("VP <- NP") == 1
+        assert engine.count("NP <: N") == 1  # unary NP over "today"
+
+    def test_wildcard(self, engine):
+        tree_nodes = 16 + 9  # elements + word leaves
+        assert engine.count("__") == 16  # word leaves share the POS node id
+
+    def test_negation(self, engine):
+        assert engine.count("NP !<< Adj") == 3
+
+    def test_rightmost_descendant_with_backreference(self, engine):
+        # //VP{//NP$} in TGrep2: an NP inside VP such that no node inside
+        # the same VP starts right after the NP ends.
+        assert engine.count("NP >> (VP=v) !. (__ >> =v)") == 2
+
+
+class TestEngine:
+    def test_counts_match_lpath_equivalents(self):
+        from repro.lpath import LPathEngine
+
+        trees = [figure1_tree()]
+        tgrep = TGrep2Engine(trees)
+        lpath = LPathEngine(trees)
+        pairs = [
+            ("NP , V", "//V->NP"),
+            ("S << saw", "//S[//_[@lex=saw]]"),
+            ("NP !<< Adj", "//NP[not(//Adj)]"),
+            ("VP <- NP", "//VP{/NP$}"),
+        ]
+        for tgrep_query, lpath_query in pairs:
+            assert tgrep.count(tgrep_query) == lpath.count(lpath_query), tgrep_query
+
+    def test_word_index_prunes_word_headed_patterns(self):
+        trees = [
+            tree_from_spec(("S", ("NP", "a")), tid=0),
+            tree_from_spec(("S", ("VP", "b")), tid=1),
+        ]
+        engine = TGrep2Engine(trees)
+        # Word heads prune via the word index...
+        assert len(engine._candidate_trees(parse_pattern("a"))) == 1
+        # ...but tag heads scan every tree (TGrep2 indexes words only).
+        assert len(engine._candidate_trees(parse_pattern("NP"))) == 2
+        assert len(engine._candidate_trees(parse_pattern("__"))) == 2
+
+    def test_word_matches_report_preterminal_id(self):
+        trees = [figure1_tree()]
+        engine = TGrep2Engine(trees)
+        (match,) = engine.query("saw")
+        v_node = [n for n in trees[0].nodes if n.label == "V"][0]
+        assert match == (0, v_node.node_id)
+
+    def test_multiple_trees(self):
+        trees = [figure1_tree(tid=0), figure1_tree(tid=7)]
+        engine = TGrep2Engine(trees)
+        assert engine.count("VP < V") == 2

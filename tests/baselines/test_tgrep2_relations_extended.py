@@ -1,0 +1,76 @@
+"""Extended TGrep2 relation coverage and cross-checks against LPath."""
+
+import pytest
+
+from repro.baselines.tgrep2 import TGrep2Engine
+from repro.lpath import LPathEngine
+from repro.tree import tree_from_spec
+
+
+@pytest.fixture(scope="module")
+def flat():
+    """(S (A a) (B b) (C c) (D d)) — four sisters for ordering relations."""
+    return TGrep2Engine(
+        [tree_from_spec(("S", ("A", "a"), ("B", "b"), ("C", "c"), ("D", "d")))]
+    )
+
+
+class TestOrderingRelations:
+    def test_immediate_precede_vs_precede(self, flat):
+        assert flat.count("A . B") == 1
+        assert flat.count("A . C") == 0
+        assert flat.count("A .. C") == 1
+        assert flat.count("A .. D") == 1
+
+    def test_follows(self, flat):
+        assert flat.count("D , C") == 1
+        assert flat.count("D ,, A") == 1
+        assert flat.count("A ,, D") == 0
+
+    def test_sister_precedence_family(self, flat):
+        assert flat.count("B $. C") == 1
+        assert flat.count("B $.. D") == 1
+        assert flat.count("C $, B") == 1
+        assert flat.count("D $,, A") == 1
+        assert flat.count("A $.. A") == 0
+
+    def test_numbered_from_right(self, flat):
+        assert flat.count("S <-1 D") == 1
+        assert flat.count("S <-2 C") == 1
+        assert flat.count("S <2 B") == 1
+        assert flat.count("S <9 A") == 0
+
+    def test_child_position_of_self(self, flat):
+        assert flat.count("B >2 S") == 1
+        assert flat.count("B >1 S") == 0
+        assert flat.count("D >-1 S") == 1
+
+
+class TestAgainstLPathOnGeneratedData:
+    @pytest.fixture(scope="class")
+    def engines(self):
+        from repro.corpus import generate_corpus
+
+        corpus = generate_corpus("wsj", sentences=150, seed=33)
+        return TGrep2Engine(corpus), LPathEngine(corpus, keep_trees=False)
+
+    @pytest.mark.parametrize(
+        "tgrep_query, lpath_query",
+        [
+            ("NP < DT", "//NP[/DT]"),
+            ("DT > NP", "//NP/DT"),
+            ("S << IN", "//S[//IN]"),
+            ("IN >> S", "//S//IN"),
+            ("NP . VP", "//NP[->VP]"),
+            ("VP , NP", "//NP->VP"),
+            ("NN .. JJ", "//NN[-->JJ]"),
+            ("NP $. VP", "//NP[=>VP]"),
+            ("VP $, NP", "//NP=>VP"),
+            ("VP <- NP", "//VP{/NP$}"),
+            ("NP <1 DT", "//NP[{/^DT}]"),  # scoped left alignment = first child
+            ("NP !<< JJ", "//NP[not(//JJ)]"),
+        ],
+    )
+    def test_equivalent_counts(self, engines, tgrep_query, lpath_query):
+        tgrep, lpath = engines
+        assert tgrep.count(tgrep_query) == lpath.count(lpath_query), tgrep_query

@@ -1,0 +1,174 @@
+"""Tests for the synthetic treebank generator."""
+
+import random
+
+import pytest
+
+from repro.corpus import (
+    QUERY_TAGS,
+    corpus_stats,
+    generate_corpus,
+    generate_tree,
+    replicate_corpus,
+    swb_profile,
+    tag_frequencies,
+    top_tags,
+    wsj_profile,
+)
+from repro.corpus.grammar import Grammar, GrammarError, Production
+from repro.tree import validate
+
+
+class TestGrammar:
+    def test_profiles_validate(self):
+        wsj_profile()
+        swb_profile()
+
+    def test_missing_symbol_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [Production("S", ("NP",), 1.0)], {"NN"})
+
+    def test_missing_shallow_production_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [Production("S", ("S",), 1.0)], {"NN"})
+
+    def test_pos_lhs_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [Production("NN", ("NN",), 1.0)], {"NN"})
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [Production("S", (), 1.0)], {"NN"})
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("X", [Production("S", ("NN",), 1.0)], {"NN"})
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_corpus("wsj", sentences=50, seed=123)
+        b = generate_corpus("wsj", sentences=50, seed=123)
+        from repro.tree import format_tree
+
+        assert [format_tree(t) for t in a] == [format_tree(t) for t in b]
+
+    def test_seeds_differ(self):
+        from repro.tree import format_tree
+
+        a = generate_corpus("wsj", sentences=20, seed=1)
+        b = generate_corpus("wsj", sentences=20, seed=2)
+        assert [format_tree(t) for t in a] != [format_tree(t) for t in b]
+
+    def test_trees_are_valid(self):
+        for tree in generate_corpus("wsj", sentences=40, seed=9):
+            validate(tree)
+        for tree in generate_corpus("swb", sentences=40, seed=9):
+            validate(tree)
+
+    def test_tids_sequential(self):
+        corpus = generate_corpus("wsj", sentences=10, seed=0, start_tid=5)
+        assert [t.tid for t in corpus] == list(range(5, 15))
+
+    def test_depth_capped(self):
+        corpus = generate_corpus("wsj", sentences=150, seed=3, max_depth=6)
+        stats = corpus_stats(corpus)
+        # POS level may exceed the cap by one.
+        assert stats.max_depth <= 7
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            generate_corpus("ptb", sentences=1)
+
+    def test_single_tree_generation(self):
+        grammar, lexicon = wsj_profile()
+        tree = generate_tree(grammar, lexicon, random.Random(4), tid=3)
+        assert tree.tid == 3
+        assert tree.root.label == "S"
+        validate(tree)
+
+
+class TestProfileShapes:
+    """The statistical drivers DESIGN.md commits to."""
+
+    @pytest.fixture(scope="class")
+    def wsj(self):
+        return generate_corpus("wsj", sentences=1500, seed=11)
+
+    @pytest.fixture(scope="class")
+    def swb(self):
+        return generate_corpus("swb", sentences=1500, seed=11)
+
+    def test_all_query_tags_generable(self, wsj, swb):
+        wsj_tags = set(tag_frequencies(wsj))
+        swb_tags = set(tag_frequencies(swb))
+        missing = [
+            tag for tag in QUERY_TAGS
+            if tag not in wsj_tags and tag not in swb_tags
+        ]
+        assert not missing
+
+    def test_np_is_most_frequent_wsj_tag(self, wsj):
+        assert top_tags(wsj, 1)[0][0] == "NP"
+
+    def test_dfl_prominent_in_swb_only(self, wsj, swb):
+        assert tag_frequencies(wsj).get("-DFL-", 0) == 0
+        swb_top = [tag for tag, _ in top_tags(swb, 10)]
+        assert "-DFL-" in swb_top
+
+    def test_selectivity_split(self, wsj):
+        frequency = tag_frequencies(wsj)
+        for frequent in ("NP", "VP", "NN", "IN"):
+            assert frequency[frequent] > 500
+        for rare in ("WHPP", "RRC", "UCP-PRD", "ADVP-LOC-CLR"):
+            assert 0 < frequency.get(rare, 1) < 100
+
+    def test_query_tags_much_rarer_in_swb(self, wsj, swb):
+        """The Figure 8 driver: WSJ-heavy tags drop in SWB."""
+        wsj_frequency = tag_frequencies(wsj)
+        swb_frequency = tag_frequencies(swb)
+        for tag in ("IN", "DT", "NN"):
+            assert swb_frequency[tag] < wsj_frequency[tag]
+
+    def test_required_words_present(self, wsj):
+        from collections import Counter
+
+        words = Counter(word for tree in wsj for word in tree.words())
+        for word in ("saw", "of", "what", "building"):
+            assert words[word] > 0
+
+    def test_deep_np_chains_occur(self, wsj):
+        from repro.lpath import LPathEngine
+
+        engine = LPathEngine(wsj, keep_trees=False)
+        assert engine.count("//NP/NP/NP") > 0
+        assert engine.count("//VP/VP") > 0
+
+
+class TestReplication:
+    def test_doubling(self):
+        corpus = generate_corpus("wsj", sentences=30, seed=5)
+        doubled = replicate_corpus(corpus, 2.0)
+        assert len(doubled) == 60
+        assert [t.tid for t in doubled] == list(range(60))
+
+    def test_halving(self):
+        corpus = generate_corpus("wsj", sentences=30, seed=5)
+        assert len(replicate_corpus(corpus, 0.5)) == 15
+
+    def test_copies_are_structural(self):
+        from repro.tree import format_tree
+
+        corpus = generate_corpus("wsj", sentences=3, seed=5)
+        replicated = replicate_corpus(corpus, 2.0)
+        assert format_tree(replicated[0]) == format_tree(replicated[3])
+        assert replicated[0].root is not replicated[3].root
+
+    def test_query_counts_scale(self):
+        from repro.lpath import LPathEngine
+
+        corpus = generate_corpus("wsj", sentences=100, seed=6)
+        doubled = replicate_corpus(corpus, 2.0)
+        single = LPathEngine(corpus, keep_trees=False).count("//NP")
+        double = LPathEngine(doubled, keep_trees=False).count("//NP")
+        assert double == 2 * single

@@ -1,0 +1,94 @@
+"""Tests for corpus statistics and the Figure 6(a)/6(b) table renderers."""
+
+from repro.corpus import (
+    CorpusStats,
+    corpus_stats,
+    format_stats_table,
+    format_top_tags_table,
+    generate_corpus,
+    tag_frequencies,
+    top_tags,
+)
+from repro.tree import figure1_tree, tree_from_spec
+
+
+class TestCorpusStats:
+    def test_figure1_stats(self):
+        stats = corpus_stats([figure1_tree()])
+        assert stats.tree_count == 1
+        assert stats.tree_nodes == 16
+        assert stats.word_count == 9
+        assert stats.unique_tags == 9   # S NP VP V Det Adj N PP Prep
+        assert stats.max_depth == 6
+
+    def test_unique_tags_exact(self):
+        stats = corpus_stats([figure1_tree()])
+        labels = {node.label for node in figure1_tree().nodes}
+        assert stats.unique_tags == len(labels)
+
+    def test_file_size_matches_bracketed_text(self):
+        from repro.tree import format_tree
+
+        tree = figure1_tree()
+        stats = corpus_stats([tree])
+        assert stats.file_size_bytes == len(format_tree(tree, wrap=True)) + 1
+        assert stats.file_size_kb() == round(stats.file_size_bytes / 1024)
+
+    def test_multiple_trees_accumulate(self):
+        single = corpus_stats([figure1_tree()])
+        double = corpus_stats([figure1_tree(tid=0), figure1_tree(tid=1)])
+        assert double.tree_nodes == 2 * single.tree_nodes
+        assert double.word_count == 2 * single.word_count
+
+    def test_empty_corpus(self):
+        stats = corpus_stats([])
+        assert stats.tree_nodes == 0
+        assert stats.max_depth == 0
+
+
+class TestTagFrequencies:
+    def test_counts(self):
+        frequency = tag_frequencies([figure1_tree()])
+        assert frequency["NP"] == 5
+        assert frequency["Det"] == 2
+        assert frequency["S"] == 1
+
+    def test_top_tags_sorted(self):
+        tags = top_tags([figure1_tree()], 3)
+        assert tags[0] == ("NP", 5)
+        assert len(tags) == 3
+
+    def test_attributes_not_counted(self):
+        frequency = tag_frequencies([figure1_tree()])
+        assert "@lex" not in frequency
+
+
+class TestRenderers:
+    def test_stats_table_layout(self):
+        rows = {
+            "A": CorpusStats(2048, 10, 100, 50, 7, 5),
+            "B": CorpusStats(4096, 20, 200, 100, 9, 6),
+        }
+        text = format_stats_table(rows)
+        assert "2kB" in text and "4kB" in text
+        assert "Tree Nodes" in text
+        lines = text.splitlines()
+        assert all(len(line.rstrip()) <= len(lines[0]) + 30 for line in lines)
+
+    def test_top_tags_table_uneven_lists(self):
+        text = format_top_tags_table({
+            "A": [("NP", 10), ("VP", 5)],
+            "B": [("X", 1)],
+        })
+        assert "NP" in text and "X" in text
+        assert text.splitlines()[2].startswith("2")
+
+    def test_round_trip_with_generator(self):
+        corpus = generate_corpus("wsj", sentences=30, seed=2)
+        text = format_stats_table({"wsj": corpus_stats(corpus)})
+        assert "30" in text  # tree count appears
+
+    def test_figure1_depth(self):
+        # depth chain: S=1 VP=2 NP=3 PP=4 NP=5 Det=6
+        tree = tree_from_spec(("A", ("B", ("C", "x"))))
+        assert corpus_stats([tree]).max_depth == 3

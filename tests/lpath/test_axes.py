@@ -1,0 +1,99 @@
+"""Tests for the Table 1 axis inventory."""
+
+from repro.lpath.axes import (
+    ARROWS,
+    AXIS_INFO,
+    CONDITIONS,
+    Axis,
+    NavigationType,
+    REVERSE_AXES,
+    TABLE_1,
+    closure_pairs,
+)
+
+
+class TestTable1:
+    def test_fourteen_rows(self):
+        assert len(TABLE_1) == 14
+
+    def test_abbreviations_match_paper(self):
+        abbreviations = {info.axis: info.abbreviation for info in TABLE_1}
+        assert abbreviations[Axis.CHILD] == "/"
+        assert abbreviations[Axis.PARENT] == "\\"
+        assert abbreviations[Axis.IMMEDIATE_FOLLOWING] == "->"
+        assert abbreviations[Axis.FOLLOWING] == "-->"
+        assert abbreviations[Axis.IMMEDIATE_PRECEDING] == "<-"
+        assert abbreviations[Axis.PRECEDING] == "<--"
+        assert abbreviations[Axis.IMMEDIATE_FOLLOWING_SIBLING] == "=>"
+        assert abbreviations[Axis.FOLLOWING_SIBLING] == "==>"
+        assert abbreviations[Axis.IMMEDIATE_PRECEDING_SIBLING] == "<="
+        assert abbreviations[Axis.PRECEDING_SIBLING] == "<=="
+        assert abbreviations[Axis.SELF] == "."
+        assert abbreviations[Axis.ATTRIBUTE] == "@"
+
+    def test_closure_pairs_fill_the_gap(self):
+        """Each navigation family pairs a primitive with its closure —
+        'filling a gap in the XPath axis set'."""
+        pairs = set(closure_pairs())
+        assert (Axis.CHILD, Axis.DESCENDANT) in pairs
+        assert (Axis.PARENT, Axis.ANCESTOR) in pairs
+        assert (Axis.IMMEDIATE_FOLLOWING, Axis.FOLLOWING) in pairs
+        assert (Axis.IMMEDIATE_PRECEDING, Axis.PRECEDING) in pairs
+        assert (Axis.IMMEDIATE_FOLLOWING_SIBLING, Axis.FOLLOWING_SIBLING) in pairs
+        assert (Axis.IMMEDIATE_PRECEDING_SIBLING, Axis.PRECEDING_SIBLING) in pairs
+        assert len(pairs) == 6
+
+    def test_core_xpath_support_column(self):
+        """Lemma 3.1: the immediate-* axes are not Core XPath expressible."""
+        unsupported = {info.axis for info in TABLE_1 if not info.core_xpath}
+        assert unsupported == {
+            Axis.IMMEDIATE_FOLLOWING,
+            Axis.IMMEDIATE_PRECEDING,
+            Axis.IMMEDIATE_FOLLOWING_SIBLING,
+            Axis.IMMEDIATE_PRECEDING_SIBLING,
+        }
+
+    def test_navigation_types(self):
+        vertical = {i.axis for i in TABLE_1 if i.navigation is NavigationType.VERTICAL}
+        assert vertical == {Axis.CHILD, Axis.DESCENDANT, Axis.PARENT, Axis.ANCESTOR}
+        sibling = {i.axis for i in TABLE_1 if i.navigation is NavigationType.SIBLING}
+        assert len(sibling) == 4
+
+
+class TestConditions:
+    def test_every_axis_has_conditions(self):
+        from repro.lpath.axes import OR_SELF_BASES
+
+        for axis in Axis:
+            if axis in OR_SELF_BASES:
+                # Disjunctive or-self axes are mapped to their base axis.
+                assert OR_SELF_BASES[axis] in CONDITIONS
+                continue
+            assert axis in CONDITIONS
+            assert CONDITIONS[axis]
+
+    def test_immediate_following_is_single_equality(self):
+        (condition,) = CONDITIONS[Axis.IMMEDIATE_FOLLOWING]
+        assert condition == ("left", "=", "right")
+
+    def test_sibling_conditions_add_pid(self):
+        columns = {c.column for c in CONDITIONS[Axis.FOLLOWING_SIBLING]}
+        assert "pid" in columns
+
+    def test_reverse_axes_inventory(self):
+        assert Axis.PRECEDING in REVERSE_AXES
+        assert Axis.ANCESTOR in REVERSE_AXES
+        assert Axis.FOLLOWING not in REVERSE_AXES
+
+    def test_arrow_table_is_maximal_munch_safe(self):
+        """Longer arrows must come before their prefixes."""
+        seen: list[str] = []
+        for text, _ in ARROWS:
+            for earlier in seen:
+                # An earlier (higher-priority) arrow must never be a strict
+                # prefix of a later one, or the later could never match.
+                assert not (text.startswith(earlier) and text != earlier)
+            seen.append(text)
+
+    def test_axis_info_lookup(self):
+        assert AXIS_INFO[Axis.FOLLOWING].closure_of is Axis.IMMEDIATE_FOLLOWING

@@ -1,0 +1,141 @@
+"""Tests for the engine facade, the plan compiler, and the SQL generator."""
+
+import pytest
+
+from repro.lpath import (
+    LPathCompileError,
+    LPathEngine,
+    LPathError,
+    SQLGenerator,
+    engine_from_bracketed,
+    parse,
+)
+from repro.tree import figure1_tree
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LPathEngine([figure1_tree()])
+
+
+class TestEngineAPI:
+    def test_duplicate_tids_rejected(self):
+        with pytest.raises(LPathError):
+            LPathEngine([figure1_tree(tid=1), figure1_tree(tid=1)])
+
+    def test_unknown_backend_rejected(self, engine):
+        with pytest.raises(LPathError):
+            engine.query("//NP", backend="oracle")
+
+    def test_count_matches_query_length(self, engine):
+        assert engine.count("//NP") == len(engine.query("//NP"))
+
+    def test_nodes_requires_trees(self):
+        engine = LPathEngine([figure1_tree()], keep_trees=False)
+        with pytest.raises(LPathError):
+            engine.nodes("//NP")
+        with pytest.raises(LPathError):
+            engine.treewalk
+
+    def test_context_manager_closes_sqlite(self):
+        with LPathEngine([figure1_tree()]) as engine:
+            engine.query("//NP", backend="sqlite")
+        assert engine._sqlite is None
+
+    def test_engine_from_bracketed(self):
+        engine = engine_from_bracketed("(S (NP (PRP I)) (VP (VBD ran)))")
+        assert engine.count("//VBD") == 1
+
+    def test_accepts_parsed_ast(self, engine):
+        path = parse("//NP")
+        assert engine.count(path) == 5
+
+    def test_explain_mentions_plan_operators(self, engine):
+        text = engine.explain("//VP/V-->N")
+        assert "IndexNestedLoopJoin" in text
+        assert "Distinct" in text
+
+
+class TestPlanCompiler:
+    def test_value_seed_used_for_wildcard_value_query(self, engine):
+        text = engine.explain("//_[@lex=saw]")
+        assert "value seed" in text
+
+    def test_named_first_step_uses_clustered_name_probe(self, engine):
+        text = engine.explain("//NP")
+        assert "elements named NP" in text
+
+    def test_positional_must_be_first(self, engine):
+        with pytest.raises(LPathCompileError):
+            engine.compile("//NP/_[self::N][position()=1]")
+
+    def test_positional_on_descendant_rejected(self, engine):
+        with pytest.raises(LPathCompileError):
+            engine.compile("//VP//_[last()]")
+
+    def test_first_step_positional_rejected(self, engine):
+        with pytest.raises(LPathCompileError):
+            engine.compile("//NP[position()=2]")
+
+    def test_extra_index_changes_preceding_probe(self):
+        plain = LPathEngine([figure1_tree()])
+        extra = LPathEngine([figure1_tree()], extra_indexes=True)
+        query = "//NP<-V"
+        assert plain.query(query) == extra.query(query)
+        assert "idx_name_tid_right" in extra.node_table.indexes
+
+    def test_root_alignment_without_scope(self, engine):
+        # ^/$ without scope align to the tree root edges.
+        assert engine.count("//^NP") == 1
+        assert engine.count("//NP$") == 1
+
+
+class TestSQLGenerator:
+    def test_sql_quotes_keyword_columns(self, engine):
+        sql = engine.to_sql("//V->NP")
+        assert '"left"' in sql and '"right"' in sql
+        assert 'SELECT DISTINCT' in sql
+
+    def test_immediate_following_is_equality_join(self, engine):
+        sql = engine.to_sql("//V->NP")
+        assert '."left" = t0."right"' in sql
+
+    def test_scope_emits_containment(self, engine):
+        sql = engine.to_sql("//VP{/NP$}")
+        assert '"left" >= t0."left"' in sql
+        assert '"right" <= t0."right"' in sql
+        assert '"right" = t0."right"' in sql  # the $ alignment
+
+    def test_not_exists_for_negation(self, engine):
+        sql = engine.to_sql("//NP[not(//Adj)]")
+        assert "NOT EXISTS" in sql
+
+    def test_root_alignment_subquery(self, engine):
+        sql = engine.to_sql("//NP$")
+        assert "SELECT MAX(r.\"right\")" in sql
+
+    def test_value_comparison_quotes_literal(self, engine):
+        sql = engine.to_sql("//_[@lex=saw]")
+        assert "'saw'" in sql and "'@lex'" in sql
+
+    def test_escapes_quotes_in_literals(self):
+        generator = SQLGenerator()
+        sql = generator.generate(parse("//_[@lex='o''clock']"))
+        assert "o''clock" in sql
+
+    def test_numeric_value_comparison_casts(self, engine):
+        sql = engine.to_sql("//_[@lex=1929]")
+        assert "CAST" in sql
+
+    def test_element_string_value_unsupported(self, engine):
+        with pytest.raises(LPathCompileError):
+            engine.to_sql("//NP[. = 'the old man']")
+
+    def test_sql_runs_on_sqlite(self, engine):
+        # Every generated statement must be executable as-is.
+        for query in ("//V->NP", "//VP{//NP$}", "//NP[not(//Adj)]",
+                      "//NP[count(//N)>1]", "//_[name()=VP]"):
+            sql = engine.to_sql(query)
+            rows = engine.sqlite.execute(sql)
+            assert rows == [tuple(pair) for pair in engine.query(query)] or \
+                sorted(rows) == engine.query(query)

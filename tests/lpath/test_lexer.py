@@ -1,0 +1,134 @@
+"""Tests for the LPath tokenizer."""
+
+import pytest
+
+from repro.lpath import LPathSyntaxError
+from repro.lpath.axes import Axis
+from repro.lpath.lexer import tokenize
+
+
+def kinds(query):
+    return [token.kind for token in tokenize(query)]
+
+
+def texts(query):
+    return [token.text for token in tokenize(query)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_simple_query(self):
+        assert kinds("//S") == ["DSLASH", "NAME", "EOF"]
+
+    def test_child_step(self):
+        assert texts("/VP/V") == ["/", "VP", "/", "V"]
+
+    def test_brackets_braces(self):
+        assert kinds("//VP{/NP$}") == [
+            "DSLASH", "NAME", "LBRACE", "SLASH", "NAME", "DOLLAR", "RBRACE", "EOF",
+        ]
+
+    def test_attribute(self):
+        assert kinds("[@lex=saw]") == [
+            "LBRACKET", "AT", "NAME", "OP", "NAME", "RBRACKET", "EOF",
+        ]
+
+    def test_caret_alignment(self):
+        assert kinds("//^VB") == ["DSLASH", "CARET", "NAME", "EOF"]
+
+    def test_double_colon(self):
+        assert kinds("/descendant::NP") == ["SLASH", "NAME", "COLONCOLON", "NAME", "EOF"]
+
+    def test_dot_and_ddot(self):
+        assert kinds(".") == ["DOT", "EOF"]
+        assert kinds("..") == ["DDOT", "EOF"]
+
+    def test_whitespace_ignored(self):
+        assert texts(" //  S ") == ["//", "S"]
+
+
+class TestArrows:
+    @pytest.mark.parametrize(
+        "text, axis",
+        [
+            ("->", Axis.IMMEDIATE_FOLLOWING),
+            ("-->", Axis.FOLLOWING),
+            ("<-", Axis.IMMEDIATE_PRECEDING),
+            ("<--", Axis.PRECEDING),
+            ("=>", Axis.IMMEDIATE_FOLLOWING_SIBLING),
+            ("==>", Axis.FOLLOWING_SIBLING),
+            ("<=", Axis.IMMEDIATE_PRECEDING_SIBLING),
+            ("<==", Axis.PRECEDING_SIBLING),
+        ],
+    )
+    def test_arrow_axes(self, text, axis):
+        tokens = tokenize(f"A{text}B")
+        assert tokens[1].kind == "ARROW"
+        assert tokens[1].axis is axis
+
+    def test_arrow_chain(self):
+        assert texts("//V->NP->PP") == ["//", "V", "->", "NP", "->", "PP"]
+
+
+class TestTreebankNames:
+    """PTB tags with dashes must survive arrow disambiguation."""
+
+    def test_none_tag(self):
+        assert texts("//-NONE-") == ["//", "-NONE-"]
+
+    def test_dashed_function_tag(self):
+        assert texts("//NP-SBJ") == ["//", "NP-SBJ"]
+
+    def test_triple_dashed(self):
+        assert texts("//ADVP-LOC-CLR") == ["//", "ADVP-LOC-CLR"]
+
+    def test_dfl_tag(self):
+        assert texts("//-DFL-") == ["//", "-DFL-"]
+
+    def test_dashed_name_followed_by_arrow(self):
+        assert texts("//NP-SBJ->VP") == ["//", "NP-SBJ", "->", "VP"]
+
+    def test_name_then_following_arrow(self):
+        assert texts("//NP-->VP") == ["//", "NP", "-->", "VP"]
+
+    def test_digits_in_names(self):
+        assert texts("[@lex=1929]") == ["[", "@", "lex", "=", "1929", "]"]
+
+    def test_quoted_name_with_dollar(self):
+        tokens = tokenize("//'PRP$'")
+        assert tokens[1].kind == "STRING"
+        assert tokens[1].text == "PRP$"
+
+    def test_quoted_punctuation_tag(self):
+        tokens = tokenize('//"."')
+        assert tokens[1].text == "."
+
+
+class TestOperators:
+    def test_comparison_ops(self):
+        assert texts("[position()>=2]") == ["[", "position", "(", ")", ">=", "2", "]"]
+
+    def test_not_equal(self):
+        assert texts("[@lex!=saw]") == ["[", "@", "lex", "!=", "saw", "]"]
+
+    def test_le_is_arrow_token(self):
+        tokens = tokenize("position()<=3")
+        arrow = [t for t in tokens if t.text == "<="]
+        assert arrow and arrow[0].kind == "ARROW"
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LPathSyntaxError):
+            tokenize("//'oops")
+
+    def test_stray_character(self):
+        with pytest.raises(LPathSyntaxError):
+            tokenize("//S ~ //NP")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("//S ~")
+        except LPathSyntaxError as error:
+            assert error.position == 4
+        else:  # pragma: no cover
+            raise AssertionError("expected LPathSyntaxError")

@@ -1,0 +1,256 @@
+"""Tests for the LPath parser: golden ASTs, errors, and round-tripping."""
+
+import pytest
+
+from repro.lpath import LPathSyntaxError, parse, parse_relative
+from repro.lpath.ast import (
+    Comparison,
+    FunctionCall,
+    Literal,
+    NotExpr,
+    Number,
+    PathExists,
+    Scope,
+    Step,
+)
+from repro.lpath.axes import Axis
+
+#: The 23 queries of Figure 6(c), exactly as printed in the paper.
+PAPER_QUERIES = [
+    "//S[//_[@lex=saw]]",
+    "//VB->NP",
+    "//VP/VB-->NN",
+    "//VP{/VB-->NN}",
+    "//VP{/NP$}",
+    "//VP{//NP$}",
+    "//VP[{//^VB->NP->PP$}]",
+    "//S[//NP/ADJP]",
+    "//NP[not(//JJ)]",
+    "//NP[->PP[//IN[@lex=of]]=>VP]",
+    "//S[{//_[@lex=what]->_[@lex=building]}]",
+    "//_[@lex=rapprochement]",
+    "//_[@lex=1929]",
+    "//ADVP-LOC-CLR",
+    "//WHPP",
+    "//RRC/PP-TMP",
+    "//UCP-PRD/ADJP-PRD",
+    "//NP/NP/NP/NP/NP",
+    "//VP/VP/VP",
+    "//PP=>SBAR",
+    "//ADVP=>ADJP",
+    "//NP=>NP=>NP",
+    "//VP=>VP",
+]
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("query", PAPER_QUERIES)
+    def test_all_paper_queries_parse(self, query):
+        path = parse(query)
+        assert path.absolute
+        assert path.items
+
+    @pytest.mark.parametrize("query", PAPER_QUERIES)
+    def test_round_trip_is_stable(self, query):
+        once = parse(query)
+        again = parse(str(once))
+        assert once == again
+
+
+class TestStepStructure:
+    def test_descendant_first_step(self):
+        path = parse("//NP")
+        (step,) = path.items
+        assert step.axis is Axis.DESCENDANT
+        assert step.test.name == "NP"
+
+    def test_axis_chain(self):
+        path = parse("//VP/VB-->NN")
+        axes = [step.axis for step in path.items]
+        assert axes == [Axis.DESCENDANT, Axis.CHILD, Axis.FOLLOWING]
+
+    def test_sibling_arrows(self):
+        path = parse("//NP=>NP=>NP")
+        axes = [step.axis for step in path.items]
+        assert axes == [
+            Axis.DESCENDANT,
+            Axis.IMMEDIATE_FOLLOWING_SIBLING,
+            Axis.IMMEDIATE_FOLLOWING_SIBLING,
+        ]
+
+    def test_named_axes(self):
+        path = parse("//V/following-sibling::NP")
+        assert path.items[1].axis is Axis.FOLLOWING_SIBLING
+
+    def test_backslash_parent(self):
+        path = parse("//NP\\VP")
+        assert path.items[1].axis is Axis.PARENT
+
+    def test_backslash_ancestor(self):
+        path = parse("//NP\\ancestor::S")
+        assert path.items[1].axis is Axis.ANCESTOR
+
+    def test_wildcard(self):
+        path = parse("//_")
+        assert path.items[0].test.is_wildcard
+
+    def test_quoted_node_test(self):
+        path = parse("//'PRP$'")
+        assert path.items[0].test.name == "PRP$"
+
+    def test_attribute_step(self):
+        path = parse("//NP/@lex")
+        step = path.items[1]
+        assert step.axis is Axis.ATTRIBUTE
+        assert step.test.is_attribute and step.test.name == "lex"
+
+
+class TestScopingAndAlignment:
+    def test_scope_item(self):
+        path = parse("//VP{/NP$}")
+        assert isinstance(path.items[1], Scope)
+        inner = path.items[1].body.items[0]
+        assert inner.axis is Axis.CHILD
+        assert inner.right_aligned
+
+    def test_left_alignment(self):
+        path = parse("//VP[{//^VB->NP}]")
+        predicate = path.items[0].predicates[0]
+        assert isinstance(predicate, PathExists)
+        scope = predicate.path.items[0]
+        assert isinstance(scope, Scope)
+        assert scope.body.items[0].left_aligned
+
+    def test_nested_scopes(self):
+        path = parse("//S{//VP{/V}}")
+        outer = path.items[1]
+        assert isinstance(outer, Scope)
+        inner = outer.body.items[1]
+        assert isinstance(inner, Scope)
+
+    def test_steps_after_scope_rejected(self):
+        with pytest.raises(LPathSyntaxError):
+            parse("//VP{/V}/NP")
+
+    def test_empty_scope_rejected(self):
+        with pytest.raises(LPathSyntaxError):
+            parse("//VP{}")
+
+    def test_last_step_through_scope(self):
+        path = parse("//VP{/V-->N}")
+        assert path.last_step().test.name == "N"
+
+
+class TestPredicates:
+    def test_attribute_equality(self):
+        path = parse("//_[@lex=saw]")
+        predicate = path.items[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op == "="
+        assert isinstance(predicate.right, Literal)
+        assert predicate.right.value == "saw"
+
+    def test_numeric_rhs(self):
+        path = parse("//_[@lex=1929]")
+        predicate = path.items[0].predicates[0]
+        assert isinstance(predicate.right, Number)
+        assert predicate.right.value == 1929
+
+    def test_not_predicate(self):
+        path = parse("//NP[not(//JJ)]")
+        predicate = path.items[0].predicates[0]
+        assert isinstance(predicate, NotExpr)
+        assert isinstance(predicate.part, PathExists)
+
+    def test_path_predicate_with_nested_predicate(self):
+        path = parse("//NP[->PP[//IN[@lex=of]]=>VP]")
+        predicate = path.items[0].predicates[0]
+        assert isinstance(predicate, PathExists)
+        steps = predicate.path.items
+        assert steps[0].axis is Axis.IMMEDIATE_FOLLOWING
+        assert steps[1].axis is Axis.IMMEDIATE_FOLLOWING_SIBLING
+        inner = steps[0].predicates[0]
+        assert isinstance(inner, PathExists)
+
+    def test_positional_normalization(self):
+        path = parse("//VP/_[last()]")
+        predicate = path.items[1].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert isinstance(predicate.left, FunctionCall)
+        assert predicate.left.name == "position"
+        assert isinstance(predicate.right, FunctionCall)
+        assert predicate.right.name == "last"
+
+    def test_bare_number_predicate_normalized(self):
+        path = parse("//VP/_[2]")
+        predicate = path.items[1].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.right == Number(2)
+
+    def test_position_le_reinterpreted(self):
+        path = parse("//VP/_[position()<=3]")
+        predicate = path.items[1].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op == "<="
+
+    def test_le_after_path_stays_axis(self):
+        path = parse("//NP[//VP<=NP]")
+        predicate = path.items[0].predicates[0]
+        assert isinstance(predicate, PathExists)
+        assert predicate.path.items[1].axis is Axis.IMMEDIATE_PRECEDING_SIBLING
+
+    def test_and_or(self):
+        path = parse("//NP[//JJ and //NN or not(//DT)]")
+        assert path.items[0].predicates
+
+    def test_self_predicate(self):
+        path = parse("//V/following-sibling::_[self::NP]")
+        predicate = path.items[1].predicates[0]
+        assert isinstance(predicate, PathExists)
+        assert predicate.path.items[0].axis is Axis.SELF
+
+    def test_count_function(self):
+        path = parse("//NP[count(//JJ)>2]")
+        predicate = path.items[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.left.name == "count"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(LPathSyntaxError):
+            parse("//NP[frobnicate()]")
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(LPathSyntaxError):
+            parse("//NP[position(1)]")
+
+
+class TestRelativePaths:
+    def test_bare_name_is_child(self):
+        path = parse_relative("NP")
+        assert path.items[0].axis is Axis.CHILD
+
+    def test_leading_scope(self):
+        path = parse_relative("{//V}")
+        assert isinstance(path.items[0], Scope)
+
+    def test_attribute_relative(self):
+        path = parse_relative("@lex")
+        assert path.items[0].axis is Axis.ATTRIBUTE
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "", "NP", "//", "//S[", "//S]", "//S[//]", "//S[@]", "//S{",
+            "//S[not(]", "//\\following::X", "//S[position()=]",
+            "//S[name(=x]", "//S[[//X]]",
+        ],
+    )
+    def test_malformed_queries(self, bad):
+        with pytest.raises(LPathSyntaxError):
+            parse(bad)
+
+    def test_unknown_named_axis(self):
+        with pytest.raises(LPathSyntaxError):
+            parse("//S/sideways::NP")

@@ -1,0 +1,132 @@
+"""Tests for sorted composite-key indexes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Schema, SchemaError, SortedIndex
+from repro.relational.schema import encode_component, encode_key
+
+
+SCHEMA = Schema(("a", "b", "c"))
+
+
+def make_index(rows, columns=("a", "b")):
+    index = SortedIndex("idx", SCHEMA, columns)
+    index.build(rows)
+    return index
+
+
+class TestEncoding:
+    def test_none_sorts_first(self):
+        assert encode_component(None) < encode_component(-10)
+        assert encode_component(None) < encode_component("")
+
+    def test_ints_before_strings(self):
+        assert encode_component(10 ** 9) < encode_component("a")
+
+    def test_key_ordering_matches_per_component(self):
+        assert encode_key((1, "x")) < encode_key((1, "y"))
+        assert encode_key((None, "z")) < encode_key((0, "a"))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_component(object())
+
+
+class TestScanEq:
+    def test_exact_match(self):
+        index = make_index([(1, "x", 10), (1, "y", 20), (2, "x", 30)])
+        assert list(index.scan_eq((1, "x"))) == [(1, "x", 10)]
+
+    def test_prefix_match(self):
+        index = make_index([(1, "x", 10), (1, "y", 20), (2, "x", 30)])
+        assert sorted(index.scan_eq((1,))) == [(1, "x", 10), (1, "y", 20)]
+
+    def test_empty_prefix_scans_all(self):
+        rows = [(2, "b", 1), (1, "a", 2)]
+        index = make_index(rows)
+        assert list(index.scan_eq(())) == sorted(rows)
+
+    def test_no_match(self):
+        index = make_index([(1, "x", 10)])
+        assert list(index.scan_eq((9,))) == []
+
+    def test_prefix_too_long_rejected(self):
+        index = make_index([(1, "x", 10)])
+        with pytest.raises(SchemaError):
+            list(index.scan_eq((1, "x", 10)))
+
+    def test_none_values_indexable(self):
+        index = make_index([(1, None, 10), (1, "x", 20)])
+        assert list(index.scan_eq((1, None))) == [(1, None, 10)]
+
+
+class TestScanRange:
+    def setup_method(self):
+        self.rows = [(1, i, i * 10) for i in range(10)]
+        self.index = make_index(self.rows, columns=("a", "b"))
+
+    def test_closed_range(self):
+        got = [row[1] for row in self.index.scan_range((1,), low=3, high=6)]
+        assert got == [3, 4, 5, 6]
+
+    def test_open_low(self):
+        got = [row[1] for row in self.index.scan_range((1,), low=3, include_low=False, high=6)]
+        assert got == [4, 5, 6]
+
+    def test_open_high(self):
+        got = [row[1] for row in self.index.scan_range((1,), low=3, high=6, include_high=False)]
+        assert got == [3, 4, 5]
+
+    def test_unbounded_low(self):
+        got = [row[1] for row in self.index.scan_range((1,), high=2)]
+        assert got == [0, 1, 2]
+
+    def test_unbounded_high(self):
+        got = [row[1] for row in self.index.scan_range((1,), low=8)]
+        assert got == [8, 9]
+
+    def test_unbounded_both(self):
+        assert len(list(self.index.scan_range((1,)))) == 10
+
+    def test_point_range(self):
+        got = [row[1] for row in self.index.scan_range((1,), low=5, high=5)]
+        assert got == [5]
+
+    def test_empty_range(self):
+        assert list(self.index.scan_range((1,), low=7, high=3)) == []
+
+    def test_wrong_prefix_empty(self):
+        assert list(self.index.scan_range((2,), low=0, high=9)) == []
+
+    def test_first(self):
+        assert self.index.first((1,)) == (1, 0, 0)
+        assert self.index.first((5,)) is None
+
+
+class TestRangeProperties:
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 20), st.integers(0, 3)), max_size=60),
+        st.integers(0, 5),
+        st.integers(0, 20),
+        st.integers(0, 20),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_filter(self, rows, a, low, high, include_low, include_high):
+        index = make_index(rows, columns=("a", "b", "c"))
+        got = sorted(index.scan_range((a,), low=low, high=high,
+                                      include_low=include_low, include_high=include_high))
+        low_ok = (lambda b: b >= low) if include_low else (lambda b: b > low)
+        high_ok = (lambda b: b <= high) if include_high else (lambda b: b < high)
+        expected = sorted(r for r in rows if r[0] == a and low_ok(r[1]) and high_ok(r[1]))
+        assert got == expected
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.text(max_size=2), st.integers(0, 3)), max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_scan_eq_matches_naive_filter(self, rows):
+        index = make_index(rows, columns=("b", "a"))
+        for _, b, _ in rows[:5]:
+            got = sorted(index.scan_eq((b,)))
+            assert got == sorted(r for r in rows if r[1] == b)

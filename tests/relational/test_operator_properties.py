@@ -1,0 +1,101 @@
+"""Algebraic property tests for the physical operators."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.relational import operators as op
+from repro.relational.expression import ColCol, ColConst
+
+rows2 = st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30)
+
+
+def source(rows):
+    return op.Source(lambda: rows, "rows")
+
+
+class TestJoinEquivalence:
+    @given(rows2, rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_hash_join_equals_nested_loop(self, left, right):
+        nested = sorted(
+            op.NestedLoopJoin(source(left), source(right), ColCol(0, "=", 2))
+        )
+        hashed = sorted(op.HashJoin(source(left), source(right), (0,), (0,)))
+        assert nested == hashed
+
+    @given(rows2, rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_index_nested_loop_equals_nested_loop(self, left, right):
+        def probe(outer):
+            return [r for r in right if r[0] == outer[0]]
+
+        nested = sorted(
+            op.NestedLoopJoin(source(left), source(right), ColCol(0, "=", 2))
+        )
+        indexed = sorted(op.IndexNestedLoopJoin(source(left), probe, "probe"))
+        assert nested == indexed
+
+    @given(rows2, rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_semi_join_is_filtered_outer(self, left, right):
+        keys = {r[0] for r in right}
+        expected = [r for r in left if r[0] in keys]
+        got = list(
+            op.SemiJoin(source(left), lambda o: [r for r in right if r[0] == o[0]], "s")
+        )
+        assert got == expected
+
+    @given(rows2, rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_semi_plus_anti_partition_outer(self, left, right):
+        def probe(outer):
+            return [r for r in right if r[0] == outer[0]]
+
+        semi = list(op.SemiJoin(source(left), probe, "s"))
+        anti = list(op.AntiJoin(source(left), probe, "a"))
+        assert sorted(semi + anti) == sorted(left)
+        # Membership is decided per row value, so the sides never overlap.
+        assert not (set(semi) & set(anti))
+
+
+class TestUnaryOperatorLaws:
+    @given(rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_idempotent(self, rows):
+        once = list(op.Distinct(source(rows)))
+        twice = list(op.Distinct(op.Distinct(source(rows))))
+        assert once == twice
+
+    @given(rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_preserves_first_occurrence_order(self, rows):
+        seen, expected = set(), []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                expected.append(row)
+        assert list(op.Distinct(source(rows))) == expected
+
+    @given(rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_select_then_project_commutes_here(self, rows):
+        predicate = ColConst(0, ">", 2)
+        select_first = list(op.Project(op.Select(source(rows), predicate), (0,)))
+        project_first = list(
+            op.Select(op.Project(source(rows), (0,)), ColConst(0, ">", 2))
+        )
+        assert select_first == project_first
+
+    @given(rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_sort_is_stable(self, rows):
+        indexed = [(row[0], position) for position, row in enumerate(rows)]
+        got = list(op.Sort(source(indexed), (0,)))
+        for before, after in zip(got, got[1:]):
+            if before[0] == after[0]:
+                assert before[1] < after[1]
+
+    @given(rows2, st.integers(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_limit_prefix(self, rows, count):
+        assert list(op.Limit(source(rows), count)) == rows[:count]

@@ -1,0 +1,143 @@
+"""Tests for physical operators."""
+
+from repro.relational import operators as op
+from repro.relational.expression import And, ColCol, ColConst, Const, Func, Not, Or
+
+
+def rows_source(rows, description="rows"):
+    return op.Source(lambda: rows, description)
+
+
+R = [(1, "a"), (2, "b"), (3, "a"), (4, "c")]
+S = [(1, 10), (1, 20), (3, 30)]
+
+
+class TestExpressions:
+    def test_col_const(self):
+        predicate = ColConst(1, "=", "a")
+        assert predicate((1, "a")) and not predicate((2, "b"))
+        assert "col[1]" in predicate.explain()
+
+    def test_col_col(self):
+        predicate = ColCol(0, "<", 2)
+        assert predicate((1, "x", 5)) and not predicate((5, "x", 1))
+
+    def test_boolean_combinators(self):
+        both = And([ColConst(0, ">", 1), ColConst(0, "<", 4)])
+        assert both((2,)) and not both((4,))
+        either = Or([ColConst(0, "=", 1), ColConst(0, "=", 4)])
+        assert either((4,)) and not either((2,))
+        assert Not(Const(False))(())
+        assert And([]).explain() == "true"
+        assert Or([]).explain() == "false"
+
+    def test_func(self):
+        predicate = Func(lambda row: row[0] % 2 == 0, "even")
+        assert predicate((2,)) and not predicate((3,))
+        assert predicate.explain() == "even"
+
+
+class TestBasicOperators:
+    def test_source(self):
+        assert list(rows_source(R)) == R
+
+    def test_select(self):
+        plan = op.Select(rows_source(R), ColConst(1, "=", "a"))
+        assert list(plan) == [(1, "a"), (3, "a")]
+
+    def test_project(self):
+        plan = op.Project(rows_source(R), (1,))
+        assert list(plan) == [("a",), ("b",), ("a",), ("c",)]
+
+    def test_distinct_full_row(self):
+        plan = op.Distinct(rows_source([(1,), (1,), (2,)]))
+        assert list(plan) == [(1,), (2,)]
+
+    def test_distinct_on_positions_projects(self):
+        plan = op.Distinct(rows_source(R), positions=(1,))
+        assert list(plan) == [("a",), ("b",), ("c",)]
+
+    def test_sort(self):
+        plan = op.Sort(rows_source(R), (1, 0))
+        assert [row[1] for row in plan] == ["a", "a", "b", "c"]
+
+    def test_sort_reverse(self):
+        plan = op.Sort(rows_source(R), (0,), reverse=True)
+        assert [row[0] for row in plan] == [4, 3, 2, 1]
+
+    def test_limit(self):
+        assert len(list(op.Limit(rows_source(R), 2))) == 2
+        assert list(op.Limit(rows_source(R), 0)) == []
+        assert len(list(op.Limit(rows_source(R), 99))) == 4
+
+    def test_count(self):
+        assert op.count(rows_source(R)) == 4
+
+
+class TestJoins:
+    def test_nested_loop_join(self):
+        plan = op.NestedLoopJoin(
+            rows_source(R), rows_source(S), ColCol(0, "=", 2)
+        )
+        got = list(plan)
+        assert ((1, "a", 1, 10)) in got and ((3, "a", 3, 30)) in got
+        assert len(got) == 3
+
+    def test_hash_join_matches_nested_loop(self):
+        nested = list(op.NestedLoopJoin(rows_source(R), rows_source(S), ColCol(0, "=", 2)))
+        hashed = list(op.HashJoin(rows_source(R), rows_source(S), (0,), (0,)))
+        assert sorted(nested) == sorted(hashed)
+
+    def test_hash_join_residual(self):
+        plan = op.HashJoin(
+            rows_source(R), rows_source(S), (0,), (0,),
+            residual=ColConst(3, ">", 10),
+        )
+        assert list(plan) == [(1, "a", 1, 20), (3, "a", 3, 30)]
+
+    def test_index_nested_loop_join(self):
+        def probe(outer_row):
+            return [s for s in S if s[0] == outer_row[0]]
+
+        plan = op.IndexNestedLoopJoin(rows_source(R), probe, "probe S by key")
+        assert sorted(plan) == sorted(
+            [(1, "a", 1, 10), (1, "a", 1, 20), (3, "a", 3, 30)]
+        )
+
+    def test_index_nested_loop_residual(self):
+        plan = op.IndexNestedLoopJoin(
+            rows_source(R),
+            lambda outer: [s for s in S if s[0] == outer[0]],
+            "probe",
+            residual=ColConst(3, "=", 10),
+        )
+        assert list(plan) == [(1, "a", 1, 10)]
+
+    def test_semi_join(self):
+        plan = op.SemiJoin(
+            rows_source(R), lambda outer: [s for s in S if s[0] == outer[0]], "exists"
+        )
+        assert list(plan) == [(1, "a"), (3, "a")]
+
+    def test_anti_join(self):
+        plan = op.AntiJoin(
+            rows_source(R), lambda outer: [s for s in S if s[0] == outer[0]], "not exists"
+        )
+        assert list(plan) == [(2, "b"), (4, "c")]
+
+
+class TestExplain:
+    def test_plans_explain_without_error(self):
+        plan = op.Distinct(
+            op.Select(
+                op.IndexNestedLoopJoin(
+                    rows_source(R, "R"), lambda _: S, "S by key",
+                    residual=Const(True),
+                ),
+                ColConst(0, ">", 0),
+            ),
+            positions=(0,),
+        )
+        text = plan.explain()
+        for fragment in ("Distinct", "Select", "IndexNestedLoopJoin", "Source(R)"):
+            assert fragment in text

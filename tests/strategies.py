@@ -1,0 +1,44 @@
+"""Shared hypothesis strategies: random linguistic trees and corpora."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.tree import Tree, TreeNode
+
+LABELS = ["S", "NP", "VP", "PP", "N", "V", "Det", "Adj", "Prep", "ADVP", "X-Y"]
+WORDS = ["saw", "dog", "man", "the", "a", "old", "with", "today", "I", "of"]
+
+labels = st.sampled_from(LABELS)
+words = st.sampled_from(WORDS)
+
+
+@st.composite
+def tree_nodes(draw, max_depth: int = 5, max_children: int = 4) -> TreeNode:
+    """A random ordered tree node, possibly with unary branches."""
+    label = draw(labels)
+    if max_depth <= 1 or draw(st.booleans()):
+        want_word = draw(st.booleans())
+        attrs = {"lex": draw(words)} if want_word else {}
+        return TreeNode(label, attributes=attrs)
+    n_children = draw(st.integers(min_value=1, max_value=max_children))
+    children = [
+        draw(tree_nodes(max_depth=max_depth - 1, max_children=max_children))
+        for _ in range(n_children)
+    ]
+    return TreeNode(label, children=children)
+
+
+@st.composite
+def trees(draw, max_depth: int = 5, tid: int = 0) -> Tree:
+    """A random indexed :class:`Tree`."""
+    return Tree(draw(tree_nodes(max_depth=max_depth)), tid=tid)
+
+
+@st.composite
+def corpora(draw, max_trees: int = 4, max_depth: int = 4) -> list[Tree]:
+    """A random list of trees with sequential tids."""
+    count = draw(st.integers(min_value=1, max_value=max_trees))
+    return [
+        Tree(draw(tree_nodes(max_depth=max_depth)), tid=tid) for tid in range(count)
+    ]

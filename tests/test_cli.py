@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture()
+def corpus_file(tmp_path):
+    path = tmp_path / "corpus.mrg"
+    code, _ = run(["generate", "--profile", "wsj", "--sentences", "50",
+                   "--seed", "3", "-o", str(path)])
+    assert code == 0
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_file(self, corpus_file):
+        text = open(corpus_file).read()
+        assert text.startswith("( (S")
+        assert text.count("\n") == 50
+
+    def test_stdout_output(self):
+        code, output = run(["generate", "--sentences", "3", "--seed", "1"])
+        assert code == 0
+        assert output.count("( (S") == 3
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.mrg", tmp_path / "b.mrg"
+        run(["generate", "--sentences", "5", "--seed", "9", "-o", str(a)])
+        run(["generate", "--sentences", "5", "--seed", "9", "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestQuery:
+    def test_count(self, corpus_file):
+        code, output = run(["query", corpus_file, "//NP", "--count"])
+        assert code == 0
+        assert int(output.strip()) > 0
+
+    def test_matches_highlighted(self, corpus_file):
+        code, output = run(["query", corpus_file, "//VB->NP", "--show", "2"])
+        assert code == 0
+        assert "match(es)" in output
+        assert "[" in output  # highlighted constituent
+
+    def test_backends_agree(self, corpus_file):
+        counts = set()
+        for engine in ("lpath", "treewalk", "sqlite"):
+            code, output = run(
+                ["query", corpus_file, "//VP{/NP$}", "--engine", engine, "--count"]
+            )
+            assert code == 0
+            counts.add(output.strip())
+        assert len(counts) == 1
+
+    def test_pivot_flag_preserves_results(self, corpus_file):
+        plain = run(["query", corpus_file, "//S//NP//WHPP", "--count"])
+        pivoted = run(["query", corpus_file, "//S//NP//WHPP", "--count", "--pivot"])
+        assert plain == pivoted
+
+    def test_tgrep2_engine(self, corpus_file):
+        code, output = run(
+            ["query", corpus_file, "VP <- NP", "--engine", "tgrep2", "--count"]
+        )
+        assert code == 0
+        lpath_code, lpath_output = run(
+            ["query", corpus_file, "//VP{/NP$}", "--count"]
+        )
+        assert output == lpath_output
+
+    def test_corpussearch_engine(self, corpus_file):
+        code, output = run(
+            ["query", corpus_file, "(VP iDomsLast NP)", "--engine",
+             "corpussearch", "--count"]
+        )
+        assert code == 0
+
+    def test_xpath_engine_rejects_lpath_features(self, corpus_file):
+        code, _ = run(["query", corpus_file, "//VB->NP", "--engine", "xpath"])
+        assert code == 1
+
+    def test_syntax_error_reported(self, corpus_file):
+        code, _ = run(["query", corpus_file, "//["])
+        assert code == 1
+
+    def test_missing_file(self):
+        code, _ = run(["query", "/nonexistent.mrg", "//NP"])
+        assert code == 2
+
+
+class TestSQL:
+    def test_translation(self):
+        code, output = run(["sql", "//VB->NP"])
+        assert code == 0
+        assert "SELECT DISTINCT" in output
+        assert '"left" = t0."right"' in output
+
+
+class TestStats:
+    def test_tables(self, corpus_file):
+        code, output = run(["stats", corpus_file])
+        assert code == 0
+        assert "Tree Nodes" in output
+        assert "NP" in output

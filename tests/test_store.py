@@ -1,0 +1,124 @@
+"""Tests for compiled-corpus storage and the from_labels engine path."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro import store
+from repro.labeling import label_corpus
+from repro.lpath import LPathEngine, LPathError
+from repro.tree import figure1_tree
+from tests.strategies import corpora
+
+
+def round_trip(rows):
+    buffer = io.BytesIO()
+    store.save_labels(rows, buffer)
+    buffer.seek(0)
+    return store.load_labels(buffer)
+
+
+class TestFormat:
+    def test_round_trip_figure1(self):
+        rows = list(label_corpus([figure1_tree()]))
+        assert round_trip(rows) == rows
+
+    @given(corpora(max_trees=3, max_depth=4))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_random(self, trees):
+        rows = list(label_corpus(trees))
+        assert round_trip(rows) == rows
+
+    def test_empty_corpus(self):
+        assert round_trip([]) == []
+
+    def test_magic_checked(self):
+        with pytest.raises(store.StoreError):
+            store.load_labels(io.BytesIO(b"NOTLPDB!rest"))
+
+    def test_truncation_detected(self):
+        rows = list(label_corpus([figure1_tree()]))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer)
+        data = buffer.getvalue()
+        with pytest.raises(store.StoreError):
+            store.load_labels(io.BytesIO(data[:-3]))
+
+    def test_trailing_garbage_detected(self):
+        rows = list(label_corpus([figure1_tree()]))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer)
+        with pytest.raises(store.StoreError):
+            store.load_labels(io.BytesIO(buffer.getvalue() + b"\x00"))
+
+    def test_interning_compresses(self):
+        trees = [figure1_tree(tid=i) for i in range(20)]
+        rows = list(label_corpus(trees))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer)
+        # Far smaller than a naive text dump of the rows.
+        assert len(buffer.getvalue()) < len(repr(rows)) / 4
+
+    def test_file_helpers(self, tmp_path):
+        path = tmp_path / "corpus.lpdb"
+        count = store.save_corpus([figure1_tree()], str(path))
+        assert count == 25
+        assert store.is_compiled_corpus(str(path))
+        assert not store.is_compiled_corpus(str(tmp_path / "missing"))
+        rows = store.load_corpus_labels(str(path))
+        assert len(rows) == 25
+
+
+class TestEngineFromLabels:
+    def test_queries_match_tree_built_engine(self):
+        trees = [figure1_tree()]
+        rows = list(label_corpus(trees))
+        from_trees = LPathEngine(trees)
+        from_rows = LPathEngine.from_labels(rows)
+        for query in ("//NP", "//V->NP", "//VP{//NP$}", "//S[//_[@lex=saw]]"):
+            assert from_rows.query(query) == from_trees.query(query)
+
+    def test_sqlite_backend_works(self):
+        rows = list(label_corpus([figure1_tree()]))
+        engine = LPathEngine.from_labels(rows)
+        assert engine.query("//NP", backend="sqlite") == engine.query("//NP")
+
+    def test_tree_features_unavailable(self):
+        rows = list(label_corpus([figure1_tree()]))
+        engine = LPathEngine.from_labels(rows)
+        with pytest.raises(LPathError):
+            engine.nodes("//NP")
+        with pytest.raises(LPathError):
+            engine.treewalk
+
+    def test_root_alignment_still_works(self):
+        """from_labels must reconstruct the root_right map for `$`."""
+        rows = list(label_corpus([figure1_tree()]))
+        engine = LPathEngine.from_labels(rows)
+        assert engine.count("//NP$") == 1
+
+
+class TestCLIIntegration:
+    def test_compile_and_query(self, tmp_path):
+        from repro.cli import main
+
+        mrg = tmp_path / "c.mrg"
+        lpdb = tmp_path / "c.lpdb"
+        out = io.StringIO()
+        assert main(["generate", "--sentences", "30", "--seed", "4",
+                     "-o", str(mrg)], out=out) == 0
+        assert main(["compile", str(mrg), "-o", str(lpdb)], out=out) == 0
+
+        direct, compiled = io.StringIO(), io.StringIO()
+        assert main(["query", str(mrg), "//NP", "--count"], out=direct) == 0
+        assert main(["query", str(lpdb), "//NP", "--count"], out=compiled) == 0
+        assert direct.getvalue() == compiled.getvalue()
+
+    def test_compiled_corpus_rejects_tree_engines(self, tmp_path):
+        from repro.cli import main
+
+        lpdb = tmp_path / "c.lpdb"
+        store.save_corpus([figure1_tree()], str(lpdb))
+        assert main(["query", str(lpdb), "NP < Det", "--engine", "tgrep2"],
+                    out=io.StringIO()) == 1

@@ -1,0 +1,104 @@
+"""Unit and property tests for bracketed tree I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.tree import (
+    BracketParseError,
+    figure1_tree,
+    format_tree,
+    iter_trees,
+    parse_tree,
+    read_trees,
+    write_trees,
+)
+from tests.strategies import trees
+
+
+class TestParse:
+    def test_simple_tree(self):
+        tree = parse_tree("(S (NP (PRP I)) (VP (VBD ran)))")
+        assert tree.root.label == "S"
+        assert tree.words() == ["I", "ran"]
+
+    def test_word_becomes_lex_attribute(self):
+        tree = parse_tree("(NP (DT the) (NN dog))")
+        det = tree.root.children[0]
+        assert det.is_terminal and det.word == "the"
+        assert det.attributes == {"lex": "the"}
+
+    def test_treebank_wrapper_unwrapped(self):
+        tree = parse_tree("( (S (NP (PRP I)) (VP (VBD ran))) )")
+        assert tree.root.label == "S"
+
+    def test_multi_rooted_wrapper_gets_top(self):
+        tree = parse_tree("( (S (X a)) (S (X b)) )")
+        assert tree.root.label == "TOP"
+        assert [c.label for c in tree.root.children] == ["S", "S"]
+
+    def test_empty_category_leaf(self):
+        tree = parse_tree("(S (NP (-NONE- *T*)) (VP (VBD ran)))")
+        none = tree.root.children[0].children[0]
+        assert none.label == "-NONE-" and none.word == "*T*"
+
+    def test_iter_trees_assigns_tids(self):
+        text = "(S (X a))\n(S (X b))\n(S (X c))"
+        parsed = list(iter_trees(text))
+        assert [t.tid for t in parsed] == [0, 1, 2]
+
+    def test_iter_trees_start_tid(self):
+        parsed = list(iter_trees("(S (X a)) (S (X b))", start_tid=7))
+        assert [t.tid for t in parsed] == [7, 8]
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "(S", "(S (NP)", "()", "(S a (NP b))", "(NP one two)", ")", "x"],
+    )
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(BracketParseError):
+            parse_tree(bad)
+
+    def test_two_trees_rejected_by_parse_tree(self):
+        with pytest.raises(BracketParseError):
+            parse_tree("(S (X a)) (S (X b))")
+
+
+class TestWrite:
+    def test_format_figure1(self):
+        text = format_tree(figure1_tree())
+        assert text.startswith("(S (NP I)")
+        assert "(V saw)" in text
+
+    def test_wrap(self):
+        assert format_tree(parse_tree("(X a)"), wrap=True) == "( (X a) )"
+
+    def test_write_and_read_stream(self):
+        corpus = [parse_tree("(S (X a))"), parse_tree("(S (Y b))")]
+        buffer = io.StringIO()
+        assert write_trees(corpus, buffer) == 2
+        buffer.seek(0)
+        back = list(read_trees(buffer))
+        assert len(back) == 2
+        assert back[1].root.children[0].label == "Y"
+
+
+class TestRoundTrip:
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_write_round_trip(self, tree):
+        text = format_tree(tree)
+        back = parse_tree(text, tid=tree.tid)
+        assert _shape(back.root) == _shape(tree.root)
+        assert format_tree(back) == text
+
+    def test_figure1_round_trip(self):
+        tree = figure1_tree()
+        back = parse_tree(format_tree(tree))
+        assert _shape(back.root) == _shape(tree.root)
+
+
+def _shape(node):
+    """Structure + labels + words, ignoring non-lex attributes."""
+    return (node.label, node.word, tuple(_shape(c) for c in node.children))

@@ -1,0 +1,126 @@
+"""Unit tests for the tree data model and span indexing."""
+
+import pytest
+
+from repro.tree import Tree, TreeError, TreeNode, figure1_tree, tree_from_spec
+
+
+class TestTreeNode:
+    def test_label_required(self):
+        with pytest.raises(TreeError):
+            TreeNode("")
+
+    def test_append_sets_parent_and_index(self):
+        parent = TreeNode("NP")
+        a, b = TreeNode("Det"), TreeNode("N")
+        parent.append(a)
+        parent.append(b)
+        assert a.parent is parent and b.parent is parent
+        assert a.index_in_parent == 0 and b.index_in_parent == 1
+
+    def test_append_attached_node_rejected(self):
+        parent = TreeNode("NP")
+        child = TreeNode("N")
+        parent.append(child)
+        other = TreeNode("VP")
+        with pytest.raises(TreeError):
+            other.append(child)
+
+    def test_detach(self):
+        parent = TreeNode("NP", [TreeNode("Det"), TreeNode("N")])
+        det = parent.children[0]
+        det.detach()
+        assert det.parent is None
+        assert [c.label for c in parent.children] == ["N"]
+        assert parent.children[0].index_in_parent == 0
+
+    def test_word_property(self):
+        assert TreeNode("V", attributes={"lex": "saw"}).word == "saw"
+        assert TreeNode("V").word is None
+
+    def test_is_terminal(self):
+        leaf = TreeNode("N", attributes={"lex": "dog"})
+        assert leaf.is_terminal
+        assert not TreeNode("NP", [leaf]).is_terminal
+
+    def test_siblings(self):
+        parent = TreeNode("NP", [TreeNode("Det"), TreeNode("Adj"), TreeNode("N")])
+        det, adj, n = parent.children
+        assert det.next_sibling() is adj
+        assert n.next_sibling() is None
+        assert adj.previous_sibling() is det
+        assert det.previous_sibling() is None
+        assert parent.next_sibling() is None
+
+    def test_preorder_and_descendants(self):
+        tree = figure1_tree()
+        labels = [node.label for node in tree.root.preorder()]
+        assert labels[0] == "S"
+        assert len(labels) == len(tree)
+        assert [n.label for n in tree.root.descendants()] == labels[1:]
+
+
+class TestTreeIndexing:
+    def test_root_with_parent_rejected(self):
+        parent = TreeNode("S", [TreeNode("NP")])
+        with pytest.raises(TreeError):
+            Tree(parent.children[0])
+
+    def test_leaf_spans_tile(self):
+        tree = figure1_tree()
+        leaves = tree.leaves()
+        assert leaves[0].left == 1
+        for leaf in leaves:
+            assert leaf.right == leaf.left + 1
+        for before, after in zip(leaves, leaves[1:]):
+            assert after.left == before.right
+
+    def test_figure1_spans(self):
+        """Spans must match the Figure 5 relation."""
+        tree = figure1_tree()
+        spans = {
+            (node.label, node.left, node.right, node.depth) for node in tree.nodes
+        }
+        assert ("S", 1, 10, 1) in spans
+        assert ("NP", 1, 2, 2) in spans       # NP over "I"
+        assert ("VP", 2, 9, 2) in spans
+        assert ("V", 2, 3, 3) in spans
+        assert ("NP", 3, 9, 3) in spans       # object NP
+        assert ("NP", 3, 6, 4) in spans       # "the old man"
+        assert ("Det", 3, 4, 5) in spans      # "the"
+
+    def test_ids_are_document_order(self):
+        tree = figure1_tree()
+        ids = [node.node_id for node in tree.root.preorder()]
+        assert ids == list(range(1, len(tree) + 1))
+
+    def test_node_by_id(self):
+        tree = figure1_tree()
+        assert tree.node_by_id(1) is tree.root
+        with pytest.raises(TreeError):
+            tree.node_by_id(999)
+
+    def test_depth_of_root_is_one(self):
+        tree = figure1_tree()
+        assert tree.root.depth == 1
+        for node in tree.root.descendants():
+            assert node.depth == node.parent.depth + 1
+
+    def test_words(self):
+        tree = figure1_tree()
+        assert tree.words() == [
+            "I", "saw", "the", "old", "man", "with", "a", "dog", "today",
+        ]
+
+    def test_unary_chain_shares_span(self):
+        tree = tree_from_spec(("S", ("NP", ("NP", ("N", "dog")))))
+        outer, inner = tree.root.children[0], tree.root.children[0].children[0]
+        assert (outer.left, outer.right) == (inner.left, inner.right)
+        assert inner.depth == outer.depth + 1
+
+    def test_reindex_after_mutation(self):
+        tree = tree_from_spec(("S", ("NP", "I"), ("VP", "ran")))
+        tree.root.append(TreeNode("ADVP", attributes={"lex": "fast"}))
+        tree.index()
+        assert tree.root.right == 4
+        assert tree.nodes[-1].label == "ADVP"

@@ -1,0 +1,121 @@
+"""Tests for the baseline XPath engine (Figure 10's comparator)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.lpath import LPathCompileError, LPathEngine
+from repro.tree import figure1_tree
+from repro.xpath import XPATH_AXES, VERTICAL_FRAGMENT, XPathEngine
+from tests.strategies import corpora
+
+#: Queries in the [11] vertical fragment (the Figure 10 class).
+VERTICAL_QUERIES = [
+    "//NP",
+    "//S",
+    "//NP/N",
+    "//S//V",
+    "//NP/_",
+    "//N\\NP",
+    "//Det\\ancestor::S",
+    "/S/NP",
+    "//S[//_[@lex=saw]]",
+    "//_[@lex=dog]",
+    "//NP[not(//Adj)]",
+    "//S[//NP/Det]",
+    "//NP/NP",
+    "//_[name()=VP]",
+    "//NP[//Det and //N]",
+    "//N/@lex",
+]
+
+#: XPath-expressible but outside the [11] vertical fragment.
+HORIZONTAL_QUERIES = [
+    "//V/following-sibling::NP",
+    "//NP/preceding-sibling::V",
+    "//V/following::N",
+    "//N/preceding::V",
+]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    trees = [figure1_tree()]
+    return XPathEngine(trees), LPathEngine(trees)
+
+
+class TestAgainstLPathEngine:
+    @pytest.mark.parametrize("query", VERTICAL_QUERIES)
+    def test_same_results_as_lpath_engine(self, engines, query):
+        xpath_engine, lpath_engine = engines
+        assert xpath_engine.query(query) == lpath_engine.query(query)
+
+    @pytest.mark.parametrize("query", HORIZONTAL_QUERIES)
+    def test_full_xpath_axes_agree_when_enabled(self, query):
+        trees = [figure1_tree()]
+        full = XPathEngine(trees, axes=XPATH_AXES)
+        lpath_engine = LPathEngine(trees)
+        assert full.query(query) == lpath_engine.query(query)
+
+    @given(corpora(max_trees=3, max_depth=4))
+    @settings(max_examples=15, deadline=None)
+    def test_random_corpora_agree(self, trees):
+        xpath_engine = XPathEngine(trees, axes=XPATH_AXES)
+        lpath_engine = LPathEngine(trees)
+        for query in VERTICAL_QUERIES + HORIZONTAL_QUERIES:
+            assert xpath_engine.query(query) == lpath_engine.query(query), query
+
+
+class TestExpressivenessBoundary:
+    """Lemma 3.1 plus the [11] fragment restriction."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//V->NP",            # immediate-following
+            "//NP<-V",            # immediate-preceding
+            "//V=>NP",            # immediate-following-sibling
+            "//NP<=V",            # immediate-preceding-sibling
+            "//VP{/V}",           # subtree scoping
+            "//VP{//NP$}",        # edge alignment + scoping
+            "//^NP",              # left alignment
+            "//NP$",              # right alignment
+            "//S[//V->NP]",       # LPath axis nested in a predicate
+            "//S[{//V}]",         # scope nested in a predicate
+        ],
+    )
+    def test_lpath_only_features_rejected(self, engines, query):
+        xpath_engine, _ = engines
+        with pytest.raises(LPathCompileError):
+            xpath_engine.query(query)
+
+    @pytest.mark.parametrize("query", HORIZONTAL_QUERIES)
+    def test_vertical_fragment_rejects_horizontal_axes(self, engines, query):
+        xpath_engine, _ = engines
+        with pytest.raises(LPathCompileError):
+            xpath_engine.query(query)
+
+    def test_eleven_of_paper_queries_supported(self, engines):
+        """The paper's Figure 10 count: exactly 11 of the 23 Fig 6(c)
+        queries run on the XPath-labeling engine."""
+        from tests.lpath.test_parser import PAPER_QUERIES
+
+        xpath_engine, _ = engines
+        supported = []
+        for query in PAPER_QUERIES:
+            try:
+                xpath_engine.query(query)
+                supported.append(query)
+            except LPathCompileError:
+                pass
+        assert len(supported) == 11
+
+    def test_fragment_is_subset(self):
+        assert VERTICAL_FRAGMENT < XPATH_AXES
+
+
+class TestDuplicateTids:
+    def test_rejected(self):
+        from repro.lpath import LPathError
+
+        with pytest.raises(LPathError):
+            XPathEngine([figure1_tree(tid=2), figure1_tree(tid=2)])
