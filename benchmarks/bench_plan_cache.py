@@ -1,0 +1,83 @@
+"""Plan-cache effectiveness on repeated queries (the Figure 6/9 hot loop).
+
+The paper's protocol reruns every query 7 times and reports a trimmed
+mean, so repeated evaluation of the same query text is the benchmark hot
+path.  Since the unified-IR refactor each engine keeps compiled plans in
+an LRU cache keyed on the unparsed query, and repetitions skip
+parse → lower → optimize → closure-compile entirely.  This benchmark
+reports the full fig6c query set and a high-selectivity (rare-tag) probe
+with a warm cache vs. recompiling every round.
+"""
+
+import time
+
+from repro.bench import QUERY_SET, datasets
+
+#: Cheap, high-selectivity queries where compilation is a large fraction
+#: of total latency — the cache's best case.
+RARE_QUERY = "//WHPP"
+
+
+def _best_of(run, rounds: int = 5) -> float:
+    timings = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def render_table(rows) -> str:
+    lines = [
+        "Plan cache: repeated-query latency (warm cache vs recompile)",
+        f"{'workload':<28}{'warm':>12}{'cold':>12}{'speedup':>9}",
+    ]
+    for name, warm, cold in rows:
+        lines.append(
+            f"{name:<28}{warm * 1000:>10.2f}ms{cold * 1000:>10.2f}ms"
+            f"{cold / warm:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_plan_cache_repeated_queries(benchmark, write_result):
+    engine = datasets.lpath_engine("wsj")
+
+    def run_set() -> list[int]:
+        return [engine.count(query.lpath) for query in QUERY_SET]
+
+    def run_set_cold() -> list[int]:
+        engine.plan_cache.clear()
+        return [engine.count(query.lpath) for query in QUERY_SET]
+
+    def run_rare() -> int:
+        return engine.count(RARE_QUERY)
+
+    def run_rare_cold() -> int:
+        engine.plan_cache.clear()
+        return engine.count(RARE_QUERY)
+
+    run_set()                        # warm the cache
+    warm_set = _best_of(run_set)
+    cold_set = _best_of(run_set_cold)
+    run_rare()
+    warm_rare = _best_of(run_rare, rounds=20)
+    cold_rare = _best_of(run_rare_cold, rounds=20)
+
+    benchmark(run_set)
+
+    write_result(
+        "plan_cache.txt",
+        render_table(
+            [
+                ("fig6c set (23 queries)", warm_set, cold_set),
+                (f"rare tag {RARE_QUERY}", warm_rare, cold_rare),
+            ]
+        )
+        + f"\ncache stats: {engine.plan_cache.stats}",
+    )
+
+    # The correctness claim — repetitions hit the cache — is asserted
+    # directly; the timing comparison lives in the written report because
+    # wall-clock ratios are too noisy to gate CI on.
+    assert engine.plan_cache.hits > 0

@@ -6,6 +6,11 @@ minimum values."  :func:`paper_timing` implements exactly that trimmed
 mean; the pytest-benchmark targets use their own statistics and exist for
 regression tracking, while the EXPERIMENTS.md tables come from this
 harness.
+
+Note: engines cache compiled plans keyed on the query text, so repeated
+``run()`` calls measure execution, not recompilation — exactly the hot
+path the protocol repeats.  Clear ``engine.plan_cache`` between rounds to
+measure cold-compile latency (see ``benchmarks/bench_plan_cache.py``).
 """
 
 from __future__ import annotations

@@ -72,9 +72,9 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
             trees = _load_trees(args.corpus)
             engine = LPathEngine(trees)
         backend = "plan" if engine_name == "lpath" else engine_name
-        pivot = getattr(args, "pivot", False) and backend == "plan"
-        matches = engine.query(args.query, backend=backend, pivot=pivot) \
-            if backend == "plan" else engine.query(args.query, backend=backend)
+        matches = engine.query(
+            args.query, backend=backend, pivot=getattr(args, "pivot", False)
+        )
     else:
         trees = _load_trees(args.corpus)
         if engine_name == "tgrep2":
@@ -82,7 +82,9 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
         elif engine_name == "corpussearch":
             matches = CorpusSearchEngine(trees).query(args.query)
         else:
-            matches = XPathEngine(trees).query(args.query)
+            matches = XPathEngine(trees).query(
+                args.query, pivot=getattr(args, "pivot", False)
+            )
 
     if args.count or compiled:
         print(len(matches), file=out)
@@ -161,7 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--show", type=int, default=10,
                        help="matches to display (default 10)")
     query.add_argument("--pivot", action="store_true",
-                       help="selectivity-driven join ordering (lpath engine)")
+                       help="selectivity-driven join ordering "
+                            "(lpath and xpath plan engines)")
     query.set_defaults(handler=_command_query)
 
     sql = commands.add_parser("sql", help="translate an LPath query to SQL")

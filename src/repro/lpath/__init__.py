@@ -6,6 +6,10 @@ Public surface:
 * :class:`LPathEngine` — load trees, run queries on any backend,
 * :class:`TreeWalkEvaluator` — the reference evaluator,
 * :mod:`repro.lpath.axes` — the Table 1 axis inventory.
+
+The plan backend compiles through the shared logical IR in
+:mod:`repro.plan` (one lowerer/optimizer/interpreter for both the LPath
+and XPath engines).
 """
 
 from . import axes

@@ -1,106 +1,50 @@
-"""Compile LPath queries into index-driven plans over the label relation.
+"""Compile LPath queries through the shared logical-plan IR.
 
 Following Section 4 of the paper, every LPath axis becomes a join whose
-condition is the Table 2 label comparison; joins are evaluated index-nested-
-loop style against the paper's physical design (clustered
+condition is the Table 2 label comparison; joins are evaluated index-
+nested-loop style against the paper's physical design (clustered
 ``{name, tid, left, ...}`` plus the ``{tid, value, id}``, ``{value, tid,
 id}`` and ``{tid, id, ...}`` secondary indexes).
 
-A *binding* is the concatenation of the label rows matched by the steps so
-far (8 columns per step).  Offsets are assigned at compile time; scope nodes
-stay in the binding so scoping and edge alignment are plain column
-comparisons.  Predicates compile to boolean functions over bindings and run
-as (anti) semijoins with early termination.
+Since the unified-IR refactor all of the step/predicate machinery lives in
+:mod:`repro.plan` — :mod:`~repro.plan.lower` builds the logical plan with
+the Definition-4.1 axis semantics of
+:class:`~repro.plan.schemes.LPathScheme`, :mod:`~repro.plan.optimizer`
+runs predicate pushdown and (with ``pivot=True``) selectivity-driven join
+reordering, and :mod:`~repro.plan.executor` interprets the result.  This
+module only keeps the engine-facing façade.
 
-Positional predicates (``position()``/``last()``) are supported in the
-restricted forms needed by XPath rewrites — a positional predicate must be
-the first predicate of its step and its axis must be child or a sibling
-axis; the tree-walk evaluator covers the general semantics.
+The :mod:`repro.plan` imports are deliberately lazy: that package lowers
+*this* package's AST, so importing it at module scope would be circular.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Iterable, Union
 
-from ..relational.database import NODE_COLUMNS
-from ..relational.expression import Func
-from ..relational.operators import Distinct, IndexNestedLoopJoin, Operator, Select, Source
+from ..plan.ir import PlanNode, ROW_WIDTH, render
+from ..relational.operators import Operator
 from ..relational.table import Table
-from .ast import (
-    AndExpr,
-    Comparison,
-    FunctionCall,
-    Literal,
-    NodeTest,
-    NotExpr,
-    Number,
-    OrExpr,
-    Path,
-    PathExists,
-    PredicateExpr,
-    Scope,
-    Step,
-)
-from .axes import Axis
-from .errors import LPathCompileError
+from .ast import Path
 from .parser import parse
 
-# Column offsets within one label row.
-T, L, R, D, I, P, N, V = range(8)
-ROW_WIDTH = len(NODE_COLUMNS)
-
-BindingCheck = Callable[[tuple], bool]
-RowProbe = Callable[[tuple], Iterable[tuple]]
-
-#: Sibling-family axes that support restricted positional predicates.
-_POSITIONAL_AXES = {
-    Axis.CHILD,
-    Axis.FOLLOWING_SIBLING,
-    Axis.PRECEDING_SIBLING,
-    Axis.IMMEDIATE_FOLLOWING_SIBLING,
-    Axis.IMMEDIATE_PRECEDING_SIBLING,
-}
-
-
-def _is_element_row(row: tuple) -> bool:
-    return not row[N].startswith("@")
-
-
-class _StepExec:
-    """One executable step: index probe + residual checks + predicates."""
-
-    __slots__ = ("probe", "residuals", "checks", "description")
-
-    def __init__(
-        self,
-        probe: RowProbe,
-        residuals: Sequence[BindingCheck],
-        checks: Sequence[BindingCheck],
-        description: str,
-    ) -> None:
-        self.probe = probe
-        self.residuals = list(residuals)
-        self.checks = list(checks)
-        self.description = description
-
-    def matches(self, binding: tuple) -> Iterable[tuple]:
-        """Rows extending ``binding`` at this step."""
-        residuals, checks = self.residuals, self.checks
-        for row in self.probe(binding):
-            combined = binding + row
-            if all(residual(combined) for residual in residuals) and all(
-                check(combined) for check in checks
-            ):
-                yield row
+Query = Union[str, Path]
 
 
 class CompiledQuery:
     """A compiled main pipeline ready to execute."""
 
-    def __init__(self, plan: Operator, result_base: int, description: str) -> None:
+    def __init__(
+        self,
+        plan: Operator,
+        result_base: int,
+        description: str,
+        logical: PlanNode = None,
+    ) -> None:
         self.plan = plan
         self.result_base = result_base
         self.description = description
+        self.logical = logical
 
     def rows(self) -> Iterable[tuple]:
         """Distinct ``(tid, id)`` pairs of the result step, sorted."""
@@ -113,962 +57,57 @@ class CompiledQuery:
         return total
 
     def explain(self) -> str:
-        return self.description + "\n" + self.plan.explain()
+        """The logical IR (uniform across dialects) plus the physical plan."""
+        parts = [self.description]
+        if self.logical is not None:
+            parts.append("logical plan:\n" + render(self.logical, indent=2))
+        parts.append("physical plan:\n" + self.plan.explain(indent=2))
+        return "\n".join(parts)
 
 
 class PlanCompiler:
-    """Compiles parsed LPath queries against one loaded node table."""
+    """Compiles parsed LPath queries against one loaded node table.
 
-    def __init__(self, table: Table, root_right: dict[int, int]) -> None:
+    Subclasses (the XPath baseline) override :attr:`dialect`,
+    :attr:`result_class` and the scheme; the compile pipeline itself —
+    parse → lower (pivoted or not) → optimize → closure-compile — exists
+    only here."""
+
+    dialect = "LPath"
+    result_class = CompiledQuery
+
+    def __init__(
+        self,
+        table: Table,
+        root_right: dict[int, int] = None,
+        scheme=None,
+    ) -> None:
+        from ..plan.executor import Runtime
+        from ..plan.lower import Lowerer
+        from ..plan.schemes import Catalog, LPathScheme
+
         self.table = table
-        self.clustered = table.clustered
-        self.by_tid_id = table.index("idx_tid_id")
-        self.by_value = table.index("idx_value_tid_id")
         self.root_right = root_right
-        self.reverse_index = table.indexes.get("idx_name_tid_right")
+        self.scheme = scheme if scheme is not None else LPathScheme()
+        self.catalog = Catalog(table)
+        self.lowerer = Lowerer(self.scheme, self.catalog, self.dialect)
+        self.runtime = Runtime(table, self.scheme, root_right)
 
-    # -- public API --------------------------------------------------------
-
-    def compile(self, query, pivot: bool = False) -> CompiledQuery:
+    def compile(self, query: Query, pivot: bool = False) -> CompiledQuery:
         """Compile a query; ``pivot=True`` enables selectivity-driven join
         ordering: when the query is a plain step chain, the join starts at
         the step with the rarest tag and extends leftward through inverted
-        axes.  An optimization beyond the paper (see DESIGN.md ablations)."""
+        axes (and downward-only ``exists`` predicates pivot the same way).
+        An optimization beyond the paper (see DESIGN.md ablations)."""
+        from ..plan.executor import compile_plan
+        from ..plan.optimizer import optimize
+
         path = parse(query) if isinstance(query, str) else query
-        items = list(path.items)
-        if not items or isinstance(items[0], Scope):
-            raise LPathCompileError("a query must begin with a step")
-        if pivot:
-            pivoted = self._compile_pivot(path, items)
-            if pivoted is not None:
-                return pivoted
-        first = items[0]
-        plan = self._first_step_source(first)
-        plan = self._apply_step_checks(plan, first, base=0, scope_base=None)
-        plan = self._chain(plan, items[1:], ctx_base=0, next_free=ROW_WIDTH, scope_base=None)
-        result_base = self._result_base(items)
-        final = Distinct(plan, positions=(result_base + T, result_base + I))
-        return CompiledQuery(final, result_base, f"LPath plan for {path}")
-
-    # -- pivot join ordering ---------------------------------------------------
-
-    _INVERSE_AXES = {
-        Axis.CHILD: Axis.PARENT,
-        Axis.PARENT: Axis.CHILD,
-        Axis.DESCENDANT: Axis.ANCESTOR,
-        Axis.ANCESTOR: Axis.DESCENDANT,
-        Axis.DESCENDANT_OR_SELF: Axis.ANCESTOR_OR_SELF,
-        Axis.ANCESTOR_OR_SELF: Axis.DESCENDANT_OR_SELF,
-        Axis.IMMEDIATE_FOLLOWING: Axis.IMMEDIATE_PRECEDING,
-        Axis.IMMEDIATE_PRECEDING: Axis.IMMEDIATE_FOLLOWING,
-        Axis.FOLLOWING: Axis.PRECEDING,
-        Axis.PRECEDING: Axis.FOLLOWING,
-        Axis.FOLLOWING_OR_SELF: Axis.PRECEDING_OR_SELF,
-        Axis.PRECEDING_OR_SELF: Axis.FOLLOWING_OR_SELF,
-        Axis.IMMEDIATE_FOLLOWING_SIBLING: Axis.IMMEDIATE_PRECEDING_SIBLING,
-        Axis.IMMEDIATE_PRECEDING_SIBLING: Axis.IMMEDIATE_FOLLOWING_SIBLING,
-        Axis.FOLLOWING_SIBLING: Axis.PRECEDING_SIBLING,
-        Axis.PRECEDING_SIBLING: Axis.FOLLOWING_SIBLING,
-        Axis.FOLLOWING_SIBLING_OR_SELF: Axis.PRECEDING_SIBLING_OR_SELF,
-        Axis.PRECEDING_SIBLING_OR_SELF: Axis.FOLLOWING_SIBLING_OR_SELF,
-    }
-
-    def _compile_pivot(self, path, items) -> Optional[CompiledQuery]:
-        """Pivot plan for a plain chain, or ``None`` when inapplicable."""
-        steps = []
-        for item in items:
-            if not isinstance(item, Step):
-                return None
-            if item.axis not in self._INVERSE_AXES and item is not items[0]:
-                return None
-            if item.left_aligned or item.right_aligned:
-                return None
-            if any(_mentions_position(p) for p in item.predicates):
-                return None  # positions are relative to the original axis
-            steps.append(item)
-        if len(steps) < 2:
-            return None
-        if steps[0].axis not in (Axis.DESCENDANT, Axis.CHILD):
-            return None
-        clustered = self.clustered
-        total = len(self.table)
-
-        def frequency(step: Step) -> int:
-            if step.test.is_wildcard:
-                return total
-            return clustered.count_eq((step.test.name,))
-
-        pivot_index = min(range(len(steps)), key=lambda i: frequency(steps[i]))
-        if pivot_index == 0:
-            return None  # the default left-to-right plan is already optimal
-
-        # Materialization order: pivot, then leftward, then rightward.
-        order = [pivot_index] + list(range(pivot_index - 1, -1, -1)) + list(
-            range(pivot_index + 1, len(steps))
+        lowered = self.lowerer.lower_pivot(path) if pivot else None
+        if lowered is None:
+            lowered = self.lowerer.lower(path)
+        root = optimize(lowered.root, self.lowerer, pivot=pivot)
+        physical = compile_plan(root, self.runtime)
+        return self.result_class(
+            physical, lowered.result_slot * ROW_WIDTH, lowered.description, root
         )
-        base_of = {step_index: ROW_WIDTH * position
-                   for position, step_index in enumerate(order)}
-
-        pivot_step = steps[pivot_index]
-        plan = self._first_step_source(
-            Step(Axis.DESCENDANT, pivot_step.test, predicates=pivot_step.predicates)
-        )
-        plan = self._apply_step_checks(
-            plan,
-            Step(Axis.DESCENDANT, pivot_step.test, predicates=pivot_step.predicates),
-            base=0,
-            scope_base=None,
-        )
-        for step_index in order[1:]:
-            if step_index < pivot_index:
-                # Extend left: invert the axis of the step to our right.
-                axis = self._INVERSE_AXES[steps[step_index + 1].axis]
-                ctx = base_of[step_index + 1]
-                original = steps[step_index]
-            else:
-                axis = steps[step_index].axis
-                ctx = base_of[step_index - 1]
-                original = steps[step_index]
-            cand = base_of[step_index]
-            exec_ = self._build_step_exec(
-                Step(axis, original.test, predicates=original.predicates),
-                ctx, cand, scope_base=None,
-            )
-            plan = IndexNestedLoopJoin(
-                plan, exec_.matches, f"pivot {axis.value}::{original.test}"
-            )
-            if step_index == 0 and steps[0].axis is Axis.CHILD:
-                root_pid = cand + P
-                plan = Select(
-                    plan, Func(lambda b, p=root_pid: b[p] == 0, "root step")
-                )
-        result_base = base_of[len(steps) - 1]
-        final = Distinct(plan, positions=(result_base + T, result_base + I))
-        return CompiledQuery(
-            final, result_base,
-            f"LPath pivot plan for {path} (pivot step {pivot_index + 1})",
-        )
-
-    # -- main pipeline -------------------------------------------------------
-
-    def _chain(
-        self,
-        plan: Operator,
-        items: Sequence,
-        ctx_base: int,
-        next_free: int,
-        scope_base: Optional[int],
-    ) -> Operator:
-        for item in items:
-            if isinstance(item, Scope):
-                # The context node becomes the scope; its row is already in
-                # the binding at ctx_base.
-                return self._chain(
-                    plan, list(item.body.items), ctx_base, next_free, scope_base=ctx_base
-                )
-            step = item
-            if step.axis is Axis.SELF:
-                plan = self._self_step(plan, step, ctx_base, scope_base)
-                continue
-            exec_ = self._build_step_exec(step, ctx_base, next_free, scope_base)
-            plan = IndexNestedLoopJoin(plan, exec_.matches, exec_.description)
-            ctx_base = next_free
-            next_free += ROW_WIDTH
-        return plan
-
-    def _result_base(self, items: Sequence) -> int:
-        """Binding offset of the result step (the last step, through scopes)."""
-        base = -ROW_WIDTH
-        stack = list(items)
-        while stack:
-            item = stack.pop(0)
-            if isinstance(item, Scope):
-                stack = list(item.body.items)
-                continue
-            if item.axis is not Axis.SELF:
-                base += ROW_WIDTH
-        if base < 0:
-            raise LPathCompileError("query selects nothing")
-        return base
-
-    def _first_step_source(self, step: Step) -> Operator:
-        if step.axis is Axis.DESCENDANT:
-            root_only = False
-        elif step.axis is Axis.CHILD:
-            root_only = True
-        else:
-            raise LPathCompileError(
-                f"a query cannot start with the {step.axis.value} axis"
-            )
-        seed = self._value_seed(step, root_only)
-        if seed is not None:
-            return seed
-        if step.test.is_wildcard:
-            if root_only:
-                return Source(
-                    lambda: (r for r in self.table.scan() if r[P] == 0 and _is_element_row(r)),
-                    "roots",
-                )
-            return Source(
-                lambda: (r for r in self.table.scan() if _is_element_row(r)),
-                "all elements",
-            )
-        name = step.test.name
-        if root_only:
-            return Source(
-                lambda: (r for r in self.clustered.scan_eq((name,)) if r[P] == 0),
-                f"roots named {name}",
-            )
-        return Source(lambda: self.clustered.scan_eq((name,)), f"elements named {name}")
-
-    def _value_seed(self, step: Step, root_only: bool) -> Optional[Operator]:
-        """Drive the first step from the {value, tid, id} index when it has a
-        direct ``[@attr = literal]`` predicate — the optimization behind the
-        paper's fast high-selectivity value queries."""
-        found = _find_attribute_equality(step.predicates)
-        if found is None:
-            return None
-        attr_name, literal = found
-        name_test = None if step.test.is_wildcard else step.test.name
-        by_tid_id = self.by_tid_id
-        by_value = self.by_value
-
-        def rows():
-            for attr_row in by_value.scan_eq((literal,)):
-                if attr_row[N] != attr_name:
-                    continue
-                for element in by_tid_id.scan_eq((attr_row[T], attr_row[I])):
-                    if not _is_element_row(element):
-                        continue
-                    if name_test is not None and element[N] != name_test:
-                        continue
-                    if root_only and element[P] != 0:
-                        continue
-                    yield element
-
-        return Source(rows, f"value seed {attr_name}={literal!r}")
-
-    def _apply_step_checks(
-        self, plan: Operator, step: Step, base: int, scope_base: Optional[int]
-    ) -> Operator:
-        """Alignment and predicates for a step already materialized at ``base``."""
-        checks = self._alignment_checks(step, base, scope_base)
-        checks.extend(self._predicate_checks(step, base, base + ROW_WIDTH, scope_base))
-        for check in checks:
-            plan = Select(plan, Func(check, f"check on step@{base}"))
-        return plan
-
-    def _self_step(
-        self, plan: Operator, step: Step, ctx_base: int, scope_base: Optional[int]
-    ) -> Operator:
-        checks: list[BindingCheck] = []
-        if not step.test.is_wildcard:
-            name = step.test.name
-            position = ctx_base + N
-            checks.append(lambda b, position=position, name=name: b[position] == name)
-        checks.extend(self._alignment_checks(step, ctx_base, scope_base))
-        checks.extend(
-            self._predicate_checks(step, ctx_base, ctx_base + ROW_WIDTH, scope_base)
-        )
-        for check in checks:
-            plan = Select(plan, Func(check, "self step"))
-        return plan
-
-    # -- step executables ---------------------------------------------------------
-
-    def _build_step_exec(
-        self,
-        step: Step,
-        ctx_base: int,
-        cand_base: int,
-        scope_base: Optional[int],
-    ) -> _StepExec:
-        probe, residuals = self._probe_and_residuals(step, ctx_base, cand_base, scope_base)
-        residuals.extend(self._scope_checks(cand_base, scope_base))
-        checks = self._alignment_checks(step, cand_base, scope_base)
-        checks.extend(
-            self._positional_and_other_predicates(step, ctx_base, cand_base, scope_base)
-        )
-        return _StepExec(
-            probe, residuals, checks, f"{step.axis.value}::{step.test}"
-        )
-
-    def _probe_and_residuals(
-        self,
-        step: Step,
-        ctx_base: int,
-        cand_base: int,
-        scope_base: Optional[int],
-    ) -> tuple[RowProbe, list[BindingCheck]]:
-        axis = step.axis
-        test = step.test
-        ct, cl, cr, cd, cid, cpid = (
-            ctx_base + T, ctx_base + L, ctx_base + R,
-            ctx_base + D, ctx_base + I, ctx_base + P,
-        )
-        xl, xr, xd, xid, xp, xn = (
-            cand_base + L, cand_base + R, cand_base + D,
-            cand_base + I, cand_base + P, cand_base + N,
-        )
-        residuals: list[BindingCheck] = []
-
-        if axis is Axis.ATTRIBUTE:
-            by_tid_id = self.by_tid_id
-            probe: RowProbe = lambda b: by_tid_id.scan_eq((b[ct], b[cid]))
-            if test.is_wildcard:
-                residuals.append(lambda b: b[xn].startswith("@"))
-            else:
-                wanted = "@" + test.name
-                residuals.append(lambda b, wanted=wanted: b[xn] == wanted)
-            return probe, residuals
-
-        if axis is not Axis.PARENT:
-            # Value-driven probe: a step with a direct [@attr = literal]
-            # predicate is answered from the {tid, value, id} index — the
-            # optimization behind the paper's fast value-predicate queries.
-            found = _find_attribute_equality(step.predicates)
-            if found is not None:
-                attr_name, literal = found
-                by_value = self.table.index("idx_tid_value_id")
-                by_tid_id = self.by_tid_id
-                name_test = None if test.is_wildcard else test.name
-
-                def probe(b, ct=ct, attr_name=attr_name, literal=literal,
-                          by_value=by_value, by_tid_id=by_tid_id,
-                          name_test=name_test):
-                    for attr_row in by_value.scan_eq((b[ct], literal)):
-                        if attr_row[N] != attr_name:
-                            continue
-                        for element in by_tid_id.scan_eq((b[ct], attr_row[I])):
-                            if element[N].startswith("@"):
-                                continue
-                            if name_test is not None and element[N] != name_test:
-                                continue
-                            yield element
-
-                residuals.extend(self._axis_conditions(axis, ctx_base, cand_base))
-                return probe, residuals
-
-        if axis is Axis.PARENT:
-            by_tid_id = self.by_tid_id
-            probe = lambda b: by_tid_id.scan_eq((b[ct], b[cpid]))
-            residuals.append(self._element_or_name_check(test, xn))
-            return probe, residuals
-
-        if test.is_wildcard:
-            # No leading-name index applies: scan the tree's rows and filter
-            # with the full Table 2 conditions.
-            by_tid_id = self.by_tid_id
-            probe = lambda b: by_tid_id.scan_eq((b[ct],))
-            residuals.append(lambda b: not b[xn].startswith("@"))
-            residuals.extend(self._axis_conditions(axis, ctx_base, cand_base))
-            return probe, residuals
-
-        # Named test: clustered index (name, tid, left, ...) with a range on
-        # `left` derived from the axis, plus residual label comparisons.
-        name = test.name
-        clustered = self.clustered
-        scope_l = None if scope_base is None else scope_base + L
-        scope_r = None if scope_base is None else scope_base + R
-
-        if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
-            probe = lambda b: clustered.scan_range(
-                (name, b[ct]), low=b[cl], high=b[cr], include_high=False
-            )
-            if axis is Axis.CHILD:
-                residuals.append(lambda b: b[xp] == b[cid])
-            elif axis is Axis.DESCENDANT:
-                residuals.append(lambda b: b[xr] <= b[cr] and b[xd] > b[cd])
-            else:
-                residuals.append(lambda b: b[xr] <= b[cr] and b[xd] >= b[cd])
-        elif axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
-            probe = lambda b: clustered.scan_range(
-                (name, b[ct]),
-                low=None if scope_l is None else b[scope_l],
-                high=b[cl],
-            )
-            if axis is Axis.ANCESTOR:
-                residuals.append(lambda b: b[xr] >= b[cr] and b[xd] < b[cd])
-            else:
-                residuals.append(lambda b: b[xr] >= b[cr] and b[xd] <= b[cd])
-        elif axis is Axis.IMMEDIATE_FOLLOWING:
-            probe = lambda b: clustered.scan_range((name, b[ct]), low=b[cr], high=b[cr])
-        elif axis in (Axis.FOLLOWING, Axis.FOLLOWING_OR_SELF,
-                      Axis.FOLLOWING_SIBLING_OR_SELF):
-            base_probe = lambda b: clustered.scan_range(
-                (name, b[ct]),
-                low=b[cr],
-                high=None if scope_r is None else b[scope_r],
-                include_high=False,
-            )
-            if axis is Axis.FOLLOWING:
-                probe = base_probe
-            else:
-                probe = _with_self(base_probe, ctx_base, name)
-            if axis is Axis.FOLLOWING_SIBLING_OR_SELF:
-                residuals.append(lambda b: b[xp] == b[cpid])
-        elif axis in (Axis.PRECEDING_OR_SELF, Axis.PRECEDING_SIBLING_OR_SELF):
-            base_probe = self._preceding_probe(name, ct, cl, scope_l, equality=False)
-            probe = _with_self(base_probe, ctx_base, name)
-            if axis is Axis.PRECEDING_OR_SELF:
-                residuals.append(
-                    lambda b: b[xr] <= b[cl] or b[xid] == b[cid]
-                )
-            else:
-                residuals.append(
-                    lambda b: b[xp] == b[cpid]
-                    and (b[xr] <= b[cl] or b[xid] == b[cid])
-                )
-        elif axis is Axis.IMMEDIATE_PRECEDING:
-            probe = self._preceding_probe(name, ct, cl, scope_l, equality=True)
-            if self.reverse_index is None:
-                residuals.append(lambda b: b[xr] == b[cl])
-        elif axis is Axis.PRECEDING:
-            probe = self._preceding_probe(name, ct, cl, scope_l, equality=False)
-            residuals.append(lambda b: b[xr] <= b[cl])
-        elif axis is Axis.IMMEDIATE_FOLLOWING_SIBLING:
-            probe = lambda b: clustered.scan_range((name, b[ct]), low=b[cr], high=b[cr])
-            residuals.append(lambda b: b[xp] == b[cpid])
-        elif axis is Axis.FOLLOWING_SIBLING:
-            probe = lambda b: clustered.scan_range((name, b[ct]), low=b[cr])
-            residuals.append(lambda b: b[xp] == b[cpid])
-        elif axis is Axis.IMMEDIATE_PRECEDING_SIBLING:
-            probe = self._preceding_probe(name, ct, cl, scope_l, equality=True)
-            residuals.append(lambda b: b[xp] == b[cpid])
-            if self.reverse_index is None:
-                residuals.append(lambda b: b[xr] == b[cl])
-        elif axis is Axis.PRECEDING_SIBLING:
-            probe = self._preceding_probe(name, ct, cl, scope_l, equality=False)
-            residuals.append(lambda b: b[xp] == b[cpid] and b[xr] <= b[cl])
-        else:  # pragma: no cover - SELF handled by caller
-            raise LPathCompileError(f"unsupported axis {axis.value}")
-        return probe, residuals
-
-    def _preceding_probe(
-        self,
-        name: str,
-        ct: int,
-        cl: int,
-        scope_l: Optional[int],
-        equality: bool,
-    ) -> RowProbe:
-        """Probe for the preceding axes.
-
-        The paper's physical design has no index leading on ``right``, so
-        preceding probes range-scan ``left < c.left`` and filter on
-        ``right`` — unless the ablation index {name, tid, right} exists, in
-        which case immediate-preceding becomes an equality probe.
-        """
-        reverse = self.reverse_index
-        if reverse is not None and equality:
-            return lambda b: reverse.scan_range((name, b[ct]), low=b[cl], high=b[cl])
-        clustered = self.clustered
-        if scope_l is None:
-            return lambda b: clustered.scan_range(
-                (name, b[ct]), high=b[cl], include_high=False
-            )
-        return lambda b: clustered.scan_range(
-            (name, b[ct]), low=b[scope_l], high=b[cl], include_high=False
-        )
-
-    def _element_or_name_check(self, test: NodeTest, name_position: int) -> BindingCheck:
-        if test.is_wildcard:
-            return lambda b: not b[name_position].startswith("@")
-        name = test.name
-        return lambda b, name=name: b[name_position] == name
-
-    def _axis_conditions(self, axis: Axis, ctx_base: int, cand_base: int) -> list[BindingCheck]:
-        """Full Table 2 comparisons as residuals (wildcard / fallback path)."""
-        from .axes import CONDITIONS, OR_SELF_BASES
-
-        base = OR_SELF_BASES.get(axis)
-        if base is not None:
-            base_checks = self._axis_conditions(base, ctx_base, cand_base)
-            xid, cid = cand_base + I, ctx_base + I
-            return [
-                lambda b: b[xid] == b[cid] or all(check(b) for check in base_checks)
-            ]
-
-        positions = {"tid": T, "left": L, "right": R, "depth": D, "id": I, "pid": P}
-        checks: list[BindingCheck] = []
-        for condition in CONDITIONS[axis]:
-            x_position = cand_base + positions[condition.column]
-            c_position = ctx_base + positions[condition.context_column]
-            op = condition.op
-            if op == "=":
-                checks.append(lambda b, x=x_position, c=c_position: b[x] == b[c])
-            elif op == ">=":
-                checks.append(lambda b, x=x_position, c=c_position: b[x] >= b[c])
-            elif op == "<=":
-                checks.append(lambda b, x=x_position, c=c_position: b[x] <= b[c])
-            elif op == ">":
-                checks.append(lambda b, x=x_position, c=c_position: b[x] > b[c])
-            else:
-                checks.append(lambda b, x=x_position, c=c_position: b[x] < b[c])
-        return checks
-
-    def _scope_checks(self, cand_base: int, scope_base: Optional[int]) -> list[BindingCheck]:
-        if scope_base is None:
-            return []
-        xl, xr, xd = cand_base + L, cand_base + R, cand_base + D
-        sl, sr, sd = scope_base + L, scope_base + R, scope_base + D
-        return [
-            lambda b: b[sl] <= b[xl] and b[xr] <= b[sr] and b[xd] >= b[sd]
-        ]
-
-    def _alignment_checks(
-        self, step: Step, cand_base: int, scope_base: Optional[int]
-    ) -> list[BindingCheck]:
-        checks: list[BindingCheck] = []
-        xl, xr, xt = cand_base + L, cand_base + R, cand_base + T
-        if step.left_aligned:
-            if scope_base is None:
-                checks.append(lambda b: b[xl] == 1)
-            else:
-                sl = scope_base + L
-                checks.append(lambda b: b[xl] == b[sl])
-        if step.right_aligned:
-            if scope_base is None:
-                root_right = self.root_right
-                checks.append(lambda b: b[xr] == root_right[b[xt]])
-            else:
-                sr = scope_base + R
-                checks.append(lambda b: b[xr] == b[sr])
-        return checks
-
-    # -- predicates -----------------------------------------------------------------
-
-    def _positional_and_other_predicates(
-        self,
-        step: Step,
-        ctx_base: int,
-        cand_base: int,
-        scope_base: Optional[int],
-    ) -> list[BindingCheck]:
-        checks: list[BindingCheck] = []
-        for index, predicate in enumerate(step.predicates):
-            if _mentions_position(predicate):
-                if index != 0:
-                    raise LPathCompileError(
-                        "positional predicates must come first on their step "
-                        "(use the tree-walk evaluator for full XPath semantics)"
-                    )
-                checks.append(
-                    self._compile_positional(predicate, step, ctx_base, cand_base)
-                )
-            else:
-                checks.append(
-                    self._compile_boolean(
-                        predicate, cand_base, cand_base + ROW_WIDTH, scope_base
-                    )
-                )
-        return checks
-
-    def _predicate_checks(
-        self,
-        step: Step,
-        base: int,
-        next_free: int,
-        scope_base: Optional[int],
-    ) -> list[BindingCheck]:
-        checks: list[BindingCheck] = []
-        for predicate in step.predicates:
-            if _mentions_position(predicate):
-                raise LPathCompileError(
-                    "positional predicates on the first step are not supported "
-                    "by the relational backend"
-                )
-            checks.append(self._compile_boolean(predicate, base, next_free, scope_base))
-        return checks
-
-    def _compile_boolean(
-        self,
-        expr: PredicateExpr,
-        ctx_base: int,
-        next_free: int,
-        scope_base: Optional[int],
-    ) -> BindingCheck:
-        if isinstance(expr, OrExpr):
-            parts = [
-                self._compile_boolean(part, ctx_base, next_free, scope_base)
-                for part in expr.parts
-            ]
-            return lambda b: any(part(b) for part in parts)
-        if isinstance(expr, AndExpr):
-            parts = [
-                self._compile_boolean(part, ctx_base, next_free, scope_base)
-                for part in expr.parts
-            ]
-            return lambda b: all(part(b) for part in parts)
-        if isinstance(expr, NotExpr):
-            inner = self._compile_boolean(expr.part, ctx_base, next_free, scope_base)
-            return lambda b: not inner(b)
-        if isinstance(expr, PathExists):
-            runner = self._compile_subpath(expr.path, ctx_base, next_free, scope_base)
-            return lambda b: next(runner(b), None) is not None
-        if isinstance(expr, Comparison):
-            return self._compile_comparison(expr, ctx_base, next_free, scope_base)
-        if isinstance(expr, FunctionCall):
-            return self._compile_function_bool(expr, ctx_base)
-        if isinstance(expr, Literal):
-            value = bool(expr.value)
-            return lambda b: value
-        if isinstance(expr, Number):
-            raise LPathCompileError(
-                "bare numeric predicates are positional; unsupported here"
-            )
-        raise LPathCompileError(f"cannot compile predicate {expr!r}")
-
-    def _compile_function_bool(self, call: FunctionCall, ctx_base: int) -> BindingCheck:
-        if call.name == "true":
-            return lambda b: True
-        if call.name == "false":
-            return lambda b: False
-        raise LPathCompileError(
-            f"function {call.name}() is not usable as a boolean here"
-        )
-
-    def _compile_subpath(
-        self,
-        path: Path,
-        ctx_base: int,
-        next_free: int,
-        scope_base: Optional[int],
-    ) -> Callable[[tuple], Iterable[tuple]]:
-        """A lazy runner: binding -> iterator of extended bindings."""
-        base = ctx_base
-        free = next_free
-        scope = scope_base
-        items = list(path.items)
-        index = 0
-        step_plan: list[tuple[str, object]] = []
-        while index < len(items):
-            item = items[index]
-            if isinstance(item, Scope):
-                if index != len(items) - 1:
-                    raise LPathCompileError("steps after a scope are not allowed")
-                scope = base
-                items = items[:index] + list(item.body.items)
-                step_plan.append(("scope", base))
-                continue
-            if item.axis is Axis.SELF:
-                checks: list[BindingCheck] = []
-                if not item.test.is_wildcard:
-                    name = item.test.name
-                    position = base + N
-                    checks.append(lambda b, p=position, n=name: b[p] == n)
-                checks.extend(self._alignment_checks(item, base, scope))
-                for pred in item.predicates:
-                    if _mentions_position(pred):
-                        raise LPathCompileError(
-                            "positional predicates on self steps are unsupported"
-                        )
-                    checks.append(self._compile_boolean(pred, base, free, scope))
-                step_plan.append(("filter", checks))
-                index += 1
-                continue
-            exec_ = self._build_step_exec(item, base, free, scope)
-            step_plan.append(("join", exec_))
-            base = free
-            free += ROW_WIDTH
-            index += 1
-
-        def run(binding: tuple, plan=tuple(step_plan)) -> Iterable[tuple]:
-            return _run_plan(binding, plan, 0)
-
-        return run
-
-    # -- comparisons ---------------------------------------------------------------
-
-    def _compile_comparison(
-        self,
-        expr: Comparison,
-        ctx_base: int,
-        next_free: int,
-        scope_base: Optional[int],
-    ) -> BindingCheck:
-        left, op, right = expr.left, expr.op, expr.right
-        # name() comparisons: a residual on the context row's name column.
-        if isinstance(left, FunctionCall) and left.name == "name" and isinstance(right, (Literal, Number)):
-            wanted = right.value if isinstance(right, Literal) else str(right.value)
-            position = ctx_base + N
-            if op == "=":
-                return lambda b: b[position] == wanted
-            if op == "!=":
-                return lambda b: b[position] != wanted
-            raise LPathCompileError("name() only supports = and != comparisons")
-        # count(path) op number.
-        if isinstance(left, FunctionCall) and left.name == "count":
-            return self._compile_count(left, op, right, ctx_base, next_free, scope_base)
-        if isinstance(right, FunctionCall) and right.name == "count":
-            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "!=": "!="}
-            return self._compile_count(
-                right, flipped[op], left, ctx_base, next_free, scope_base
-            )
-        # path op literal/number (and the mirrored form).
-        if isinstance(left, PathExists) and isinstance(right, (Literal, Number)):
-            return self._compile_value_comparison(
-                left.path, op, right, ctx_base, next_free, scope_base
-            )
-        if isinstance(right, PathExists) and isinstance(left, (Literal, Number)):
-            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "!=": "!="}
-            return self._compile_value_comparison(
-                right.path, flipped[op], left, ctx_base, next_free, scope_base
-            )
-        if isinstance(left, (Literal, Number)) and isinstance(right, (Literal, Number)):
-            outcome = _static_compare(left, op, right)
-            return lambda b: outcome
-        raise LPathCompileError(
-            f"comparison {expr} is not supported by the relational backend"
-        )
-
-    def _compile_count(
-        self,
-        call: FunctionCall,
-        op: str,
-        other: PredicateExpr,
-        ctx_base: int,
-        next_free: int,
-        scope_base: Optional[int],
-    ) -> BindingCheck:
-        argument = call.args[0]
-        if not isinstance(argument, PathExists):
-            raise LPathCompileError("count() takes a path argument")
-        if not isinstance(other, (Number, Literal)):
-            raise LPathCompileError("count() comparisons need a numeric operand")
-        try:
-            target = float(other.value)
-        except (TypeError, ValueError):
-            raise LPathCompileError("count() comparisons need a numeric operand")
-        runner = self._compile_subpath(argument.path, ctx_base, next_free, scope_base)
-
-        def check(binding: tuple) -> bool:
-            seen = set()
-            for extended in runner(binding):
-                row = extended[-ROW_WIDTH:]
-                seen.add((row[T], row[I], row[N]))
-            return _numeric_compare(float(len(seen)), op, target)
-
-        return check
-
-    def _compile_value_comparison(
-        self,
-        path: Path,
-        op: str,
-        literal,
-        ctx_base: int,
-        next_free: int,
-        scope_base: Optional[int],
-    ) -> BindingCheck:
-        runner = self._compile_subpath(path, ctx_base, next_free, scope_base)
-        clustered = self.clustered
-        wanted = literal.value
-
-        def string_value_of(row: tuple) -> str:
-            if row[N].startswith("@"):
-                return row[V] if row[V] is not None else ""
-            words = [
-                r[V]
-                for r in clustered.scan_range(
-                    ("@lex", row[T]), low=row[L], high=row[R], include_high=False
-                )
-                if r[R] <= row[R] and r[V] is not None
-            ]
-            return " ".join(words)
-
-        numeric = isinstance(literal, Number) or op in ("<", "<=", ">", ">=")
-
-        def check(binding: tuple) -> bool:
-            for extended in runner(binding):
-                row = extended[-ROW_WIDTH:]
-                value = string_value_of(row)
-                if numeric:
-                    try:
-                        number = float(value.strip())
-                    except ValueError:
-                        continue
-                    target = float(wanted) if not isinstance(wanted, str) else _as_float(wanted)
-                    if target is None:
-                        continue
-                    if _numeric_compare(number, op, target):
-                        return True
-                else:
-                    if (value == wanted) == (op == "="):
-                        return True
-            return False
-
-        return check
-
-    # -- positional predicates --------------------------------------------------------
-
-    def _compile_positional(
-        self,
-        predicate: PredicateExpr,
-        step: Step,
-        ctx_base: int,
-        cand_base: int,
-    ) -> BindingCheck:
-        if step.axis not in _POSITIONAL_AXES:
-            raise LPathCompileError(
-                f"positional predicates on the {step.axis.value} axis are not "
-                "supported by the relational backend"
-            )
-        if not isinstance(predicate, Comparison):
-            raise LPathCompileError("unsupported positional predicate form")
-        left, op, right = predicate.left, predicate.op, predicate.right
-        if not (isinstance(left, FunctionCall) and left.name == "position"):
-            raise LPathCompileError("positional predicates must test position()")
-        use_last = isinstance(right, FunctionCall) and right.name == "last"
-        if not use_last and not isinstance(right, Number):
-            raise LPathCompileError("position() must be compared to a number or last()")
-        target = None if use_last else right.value
-        by_tid_id = self.by_tid_id
-        axis = step.axis
-        test = step.test
-        name_matches = (
-            (lambda row: not row[N].startswith("@"))
-            if test.is_wildcard
-            else (lambda row, n=test.name: row[N] == n)
-        )
-
-        def check(binding: tuple) -> bool:
-            candidate = binding[cand_base:cand_base + ROW_WIDTH]
-            context = binding[ctx_base:ctx_base + ROW_WIDTH]
-            siblings = [
-                row
-                for row in by_tid_id.scan_eq((candidate[T],))
-                if row[P] == candidate[P] and name_matches(row)
-            ]
-            siblings.sort(key=lambda row: row[L])
-            if axis is Axis.CHILD:
-                ordered = siblings
-            elif axis in (Axis.FOLLOWING_SIBLING, Axis.IMMEDIATE_FOLLOWING_SIBLING):
-                ordered = [row for row in siblings if row[L] >= context[R]]
-            else:
-                ordered = [row for row in siblings if row[R] <= context[L]]
-                ordered.reverse()
-            position = None
-            for rank, row in enumerate(ordered, start=1):
-                if row[I] == candidate[I]:
-                    position = rank
-                    break
-            if position is None:
-                return False
-            wanted = float(len(ordered)) if use_last else float(target)
-            return _numeric_compare(float(position), op, wanted)
-
-        return check
-
-
-def _with_self(base_probe: RowProbe, ctx_base: int, name: str) -> RowProbe:
-    """Wrap a probe so it also yields the context row when it passes the
-    name test (the or-self axes)."""
-
-    def probe(binding: tuple) -> Iterable[tuple]:
-        row = binding[ctx_base:ctx_base + ROW_WIDTH]
-        if row[N] == name:
-            yield row
-        yield from base_probe(binding)
-
-    return probe
-
-
-def _run_plan(binding: tuple, plan: tuple, index: int) -> Iterable[tuple]:
-    """Lazily run a compiled sub-path plan from ``binding``."""
-    if index == len(plan):
-        yield binding
-        return
-    kind, payload = plan[index]
-    if kind == "scope":
-        yield from _run_plan(binding, plan, index + 1)
-        return
-    if kind == "filter":
-        if all(check(binding) for check in payload):
-            yield from _run_plan(binding, plan, index + 1)
-        return
-    for row in payload.matches(binding):
-        yield from _run_plan(binding + row, plan, index + 1)
-
-
-def _find_attribute_equality(
-    predicates: Sequence[PredicateExpr],
-) -> Optional[tuple[str, str]]:
-    """Find a direct ``[@attr = literal]`` among a step's predicates."""
-    stack = list(predicates)
-    while stack:
-        expr = stack.pop(0)
-        if isinstance(expr, AndExpr):
-            stack = list(expr.parts) + stack
-            continue
-        if not isinstance(expr, Comparison) or expr.op != "=":
-            continue
-        for path_side, other in ((expr.left, expr.right), (expr.right, expr.left)):
-            if not isinstance(path_side, PathExists):
-                continue
-            if not isinstance(other, (Literal, Number)):
-                continue
-            items = path_side.path.items
-            if len(items) != 1 or not isinstance(items[0], Step):
-                continue
-            step = items[0]
-            if step.axis is not Axis.ATTRIBUTE or step.test.is_wildcard or step.predicates:
-                continue
-            if isinstance(other, Number):
-                value = other.value
-                text = str(int(value)) if value == int(value) else str(value)
-            else:
-                text = other.value
-            return "@" + step.test.name, text
-    return None
-
-
-def _mentions_position(expr: PredicateExpr) -> bool:
-    if isinstance(expr, (OrExpr, AndExpr)):
-        return any(_mentions_position(part) for part in expr.parts)
-    if isinstance(expr, NotExpr):
-        return _mentions_position(expr.part)
-    if isinstance(expr, Comparison):
-        return _mentions_position(expr.left) or _mentions_position(expr.right)
-    if isinstance(expr, FunctionCall):
-        return expr.name in ("position", "last")
-    return False
-
-
-def _numeric_compare(left: float, op: str, right: float) -> bool:
-    if op == "=":
-        return left == right
-    if op == "!=":
-        return left != right
-    if op == "<":
-        return left < right
-    if op == "<=":
-        return left <= right
-    if op == ">":
-        return left > right
-    return left >= right
-
-
-def _static_compare(left, op: str, right) -> bool:
-    left_value = left.value
-    right_value = right.value
-    if isinstance(left, Number) or isinstance(right, Number):
-        left_number = _as_float(left_value)
-        right_number = _as_float(right_value)
-        if left_number is None or right_number is None:
-            return op == "!="
-        return _numeric_compare(left_number, op, right_number)
-    if op == "=":
-        return left_value == right_value
-    if op == "!=":
-        return left_value != right_value
-    left_number, right_number = _as_float(left_value), _as_float(right_value)
-    if left_number is None or right_number is None:
-        return False
-    return _numeric_compare(left_number, op, right_number)
-
-
-def _as_float(value) -> Optional[float]:
-    try:
-        return float(str(value).strip())
-    except (TypeError, ValueError):
-        return None

@@ -3,19 +3,24 @@
 Three backends share one parser and one axis semantics:
 
 * ``"plan"`` (default) — the Section 4 engine: Definition 4.1 labels stored
-  in the mini relational engine, queries compiled to index-nested-loop plans
-  (:mod:`repro.lpath.compiler`);
+  in the mini relational engine, queries lowered to the shared logical IR
+  (:mod:`repro.plan`), optimized, and run index-nested-loop style;
 * ``"sqlite"`` — the same labels in SQLite, executing the *emitted SQL text*
   (:mod:`repro.lpath.sql`); a differential oracle for the translation;
 * ``"treewalk"`` — direct tree walking (:mod:`repro.lpath.treewalk`); the
   reference semantics.
+
+Compiled plans are kept in an LRU :class:`~repro.plan.cache.PlanCache`
+keyed on the unparsed query text, so repeated queries (the benchmark hot
+path) skip parsing, lowering and optimization.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
-from ..labeling.lpath_scheme import label_corpus
+from ..labeling.lpath_scheme import label_corpus, root_spans
+from ..plan.cache import PlanCache, cached_compile
 from ..relational.database import Database, create_node_table
 from ..relational.sqlite_backend import SQLiteBackend
 from ..tree.node import Tree, TreeNode
@@ -38,6 +43,7 @@ class LPathEngine:
         trees: Sequence[Tree],
         extra_indexes: bool = False,
         keep_trees: bool = True,
+        plan_cache_size: int = 128,
     ) -> None:
         self.trees = list(trees)
         tids = [tree.tid for tree in self.trees]
@@ -45,7 +51,7 @@ class LPathEngine:
             raise LPathError("trees must have distinct tids")
         rows = list(label_corpus(self.trees))
         root_right = {tree.tid: tree.root.right for tree in self.trees}
-        self._init_from_rows(rows, root_right, extra_indexes)
+        self._init_from_rows(rows, root_right, extra_indexes, plan_cache_size)
         self._treewalk = TreeWalkEvaluator(self.trees) if keep_trees else None
         self._by_id = (
             {tree.tid: tree for tree in self.trees} if keep_trees else None
@@ -53,23 +59,25 @@ class LPathEngine:
 
     @classmethod
     def from_labels(
-        cls, rows: Sequence, extra_indexes: bool = False
+        cls,
+        rows: Sequence,
+        extra_indexes: bool = False,
+        plan_cache_size: int = 128,
     ) -> "LPathEngine":
         """Build an engine straight from label rows (e.g. a compiled corpus
         loaded with :mod:`repro.store`).  Tree-dependent features
         (:meth:`nodes`, the tree-walk backend) are unavailable."""
         engine = cls.__new__(cls)
         engine.trees = []
-        root_right: dict[int, int] = {}
-        for row in rows:
-            if row[5] == 0 and not row[6].startswith("@"):  # pid == 0, element
-                root_right[row[0]] = row[2]
-        engine._init_from_rows(list(rows), root_right, extra_indexes)
+        rows = list(rows)
+        engine._init_from_rows(rows, root_spans(rows), extra_indexes, plan_cache_size)
         engine._treewalk = None
         engine._by_id = None
         return engine
 
-    def _init_from_rows(self, rows, root_right, extra_indexes: bool) -> None:
+    def _init_from_rows(
+        self, rows, root_right, extra_indexes: bool, plan_cache_size: int
+    ) -> None:
         self.database = Database("lpath")
         self.node_table = create_node_table(
             self.database, rows, extra_indexes=extra_indexes
@@ -79,6 +87,7 @@ class LPathEngine:
         self._sql = SQLGenerator()
         self._rows = rows
         self._sqlite: Optional[SQLiteBackend] = None
+        self.plan_cache = PlanCache(plan_cache_size)
 
     # -- queries ------------------------------------------------------------
 
@@ -87,8 +96,8 @@ class LPathEngine:
     ) -> list[tuple[int, int]]:
         """Distinct, sorted ``(tid, id)`` pairs matching the query.
 
-        ``pivot=True`` (plan backend only) enables selectivity-driven join
-        ordering for plain step chains."""
+        ``pivot=True`` (plan backend only, ignored elsewhere) enables
+        selectivity-driven join ordering."""
         if backend == "plan":
             return [tuple(row) for row in self.compile(query, pivot=pivot).rows()]
         if backend == "sqlite":
@@ -98,34 +107,33 @@ class LPathEngine:
             return self.treewalk.query(query)
         raise LPathError(f"unknown backend {backend!r}; choose from {BACKENDS}")
 
-    def count(self, query: Query, backend: str = "plan") -> int:
+    def count(self, query: Query, backend: str = "plan", pivot: bool = False) -> int:
         """Result-set size (what the paper's experiments report)."""
-        return len(self.query(query, backend=backend))
+        return len(self.query(query, backend=backend, pivot=pivot))
 
-    def nodes(self, query: Query) -> list[TreeNode]:
+    def nodes(self, query: Query, pivot: bool = False) -> list[TreeNode]:
         """Matched tree nodes (needs ``keep_trees=True``)."""
         if self._by_id is None:
             raise LPathError("engine was built with keep_trees=False")
         result = []
-        for tid, node_id in self.query(query):
+        for tid, node_id in self.query(query, pivot=pivot):
             result.append(self._by_id[tid].node_by_id(node_id))
         return result
 
     # -- compilation artifacts -------------------------------------------------
 
     def compile(self, query: Query, pivot: bool = False) -> CompiledQuery:
-        """Compile to a mini-relational-engine plan."""
-        path = parse(query) if isinstance(query, str) else query
-        return self._compiler.compile(path, pivot=pivot)
+        """Compile to a shared-IR plan, via the per-engine plan cache."""
+        return cached_compile(self.plan_cache, self._compiler, query, pivot)
 
     def to_sql(self, query: Query) -> str:
         """The SQL text the paper's translation module would emit."""
         path = parse(query) if isinstance(query, str) else query
         return self._sql.generate(path)
 
-    def explain(self, query: Query) -> str:
-        """Physical plan description."""
-        return self.compile(query).explain()
+    def explain(self, query: Query, pivot: bool = False) -> str:
+        """Logical-IR and physical plan description."""
+        return self.compile(query, pivot=pivot).explain()
 
     # -- backends ---------------------------------------------------------------
 
@@ -144,10 +152,11 @@ class LPathEngine:
         return self._treewalk
 
     def close(self) -> None:
-        """Release backend resources."""
+        """Release backend resources and drop cached plans."""
         if self._sqlite is not None:
             self._sqlite.close()
             self._sqlite = None
+        self.plan_cache.clear()
 
     def __enter__(self) -> "LPathEngine":
         return self

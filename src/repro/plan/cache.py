@@ -1,0 +1,79 @@
+"""A small LRU plan cache.
+
+Each engine keeps one cache keyed on the *unparsed* query text (plus any
+compile options such as ``pivot``), so the repeated-query loops of the
+fig6/fig9 benchmarks skip parsing, lowering and optimization entirely.
+Compiled plans are stateless closure trees and re-iterable, so sharing one
+plan across executions is safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class PlanCache:
+    """LRU cache with hit/miss statistics."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached plan for ``key``, or ``None`` (counts a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, plan: object) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        if self.maxsize == 0:
+            return
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Invalidate every entry and reset the statistics."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PlanCache size={len(self)}/{self.maxsize} hits={self.hits} misses={self.misses}>"
+
+
+def cached_compile(cache: PlanCache, compiler, query, pivot: bool = False):
+    """Compile ``query`` through ``cache``, keyed on its unparsed text.
+
+    The lookup happens before any parsing, so a warm hit skips the whole
+    parse → lower → optimize pipeline; AST queries key on their unparse,
+    which round-trips, so they share entries with their textual form.
+    """
+    key = ((query if isinstance(query, str) else str(query)), pivot)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    compiled = compiler.compile(query, pivot=pivot)
+    cache.put(key, compiled)
+    return compiled

@@ -1,0 +1,480 @@
+"""Labeling-scheme adapters: axis semantics for the shared lowerer.
+
+The two engines store different labels in the same 8-column relation
+(:data:`repro.plan.ir.COLUMN_NAMES` positions): the LPath Definition-4.1
+scheme (shared leaf boundaries, so the immediate-* axes are equality
+tests) and the start/end baseline scheme of [11] (strict containment
+only).  Everything the shared lowerer must know per scheme lives here:
+
+* which axes an engine supports (:meth:`LabelScheme.validate`),
+* the access path and residual conditions of a named-test step
+  (:meth:`LabelScheme.named_probe`), chosen through
+  :func:`repro.relational.planner.choose_access_path` so ablation indexes
+  (``idx_name_tid_right``) are picked up automatically,
+* the full Table-2 residuals for probes the index cannot narrow
+  (:meth:`LabelScheme.axis_conditions`),
+* axis inverses for selectivity-driven join reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..lpath.ast import Scope
+from ..lpath.axes import Axis, CONDITIONS, OR_SELF_BASES
+from ..lpath.errors import LPathCompileError
+from ..relational.planner import choose_access_path
+from ..relational.table import Table
+from .ir import (
+    Access,
+    AllPred,
+    AnyPred,
+    Cmp,
+    Col,
+    Const,
+    IndexProbe,
+    IsElement,
+    Pred,
+    RightEdge,
+    D, I, L, N, P, R, T,
+)
+
+#: Downward axes whose composition is again a (or-self) descendant step —
+#: the precondition for pivoting correlated predicate subplans.
+DOWNWARD_AXES = frozenset(
+    {Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF}
+)
+
+#: Sibling-family axes that support restricted positional predicates.
+POSITIONAL_AXES = frozenset(
+    {
+        Axis.CHILD,
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING_SIBLING,
+        Axis.IMMEDIATE_FOLLOWING_SIBLING,
+        Axis.IMMEDIATE_PRECEDING_SIBLING,
+    }
+)
+
+#: Every axis XPath can express over start/end labels.
+XPATH_AXES = frozenset(
+    {
+        Axis.CHILD,
+        Axis.DESCENDANT,
+        Axis.DESCENDANT_OR_SELF,
+        Axis.PARENT,
+        Axis.ANCESTOR,
+        Axis.ANCESTOR_OR_SELF,
+        Axis.FOLLOWING,
+        Axis.PRECEDING,
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING_SIBLING,
+        Axis.SELF,
+        Axis.ATTRIBUTE,
+    }
+)
+
+#: The fragment the paper's [11]-based comparator actually implements —
+#: "proposed to efficiently evaluate the descendant axis and the child
+#: axis by testing label containment".  This is what makes Figure 10 an
+#: 11-query comparison (Q3's following axis falls outside it).
+VERTICAL_FRAGMENT = frozenset(
+    {
+        Axis.CHILD,
+        Axis.DESCENDANT,
+        Axis.DESCENDANT_OR_SELF,
+        Axis.PARENT,
+        Axis.ANCESTOR,
+        Axis.ANCESTOR_OR_SELF,
+        Axis.SELF,
+        Axis.ATTRIBUTE,
+    }
+)
+
+_LPATH_INVERSES = {
+    Axis.CHILD: Axis.PARENT,
+    Axis.PARENT: Axis.CHILD,
+    Axis.DESCENDANT: Axis.ANCESTOR,
+    Axis.ANCESTOR: Axis.DESCENDANT,
+    Axis.DESCENDANT_OR_SELF: Axis.ANCESTOR_OR_SELF,
+    Axis.ANCESTOR_OR_SELF: Axis.DESCENDANT_OR_SELF,
+    Axis.IMMEDIATE_FOLLOWING: Axis.IMMEDIATE_PRECEDING,
+    Axis.IMMEDIATE_PRECEDING: Axis.IMMEDIATE_FOLLOWING,
+    Axis.FOLLOWING: Axis.PRECEDING,
+    Axis.PRECEDING: Axis.FOLLOWING,
+    Axis.FOLLOWING_OR_SELF: Axis.PRECEDING_OR_SELF,
+    Axis.PRECEDING_OR_SELF: Axis.FOLLOWING_OR_SELF,
+    Axis.IMMEDIATE_FOLLOWING_SIBLING: Axis.IMMEDIATE_PRECEDING_SIBLING,
+    Axis.IMMEDIATE_PRECEDING_SIBLING: Axis.IMMEDIATE_FOLLOWING_SIBLING,
+    Axis.FOLLOWING_SIBLING: Axis.PRECEDING_SIBLING,
+    Axis.PRECEDING_SIBLING: Axis.FOLLOWING_SIBLING,
+    Axis.FOLLOWING_SIBLING_OR_SELF: Axis.PRECEDING_SIBLING_OR_SELF,
+    Axis.PRECEDING_SIBLING_OR_SELF: Axis.FOLLOWING_SIBLING_OR_SELF,
+}
+
+_COLUMN_POSITIONS = {"tid": T, "left": L, "right": R, "depth": D, "id": I, "pid": P}
+
+
+class Catalog:
+    """What the lowerer may ask about the physical side of one engine."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def size(self) -> int:
+        return len(self.table)
+
+    def frequency(self, name: Optional[str]) -> int:
+        """Rows carrying ``name`` (table size for the wildcard)."""
+        if name is None:
+            return len(self.table)
+        return self.table.clustered.count_eq((name,))
+
+    def access_path(self, eq_columns: Sequence[str], range_column: Optional[str]):
+        return choose_access_path(self.table, eq_columns, range_column)
+
+
+class LabelScheme:
+    """Base adapter; see :class:`LPathScheme` and :class:`StartEndScheme`."""
+
+    name: str = "abstract"
+    supports_scopes = False
+    supports_alignment = False
+    positional_axes: frozenset = frozenset()
+    element_string_values = False
+    #: Names of the first two columns of the range-carrying clustered key.
+    low_column = "left"
+    high_column = "right"
+
+    def validate(self, items) -> None:
+        """Reject query features this scheme cannot express."""
+
+    def named_probe(
+        self,
+        axis: Axis,
+        name: str,
+        ctx: int,
+        cand: int,
+        scope: Optional[int],
+        catalog: Catalog,
+    ) -> tuple[Access, list[Pred]]:
+        raise NotImplementedError
+
+    def axis_conditions(self, axis: Axis, ctx: int, cand: int) -> list[Pred]:
+        raise NotImplementedError
+
+    def inverse(self, axis: Axis) -> Optional[Axis]:
+        return None
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _clustered_range(self, catalog: Catalog) -> str:
+        path = catalog.access_path(("name", "tid"), self.low_column)
+        if path is None:  # pragma: no cover - the clustered index always matches
+            raise LPathCompileError("no access path for a named step")
+        return path.index.name
+
+    def scope_conditions(self, cand: int, scope: int) -> list[Pred]:
+        """Containment of ``cand`` within the ``scope`` node's subtree."""
+        return [
+            Cmp(Col(scope, L), "<=", Col(cand, L)),
+            Cmp(Col(cand, R), "<=", Col(scope, R)),
+            Cmp(Col(cand, D), ">=", Col(scope, D)),
+        ]
+
+    def alignment_conditions(
+        self, left_aligned: bool, right_aligned: bool, cand: int, scope: Optional[int]
+    ) -> list[Pred]:
+        checks: list[Pred] = []
+        if left_aligned:
+            if scope is None:
+                checks.append(Cmp(Col(cand, L), "=", Const(1)))
+            else:
+                checks.append(Cmp(Col(cand, L), "=", Col(scope, L)))
+        if right_aligned:
+            if scope is None:
+                checks.append(RightEdge(cand))
+            else:
+                checks.append(Cmp(Col(cand, R), "=", Col(scope, R)))
+        return checks
+
+
+class LPathScheme(LabelScheme):
+    """Definition-4.1 labels: shared leaf boundaries, full axis inventory."""
+
+    name = "lpath-4.1"
+    supports_scopes = True
+    supports_alignment = True
+    positional_axes = POSITIONAL_AXES
+    element_string_values = True
+
+    def inverse(self, axis: Axis) -> Optional[Axis]:
+        return _LPATH_INVERSES.get(axis)
+
+    def axis_conditions(self, axis: Axis, ctx: int, cand: int) -> list[Pred]:
+        base = OR_SELF_BASES.get(axis)
+        if base is not None:
+            base_checks = self.axis_conditions(base, ctx, cand)
+            return [
+                AnyPred((Cmp(Col(cand, I), "=", Col(ctx, I)), AllPred(tuple(base_checks))))
+            ]
+        checks: list[Pred] = []
+        for condition in CONDITIONS[axis]:
+            checks.append(
+                Cmp(
+                    Col(cand, _COLUMN_POSITIONS[condition.column]),
+                    condition.op,
+                    Col(ctx, _COLUMN_POSITIONS[condition.context_column]),
+                )
+            )
+        return checks
+
+    def named_probe(
+        self,
+        axis: Axis,
+        name: str,
+        ctx: int,
+        cand: int,
+        scope: Optional[int],
+        catalog: Catalog,
+    ) -> tuple[Access, list[Pred]]:
+        clustered = self._clustered_range(catalog)
+        eq = (Const(name), Col(ctx, T))
+        scope_low = None if scope is None else Col(scope, L)
+        scope_high = None if scope is None else Col(scope, R)
+        conds: list[Pred] = []
+
+        if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            access = IndexProbe(
+                clustered, eq, low=Col(ctx, L), high=Col(ctx, R), include_high=False
+            )
+            if axis is Axis.CHILD:
+                conds.append(Cmp(Col(cand, P), "=", Col(ctx, I)))
+            elif axis is Axis.DESCENDANT:
+                conds += [Cmp(Col(cand, R), "<=", Col(ctx, R)), Cmp(Col(cand, D), ">", Col(ctx, D))]
+            else:
+                conds += [Cmp(Col(cand, R), "<=", Col(ctx, R)), Cmp(Col(cand, D), ">=", Col(ctx, D))]
+        elif axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+            access = IndexProbe(clustered, eq, low=scope_low, high=Col(ctx, L))
+            if axis is Axis.ANCESTOR:
+                conds += [Cmp(Col(cand, R), ">=", Col(ctx, R)), Cmp(Col(cand, D), "<", Col(ctx, D))]
+            else:
+                conds += [Cmp(Col(cand, R), ">=", Col(ctx, R)), Cmp(Col(cand, D), "<=", Col(ctx, D))]
+        elif axis is Axis.IMMEDIATE_FOLLOWING:
+            access = IndexProbe(clustered, eq, low=Col(ctx, R), high=Col(ctx, R))
+        elif axis in (
+            Axis.FOLLOWING,
+            Axis.FOLLOWING_OR_SELF,
+            Axis.FOLLOWING_SIBLING_OR_SELF,
+        ):
+            access = IndexProbe(
+                clustered,
+                eq,
+                low=Col(ctx, R),
+                high=scope_high,
+                include_high=False,
+                self_slot=None if axis is Axis.FOLLOWING else ctx,
+                self_name=None if axis is Axis.FOLLOWING else name,
+            )
+            if axis is Axis.FOLLOWING_SIBLING_OR_SELF:
+                conds.append(Cmp(Col(cand, P), "=", Col(ctx, P)))
+        elif axis in (Axis.PRECEDING_OR_SELF, Axis.PRECEDING_SIBLING_OR_SELF):
+            access = self._preceding_probe(
+                name, ctx, scope_low, equality=False, catalog=catalog,
+                self_slot=ctx, self_name=name,
+            )
+            or_self = AnyPred(
+                (Cmp(Col(cand, R), "<=", Col(ctx, L)), Cmp(Col(cand, I), "=", Col(ctx, I)))
+            )
+            if axis is Axis.PRECEDING_OR_SELF:
+                conds.append(or_self)
+            else:
+                conds += [Cmp(Col(cand, P), "=", Col(ctx, P)), or_self]
+        elif axis is Axis.IMMEDIATE_PRECEDING:
+            access = self._preceding_probe(name, ctx, scope_low, equality=True, catalog=catalog)
+            if not self._has_reverse_range(catalog):
+                conds.append(Cmp(Col(cand, R), "=", Col(ctx, L)))
+        elif axis is Axis.PRECEDING:
+            access = self._preceding_probe(name, ctx, scope_low, equality=False, catalog=catalog)
+            conds.append(Cmp(Col(cand, R), "<=", Col(ctx, L)))
+        elif axis is Axis.IMMEDIATE_FOLLOWING_SIBLING:
+            access = IndexProbe(clustered, eq, low=Col(ctx, R), high=Col(ctx, R))
+            conds.append(Cmp(Col(cand, P), "=", Col(ctx, P)))
+        elif axis is Axis.FOLLOWING_SIBLING:
+            access = IndexProbe(clustered, eq, low=Col(ctx, R))
+            conds.append(Cmp(Col(cand, P), "=", Col(ctx, P)))
+        elif axis is Axis.IMMEDIATE_PRECEDING_SIBLING:
+            access = self._preceding_probe(name, ctx, scope_low, equality=True, catalog=catalog)
+            conds.append(Cmp(Col(cand, P), "=", Col(ctx, P)))
+            if not self._has_reverse_range(catalog):
+                conds.append(Cmp(Col(cand, R), "=", Col(ctx, L)))
+        elif axis is Axis.PRECEDING_SIBLING:
+            access = self._preceding_probe(name, ctx, scope_low, equality=False, catalog=catalog)
+            conds += [Cmp(Col(cand, P), "=", Col(ctx, P)), Cmp(Col(cand, R), "<=", Col(ctx, L))]
+        else:  # pragma: no cover - SELF/ATTRIBUTE/PARENT handled by the lowerer
+            raise LPathCompileError(f"unsupported axis {axis.value}")
+        return access, conds
+
+    def _has_reverse_range(self, catalog: Catalog) -> bool:
+        """Does an index lead on ``(name, tid, right)`` (the ablation index)?"""
+        path = catalog.access_path(("name", "tid"), self.high_column)
+        return path is not None and path.range_column == self.high_column
+
+    def _preceding_probe(
+        self,
+        name: str,
+        ctx: int,
+        scope_low,
+        equality: bool,
+        catalog: Catalog,
+        self_slot: Optional[int] = None,
+        self_name: Optional[str] = None,
+    ) -> Access:
+        """Access path for the preceding axes.
+
+        The paper's physical design has no index leading on ``right``, so
+        preceding probes range-scan ``left < c.left`` and filter on
+        ``right`` — unless the ablation index ``{name, tid, right}`` exists,
+        in which case immediate-preceding becomes an equality probe.
+        """
+        if equality:
+            path = catalog.access_path(("name", "tid"), self.high_column)
+            if path is not None and path.range_column == self.high_column:
+                return IndexProbe(
+                    path.index.name,
+                    (Const(name), Col(ctx, T)),
+                    low=Col(ctx, L),
+                    high=Col(ctx, L),
+                )
+        return IndexProbe(
+            self._clustered_range(catalog),
+            (Const(name), Col(ctx, T)),
+            low=scope_low,
+            high=Col(ctx, L),
+            include_high=False,
+            self_slot=self_slot,
+            self_name=self_name,
+        )
+
+
+class StartEndScheme(LabelScheme):
+    """Start/end labels of [11]: strict containment, vertical-first axes."""
+
+    name = "start-end"
+    supports_scopes = False
+    supports_alignment = False
+    positional_axes = frozenset()
+    element_string_values = False
+    low_column = "start"
+    high_column = "end"
+
+    def __init__(self, axes: frozenset = VERTICAL_FRAGMENT) -> None:
+        self.axes = axes
+
+    def inverse(self, axis: Axis) -> Optional[Axis]:
+        inverse = _LPATH_INVERSES.get(axis)
+        if inverse is None or inverse not in self.axes:
+            return None
+        return inverse
+
+    def validate(self, items) -> None:
+        """Reject LPath-only features (Lemma 3.1) and out-of-fragment axes."""
+        from .lower import paths_in_predicate
+
+        stack = list(items)
+        while stack:
+            item = stack.pop()
+            if isinstance(item, Scope):
+                raise LPathCompileError(
+                    "subtree scoping is not expressible in XPath (Lemma 3.1)"
+                )
+            if item.axis not in self.axes:
+                if item.axis in XPATH_AXES:
+                    raise LPathCompileError(
+                        f"the {item.axis.value} axis is outside the [11] "
+                        "translation's vertical fragment"
+                    )
+                raise LPathCompileError(
+                    f"the {item.axis.value} axis is not expressible in XPath "
+                    "(Lemma 3.1)"
+                )
+            if item.left_aligned or item.right_aligned:
+                raise LPathCompileError(
+                    "edge alignment is not expressible in XPath over descendants"
+                )
+            for predicate in item.predicates:
+                stack.extend(paths_in_predicate(predicate))
+
+    def axis_conditions(self, axis: Axis, ctx: int, cand: int) -> list[Pred]:
+        if axis is Axis.CHILD:
+            return [Cmp(Col(cand, P), "=", Col(ctx, I))]
+        if axis is Axis.DESCENDANT:
+            return [Cmp(Col(ctx, L), "<", Col(cand, L)), Cmp(Col(cand, R), "<", Col(ctx, R))]
+        if axis is Axis.DESCENDANT_OR_SELF:
+            return [Cmp(Col(ctx, L), "<=", Col(cand, L)), Cmp(Col(cand, R), "<=", Col(ctx, R))]
+        if axis is Axis.ANCESTOR:
+            return [Cmp(Col(cand, L), "<", Col(ctx, L)), Cmp(Col(ctx, R), "<", Col(cand, R))]
+        if axis is Axis.ANCESTOR_OR_SELF:
+            return [Cmp(Col(cand, L), "<=", Col(ctx, L)), Cmp(Col(ctx, R), "<=", Col(cand, R))]
+        if axis is Axis.FOLLOWING:
+            return [Cmp(Col(cand, L), ">", Col(ctx, R))]
+        if axis is Axis.PRECEDING:
+            return [Cmp(Col(cand, R), "<", Col(ctx, L))]
+        if axis is Axis.FOLLOWING_SIBLING:
+            return [Cmp(Col(cand, P), "=", Col(ctx, P)), Cmp(Col(cand, L), ">", Col(ctx, R))]
+        if axis is Axis.PRECEDING_SIBLING:
+            return [Cmp(Col(cand, P), "=", Col(ctx, P)), Cmp(Col(cand, R), "<", Col(ctx, L))]
+        raise LPathCompileError(f"unsupported axis {axis.value}")
+
+    def named_probe(
+        self,
+        axis: Axis,
+        name: str,
+        ctx: int,
+        cand: int,
+        scope: Optional[int],
+        catalog: Catalog,
+    ) -> tuple[Access, list[Pred]]:
+        clustered = self._clustered_range(catalog)
+        eq = (Const(name), Col(ctx, T))
+        conds: list[Pred] = []
+        if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            access = IndexProbe(
+                clustered,
+                eq,
+                low=Col(ctx, L),
+                high=Col(ctx, R),
+                include_low=axis is Axis.DESCENDANT_OR_SELF,
+                include_high=False,
+            )
+            if axis is Axis.CHILD:
+                conds.append(Cmp(Col(cand, P), "=", Col(ctx, I)))
+            elif axis is Axis.DESCENDANT:
+                conds.append(Cmp(Col(cand, R), "<", Col(ctx, R)))
+            else:
+                conds.append(Cmp(Col(cand, R), "<=", Col(ctx, R)))
+        elif axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+            access = IndexProbe(
+                clustered,
+                eq,
+                high=Col(ctx, L),
+                include_high=axis is Axis.ANCESTOR_OR_SELF,
+            )
+            if axis is Axis.ANCESTOR:
+                conds.append(Cmp(Col(cand, R), ">", Col(ctx, R)))
+            else:
+                conds.append(Cmp(Col(cand, R), ">=", Col(ctx, R)))
+        elif axis is Axis.FOLLOWING:
+            access = IndexProbe(clustered, eq, low=Col(ctx, R), include_low=False)
+        elif axis is Axis.PRECEDING:
+            access = IndexProbe(clustered, eq, high=Col(ctx, L), include_high=False)
+            conds.append(Cmp(Col(cand, R), "<", Col(ctx, L)))
+        elif axis is Axis.FOLLOWING_SIBLING:
+            access = IndexProbe(clustered, eq, low=Col(ctx, R), include_low=False)
+            conds.append(Cmp(Col(cand, P), "=", Col(ctx, P)))
+        elif axis is Axis.PRECEDING_SIBLING:
+            access = IndexProbe(clustered, eq, high=Col(ctx, L), include_high=False)
+            conds += [Cmp(Col(cand, P), "=", Col(ctx, P)), Cmp(Col(cand, R), "<", Col(ctx, L))]
+        else:  # pragma: no cover - rejected by validate()
+            raise LPathCompileError(f"unsupported axis {axis.value}")
+        return access, conds

@@ -5,6 +5,11 @@ pipeline over k joined relations yields tuples of width ``k * arity``;
 callers track offsets.  ``*Probe*`` joins follow the index-nested-loop
 pattern that dominates label-scheme query plans: for each outer tuple, an
 access-path function derives an index probe from the outer tuple's values.
+
+The shared plan executor (:mod:`repro.plan.executor`) compiles the logical
+IR of both query dialects into trees of these operators; operators stay
+stateless across iterations, so compiled plans are re-iterable and safe to
+keep in the per-engine plan cache.
 """
 
 from __future__ import annotations

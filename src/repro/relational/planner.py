@@ -1,11 +1,13 @@
 """Heuristic access-path selection.
 
-The LPath compiler knows, per query step, which columns of the label
-relation are equality-constrained (``name``, ``tid``, sometimes ``id`` or
-``pid``) and which single column carries a range constraint (usually
-``left``).  The planner picks the index whose key prefix covers the most of
+The shared plan lowerer (:mod:`repro.plan`) knows, per query step, which
+columns of the label relation are equality-constrained (``name``, ``tid``,
+sometimes ``id`` or ``pid``) and which single column carries a range
+constraint (``left`` or ``start``, or ``right`` when the ablation index
+exists).  The planner picks the index whose key prefix covers the most of
 those constraints, modelling the clustered-index-first behaviour of the
-paper's commercial RDBMS.
+paper's commercial RDBMS; both labeling schemes' probes and the
+optimizer's pushdown upgrades go through :func:`choose_access_path`.
 """
 
 from __future__ import annotations

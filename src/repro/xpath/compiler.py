@@ -1,9 +1,12 @@
 """Query compiler for the baseline XPath engine (start/end labeling, [11]).
 
-Mirrors :mod:`repro.lpath.compiler` but over the relation
-``xnode(tid, start, end, depth, id, pid, name, value)`` whose spans come
-from textual start/end tag positions.  Only the XPath-expressible axes are
-supported; the immediate-* axes, subtree scoping and edge alignment raise
+Shares the whole compilation pipeline with :mod:`repro.lpath.compiler`
+through the unified IR in :mod:`repro.plan`: :class:`XPathPlanCompiler`
+is :class:`~repro.lpath.compiler.PlanCompiler` with the
+:class:`~repro.plan.schemes.StartEndScheme` axis semantics over the
+relation ``xnode(tid, start, end, depth, id, pid, name, value)``.  Only
+the XPath-expressible axes are supported; the immediate-* axes, subtree
+scoping and edge alignment raise
 :class:`~repro.lpath.errors.LPathCompileError` — this asymmetry is exactly
 what Figure 10 measures (same cost on shared queries, fewer supported
 queries).
@@ -11,495 +14,23 @@ queries).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
-
-from ..lpath.ast import (
-    AndExpr,
-    Comparison,
-    FunctionCall,
-    Literal,
-    NotExpr,
-    Number,
-    OrExpr,
-    Path,
-    PathExists,
-    PredicateExpr,
-    Scope,
-    Step,
-)
-from ..lpath.axes import Axis
-from ..lpath.errors import LPathCompileError
-from ..lpath.parser import parse
-from ..relational.operators import Distinct, IndexNestedLoopJoin, Operator, Select, Source
-from ..relational.expression import Func
+from ..lpath.compiler import CompiledQuery, PlanCompiler
+from ..plan.schemes import StartEndScheme, VERTICAL_FRAGMENT, XPATH_AXES
 from ..relational.table import Table
 
-# Column offsets in one xnode row.
-T, S, E, D, I, P, N, V = range(8)
-ROW_WIDTH = 8
-
-#: Every axis XPath can express over start/end labels.
-XPATH_AXES = frozenset(
-    {
-        Axis.CHILD,
-        Axis.DESCENDANT,
-        Axis.DESCENDANT_OR_SELF,
-        Axis.PARENT,
-        Axis.ANCESTOR,
-        Axis.ANCESTOR_OR_SELF,
-        Axis.FOLLOWING,
-        Axis.PRECEDING,
-        Axis.FOLLOWING_SIBLING,
-        Axis.PRECEDING_SIBLING,
-        Axis.SELF,
-        Axis.ATTRIBUTE,
-    }
-)
-
-#: The fragment the paper's [11]-based comparator actually implements —
-#: "proposed to efficiently evaluate the descendant axis and the child
-#: axis by testing label containment".  This is what makes Figure 10 an
-#: 11-query comparison (Q3's following axis falls outside it).
-VERTICAL_FRAGMENT = frozenset(
-    {
-        Axis.CHILD,
-        Axis.DESCENDANT,
-        Axis.DESCENDANT_OR_SELF,
-        Axis.PARENT,
-        Axis.ANCESTOR,
-        Axis.ANCESTOR_OR_SELF,
-        Axis.SELF,
-        Axis.ATTRIBUTE,
-    }
-)
-
-BindingCheck = Callable[[tuple], bool]
+__all__ = ["VERTICAL_FRAGMENT", "XPATH_AXES", "XPathCompiledQuery", "XPathPlanCompiler"]
 
 
-def _is_element(row: tuple) -> bool:
-    return not row[N].startswith("@")
-
-
-class _Step:
-    __slots__ = ("probe", "checks")
-
-    def __init__(self, probe, checks) -> None:
-        self.probe = probe
-        self.checks = list(checks)
-
-    def matches(self, binding: tuple) -> Iterable[tuple]:
-        for row in self.probe(binding):
-            combined = binding + row
-            if all(check(combined) for check in self.checks):
-                yield row
-
-
-class XPathCompiledQuery:
+class XPathCompiledQuery(CompiledQuery):
     """Executable plan over the start/end label relation."""
 
-    def __init__(self, plan: Operator, result_base: int) -> None:
-        self.plan = plan
-        self.result_base = result_base
 
-    def rows(self) -> list[tuple]:
-        return sorted(self.plan)
-
-
-class XPathPlanCompiler:
+class XPathPlanCompiler(PlanCompiler):
     """Compile the XPath-expressible fragment against the xnode table."""
 
+    dialect = "XPath"
+    result_class = XPathCompiledQuery
+
     def __init__(self, table: Table, axes: frozenset = VERTICAL_FRAGMENT) -> None:
-        self.table = table
         self.axes = axes
-        self.clustered = table.clustered
-        self.by_tid_id = table.index("idx_tid_id")
-        self.by_value = table.index("idx_value_tid_id")
-
-    def compile(self, query) -> XPathCompiledQuery:
-        path = parse(query) if isinstance(query, str) else query
-        items = list(path.items)
-        if not items or isinstance(items[0], Scope):
-            raise LPathCompileError("XPath queries cannot start with a scope")
-        self._reject_lpath_only(items)
-        first = items[0]
-        plan = self._value_seed(first) or self._first_source(first)
-        for check in self._predicate_checks(first, 0):
-            plan = Select(plan, Func(check, "first-step predicate"))
-        base, free = 0, ROW_WIDTH
-        for item in items[1:]:
-            step = item
-            if step.axis is Axis.SELF:
-                for check in self._self_checks(step, base, free):
-                    plan = Select(plan, Func(check, "self step"))
-                continue
-            exec_ = self._step_exec(step, base, free)
-            plan = IndexNestedLoopJoin(plan, exec_.matches, f"xpath {step.axis.value}")
-            base, free = free, free + ROW_WIDTH
-        final = Distinct(plan, positions=(base + T, base + I))
-        return XPathCompiledQuery(final, base)
-
-    # -- validation --------------------------------------------------------
-
-    def _reject_lpath_only(self, items: Sequence) -> None:
-        stack = list(items)
-        while stack:
-            item = stack.pop()
-            if isinstance(item, Scope):
-                raise LPathCompileError(
-                    "subtree scoping is not expressible in XPath (Lemma 3.1)"
-                )
-            if item.axis not in self.axes:
-                if item.axis in XPATH_AXES:
-                    raise LPathCompileError(
-                        f"the {item.axis.value} axis is outside the [11] "
-                        "translation's vertical fragment"
-                    )
-                raise LPathCompileError(
-                    f"the {item.axis.value} axis is not expressible in XPath "
-                    "(Lemma 3.1)"
-                )
-            if item.left_aligned or item.right_aligned:
-                raise LPathCompileError(
-                    "edge alignment is not expressible in XPath over descendants"
-                )
-            for predicate in item.predicates:
-                stack.extend(_paths_in(predicate))
-
-    # -- sources and steps -----------------------------------------------------
-
-    def _first_source(self, step: Step) -> Operator:
-        if step.axis is Axis.DESCENDANT:
-            root_only = False
-        elif step.axis is Axis.CHILD:
-            root_only = True
-        else:
-            raise LPathCompileError(
-                f"a query cannot start with the {step.axis.value} axis"
-            )
-        if step.test.is_wildcard:
-            if root_only:
-                return Source(
-                    lambda: (r for r in self.table.scan() if r[P] == 0 and _is_element(r)),
-                    "xpath roots",
-                )
-            return Source(
-                lambda: (r for r in self.table.scan() if _is_element(r)),
-                "xpath all elements",
-            )
-        name = step.test.name
-        if root_only:
-            return Source(
-                lambda: (r for r in self.clustered.scan_eq((name,)) if r[P] == 0),
-                f"xpath roots named {name}",
-            )
-        return Source(
-            lambda: self.clustered.scan_eq((name,)), f"xpath elements named {name}"
-        )
-
-    def _value_seed(self, step: Step):
-        """Seed the first step from the {value, tid, id} index when it has a
-        direct [@attr = literal] predicate (shared with the LPath engine —
-        'other components of both labeling schemes are the same')."""
-        from ..lpath.compiler import _find_attribute_equality
-
-        if step.axis is not Axis.DESCENDANT:
-            return None
-        found = _find_attribute_equality(step.predicates)
-        if found is None:
-            return None
-        attr_name, literal = found
-        name_test = None if step.test.is_wildcard else step.test.name
-        by_value = self.by_value
-        by_tid_id = self.by_tid_id
-
-        def rows():
-            for attr_row in by_value.scan_eq((literal,)):
-                if attr_row[N] != attr_name:
-                    continue
-                for element in by_tid_id.scan_eq((attr_row[T], attr_row[I])):
-                    if not _is_element(element):
-                        continue
-                    if name_test is not None and element[N] != name_test:
-                        continue
-                    yield element
-
-        return Source(rows, f"xpath value seed {attr_name}={literal!r}")
-
-    def _step_exec(self, step: Step, ctx_base: int, cand_base: int) -> _Step:
-        probe, residuals = self._probe(step, ctx_base, cand_base)
-        checks = list(residuals)
-        checks.extend(self._predicate_checks(step, cand_base))
-        return _Step(probe, checks)
-
-    def _probe(self, step: Step, ctx_base: int, cand_base: int):
-        axis, test = step.axis, step.test
-        ct, cs, ce, cd, cid, cpid = (
-            ctx_base + T, ctx_base + S, ctx_base + E,
-            ctx_base + D, ctx_base + I, ctx_base + P,
-        )
-        xe, xd, xp, xn = cand_base + E, cand_base + D, cand_base + P, cand_base + N
-        residuals: list[BindingCheck] = []
-
-        if axis is Axis.ATTRIBUTE:
-            by_tid_id = self.by_tid_id
-            probe = lambda b: by_tid_id.scan_eq((b[ct], b[cid]))
-            if test.is_wildcard:
-                residuals.append(lambda b: b[xn].startswith("@"))
-            else:
-                wanted = "@" + test.name
-                residuals.append(lambda b, wanted=wanted: b[xn] == wanted)
-            return probe, residuals
-        if axis is Axis.PARENT:
-            by_tid_id = self.by_tid_id
-            probe = lambda b: by_tid_id.scan_eq((b[ct], b[cpid]))
-            residuals.append(self._name_check(test, xn))
-            return probe, residuals
-        found = None
-        if axis is not Axis.SELF:
-            from ..lpath.compiler import _find_attribute_equality
-
-            found = _find_attribute_equality(step.predicates)
-        if found is not None:
-            attr_name, literal = found
-            by_tid_value = self.table.index("idx_tid_value_id")
-            by_tid_id = self.by_tid_id
-            name_test = None if test.is_wildcard else test.name
-
-            def probe(b, ct=ct, attr_name=attr_name, literal=literal,
-                      by_tid_value=by_tid_value, by_tid_id=by_tid_id,
-                      name_test=name_test):
-                for attr_row in by_tid_value.scan_eq((b[ct], literal)):
-                    if attr_row[N] != attr_name:
-                        continue
-                    for element in by_tid_id.scan_eq((b[ct], attr_row[I])):
-                        if not _is_element(element):
-                            continue
-                        if name_test is not None and element[N] != name_test:
-                            continue
-                        yield element
-
-            residuals.extend(self._axis_residuals(axis, ctx_base, cand_base))
-            return probe, residuals
-        if test.is_wildcard:
-            by_tid_id = self.by_tid_id
-            probe = lambda b: by_tid_id.scan_eq((b[ct],))
-            residuals.append(lambda b: not b[xn].startswith("@"))
-            residuals.extend(self._axis_residuals(axis, ctx_base, cand_base))
-            return probe, residuals
-
-        name = test.name
-        clustered = self.clustered
-        if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
-            include_low = axis is Axis.DESCENDANT_OR_SELF
-            probe = lambda b: clustered.scan_range(
-                (name, b[ct]), low=b[cs], high=b[ce],
-                include_low=include_low, include_high=False,
-            )
-            if axis is Axis.CHILD:
-                residuals.append(lambda b: b[xp] == b[cid])
-            elif axis is Axis.DESCENDANT:
-                residuals.append(lambda b: b[xe] < b[ce])
-            else:
-                residuals.append(lambda b: b[xe] <= b[ce])
-        elif axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
-            include_high = axis is Axis.ANCESTOR_OR_SELF
-            probe = lambda b: clustered.scan_range(
-                (name, b[ct]), high=b[cs], include_high=include_high
-            )
-            if axis is Axis.ANCESTOR:
-                residuals.append(lambda b: b[xe] > b[ce])
-            else:
-                residuals.append(lambda b: b[xe] >= b[ce])
-        elif axis is Axis.FOLLOWING:
-            probe = lambda b: clustered.scan_range(
-                (name, b[ct]), low=b[ce], include_low=False
-            )
-        elif axis is Axis.PRECEDING:
-            probe = lambda b: clustered.scan_range(
-                (name, b[ct]), high=b[cs], include_high=False
-            )
-            residuals.append(lambda b: b[xe] < b[cs])
-        elif axis is Axis.FOLLOWING_SIBLING:
-            probe = lambda b: clustered.scan_range(
-                (name, b[ct]), low=b[ce], include_low=False
-            )
-            residuals.append(lambda b: b[xp] == b[cpid])
-        elif axis is Axis.PRECEDING_SIBLING:
-            probe = lambda b: clustered.scan_range(
-                (name, b[ct]), high=b[cs], include_high=False
-            )
-            residuals.append(lambda b: b[xp] == b[cpid] and b[xe] < b[cs])
-        else:  # pragma: no cover
-            raise LPathCompileError(f"unsupported axis {axis.value}")
-        return probe, residuals
-
-    def _name_check(self, test, name_position: int) -> BindingCheck:
-        if test.is_wildcard:
-            return lambda b: not b[name_position].startswith("@")
-        name = test.name
-        return lambda b, name=name: b[name_position] == name
-
-    def _axis_residuals(self, axis: Axis, ctx_base: int, cand_base: int):
-        ct_s, ct_e, ct_d, ct_id, ct_pid = (
-            ctx_base + S, ctx_base + E, ctx_base + D, ctx_base + I, ctx_base + P
-        )
-        x_s, x_e, x_d, x_p = cand_base + S, cand_base + E, cand_base + D, cand_base + P
-        if axis is Axis.CHILD:
-            return [lambda b: b[x_p] == b[ct_id]]
-        if axis is Axis.DESCENDANT:
-            return [lambda b: b[ct_s] < b[x_s] and b[x_e] < b[ct_e]]
-        if axis is Axis.DESCENDANT_OR_SELF:
-            return [lambda b: b[ct_s] <= b[x_s] and b[x_e] <= b[ct_e]]
-        if axis is Axis.ANCESTOR:
-            return [lambda b: b[x_s] < b[ct_s] and b[ct_e] < b[x_e]]
-        if axis is Axis.ANCESTOR_OR_SELF:
-            return [lambda b: b[x_s] <= b[ct_s] and b[ct_e] <= b[x_e]]
-        if axis is Axis.FOLLOWING:
-            return [lambda b: b[x_s] > b[ct_e]]
-        if axis is Axis.PRECEDING:
-            return [lambda b: b[x_e] < b[ct_s]]
-        if axis is Axis.FOLLOWING_SIBLING:
-            return [lambda b: b[x_p] == b[ct_pid] and b[x_s] > b[ct_e]]
-        if axis is Axis.PRECEDING_SIBLING:
-            return [lambda b: b[x_p] == b[ct_pid] and b[x_e] < b[ct_s]]
-        raise LPathCompileError(f"unsupported axis {axis.value}")
-
-    # -- predicates ----------------------------------------------------------------
-
-    def _self_checks(self, step: Step, base: int, free: int):
-        checks = []
-        if not step.test.is_wildcard:
-            name = step.test.name
-            position = base + N
-            checks.append(lambda b, p=position, n=name: b[p] == n)
-        checks.extend(self._predicate_checks(step, base))
-        return checks
-
-    def _predicate_checks(self, step: Step, base: int) -> list[BindingCheck]:
-        checks = []
-        for predicate in step.predicates:
-            checks.append(self._boolean(predicate, base, base + ROW_WIDTH))
-        return checks
-
-    def _boolean(self, expr: PredicateExpr, ctx_base: int, free: int) -> BindingCheck:
-        if isinstance(expr, OrExpr):
-            parts = [self._boolean(p, ctx_base, free) for p in expr.parts]
-            return lambda b: any(part(b) for part in parts)
-        if isinstance(expr, AndExpr):
-            parts = [self._boolean(p, ctx_base, free) for p in expr.parts]
-            return lambda b: all(part(b) for part in parts)
-        if isinstance(expr, NotExpr):
-            inner = self._boolean(expr.part, ctx_base, free)
-            return lambda b: not inner(b)
-        if isinstance(expr, PathExists):
-            runner = self._subpath(expr.path, ctx_base, free)
-            return lambda b: next(runner(b), None) is not None
-        if isinstance(expr, Comparison):
-            return self._comparison(expr, ctx_base, free)
-        raise LPathCompileError(
-            f"predicate {expr} is not supported by the XPath baseline engine"
-        )
-
-    def _comparison(self, expr: Comparison, ctx_base: int, free: int) -> BindingCheck:
-        left, op, right = expr.left, expr.op, expr.right
-        if isinstance(left, FunctionCall) and left.name == "name" and isinstance(right, (Literal, Number)):
-            wanted = right.value if isinstance(right, Literal) else str(right.value)
-            position = ctx_base + N
-            if op == "=":
-                return lambda b: b[position] == wanted
-            if op == "!=":
-                return lambda b: b[position] != wanted
-            raise LPathCompileError("name() only supports = and !=")
-        if isinstance(left, PathExists) and isinstance(right, (Literal, Number)):
-            runner = self._subpath(left.path, ctx_base, free)
-            return _value_check(runner, op, right)
-        if isinstance(right, PathExists) and isinstance(left, (Literal, Number)):
-            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "!=": "!="}
-            runner = self._subpath(right.path, ctx_base, free)
-            return _value_check(runner, flipped[op], left)
-        raise LPathCompileError(
-            f"comparison {expr} is not supported by the XPath baseline engine"
-        )
-
-    def _subpath(self, path: Path, ctx_base: int, free: int):
-        plan: list = []
-        base = ctx_base
-        next_free = free
-        for item in path.items:
-            if isinstance(item, Scope):
-                raise LPathCompileError("scoping is not expressible in XPath")
-            if item.axis is Axis.SELF:
-                plan.append(("filter", self._self_checks(item, base, next_free)))
-                continue
-            exec_ = self._step_exec(item, base, next_free)
-            plan.append(("join", exec_))
-            base = next_free
-            next_free += ROW_WIDTH
-
-        def run(binding: tuple, compiled=tuple(plan)):
-            return _run(binding, compiled, 0)
-
-        return run
-
-
-def _run(binding: tuple, plan: tuple, index: int):
-    if index == len(plan):
-        yield binding
-        return
-    kind, payload = plan[index]
-    if kind == "filter":
-        if all(check(binding) for check in payload):
-            yield from _run(binding, plan, index + 1)
-        return
-    for row in payload.matches(binding):
-        yield from _run(binding + row, plan, index + 1)
-
-
-def _value_check(runner, op: str, literal) -> BindingCheck:
-    wanted = literal.value
-    numeric = isinstance(literal, Number) or op in ("<", "<=", ">", ">=")
-
-    def check(binding: tuple) -> bool:
-        for extended in runner(binding):
-            row = extended[-ROW_WIDTH:]
-            if not row[N].startswith("@"):
-                continue  # element string values unsupported in this baseline
-            value = row[V] if row[V] is not None else ""
-            if numeric:
-                try:
-                    number = float(value.strip())
-                    target = float(wanted)
-                except (TypeError, ValueError):
-                    continue
-                if _num(number, op, target):
-                    return True
-            elif (value == wanted) == (op == "="):
-                return True
-        return False
-
-    return check
-
-
-def _num(left: float, op: str, right: float) -> bool:
-    return {
-        "=": left == right,
-        "!=": left != right,
-        "<": left < right,
-        "<=": left <= right,
-        ">": left > right,
-        ">=": left >= right,
-    }[op]
-
-
-def _paths_in(expr: PredicateExpr):
-    """Every step nested in a predicate expression (for validation)."""
-    if isinstance(expr, (OrExpr, AndExpr)):
-        for part in expr.parts:
-            yield from _paths_in(part)
-    elif isinstance(expr, NotExpr):
-        yield from _paths_in(expr.part)
-    elif isinstance(expr, Comparison):
-        yield from _paths_in(expr.left)
-        yield from _paths_in(expr.right)
-    elif isinstance(expr, PathExists):
-        yield from expr.path.items
+        super().__init__(table, scheme=StartEndScheme(axes))

@@ -1,9 +1,11 @@
 """The baseline XPath engine (Section 5.4).
 
 Identical machinery to the LPath engine — same mini relational engine, same
-clustering and secondary indexes, same plan shapes — but labels come from
-the start/end scheme of [11].  Per the paper: "To compare the performance,
-we set other components of both labeling schemes to be the same."
+clustering and secondary indexes, and (since the unified-IR refactor) the
+same logical-plan compiler, optimizer and interpreter from
+:mod:`repro.plan` — but labels come from the start/end scheme of [11].
+Per the paper: "To compare the performance, we set other components of
+both labeling schemes to be the same."
 """
 
 from __future__ import annotations
@@ -13,11 +15,16 @@ from typing import Sequence, Union
 from ..labeling import xpath_scheme
 from ..lpath.ast import Path
 from ..lpath.errors import LPathError
-from ..lpath.parser import parse
+from ..plan.cache import PlanCache, cached_compile
 from ..relational.database import Database
 from ..relational.table import Table
 from ..tree.node import Tree
-from .compiler import VERTICAL_FRAGMENT, XPATH_AXES, XPathPlanCompiler
+from .compiler import (
+    VERTICAL_FRAGMENT,
+    XPATH_AXES,
+    XPathCompiledQuery,
+    XPathPlanCompiler,
+)
 
 XNODE_COLUMNS = ("tid", "start", "end", "depth", "id", "pid", "name", "value")
 XNODE_CLUSTERED_KEY = ("name", "tid", "start", "end", "depth", "id", "pid")
@@ -42,7 +49,12 @@ def create_xnode_table(db: Database, rows, name: str = "xnode") -> Table:
 class XPathEngine:
     """Query a corpus with the XPath-expressible fragment of LPath syntax."""
 
-    def __init__(self, trees: Sequence[Tree], axes: frozenset = VERTICAL_FRAGMENT) -> None:
+    def __init__(
+        self,
+        trees: Sequence[Tree],
+        axes: frozenset = VERTICAL_FRAGMENT,
+        plan_cache_size: int = 128,
+    ) -> None:
         self.trees = list(trees)
         tids = [tree.tid for tree in self.trees]
         if len(set(tids)) != len(tids):
@@ -51,12 +63,21 @@ class XPathEngine:
         self.database = Database("xpath")
         self.xnode_table = create_xnode_table(self.database, rows)
         self._compiler = XPathPlanCompiler(self.xnode_table, axes=axes)
+        self.plan_cache = PlanCache(plan_cache_size)
 
-    def query(self, query: Query) -> list[tuple[int, int]]:
+    def compile(self, query: Query, pivot: bool = False) -> XPathCompiledQuery:
+        """Compile to a shared-IR plan, via the per-engine plan cache."""
+        return cached_compile(self.plan_cache, self._compiler, query, pivot)
+
+    def query(self, query: Query, pivot: bool = False) -> list[tuple[int, int]]:
         """Distinct, sorted ``(tid, id)`` pairs matching the query."""
-        path = parse(query) if isinstance(query, str) else query
-        return [tuple(row) for row in self._compiler.compile(path).rows()]
+        return [tuple(row) for row in self.compile(query, pivot=pivot).rows()]
 
-    def count(self, query: Query) -> int:
+    def count(self, query: Query, pivot: bool = False) -> int:
         """Result-set size."""
-        return len(self.query(query))
+        return len(self.query(query, pivot=pivot))
+
+    def explain(self, query: Query, pivot: bool = False) -> str:
+        """Logical-IR and physical plan description (same IR format as the
+        LPath engine)."""
+        return self.compile(query, pivot=pivot).explain()

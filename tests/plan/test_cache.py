@@ -1,0 +1,107 @@
+"""Tests for the plan cache: unit behavior plus engine integration."""
+
+import pytest
+
+from repro.lpath import LPathEngine
+from repro.plan.cache import PlanCache
+from repro.tree import figure1_tree
+from repro.xpath import XPathEngine
+
+
+class TestPlanCacheUnit:
+    def test_hit_miss_accounting(self):
+        cache = PlanCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh "a"
+        cache.put("c", 3)               # evicts "b"
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_clear_invalidates_everything(self):
+        cache = PlanCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == {"hits": 0, "misses": 0, "size": 0}
+        assert cache.get("a") is None
+
+    def test_zero_capacity_disables_caching(self):
+        cache = PlanCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=-1)
+
+
+@pytest.fixture()
+def engine():
+    return LPathEngine([figure1_tree()])
+
+
+class TestEngineCaching:
+    def test_repeated_compiles_reuse_the_plan(self, engine):
+        first = engine.compile("//NP")
+        second = engine.compile("//NP")
+        assert first is second
+        assert engine.plan_cache.hits == 1
+
+    def test_cached_plan_is_reexecutable(self, engine):
+        first = engine.query("//NP")
+        assert engine.query("//NP") == first
+        assert engine.query("//NP") == first
+
+    def test_pivot_flag_keys_separately(self, engine):
+        plain = engine.compile("//S//V")
+        pivoted = engine.compile("//S//V", pivot=True)
+        assert plain is not pivoted
+        assert engine.compile("//S//V", pivot=True) is pivoted
+
+    def test_ast_queries_share_the_text_key(self, engine):
+        from repro.lpath import parse
+
+        path = parse("//NP")
+        compiled = engine.compile(path)
+        assert engine.compile(str(path)) is compiled
+
+    def test_clear_invalidates(self, engine):
+        first = engine.compile("//NP")
+        engine.plan_cache.clear()
+        assert engine.compile("//NP") is not first
+
+    def test_close_drops_cached_plans(self):
+        with LPathEngine([figure1_tree()]) as engine:
+            engine.query("//NP")
+            assert len(engine.plan_cache) > 0
+        assert len(engine.plan_cache) == 0
+
+    def test_eviction_bounded_by_cache_size(self):
+        engine = LPathEngine([figure1_tree()], plan_cache_size=2)
+        for query in ("//NP", "//VP", "//S", "//V"):
+            engine.query(query)
+        assert len(engine.plan_cache) == 2
+
+    def test_compile_errors_are_not_cached(self, engine):
+        from repro.lpath import LPathCompileError
+
+        with pytest.raises(LPathCompileError):
+            engine.compile("//NP[position()=2]")
+        assert len(engine.plan_cache) == 0
+
+    def test_xpath_engine_caches_too(self):
+        engine = XPathEngine([figure1_tree()])
+        first = engine.compile("//NP/N")
+        assert engine.compile("//NP/N") is first
+        assert engine.query("//NP/N") == engine.query("//NP/N")

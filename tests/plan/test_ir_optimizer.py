@@ -1,0 +1,161 @@
+"""Tests for the shared logical IR, the optimizer passes, and rendering."""
+
+import pytest
+
+from repro.corpus import generate_corpus
+from repro.lpath import LPathEngine
+from repro.plan.ir import (
+    Cmp,
+    Col,
+    Const,
+    Distinct,
+    ExistsPred,
+    Filter,
+    IndexProbe,
+    Join,
+    Scan,
+    TableScan,
+    linearize,
+    pred_slots,
+    render,
+)
+from repro.tree import figure1_tree
+from repro.xpath import XPathEngine
+
+
+@pytest.fixture(scope="module")
+def engines():
+    trees = [figure1_tree()]
+    return LPathEngine(trees), XPathEngine(trees)
+
+
+@pytest.fixture(scope="module")
+def wsj_engines():
+    corpus = generate_corpus("wsj", sentences=300, seed=5)
+    return LPathEngine(corpus, keep_trees=False), XPathEngine(corpus)
+
+
+class TestUniformIR:
+    def test_both_dialects_render_the_same_node_shapes(self, engines):
+        lpath_engine, xpath_engine = engines
+        for query in ("//NP", "//S//NP", "//NP/N", "//S[//NP/Det]"):
+            lpath_ir = render(lpath_engine.compile(query).logical)
+            xpath_ir = render(xpath_engine.compile(query).logical)
+            for text in (lpath_ir, xpath_ir):
+                assert "Distinct[" in text
+                assert "Scan(" in text
+            # Same logical operators in the same order, scheme details aside.
+            shape = lambda text: [line.strip().split("(")[0] for line in text.splitlines()]
+            assert shape(lpath_ir) == shape(xpath_ir)
+
+    def test_explain_contains_logical_and_physical_sections(self, engines):
+        lpath_engine, xpath_engine = engines
+        for engine in engines:
+            text = engine.explain("//S//NP")
+            assert "logical plan:" in text
+            assert "physical plan:" in text
+
+    def test_linearize_and_slots(self, engines):
+        lpath_engine, _ = engines
+        logical = lpath_engine.compile("//S//NP/N").logical
+        chain = linearize(logical)
+        assert isinstance(chain[0], Scan)
+        joins = [node for node in chain if isinstance(node, Join)]
+        assert [join.slot for join in joins] == [1, 2]
+        assert isinstance(chain[-1], Distinct)
+
+    def test_pred_slots(self):
+        assert pred_slots(Cmp(Col(1, 2), "<", Col(0, 3))) == {0, 1}
+        assert pred_slots(Cmp(Col(2, 6), "=", Const("NP"))) == {2}
+
+
+class TestPushdown:
+    def test_name_predicate_upgrades_table_scan(self, engines):
+        lpath_engine, _ = engines
+        compiled = lpath_engine.compile("//_[name()=NP]")
+        scan = linearize(compiled.logical)[0]
+        assert isinstance(scan.access, IndexProbe)
+        assert not isinstance(scan.access, TableScan)
+        assert "named NP" in scan.label
+        assert lpath_engine.query("//_[name()=NP]") == lpath_engine.query("//NP")
+
+    def test_name_predicate_upgrades_wildcard_join_probe(self, engines):
+        lpath_engine, _ = engines
+        compiled = lpath_engine.compile("//NP/_[name()=N]")
+        join = [n for n in linearize(compiled.logical) if isinstance(n, Join)][0]
+        assert isinstance(join.access, IndexProbe)
+        assert join.access.index != "idx_tid_id"
+        assert join.access.eq[0] == Const("N")
+        assert lpath_engine.query("//NP/_[name()=N]") == lpath_engine.query("//NP/N")
+
+    def test_first_step_predicates_sink_into_scan(self, engines):
+        lpath_engine, _ = engines
+        compiled = lpath_engine.compile("//NP[//Det]")
+        chain = linearize(compiled.logical)
+        # The filter merged into the Scan: no standalone Filter remains.
+        assert not any(isinstance(node, Filter) for node in chain)
+        scan = chain[0]
+        assert any(isinstance(c, ExistsPred) for c in scan.conditions)
+
+
+class TestJoinReordering:
+    def test_xpath_engine_pivots_like_lpath(self, wsj_engines):
+        lpath_engine, xpath_engine = wsj_engines
+        query = "//S//NP//WHPP"
+        expected = lpath_engine.query(query)
+        assert xpath_engine.query(query) == expected
+        assert xpath_engine.query(query, pivot=True) == expected
+        description = xpath_engine.compile(query, pivot=True).description
+        assert "pivot" in description
+
+    def test_exists_subplan_pivots_to_rarest_step(self, wsj_engines):
+        lpath_engine, _ = wsj_engines
+        query = "//S[//NP//WHPP]"
+        compiled = lpath_engine.compile(query, pivot=True)
+        scan = linearize(compiled.logical)[0]
+        exists = [c for c in scan.conditions if isinstance(c, ExistsPred)]
+        assert exists, "exists predicate expected on the scan"
+        subplan_joins = [
+            node for node in linearize(exists[0].subplan) if isinstance(node, Join)
+        ]
+        # The pivoted subplan seeds at WHPP (the rare tag), then walks up.
+        assert "WHPP" in subplan_joins[0].label
+        assert subplan_joins[1].axis.value.startswith("ancestor")
+        assert lpath_engine.query(query, pivot=True) == lpath_engine.query(query)
+
+    def test_subplan_pivot_preserves_results_across_queries(self, wsj_engines):
+        lpath_engine, xpath_engine = wsj_engines
+        queries = [
+            "//S[//NP//WHPP]",
+            "//S[//VP/VB]",
+            "//NP[not(//NP//WHPP)]",
+            "//S[//NP//WHPP and //VP]",
+            "//S[count(//NP//WHPP)>0]",
+        ]
+        for query in queries:
+            assert lpath_engine.query(query, pivot=True) == lpath_engine.query(
+                query
+            ), query
+        for query in queries:
+            assert xpath_engine.query(query, pivot=True) == xpath_engine.query(
+                query
+            ), query
+
+    def test_value_and_count_subplans_are_not_reordered(self, wsj_engines):
+        lpath_engine, _ = wsj_engines
+        # count()/value comparisons need the original result slot; ensure
+        # they still agree under pivot (and are simply left alone).
+        for query in ("//S[count(//NP//WHPP)=0]", "//NN[.!=xyzzy]"):
+            assert lpath_engine.query(query, pivot=True) == lpath_engine.query(
+                query
+            ), query
+
+
+class TestConditionOrdering:
+    def test_cheap_conditions_run_before_subplans(self, engines):
+        lpath_engine, _ = engines
+        compiled = lpath_engine.compile("//S/NP[//Det]")
+        join = [n for n in linearize(compiled.logical) if isinstance(n, Join)][0]
+        kinds = [isinstance(c, ExistsPred) for c in join.conditions]
+        # All exists predicates come after the plain comparisons.
+        assert kinds == sorted(kinds)
