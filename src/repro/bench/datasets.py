@@ -40,10 +40,12 @@ def scaled_corpus(profile: str, factor: float) -> tuple[Tree, ...]:
 
 
 @lru_cache(maxsize=None)
-def lpath_engine(profile: str, factor: float = 1.0) -> LPathEngine:
+def lpath_engine(
+    profile: str, factor: float = 1.0, executor: str = "volcano"
+) -> LPathEngine:
     """The LPath engine loaded with a (possibly scaled) corpus."""
     trees = corpus(profile) if factor == 1.0 else scaled_corpus(profile, factor)
-    return LPathEngine(list(trees), keep_trees=False)
+    return LPathEngine(list(trees), keep_trees=False, executor=executor)
 
 
 @lru_cache(maxsize=None)

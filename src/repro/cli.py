@@ -57,6 +57,7 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
     from . import store
 
     engine_name = args.engine
+    executor = getattr(args, "executor", "volcano")
     compiled = args.corpus != "-" and store.is_compiled_corpus(args.corpus)
     if compiled and engine_name not in ("lpath", "sqlite"):
         print(
@@ -65,12 +66,23 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
         )
         return 1
     if engine_name in ("lpath", "treewalk", "sqlite"):
+        # Only the plan backend runs a physical executor; don't build
+        # columnar structures for treewalk/sqlite queries.
+        plan_executor = executor if engine_name == "lpath" else "volcano"
         if compiled:
-            engine = LPathEngine.from_labels(store.load_corpus_labels(args.corpus))
+            if engine_name == "lpath" and executor == "columnar":
+                # Straight into columns — no per-row Label objects.
+                engine = LPathEngine.from_columns(
+                    store.load_corpus_columns(args.corpus)
+                )
+            else:
+                engine = LPathEngine.from_labels(
+                    store.load_corpus_labels(args.corpus), executor=plan_executor
+                )
             trees = []
         else:
             trees = _load_trees(args.corpus)
-            engine = LPathEngine(trees)
+            engine = LPathEngine(trees, executor=plan_executor)
         backend = "plan" if engine_name == "lpath" else engine_name
         matches = engine.query(
             args.query, backend=backend, pivot=getattr(args, "pivot", False)
@@ -82,7 +94,7 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
         elif engine_name == "corpussearch":
             matches = CorpusSearchEngine(trees).query(args.query)
         else:
-            matches = XPathEngine(trees).query(
+            matches = XPathEngine(trees, executor=executor).query(
                 args.query, pivot=getattr(args, "pivot", False)
             )
 
@@ -165,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--pivot", action="store_true",
                        help="selectivity-driven join ordering "
                             "(lpath and xpath plan engines)")
+    query.add_argument("--executor", choices=("volcano", "columnar"),
+                       default="volcano",
+                       help="physical executor for the plan engines: "
+                            "tuple-at-a-time interpreter or batch "
+                            "columnar execution (default volcano)")
     query.set_defaults(handler=_command_query)
 
     sql = commands.add_parser("sql", help="translate an LPath query to SQL")

@@ -1,0 +1,21 @@
+"""Columnar backend: parallel-array storage + batch plan execution.
+
+A second physical layer for the shared logical IR in :mod:`repro.plan`:
+:class:`ColumnStore` holds the label relation as clustered parallel
+arrays, :class:`ColumnarRuntime`/:func:`compile_plan` execute optimized
+plans batch-at-a-time over row ids, and :class:`ColumnarCatalog` lets the
+lowerer compile against a store with no row table at all.  Engines expose
+it behind ``executor="columnar"``.
+"""
+
+from .catalog import ColumnarCatalog
+from .executor import ColumnarPlan, ColumnarRuntime, compile_plan
+from .store import ColumnStore
+
+__all__ = [
+    "ColumnStore",
+    "ColumnarCatalog",
+    "ColumnarPlan",
+    "ColumnarRuntime",
+    "compile_plan",
+]

@@ -1,0 +1,54 @@
+"""A lowering catalog backed by a :class:`~repro.columnar.store.ColumnStore`.
+
+The shared lowerer only asks a catalog three things — relation size, name
+frequency, and access-path selection (:class:`repro.plan.schemes.Catalog`'s
+surface).  A column store can answer all three without a row table, which
+is what lets :meth:`repro.lpath.engine.LPathEngine.from_columns` compile
+queries without ever materializing row tuples.
+
+Access paths are chosen with the same scoring as the relational planner
+(:func:`repro.relational.planner.match_index`), over the two physical
+layouts the store maintains: the clustered ``{name, tid, left, ...}``
+order and the ``{tid, id, ...}`` permutation.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+from ..relational.planner import AccessPath, match_index
+
+
+class _IndexShim(NamedTuple):
+    """Just enough of a SortedIndex for the planner's matcher."""
+
+    name: str
+    columns: tuple[str, ...]
+
+
+class ColumnarCatalog:
+    """Catalog interface over a column store (no row table required)."""
+
+    def __init__(self, store) -> None:
+        self.store = store
+        names = store.column_names
+        self._indexes = (
+            _IndexShim("clustered", ("name",) + names[:6]),
+            _IndexShim("idx_tid_id", (names[0], names[4], names[1], names[2], names[3], names[5])),
+        )
+
+    def size(self) -> int:
+        return len(self.store)
+
+    def frequency(self, name: Optional[str]) -> int:
+        return self.store.frequency(name)
+
+    def access_path(
+        self, eq_columns: Sequence[str], range_column: Optional[str] = None
+    ) -> Optional[AccessPath]:
+        best: Optional[AccessPath] = None
+        for index in self._indexes:
+            candidate = match_index(index, eq_columns, range_column)
+            if candidate is not None and (best is None or candidate.score > best.score):
+                best = candidate
+        return best

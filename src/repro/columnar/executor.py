@@ -1,0 +1,682 @@
+"""Batch-at-a-time physical compiler for the shared logical IR.
+
+This is the second physical backend for :mod:`repro.plan` (the first is
+the tuple-at-a-time Volcano interpreter in :mod:`repro.plan.executor`).
+Both compile the *same* optimized IR; the difference is entirely physical:
+
+* a pipeline intermediate is a **batch** — one ``array('q')`` of row ids
+  per bound slot — instead of a stream of concatenated 8-wide tuples;
+* :class:`~repro.plan.ir.IndexProbe` becomes binary-search range slicing
+  over the clustered column arrays (a candidate set is usually a plain
+  ``range`` of row ids);
+* residual conditions that compare one candidate column against an
+  already-bound value are evaluated as **vector filters** — one pass over
+  the candidate ids reading a single column array — rather than per-row
+  closure calls over wide tuples;
+* only genuinely row-wise predicates (correlated subplans, positional
+  checks, mixed and/or trees) fall back to per-row evaluation, on
+  bindings that are short lists of row ids.
+
+Compiled plans are stateless and re-iterable, so they are safe to keep in
+the per-engine plan cache alongside Volcano plans (the cache keys on the
+executor choice).
+"""
+
+from __future__ import annotations
+
+import operator
+from bisect import bisect_left
+from itertools import repeat
+from math import inf
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..lpath.axes import Axis
+from ..lpath.errors import LPathCompileError
+from ..plan.ir import (
+    AllPred,
+    AnyPred,
+    BoolConst,
+    Cmp,
+    Col,
+    Const,
+    Context,
+    CountCmpPred,
+    Distinct,
+    ExistsPred,
+    Filter,
+    IndexProbe,
+    IsAttr,
+    IsElement,
+    Join,
+    NotPred,
+    PlanNode,
+    PositionPred,
+    Pred,
+    Project,
+    RightEdge,
+    Scan,
+    TableScan,
+    ValueCmpPred,
+    ValueSeed,
+    linearize,
+    pred_slots,
+    COLUMN_NAMES as IR_COLUMN_NAMES,
+    I, L, N, P, R, T, V,
+)
+from ..plan.lower import as_float, numeric_compare
+from .store import ColumnStore
+
+from array import array
+
+Binding = list          # row ids, indexed by slot
+BindingCheck = Callable[[Binding], bool]
+RowProbe = Callable[[Binding], Sequence[int]]
+
+_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+_FLIPPED = {
+    "=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+
+class ColumnarRuntime:
+    """One engine's columnar physical context."""
+
+    def __init__(
+        self,
+        store: ColumnStore,
+        scheme,
+        root_right: Optional[dict[int, int]] = None,
+        index_columns: Optional[dict[str, tuple[str, ...]]] = None,
+    ) -> None:
+        self.store = store
+        self.scheme = scheme
+        self.root_right = root_right if root_right is not None else store.root_right
+        #: Secondary-index column layouts of the owning engine's row table,
+        #: so probes against ablation indexes resolve to generic projections.
+        self.index_columns = dict(index_columns or {})
+
+    def string_value(self, row: int) -> Optional[str]:
+        return self.store.string_value(row, self.scheme.element_string_values)
+
+
+# -- plan compilation ---------------------------------------------------------
+
+
+def compile_plan(node: PlanNode, runtime: ColumnarRuntime) -> "ColumnarPlan":
+    """Compile a top-level IR plan into a re-iterable batch pipeline."""
+    steps: list = []
+    output = None
+    for item in linearize(node):
+        if output is not None:
+            raise LPathCompileError(
+                "Distinct/Project must terminate a columnar pipeline"
+            )
+        if isinstance(item, Scan):
+            steps.append(_ScanStep(item, runtime))
+        elif isinstance(item, Join):
+            steps.append(_JoinStep(item, runtime, expected_width=len(steps)))
+        elif isinstance(item, Filter):
+            steps.append(_FilterStep(item, runtime))
+        elif isinstance(item, Distinct):
+            output = ("distinct", item.key)
+        elif isinstance(item, Project):
+            output = ("project", item.cols)
+        else:
+            raise LPathCompileError(f"cannot execute {item!r} as a columnar plan")
+    if not steps or not isinstance(steps[0], _ScanStep):
+        raise LPathCompileError("a columnar pipeline must start at a Scan")
+    return ColumnarPlan(steps, output, runtime)
+
+
+class ColumnarPlan:
+    """An executable batch pipeline; iterating yields result tuples."""
+
+    def __init__(self, steps, output, runtime: ColumnarRuntime) -> None:
+        self.steps = steps
+        self.output = output
+        self.runtime = runtime
+
+    def execute(self) -> list[tuple]:
+        batch: list[array] = []
+        for step in self.steps:
+            batch = step.run(batch)
+        store = self.runtime.store
+        if self.output is None:
+            width = len(batch)
+            columns = [store.col(position) for position in range(8)]
+            count = len(batch[0]) if batch else 0
+            return [
+                tuple(
+                    columns[c][batch[s][i]] for s in range(width) for c in range(8)
+                )
+                for i in range(count)
+            ]
+        kind, key = self.output
+        getters = [(batch[slot], store.col(col)) for slot, col in key]
+        count = len(batch[0]) if batch else 0
+        rows = (
+            tuple(column[ids[i]] for ids, column in getters) for i in range(count)
+        )
+        if kind == "distinct":
+            return list(set(rows))
+        return list(rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.execute())
+
+    def explain(self, indent: int = 0) -> str:
+        lines: list[str] = []
+        if self.output is not None:
+            kind, key = self.output
+            cols = ", ".join(f"s{s}.{IR_COLUMN_NAMES[c]}" for s, c in key)
+            lines.append(" " * indent + f"Columnar{kind.capitalize()}[{cols}]")
+            indent += 2
+        for step in reversed(self.steps):
+            lines.append(" " * indent + step.describe())
+            indent += 2
+        return "\n".join(lines)
+
+
+# -- pipeline steps -----------------------------------------------------------
+
+
+def _classify(
+    conditions: Sequence[Pred], cand_slot: int, runtime: ColumnarRuntime
+) -> tuple[list, list[BindingCheck], list[BindingCheck]]:
+    """Split a node's conditions into vector filters over the candidate
+    column arrays, per-binding prunes, and per-row residual checks."""
+    vector: list = []
+    binding: list[BindingCheck] = []
+    row: list[BindingCheck] = []
+    for condition in conditions:
+        if cand_slot not in pred_slots(condition):
+            binding.append(compile_pred(condition, runtime))
+            continue
+        filt = _vector_filter(condition, cand_slot, runtime)
+        if filt is not None:
+            vector.append(filt)
+        else:
+            row.append(compile_pred(condition, runtime))
+    return vector, binding, row
+
+
+def _vector_filter(pred: Pred, cand_slot: int, runtime: ColumnarRuntime):
+    """``(column, opfunc, rhs_getter)`` for a condition that reads exactly
+    one candidate column, or ``None``."""
+    store = runtime.store
+    if isinstance(pred, IsElement) and pred.slot == cand_slot:
+        return store.is_attr, operator.eq, lambda b: 0
+    if isinstance(pred, IsAttr) and pred.slot == cand_slot:
+        return store.is_attr, operator.eq, lambda b: 1
+    if isinstance(pred, RightEdge) and pred.slot == cand_slot:
+        return store.right_edge, operator.eq, lambda b: 1
+    if not isinstance(pred, Cmp):
+        return None
+    left, right = pred.left, pred.right
+    cand_left = isinstance(left, Col) and left.slot == cand_slot
+    cand_right = isinstance(right, Col) and right.slot == cand_slot
+    if cand_left and not cand_right:
+        return store.col(left.col), _OPS[pred.op], _operand_getter(right, store)
+    if cand_right and not cand_left:
+        return store.col(right.col), _OPS[_FLIPPED[pred.op]], _operand_getter(left, store)
+    return None
+
+
+def _operand_getter(operand, store: ColumnStore) -> Callable[[Binding], object]:
+    if isinstance(operand, Col):
+        column = store.col(operand.col)
+        slot = operand.slot
+        return lambda b, column=column, slot=slot: column[b[slot]]
+    value = operand.value
+    return lambda b, value=value: value
+
+
+def _apply_filters(cands, b: Binding, vector, row_checks) -> Sequence[int]:
+    for column, opf, rhs in vector:
+        wanted = rhs(b)
+        cands = [j for j in cands if opf(column[j], wanted)]
+        if not cands:
+            return cands
+    if row_checks:
+        cands = [j for j in cands if all(check(b + [j]) for check in row_checks)]
+    return cands
+
+
+class _ScanStep:
+    """Materialize slot 0 from an access spec."""
+
+    def __init__(self, node: Scan, runtime: ColumnarRuntime) -> None:
+        if node.slot != 0:
+            raise LPathCompileError("a columnar Scan must bind slot 0")
+        self.probe = compile_access(node.access, runtime)
+        self.vector, self.binding, self.row = _classify(
+            node.conditions, node.slot, runtime
+        )
+        self.label = node.label
+        self.access = node.access
+
+    def run(self, batch: list[array]) -> list[array]:
+        empty: Binding = []
+        if not all(check(empty) for check in self.binding):
+            return [array("q")]
+        cands = _apply_filters(self.probe(empty), empty, self.vector, self.row)
+        return [array("q", cands)]
+
+    def describe(self) -> str:
+        return (
+            f"ColumnarScan(s0 <- {self.access}: {self.label}"
+            f" | vector={len(self.vector)} row={len(self.row)})"
+        )
+
+
+class _JoinStep:
+    """Extend every binding of the batch with matching candidate rows.
+
+    Candidates come from binary-search slices of the clustered arrays (the
+    per-tree ``(name, tid)`` partitions), then shrink through the vector
+    filters; surviving outer values are replicated into the output arrays.
+    """
+
+    def __init__(self, node: Join, runtime: ColumnarRuntime, expected_width: int) -> None:
+        if node.slot != expected_width:
+            raise LPathCompileError(
+                f"columnar join expected slot {expected_width}, got {node.slot}"
+            )
+        self.slot = node.slot
+        self.probe = compile_access(node.access, runtime)
+        self.vector, self.binding, self.row = _classify(
+            node.conditions, node.slot, runtime
+        )
+        self.label = node.label
+        self.access = node.access
+
+    def run(self, batch: list[array]) -> list[array]:
+        width = len(batch)
+        out = [array("q") for _ in range(width + 1)]
+        probe, vector, binding_checks, row_checks = (
+            self.probe, self.vector, self.binding, self.row,
+        )
+        count = len(batch[0]) if batch else 0
+        for i in range(count):
+            b = [column[i] for column in batch]
+            if binding_checks and not all(check(b) for check in binding_checks):
+                continue
+            cands = _apply_filters(probe(b), b, vector, row_checks)
+            if not cands:
+                continue
+            matched = len(cands)
+            for slot in range(width):
+                out[slot].extend(repeat(b[slot], matched))
+            out[width].extend(cands)
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"ColumnarJoin(s{self.slot} <- {self.access}: {self.label}"
+            f" | vector={len(self.vector)} row={len(self.row)})"
+        )
+
+
+class _FilterStep:
+    """Keep batch entries satisfying every condition."""
+
+    def __init__(self, node: Filter, runtime: ColumnarRuntime) -> None:
+        self.checks = [compile_pred(c, runtime) for c in node.conditions]
+        self.label = node.label
+
+    def run(self, batch: list[array]) -> list[array]:
+        checks = self.checks
+        count = len(batch[0]) if batch else 0
+        keep = []
+        for i in range(count):
+            binding = [column[i] for column in batch]
+            if all(check(binding) for check in checks):
+                keep.append(i)
+        return [array("q", (column[i] for i in keep)) for column in batch]
+
+    def describe(self) -> str:
+        return f"ColumnarFilter({self.label} | checks={len(self.checks)})"
+
+
+# -- access paths -------------------------------------------------------------
+
+
+def compile_access(access, runtime: ColumnarRuntime) -> RowProbe:
+    if isinstance(access, TableScan):
+        size = runtime.store.n
+        return lambda b: range(size)
+    if isinstance(access, IndexProbe):
+        return _compile_index_probe(access, runtime)
+    if isinstance(access, ValueSeed):
+        return _compile_value_seed(access, runtime)
+    raise LPathCompileError(f"unknown access spec {access!r}")
+
+
+def _compile_index_probe(access: IndexProbe, runtime: ColumnarRuntime) -> RowProbe:
+    store = runtime.store
+    name = access.index
+    if name == "clustered" or name.endswith("_clustered"):
+        probe = _clustered_probe(access, store)
+    elif name == "idx_tid_id":
+        probe = _tid_id_probe(access, store)
+    else:
+        columns = runtime.index_columns.get(name)
+        if columns is None:
+            raise LPathCompileError(
+                f"columnar executor cannot resolve index {name!r}"
+            )
+        probe = _projection_probe(access, store, columns)
+
+    if access.self_slot is None:
+        return probe
+
+    names = store.names
+    self_slot, self_name = access.self_slot, access.self_name
+
+    def with_self(b: Binding) -> Sequence[int]:
+        row = b[self_slot]
+        base = list(probe(b))
+        if names[row] == self_name:
+            return [row] + base
+        return base
+
+    return with_self
+
+
+def _clustered_probe(access: IndexProbe, store: ColumnStore) -> RowProbe:
+    name_of = _operand_getter(access.eq[0], store)
+    low = None if access.low is None else _operand_getter(access.low, store)
+    high = None if access.high is None else _operand_getter(access.high, store)
+    include_low, include_high = access.include_low, access.include_high
+
+    if len(access.eq) == 1:
+        if low is not None or high is not None:
+            # The lowerer never ranges on the column after a bare name
+            # prefix (ranges always follow a (name, tid) prefix).
+            raise LPathCompileError(
+                "unsupported clustered probe shape: name prefix with range"
+            )
+        return lambda b: store.name_block(name_of(b))
+
+    tid_of = _operand_getter(access.eq[1], store)
+
+    def probe(b: Binding) -> range:
+        return store.clustered_range(
+            name_of(b),
+            tid_of(b),
+            None if low is None else low(b),
+            None if high is None else high(b),
+            include_low,
+            include_high,
+        )
+
+    return probe
+
+
+def _tid_id_probe(access: IndexProbe, store: ColumnStore) -> RowProbe:
+    if access.low is not None or access.high is not None:
+        raise LPathCompileError("range probes on idx_tid_id are not supported")
+    tid_of = _operand_getter(access.eq[0], store)
+    if len(access.eq) == 1:
+        return lambda b: store.tid_rows(tid_of(b))
+    id_of = _operand_getter(access.eq[1], store)
+    return lambda b: store.tid_id_rows(tid_of(b), id_of(b))
+
+
+def _projection_probe(
+    access: IndexProbe, store: ColumnStore, columns: tuple[str, ...]
+) -> RowProbe:
+    """Generic eq-prefix + range probe over a lazily built sorted
+    projection (serves ablation indexes like ``{name, tid, right, ...}``;
+    range columns must be numeric)."""
+    positions = tuple(store.column_names.index(column) for column in columns)
+    eq_getters = [_operand_getter(op, store) for op in access.eq]
+    low = None if access.low is None else _operand_getter(access.low, store)
+    high = None if access.high is None else _operand_getter(access.high, store)
+    include_low, include_high = access.include_low, access.include_high
+
+    def probe(b: Binding) -> Sequence[int]:
+        keys, perm = store.projection(positions)
+        prefix = tuple(getter(b) for getter in eq_getters)
+        if low is None:
+            start = bisect_left(keys, prefix)
+        elif include_low:
+            start = bisect_left(keys, prefix + (low(b),))
+        else:
+            start = bisect_left(keys, prefix + (low(b), inf))
+        if high is None:
+            end = bisect_left(keys, prefix + (inf,))
+        elif include_high:
+            end = bisect_left(keys, prefix + (high(b), inf))
+        else:
+            end = bisect_left(keys, prefix + (high(b),))
+        return perm[start:end]
+
+    return probe
+
+
+def _compile_value_seed(access: ValueSeed, runtime: ColumnarRuntime) -> RowProbe:
+    store = runtime.store
+    attr, literal = access.attr, access.literal
+    name_test, root_only = access.name_test, access.root_only
+    names, tids, ids, pids, is_attr = (
+        store.names, store.tid, store.id, store.pid, store.is_attr,
+    )
+
+    tid_of = None if access.tid is None else _operand_getter(access.tid, store)
+
+    def rows(b: Binding) -> list[int]:
+        out: list[int] = []
+        tree = None if tid_of is None else tid_of(b)
+        for attr_row in store.value_rows(literal, tree):
+            if names[attr_row] != attr:
+                continue
+            for element in store.tid_id_rows(tids[attr_row], ids[attr_row]):
+                if is_attr[element]:
+                    continue
+                if name_test is not None and names[element] != name_test:
+                    continue
+                if root_only and tree is None and pids[element] != 0:
+                    continue
+                out.append(element)
+        return out
+
+    return rows
+
+
+# -- predicates ---------------------------------------------------------------
+
+
+def compile_pred(pred: Pred, runtime: ColumnarRuntime) -> BindingCheck:
+    """Compile a predicate to a check over a row-id binding list."""
+    store = runtime.store
+    if isinstance(pred, Cmp):
+        compare = _OPS[pred.op]
+        if isinstance(pred.left, Col) and isinstance(pred.right, Col):
+            lcol, ls = store.col(pred.left.col), pred.left.slot
+            rcol, rs = store.col(pred.right.col), pred.right.slot
+            return lambda b: compare(lcol[b[ls]], rcol[b[rs]])
+        if isinstance(pred.left, Col):
+            lcol, ls = store.col(pred.left.col), pred.left.slot
+            value = pred.right.value
+            return lambda b: compare(lcol[b[ls]], value)
+        if isinstance(pred.right, Col):
+            rcol, rs = store.col(pred.right.col), pred.right.slot
+            value = pred.left.value
+            return lambda b: compare(value, rcol[b[rs]])
+        outcome = compare(pred.left.value, pred.right.value)
+        return lambda b: outcome
+    if isinstance(pred, IsElement):
+        is_attr, slot = store.is_attr, pred.slot
+        return lambda b: not is_attr[b[slot]]
+    if isinstance(pred, IsAttr):
+        is_attr, slot = store.is_attr, pred.slot
+        return lambda b: bool(is_attr[b[slot]])
+    if isinstance(pred, BoolConst):
+        value = pred.value
+        return lambda b: value
+    if isinstance(pred, AllPred):
+        parts = [compile_pred(p, runtime) for p in pred.parts]
+        return lambda b: all(part(b) for part in parts)
+    if isinstance(pred, AnyPred):
+        parts = [compile_pred(p, runtime) for p in pred.parts]
+        return lambda b: any(part(b) for part in parts)
+    if isinstance(pred, NotPred):
+        inner = compile_pred(pred.part, runtime)
+        return lambda b: not inner(b)
+    if isinstance(pred, RightEdge):
+        right_edge, slot = store.right_edge, pred.slot
+        return lambda b: bool(right_edge[b[slot]])
+    if isinstance(pred, ExistsPred):
+        runner = compile_subplan(pred.subplan, runtime)
+        return lambda b: next(runner(b), None) is not None
+    if isinstance(pred, ValueCmpPred):
+        return _compile_value_cmp(pred, runtime)
+    if isinstance(pred, CountCmpPred):
+        return _compile_count_cmp(pred, runtime)
+    if isinstance(pred, PositionPred):
+        return _compile_position(pred, runtime)
+    raise LPathCompileError(f"unknown predicate {pred!r}")
+
+
+# -- correlated subplans ------------------------------------------------------
+
+
+def compile_subplan(node: PlanNode, runtime: ColumnarRuntime):
+    """Compile a Context-rooted subplan to a lazy ``binding -> bindings``
+    runner over row-id lists (slot numbering is dense, so appending a row
+    id mirrors the lowerer's slot assignment exactly)."""
+    steps: list[tuple] = []
+    for item in linearize(node):
+        if isinstance(item, Context):
+            continue
+        if isinstance(item, Join):
+            steps.append(
+                (
+                    "join",
+                    compile_access(item.access, runtime),
+                    [compile_pred(c, runtime) for c in item.conditions],
+                )
+            )
+        elif isinstance(item, Filter):
+            steps.append(
+                ("filter", None, [compile_pred(c, runtime) for c in item.conditions])
+            )
+        else:
+            raise LPathCompileError(f"cannot execute {item!r} inside a subplan")
+    plan = tuple(steps)
+
+    def run(binding: Binding) -> Iterator[Binding]:
+        return _run_steps(binding, plan, 0)
+
+    return run
+
+
+def _run_steps(binding: Binding, plan: tuple, index: int) -> Iterator[Binding]:
+    if index == len(plan):
+        yield binding
+        return
+    kind, probe, checks = plan[index]
+    if kind == "filter":
+        if all(check(binding) for check in checks):
+            yield from _run_steps(binding, plan, index + 1)
+        return
+    for row in probe(binding):
+        extended = binding + [row]
+        if all(check(extended) for check in checks):
+            yield from _run_steps(extended, plan, index + 1)
+
+
+def _compile_value_cmp(pred: ValueCmpPred, runtime: ColumnarRuntime) -> BindingCheck:
+    runner = compile_subplan(pred.subplan, runtime)
+    string_value = runtime.string_value
+    op, wanted, numeric = pred.op, pred.value, pred.numeric
+    target = None
+    if numeric:
+        target = float(wanted) if not isinstance(wanted, str) else as_float(wanted)
+        if target is None:
+            return lambda b: False
+
+    def check(binding: Binding) -> bool:
+        for extended in runner(binding):
+            value = string_value(extended[-1])
+            if value is None:
+                continue
+            if numeric:
+                try:
+                    number = float(value.strip())
+                except ValueError:
+                    continue
+                if numeric_compare(number, op, target):
+                    return True
+            else:
+                if (value == wanted) == (op == "="):
+                    return True
+        return False
+
+    return check
+
+
+def _compile_count_cmp(pred: CountCmpPred, runtime: ColumnarRuntime) -> BindingCheck:
+    runner = compile_subplan(pred.subplan, runtime)
+    store = runtime.store
+    tids, ids, names = store.tid, store.id, store.names
+    op, target = pred.op, pred.target
+
+    def check(binding: Binding) -> bool:
+        seen = set()
+        for extended in runner(binding):
+            row = extended[-1]
+            seen.add((tids[row], ids[row], names[row]))
+        return numeric_compare(float(len(seen)), op, target)
+
+    return check
+
+
+def _compile_position(pred: PositionPred, runtime: ColumnarRuntime) -> BindingCheck:
+    store = runtime.store
+    tids, lefts, rights, ids, pids, names, is_attr = (
+        store.tid, store.left, store.right, store.id, store.pid,
+        store.names, store.is_attr,
+    )
+    axis, op, target = pred.axis, pred.op, pred.target
+    cand_slot, ctx_slot = pred.cand_slot, pred.ctx_slot
+    if pred.test_name is None:
+        name_matches = lambda row: not is_attr[row]
+    else:
+        name_matches = lambda row, name=pred.test_name: names[row] == name
+
+    def check(binding: Binding) -> bool:
+        candidate = binding[cand_slot]
+        context = binding[ctx_slot]
+        siblings = [
+            row
+            for row in store.tid_rows(tids[candidate])
+            if pids[row] == pids[candidate] and name_matches(row)
+        ]
+        siblings.sort(key=lefts.__getitem__)
+        if axis is Axis.CHILD:
+            ordered = siblings
+        elif axis in (Axis.FOLLOWING_SIBLING, Axis.IMMEDIATE_FOLLOWING_SIBLING):
+            ordered = [row for row in siblings if lefts[row] >= rights[context]]
+        else:
+            ordered = [row for row in siblings if rights[row] <= lefts[context]]
+            ordered.reverse()
+        position = None
+        for rank, row in enumerate(ordered, start=1):
+            if ids[row] == ids[candidate]:
+                position = rank
+                break
+        if position is None:
+            return False
+        wanted = float(len(ordered)) if target is None else target
+        return numeric_compare(float(position), op, wanted)
+
+    return check

@@ -1,0 +1,361 @@
+"""Column-oriented storage for the label relation.
+
+The Volcano interpreter materializes every intermediate binding as a wide
+Python tuple and probes sorted indexes of encoded key tuples.  This module
+stores the relation ``node(tid, left, right, depth, id, pid, name, value)``
+as parallel arrays instead:
+
+* the six integer columns live in ``array('q')`` buffers, physically
+  ordered by the paper's clustered key ``{name, tid, left, right, depth,
+  id, pid}`` — so every clustered probe is a *contiguous range of row
+  ids*, found by a dictionary lookup on ``(name, tid)`` plus two binary
+  searches on the raw ``left`` array;
+* ``name``/``value`` are interned-string columns;
+* derived per-row bitmaps (``is_attr``, ``right_edge``) turn the
+  element/attribute tests and LPath's root alignment (``$``) into plain
+  array reads;
+* secondary projections — a ``(tid, id)`` permutation for parent /
+  attribute / whole-tree probes and per-value row lists for the
+  ``[@attr = literal]`` seeds — are permutation arrays over the same
+  columns, so no row is ever stored twice.
+
+Row ids index every column; a query binding is a short list of row ids
+rather than a concatenation of 8-wide tuples.  The batch executor in
+:mod:`repro.columnar.executor` consumes these primitives.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, Optional
+
+from ..labeling.lpath_scheme import ATTRIBUTE_PREFIX
+
+#: Column positions, shared with :mod:`repro.plan.ir`.
+T, L, R, D, I, P, N, V = range(8)
+
+#: Default column names (the LPath relation; the start/end relation only
+#: renames ``left``/``right`` to ``start``/``end`` — positions are equal).
+COLUMN_NAMES = ("tid", "left", "right", "depth", "id", "pid", "name", "value")
+
+
+class ColumnStore:
+    """The label relation as clustered parallel arrays.
+
+    Build with :meth:`from_rows` (any iterable of 8-tuples / ``Label``
+    rows) or :meth:`from_columns` (pre-split arrays, e.g. straight from a
+    compiled-corpus file via :func:`repro.store.load_label_columns`).
+    """
+
+    __slots__ = (
+        "n",
+        "tid",
+        "left",
+        "right",
+        "depth",
+        "id",
+        "pid",
+        "names",
+        "values",
+        "column_names",
+        "is_attr",
+        "right_edge",
+        "root_right",
+        "name_bounds",
+        "name_tid_bounds",
+        "tid_id_perm",
+        "tid_bounds",
+        "_perm_ids",
+        "_by_value",
+        "_projections",
+    )
+
+    def __init__(
+        self,
+        tid: Iterable[int],
+        left: Iterable[int],
+        right: Iterable[int],
+        depth: Iterable[int],
+        id: Iterable[int],
+        pid: Iterable[int],
+        names: Iterable[str],
+        values: Iterable[Optional[str]],
+        column_names: tuple[str, ...] = COLUMN_NAMES,
+    ) -> None:
+        tid = list(tid)
+        left = list(left)
+        right = list(right)
+        depth = list(depth)
+        id = list(id)
+        pid = list(pid)
+        names = list(names)
+        values = list(values)
+        n = len(tid)
+        self.column_names = tuple(column_names)
+
+        # Physical order: the clustered key {name, tid, left, right, depth,
+        # id, pid}, so clustered probes are contiguous row-id ranges.
+        order = sorted(
+            range(n),
+            key=lambda r: (names[r], tid[r], left[r], right[r], depth[r], id[r], pid[r]),
+        )
+        self.n = n
+        self.tid = array("q", (tid[r] for r in order))
+        self.left = array("q", (left[r] for r in order))
+        self.right = array("q", (right[r] for r in order))
+        self.depth = array("q", (depth[r] for r in order))
+        self.id = array("q", (id[r] for r in order))
+        self.pid = array("q", (pid[r] for r in order))
+        intern: dict[str, str] = {}
+        self.names = [intern.setdefault(names[r], names[r]) for r in order]
+        self.values = [
+            None if values[r] is None else intern.setdefault(values[r], values[r])
+            for r in order
+        ]
+
+        self._build_clustered_bounds()
+        self._build_bitmaps()
+        self._build_tid_id_projection()
+        self._by_value: Optional[dict] = None       # built on first value seed
+        self._projections: dict[tuple, tuple] = {}  # generic index projections
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable, column_names: tuple[str, ...] = COLUMN_NAMES
+    ) -> "ColumnStore":
+        """Split row tuples (or ``Label`` instances) into columns."""
+        cols: tuple[list, ...] = ([], [], [], [], [], [], [], [])
+        for row in rows:
+            for position in range(8):
+                cols[position].append(row[position])
+        return cls(*cols, column_names=column_names)
+
+    @classmethod
+    def from_columns(cls, columns, column_names: tuple[str, ...] = COLUMN_NAMES) -> "ColumnStore":
+        """Adopt a pre-split column bundle (anything with the eight
+        ``tid/left/right/depth/id/pid/names/values`` attributes, e.g.
+        :class:`repro.store.LabelColumns`)."""
+        return cls(
+            columns.tid,
+            columns.left,
+            columns.right,
+            columns.depth,
+            columns.id,
+            columns.pid,
+            columns.names,
+            columns.values,
+            column_names=column_names,
+        )
+
+    # -- construction helpers ------------------------------------------------
+
+    def _build_clustered_bounds(self) -> None:
+        name_bounds: dict[str, tuple[int, int]] = {}
+        name_tid_bounds: dict[tuple[str, int], tuple[int, int]] = {}
+        names = self.names
+        start = 0
+        for row in range(1, self.n + 1):
+            if row == self.n or names[row] != names[start]:
+                self._close_name_block(names[start], start, row, name_tid_bounds)
+                name_bounds[names[start]] = (start, row)
+                start = row
+        self.name_bounds = name_bounds
+        self.name_tid_bounds = name_tid_bounds
+
+    def _close_name_block(self, name, lo, hi, name_tid_bounds) -> None:
+        tids = self.tid
+        start = lo
+        for row in range(lo + 1, hi + 1):
+            if row == hi or tids[row] != tids[start]:
+                name_tid_bounds[(name, tids[start])] = (start, row)
+                start = row
+
+    def _build_bitmaps(self) -> None:
+        names, tids, rights, pids = self.names, self.tid, self.right, self.pid
+        is_attr = bytearray(self.n)
+        root_right: dict[int, int] = {}
+        for row in range(self.n):
+            if names[row].startswith(ATTRIBUTE_PREFIX):
+                is_attr[row] = 1
+            elif pids[row] == 0:
+                # labeling.lpath_scheme.is_root_row over column arrays
+                # (kept tuple-free: this runs on every cold start).
+                root_right[tids[row]] = rights[row]
+        right_edge = bytearray(self.n)
+        for row in range(self.n):
+            if rights[row] == root_right.get(tids[row]):
+                right_edge[row] = 1
+        self.is_attr = is_attr
+        self.right_edge = right_edge
+        self.root_right = root_right
+
+    def _build_tid_id_projection(self) -> None:
+        tids, ids = self.tid, self.id
+        perm = array("q", sorted(range(self.n), key=lambda r: (tids[r], ids[r])))
+        tid_bounds: dict[int, tuple[int, int]] = {}
+        start = 0
+        for slot in range(1, self.n + 1):
+            if slot == self.n or tids[perm[slot]] != tids[perm[start]]:
+                tid_bounds[tids[perm[start]]] = (start, slot)
+                start = slot
+        self.tid_id_perm = perm
+        self.tid_bounds = tid_bounds
+        self._perm_ids = array("q", (ids[r] for r in perm))
+
+    # -- column access -------------------------------------------------------
+
+    def col(self, position: int):
+        """The backing sequence for one column position."""
+        return (
+            self.tid, self.left, self.right, self.depth,
+            self.id, self.pid, self.names, self.values,
+        )[position]
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Yield plain row tuples in clustered order."""
+        cols = tuple(self.col(position) for position in range(8))
+        for row in range(self.n):
+            yield tuple(column[row] for column in cols)
+
+    def __len__(self) -> int:
+        return self.n
+
+    # -- clustered probes ----------------------------------------------------
+
+    def name_block(self, name: str) -> range:
+        """Row ids carrying ``name`` (the clustered name partition)."""
+        lo, hi = self.name_bounds.get(name, (0, 0))
+        return range(lo, hi)
+
+    def name_tid_block(self, name: str, tid: int) -> tuple[int, int]:
+        """The per-tree partition of one name block."""
+        return self.name_tid_bounds.get((name, tid), (0, 0))
+
+    def clustered_range(
+        self,
+        name: str,
+        tid: int,
+        low: Optional[int],
+        high: Optional[int],
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> range:
+        """Rows of ``(name, tid)`` whose ``left`` falls in the bound range —
+        two binary searches over the raw ``left`` array."""
+        lo, hi = self.name_tid_bounds.get((name, tid), (0, 0))
+        if lo == hi:
+            return range(0, 0)
+        lefts = self.left
+        if low is not None:
+            lo = (bisect_left if include_low else bisect_right)(lefts, low, lo, hi)
+        if high is not None:
+            hi = (bisect_right if include_high else bisect_left)(lefts, high, lo, hi)
+        return range(lo, hi)
+
+    # -- (tid, id) probes ----------------------------------------------------
+
+    def tid_rows(self, tid: int):
+        """All rows of one tree, ordered by ``id`` (an array of row ids)."""
+        lo, hi = self.tid_bounds.get(tid, (0, 0))
+        return self.tid_id_perm[lo:hi]
+
+    def tid_id_rows(self, tid: int, node_id: int):
+        """Rows with the exact ``(tid, id)`` (element + attribute rows)."""
+        lo, hi = self.tid_bounds.get(tid, (0, 0))
+        if lo == hi:
+            return ()
+        ids = self._perm_ids
+        start = bisect_left(ids, node_id, lo, hi)
+        end = bisect_right(ids, node_id, start, hi)
+        return self.tid_id_perm[start:end]
+
+    # -- value seeds ---------------------------------------------------------
+
+    @property
+    def by_value(self) -> dict:
+        """``value -> (tids, row ids)`` over attribute rows, ordered by
+        ``(tid, id)`` — the columnar twin of the ``{value, tid, id}``
+        index.  Built on first use."""
+        if self._by_value is None:
+            table: dict[str, tuple[array, array]] = {}
+            values, is_attr = self.values, self.is_attr
+            tids = self.tid
+            for slot in range(self.n):
+                row = self.tid_id_perm[slot]
+                if not is_attr[row] or values[row] is None:
+                    continue
+                entry = table.get(values[row])
+                if entry is None:
+                    entry = table[values[row]] = (array("q"), array("q"))
+                entry[0].append(tids[row])
+                entry[1].append(row)
+            self._by_value = table
+        return self._by_value
+
+    def value_rows(self, literal: str, tid: Optional[int] = None):
+        """Attribute rows whose value equals ``literal`` (optionally within
+        one tree), ordered by ``(tid, id)``."""
+        entry = self.by_value.get(literal)
+        if entry is None:
+            return ()
+        tids, rows = entry
+        if tid is None:
+            return rows
+        lo = bisect_left(tids, tid)
+        hi = bisect_right(tids, tid, lo)
+        return rows[lo:hi]
+
+    # -- generic projections (ablation indexes) ------------------------------
+
+    def projection(self, positions: tuple[int, ...]):
+        """A sorted permutation over arbitrary column positions, for index
+        probes outside the built-in clustered/(tid, id) layouts (e.g. the
+        ablation index ``{name, tid, right, ...}``).  Built lazily, once
+        per column tuple."""
+        cached = self._projections.get(positions)
+        if cached is None:
+            cols = [self.col(position) for position in positions]
+            keys = [tuple(column[row] for column in cols) for row in range(self.n)]
+            perm = sorted(range(self.n), key=keys.__getitem__)
+            keys.sort()
+            cached = self._projections[positions] = (keys, array("q", perm))
+        return cached
+
+    # -- string values -------------------------------------------------------
+
+    def string_value(self, row: int, element_values: bool = True) -> Optional[str]:
+        """The string value of one row: attribute rows carry it directly;
+        element rows concatenate their ``@lex`` leaf descendants (``None``
+        when ``element_values`` is off — the start/end scheme loses leaf
+        order)."""
+        if self.is_attr[row]:
+            value = self.values[row]
+            return value if value is not None else ""
+        if not element_values:
+            return None
+        lo, hi = self.name_tid_bounds.get(("@lex", self.tid[row]), (0, 0))
+        if lo == hi:
+            return ""
+        lefts, rights, values = self.left, self.right, self.values
+        low, high = lefts[row], rights[row]
+        lo = bisect_left(lefts, low, lo, hi)
+        hi = bisect_left(lefts, high, lo, hi)
+        words = [
+            values[leaf]
+            for leaf in range(lo, hi)
+            if rights[leaf] <= high and values[leaf] is not None
+        ]
+        return " ".join(words)
+
+    def frequency(self, name: Optional[str]) -> int:
+        """Rows carrying ``name`` (store size for the wildcard)."""
+        if name is None:
+            return self.n
+        lo, hi = self.name_bounds.get(name, (0, 0))
+        return hi - lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ColumnStore rows={self.n} names={len(self.name_bounds)}>"

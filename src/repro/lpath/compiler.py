@@ -26,6 +26,7 @@ from ..plan.ir import PlanNode, ROW_WIDTH, render
 from ..relational.operators import Operator
 from ..relational.table import Table
 from .ast import Path
+from .errors import LPathCompileError
 from .parser import parse
 
 Query = Union[str, Path]
@@ -65,41 +66,87 @@ class CompiledQuery:
         return "\n".join(parts)
 
 
+EXECUTORS = ("volcano", "columnar")
+
+
 class PlanCompiler:
-    """Compiles parsed LPath queries against one loaded node table.
+    """Compiles parsed LPath queries against one loaded label relation.
 
     Subclasses (the XPath baseline) override :attr:`dialect`,
     :attr:`result_class` and the scheme; the compile pipeline itself —
-    parse → lower (pivoted or not) → optimize → closure-compile — exists
-    only here."""
+    parse → lower (pivoted or not) → optimize → physical-compile — exists
+    only here.  Two physical backends serve the same optimized IR: the
+    tuple-at-a-time Volcano interpreter (:mod:`repro.plan.executor`, needs
+    the row ``table``) and the batch columnar executor
+    (:mod:`repro.columnar`, built lazily from the table's rows, or handed
+    a prebuilt ``column_store`` for row-less engines)."""
 
     dialect = "LPath"
     result_class = CompiledQuery
 
     def __init__(
         self,
-        table: Table,
+        table: Table = None,
         root_right: dict[int, int] = None,
         scheme=None,
+        column_store=None,
     ) -> None:
         from ..plan.executor import Runtime
         from ..plan.lower import Lowerer
         from ..plan.schemes import Catalog, LPathScheme
 
+        if table is None and column_store is None:
+            raise ValueError("PlanCompiler needs a row table or a column store")
         self.table = table
+        self.column_store = column_store
         self.root_right = root_right
         self.scheme = scheme if scheme is not None else LPathScheme()
-        self.catalog = Catalog(table)
-        self.lowerer = Lowerer(self.scheme, self.catalog, self.dialect)
-        self.runtime = Runtime(table, self.scheme, root_right)
+        if table is not None:
+            self.catalog = Catalog(table)
+        else:
+            from ..columnar import ColumnarCatalog
 
-    def compile(self, query: Query, pivot: bool = False) -> CompiledQuery:
+            self.catalog = ColumnarCatalog(column_store)
+        self.lowerer = Lowerer(self.scheme, self.catalog, self.dialect)
+        self.runtime = (
+            Runtime(table, self.scheme, root_right) if table is not None else None
+        )
+        self._columnar_runtime = None
+
+    @property
+    def columnar_runtime(self):
+        """The columnar physical context, built on first use."""
+        if self._columnar_runtime is None:
+            from ..columnar import ColumnStore, ColumnarRuntime
+
+            store = self.column_store
+            if store is None:
+                store = ColumnStore.from_rows(
+                    self.table.scan(), column_names=self.table.schema.columns[:8]
+                )
+                self.column_store = store
+            index_columns = {}
+            if self.table is not None:
+                index_columns = {
+                    name: index.columns for name, index in self.table.indexes.items()
+                }
+            self._columnar_runtime = ColumnarRuntime(
+                store, self.scheme, self.root_right, index_columns
+            )
+        return self._columnar_runtime
+
+    def compile(
+        self, query: Query, pivot: bool = False, executor: str = "volcano"
+    ) -> CompiledQuery:
         """Compile a query; ``pivot=True`` enables selectivity-driven join
         ordering: when the query is a plain step chain, the join starts at
         the step with the rarest tag and extends leftward through inverted
         axes (and downward-only ``exists`` predicates pivot the same way).
-        An optimization beyond the paper (see DESIGN.md ablations)."""
-        from ..plan.executor import compile_plan
+        An optimization beyond the paper (see DESIGN.md ablations).
+
+        ``executor`` picks the physical backend for the optimized IR:
+        ``"volcano"`` (tuple-at-a-time interpreter) or ``"columnar"``
+        (batch execution over parallel arrays)."""
         from ..plan.optimizer import optimize
 
         path = parse(query) if isinstance(query, str) else query
@@ -107,7 +154,22 @@ class PlanCompiler:
         if lowered is None:
             lowered = self.lowerer.lower(path)
         root = optimize(lowered.root, self.lowerer, pivot=pivot)
-        physical = compile_plan(root, self.runtime)
+        if executor == "columnar":
+            from ..columnar import compile_plan as columnar_compile
+
+            physical = columnar_compile(root, self.columnar_runtime)
+        elif executor == "volcano":
+            if self.runtime is None:
+                raise LPathCompileError(
+                    "this engine has no row storage; use executor='columnar'"
+                )
+            from ..plan.executor import compile_plan
+
+            physical = compile_plan(root, self.runtime)
+        else:
+            raise LPathCompileError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
         return self.result_class(
             physical, lowered.result_slot * ROW_WIDTH, lowered.description, root
         )

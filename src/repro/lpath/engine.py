@@ -2,17 +2,21 @@
 
 Three backends share one parser and one axis semantics:
 
-* ``"plan"`` (default) — the Section 4 engine: Definition 4.1 labels stored
-  in the mini relational engine, queries lowered to the shared logical IR
-  (:mod:`repro.plan`), optimized, and run index-nested-loop style;
+* ``"plan"`` (default) — the Section 4 engine: Definition 4.1 labels
+  compiled through the shared logical IR (:mod:`repro.plan`), optimized,
+  then run by one of two physical executors: the tuple-at-a-time Volcano
+  interpreter (``executor="volcano"``, the default) or the batch columnar
+  executor over parallel arrays (``executor="columnar"``,
+  :mod:`repro.columnar`);
 * ``"sqlite"`` — the same labels in SQLite, executing the *emitted SQL text*
   (:mod:`repro.lpath.sql`); a differential oracle for the translation;
 * ``"treewalk"`` — direct tree walking (:mod:`repro.lpath.treewalk`); the
   reference semantics.
 
 Compiled plans are kept in an LRU :class:`~repro.plan.cache.PlanCache`
-keyed on the unparsed query text, so repeated queries (the benchmark hot
-path) skip parsing, lowering and optimization.
+keyed on the unparsed query text plus the compile options (pivot flag and
+executor choice), so repeated queries (the benchmark hot path) skip
+parsing, lowering and optimization.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from ..relational.database import Database, create_node_table
 from ..relational.sqlite_backend import SQLiteBackend
 from ..tree.node import Tree, TreeNode
 from .ast import Path
-from .compiler import CompiledQuery, PlanCompiler
+from .compiler import CompiledQuery, EXECUTORS, PlanCompiler
 from .errors import LPathError
 from .parser import parse
 from .sql import SQLGenerator
@@ -44,6 +48,7 @@ class LPathEngine:
         extra_indexes: bool = False,
         keep_trees: bool = True,
         plan_cache_size: int = 128,
+        executor: str = "volcano",
     ) -> None:
         self.trees = list(trees)
         tids = [tree.tid for tree in self.trees]
@@ -51,7 +56,7 @@ class LPathEngine:
             raise LPathError("trees must have distinct tids")
         rows = list(label_corpus(self.trees))
         root_right = {tree.tid: tree.root.right for tree in self.trees}
-        self._init_from_rows(rows, root_right, extra_indexes, plan_cache_size)
+        self._init_from_rows(rows, root_right, extra_indexes, plan_cache_size, executor)
         self._treewalk = TreeWalkEvaluator(self.trees) if keep_trees else None
         self._by_id = (
             {tree.tid: tree for tree in self.trees} if keep_trees else None
@@ -63,6 +68,7 @@ class LPathEngine:
         rows: Sequence,
         extra_indexes: bool = False,
         plan_cache_size: int = 128,
+        executor: str = "volcano",
     ) -> "LPathEngine":
         """Build an engine straight from label rows (e.g. a compiled corpus
         loaded with :mod:`repro.store`).  Tree-dependent features
@@ -70,20 +76,56 @@ class LPathEngine:
         engine = cls.__new__(cls)
         engine.trees = []
         rows = list(rows)
-        engine._init_from_rows(rows, root_spans(rows), extra_indexes, plan_cache_size)
+        engine._init_from_rows(
+            rows, root_spans(rows), extra_indexes, plan_cache_size, executor
+        )
         engine._treewalk = None
         engine._by_id = None
         return engine
 
+    @classmethod
+    def from_columns(cls, columns, plan_cache_size: int = 128) -> "LPathEngine":
+        """Build a columnar-only engine from a column bundle (e.g.
+        :func:`repro.store.load_corpus_columns`) without ever materializing
+        per-row tuples.  Only ``backend="plan"`` with the columnar executor
+        is available — no row table, no SQLite oracle, no trees."""
+        from ..columnar import ColumnStore
+
+        store = columns if isinstance(columns, ColumnStore) else ColumnStore.from_columns(columns)
+        engine = cls.__new__(cls)
+        engine.trees = []
+        engine.executor = "columnar"
+        engine.database = None
+        engine.node_table = None
+        engine.root_right = store.root_right
+        engine._compiler = PlanCompiler(column_store=store, root_right=store.root_right)
+        engine._sql = SQLGenerator()
+        engine._rows = None
+        engine._sqlite = None
+        engine._treewalk = None
+        engine._by_id = None
+        engine.plan_cache = PlanCache(plan_cache_size)
+        return engine
+
     def _init_from_rows(
-        self, rows, root_right, extra_indexes: bool, plan_cache_size: int
+        self, rows, root_right, extra_indexes: bool, plan_cache_size: int,
+        executor: str = "volcano",
     ) -> None:
+        if executor not in EXECUTORS:
+            raise LPathError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
+        self.executor = executor
         self.database = Database("lpath")
         self.node_table = create_node_table(
             self.database, rows, extra_indexes=extra_indexes
         )
         self.root_right = root_right
         self._compiler = PlanCompiler(self.node_table, self.root_right)
+        if executor == "columnar":
+            # The engine's default executor gets its physical structures at
+            # load time (the row table is always built eagerly above).
+            self._compiler.columnar_runtime
         self._sql = SQLGenerator()
         self._rows = rows
         self._sqlite: Optional[SQLiteBackend] = None
@@ -92,14 +134,22 @@ class LPathEngine:
     # -- queries ------------------------------------------------------------
 
     def query(
-        self, query: Query, backend: str = "plan", pivot: bool = False
+        self,
+        query: Query,
+        backend: str = "plan",
+        pivot: bool = False,
+        executor: Optional[str] = None,
     ) -> list[tuple[int, int]]:
         """Distinct, sorted ``(tid, id)`` pairs matching the query.
 
         ``pivot=True`` (plan backend only, ignored elsewhere) enables
-        selectivity-driven join ordering."""
+        selectivity-driven join ordering; ``executor`` overrides the
+        engine's physical executor for this query (plan backend only)."""
         if backend == "plan":
-            return [tuple(row) for row in self.compile(query, pivot=pivot).rows()]
+            return [
+                tuple(row)
+                for row in self.compile(query, pivot=pivot, executor=executor).rows()
+            ]
         if backend == "sqlite":
             sql = self.to_sql(query)
             return sorted(tuple(row) for row in self.sqlite.execute(sql))
@@ -107,33 +157,51 @@ class LPathEngine:
             return self.treewalk.query(query)
         raise LPathError(f"unknown backend {backend!r}; choose from {BACKENDS}")
 
-    def count(self, query: Query, backend: str = "plan", pivot: bool = False) -> int:
+    def count(
+        self,
+        query: Query,
+        backend: str = "plan",
+        pivot: bool = False,
+        executor: Optional[str] = None,
+    ) -> int:
         """Result-set size (what the paper's experiments report)."""
-        return len(self.query(query, backend=backend, pivot=pivot))
+        return len(self.query(query, backend=backend, pivot=pivot, executor=executor))
 
-    def nodes(self, query: Query, pivot: bool = False) -> list[TreeNode]:
+    def nodes(
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+    ) -> list[TreeNode]:
         """Matched tree nodes (needs ``keep_trees=True``)."""
         if self._by_id is None:
             raise LPathError("engine was built with keep_trees=False")
         result = []
-        for tid, node_id in self.query(query, pivot=pivot):
+        for tid, node_id in self.query(query, pivot=pivot, executor=executor):
             result.append(self._by_id[tid].node_by_id(node_id))
         return result
 
     # -- compilation artifacts -------------------------------------------------
 
-    def compile(self, query: Query, pivot: bool = False) -> CompiledQuery:
+    def compile(
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+    ) -> CompiledQuery:
         """Compile to a shared-IR plan, via the per-engine plan cache."""
-        return cached_compile(self.plan_cache, self._compiler, query, pivot)
+        return cached_compile(
+            self.plan_cache,
+            self._compiler,
+            query,
+            pivot,
+            executor=executor if executor is not None else self.executor,
+        )
 
     def to_sql(self, query: Query) -> str:
         """The SQL text the paper's translation module would emit."""
         path = parse(query) if isinstance(query, str) else query
         return self._sql.generate(path)
 
-    def explain(self, query: Query, pivot: bool = False) -> str:
+    def explain(
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+    ) -> str:
         """Logical-IR and physical plan description."""
-        return self.compile(query, pivot=pivot).explain()
+        return self.compile(query, pivot=pivot, executor=executor).explain()
 
     # -- backends ---------------------------------------------------------------
 
@@ -141,6 +209,10 @@ class LPathEngine:
     def sqlite(self) -> SQLiteBackend:
         """The lazily created SQLite differential backend."""
         if self._sqlite is None:
+            if self._rows is None:
+                raise LPathError(
+                    "columnar-only engine has no row storage for SQLite"
+                )
             self._sqlite = SQLiteBackend(self._rows)
         return self._sqlite
 

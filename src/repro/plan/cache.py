@@ -63,17 +63,23 @@ class PlanCache:
         return f"<PlanCache size={len(self)}/{self.maxsize} hits={self.hits} misses={self.misses}>"
 
 
-def cached_compile(cache: PlanCache, compiler, query, pivot: bool = False):
-    """Compile ``query`` through ``cache``, keyed on its unparsed text.
+def cached_compile(
+    cache: PlanCache, compiler, query, pivot: bool = False,
+    executor: str = "volcano",
+):
+    """Compile ``query`` through ``cache``, keyed on its unparsed text
+    plus every compile option (``pivot`` and the physical ``executor``),
+    so a warm hit can never return a plan compiled for the other executor
+    or the other join order.
 
     The lookup happens before any parsing, so a warm hit skips the whole
     parse → lower → optimize pipeline; AST queries key on their unparse,
     which round-trips, so they share entries with their textual form.
     """
-    key = ((query if isinstance(query, str) else str(query)), pivot)
+    key = ((query if isinstance(query, str) else str(query)), pivot, executor)
     cached = cache.get(key)
     if cached is not None:
         return cached
-    compiled = compiler.compile(query, pivot=pivot)
+    compiled = compiler.compile(query, pivot=pivot, executor=executor)
     cache.put(key, compiled)
     return compiled

@@ -6,22 +6,35 @@ writes ``node(tid, left, right, depth, id, pid, name, value)`` rows to a
 compact binary file so an engine can start without re-parsing and
 re-labeling the treebank:
 
-* header: magic ``LPDB0001`` + row count,
-* string table: interned names and values (tags and words repeat heavily),
-* rows: seven varint-packed integers plus two string-table references.
+* header: magic ``LPDB0002`` + payload length + CRC-32 of the payload,
+* payload: row count, string table (interned names and values — tags and
+  words repeat heavily), then rows of seven varint-packed integers plus
+  two string-table references.
 
-The format is self-contained and versioned; :func:`load_labels` verifies
-the magic and fails loudly on corruption.
+The format is self-contained and versioned; both loaders verify the magic,
+the declared length and the checksum, so truncation and bit corruption
+fail loudly with :class:`StoreError` instead of decoding to garbage.
+Files written by the previous ``LPDB0001`` revision (no checksum) are
+still readable.
+
+Two loaders share one parser: :func:`load_labels` materializes ``Label``
+rows for the row-oriented engine, while :func:`load_label_columns` fills
+parallel arrays directly — the shape :class:`repro.columnar.ColumnStore`
+adopts without ever building a per-row object.
 """
 
 from __future__ import annotations
 
 import io
-from typing import BinaryIO, Iterable, Sequence
+import zlib
+from array import array
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterable, Optional, Sequence
 
 from .labeling.lpath_scheme import Label
 
-MAGIC = b"LPDB0001"
+MAGIC = b"LPDB0002"
+LEGACY_MAGIC = b"LPDB0001"
 #: String-table index meaning "no value" (element rows).
 _NO_VALUE = 0
 
@@ -49,16 +62,29 @@ def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
     while True:
         if offset >= len(data):
             raise StoreError("truncated varint")
+        if shift > 63:
+            raise StoreError("varint out of range")
         byte = data[offset]
         offset += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
+            # No legitimate field exceeds a signed 64-bit value; anything
+            # larger is corruption (and would otherwise overflow the
+            # column arrays).
+            if result >= 1 << 63:
+                raise StoreError("varint out of range")
             return result, offset
         shift += 7
 
 
-def save_labels(rows: Sequence[Label], stream: BinaryIO) -> int:
-    """Write label rows; returns the number of rows written."""
+def save_labels(
+    rows: Sequence[Label], stream: BinaryIO, checksum: bool = True
+) -> int:
+    """Write label rows; returns the number of rows written.
+
+    ``checksum=False`` writes the legacy ``LPDB0001`` layout (no length or
+    CRC header) — kept for round-trip tests against old files.
+    """
     strings: dict[str, int] = {}
 
     def intern(text: str) -> int:
@@ -81,56 +107,145 @@ def save_labels(rows: Sequence[Label], stream: BinaryIO) -> int:
         _write_varint(body, _NO_VALUE if row.value is None else intern(row.value))
         count += 1
 
-    stream.write(MAGIC)
-    header = io.BytesIO()
-    _write_varint(header, count)
-    _write_varint(header, len(strings))
+    payload = io.BytesIO()
+    _write_varint(payload, count)
+    _write_varint(payload, len(strings))
     for text in strings:  # insertion order == index order
         encoded = text.encode("utf-8")
-        _write_varint(header, len(encoded))
-        header.write(encoded)
+        _write_varint(payload, len(encoded))
+        payload.write(encoded)
+    payload.write(body.getvalue())
+    blob = payload.getvalue()
+
+    if not checksum:
+        stream.write(LEGACY_MAGIC)
+        stream.write(blob)
+        return count
+    stream.write(MAGIC)
+    header = io.BytesIO()
+    _write_varint(header, len(blob))
+    _write_varint(header, zlib.crc32(blob))
     stream.write(header.getvalue())
-    stream.write(body.getvalue())
+    stream.write(blob)
     return count
+
+
+# -- parsing (shared by both loaders) -----------------------------------------
+
+
+def _checked_payload(data: bytes) -> bytes:
+    """Verify magic/length/CRC and return the payload bytes."""
+    if data.startswith(LEGACY_MAGIC):
+        return data[len(LEGACY_MAGIC):]
+    if not data.startswith(MAGIC):
+        raise StoreError(
+            "not a compiled corpus file (bad magic; expected LPDB0002)"
+        )
+    offset = len(MAGIC)
+    length, offset = _read_varint(data, offset)
+    expected_crc, offset = _read_varint(data, offset)
+    payload = data[offset:]
+    if len(payload) != length:
+        raise StoreError(
+            f"payload length mismatch: header says {length}, file has {len(payload)}"
+        )
+    if zlib.crc32(payload) != expected_crc:
+        raise StoreError("checksum mismatch: the file is corrupt")
+    return payload
+
+
+def _parse_string_table(payload: bytes) -> tuple[int, list[str], int]:
+    """``(row count, string table, row-data offset)`` from the payload."""
+    count, offset = _read_varint(payload, 0)
+    table_size, offset = _read_varint(payload, offset)
+    table: list[str] = [""]  # index 0: no value
+    for _ in range(table_size):
+        length, offset = _read_varint(payload, offset)
+        end = offset + length
+        if end > len(payload):
+            raise StoreError("truncated string table")
+        try:
+            table.append(payload[offset:end].decode("utf-8"))
+        except UnicodeDecodeError:
+            raise StoreError("undecodable string-table entry") from None
+        offset = end
+    return count, table, offset
 
 
 def load_labels(stream: BinaryIO) -> list[Label]:
     """Read label rows written by :func:`save_labels`."""
-    data = stream.read()
-    if not data.startswith(MAGIC):
-        raise StoreError(
-            "not a compiled corpus file (bad magic; expected LPDB0001)"
-        )
-    offset = len(MAGIC)
-    count, offset = _read_varint(data, offset)
-    table_size, offset = _read_varint(data, offset)
-    table: list[str] = [""]  # index 0: no value
-    for _ in range(table_size):
-        length, offset = _read_varint(data, offset)
-        end = offset + length
-        if end > len(data):
-            raise StoreError("truncated string table")
-        table.append(data[offset:end].decode("utf-8"))
-        offset = end
+    payload = _checked_payload(stream.read())
+    count, table, offset = _parse_string_table(payload)
     rows: list[Label] = []
     for _ in range(count):
-        tid, offset = _read_varint(data, offset)
-        left, offset = _read_varint(data, offset)
-        right, offset = _read_varint(data, offset)
-        depth, offset = _read_varint(data, offset)
-        node_id, offset = _read_varint(data, offset)
-        pid, offset = _read_varint(data, offset)
-        name_index, offset = _read_varint(data, offset)
-        value_index, offset = _read_varint(data, offset)
+        tid, offset = _read_varint(payload, offset)
+        left, offset = _read_varint(payload, offset)
+        right, offset = _read_varint(payload, offset)
+        depth, offset = _read_varint(payload, offset)
+        node_id, offset = _read_varint(payload, offset)
+        pid, offset = _read_varint(payload, offset)
+        name_index, offset = _read_varint(payload, offset)
+        value_index, offset = _read_varint(payload, offset)
         try:
             name = table[name_index]
             value = None if value_index == _NO_VALUE else table[value_index]
         except IndexError:
             raise StoreError("string-table reference out of range") from None
         rows.append(Label(tid, left, right, depth, node_id, pid, name, value))
-    if offset != len(data):
-        raise StoreError(f"{len(data) - offset} trailing bytes after rows")
+    if offset != len(payload):
+        raise StoreError(f"{len(payload) - offset} trailing bytes after rows")
     return rows
+
+
+@dataclass
+class LabelColumns:
+    """The label relation as parallel columns (no per-row objects)."""
+
+    tid: array = field(default_factory=lambda: array("q"))
+    left: array = field(default_factory=lambda: array("q"))
+    right: array = field(default_factory=lambda: array("q"))
+    depth: array = field(default_factory=lambda: array("q"))
+    id: array = field(default_factory=lambda: array("q"))
+    pid: array = field(default_factory=lambda: array("q"))
+    names: list[str] = field(default_factory=list)
+    values: list[Optional[str]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tid)
+
+
+def load_label_columns(stream: BinaryIO) -> LabelColumns:
+    """Read a compiled corpus straight into parallel columns.
+
+    Decodes the same byte layout as :func:`load_labels` but appends each
+    field to its column array — no :class:`Label` (or any other per-row
+    object) is ever created, which is what makes cold columnar-engine
+    startup linear in the file size with tiny constant factors.
+    """
+    payload = _checked_payload(stream.read())
+    count, table, offset = _parse_string_table(payload)
+    columns = LabelColumns()
+    ints = (columns.tid, columns.left, columns.right,
+            columns.depth, columns.id, columns.pid)
+    names, values = columns.names, columns.values
+    read = _read_varint
+    for _ in range(count):
+        for column in ints:
+            value, offset = read(payload, offset)
+            column.append(value)
+        name_index, offset = read(payload, offset)
+        value_index, offset = read(payload, offset)
+        try:
+            names.append(table[name_index])
+            values.append(None if value_index == _NO_VALUE else table[value_index])
+        except IndexError:
+            raise StoreError("string-table reference out of range") from None
+    if offset != len(payload):
+        raise StoreError(f"{len(payload) - offset} trailing bytes after rows")
+    return columns
+
+
+# -- file helpers -------------------------------------------------------------
 
 
 def save_corpus(trees: Iterable, path: str) -> int:
@@ -147,10 +262,17 @@ def load_corpus_labels(path: str) -> list[Label]:
         return load_labels(handle)
 
 
+def load_corpus_columns(path: str) -> LabelColumns:
+    """Load a compiled corpus file straight into parallel columns."""
+    with open(path, "rb") as handle:
+        return load_label_columns(handle)
+
+
 def is_compiled_corpus(path: str) -> bool:
-    """Cheap sniff: does the file start with the LPDB magic?"""
+    """Cheap sniff: does the file start with an LPDB magic?"""
     try:
         with open(path, "rb") as handle:
-            return handle.read(len(MAGIC)) == MAGIC
+            magic = handle.read(len(MAGIC))
+            return magic in (MAGIC, LEGACY_MAGIC)
     except OSError:
         return False

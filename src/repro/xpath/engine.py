@@ -10,7 +10,7 @@ both labeling schemes to be the same."
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 from ..labeling import xpath_scheme
 from ..lpath.ast import Path
@@ -54,7 +54,14 @@ class XPathEngine:
         trees: Sequence[Tree],
         axes: frozenset = VERTICAL_FRAGMENT,
         plan_cache_size: int = 128,
+        executor: str = "volcano",
     ) -> None:
+        from ..lpath.compiler import EXECUTORS
+
+        if executor not in EXECUTORS:
+            raise LPathError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
         self.trees = list(trees)
         tids = [tree.tid for tree in self.trees]
         if len(set(tids)) != len(tids):
@@ -63,21 +70,39 @@ class XPathEngine:
         self.database = Database("xpath")
         self.xnode_table = create_xnode_table(self.database, rows)
         self._compiler = XPathPlanCompiler(self.xnode_table, axes=axes)
+        self.executor = executor
         self.plan_cache = PlanCache(plan_cache_size)
 
-    def compile(self, query: Query, pivot: bool = False) -> XPathCompiledQuery:
+    def compile(
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+    ) -> XPathCompiledQuery:
         """Compile to a shared-IR plan, via the per-engine plan cache."""
-        return cached_compile(self.plan_cache, self._compiler, query, pivot)
+        return cached_compile(
+            self.plan_cache,
+            self._compiler,
+            query,
+            pivot,
+            executor=executor if executor is not None else self.executor,
+        )
 
-    def query(self, query: Query, pivot: bool = False) -> list[tuple[int, int]]:
+    def query(
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+    ) -> list[tuple[int, int]]:
         """Distinct, sorted ``(tid, id)`` pairs matching the query."""
-        return [tuple(row) for row in self.compile(query, pivot=pivot).rows()]
+        return [
+            tuple(row)
+            for row in self.compile(query, pivot=pivot, executor=executor).rows()
+        ]
 
-    def count(self, query: Query, pivot: bool = False) -> int:
+    def count(
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+    ) -> int:
         """Result-set size."""
-        return len(self.query(query, pivot=pivot))
+        return len(self.query(query, pivot=pivot, executor=executor))
 
-    def explain(self, query: Query, pivot: bool = False) -> str:
+    def explain(
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+    ) -> str:
         """Logical-IR and physical plan description (same IR format as the
         LPath engine)."""
-        return self.compile(query, pivot=pivot).explain()
+        return self.compile(query, pivot=pivot, executor=executor).explain()

@@ -1,0 +1,169 @@
+"""Unit tests for the columnar store and batch executor."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.columnar import ColumnStore, ColumnarCatalog
+from repro.labeling import label_corpus
+from repro.lpath import LPathEngine, LPathError
+from repro.tree import figure1_tree
+from repro.xpath import XPathEngine
+from tests.strategies import corpora
+
+
+def figure1_store() -> ColumnStore:
+    return ColumnStore.from_rows(label_corpus([figure1_tree()]))
+
+
+class TestColumnStore:
+    def test_clustered_order(self):
+        store = figure1_store()
+        keys = [
+            (store.names[row], store.tid[row], store.left[row], store.right[row],
+             store.depth[row], store.id[row], store.pid[row])
+            for row in range(len(store))
+        ]
+        assert keys == sorted(keys)
+
+    def test_name_blocks_partition_rows(self):
+        store = figure1_store()
+        covered = []
+        for name, (lo, hi) in store.name_bounds.items():
+            covered.extend(range(lo, hi))
+            assert all(store.names[row] == name for row in range(lo, hi))
+        assert sorted(covered) == list(range(len(store)))
+
+    def test_clustered_range_matches_bruteforce(self):
+        store = figure1_store()
+        for low, high in ((None, None), (1, 4), (2, None), (None, 3)):
+            rows = list(store.clustered_range("NP", 0, low, high))
+            expected = [
+                row
+                for row in range(len(store))
+                if store.names[row] == "NP" and store.tid[row] == 0
+                and (low is None or store.left[row] >= low)
+                and (high is None or store.left[row] <= high)
+            ]
+            assert rows == expected, (low, high)
+
+    def test_exclusive_bounds(self):
+        store = figure1_store()
+        inclusive = set(store.clustered_range("NP", 0, 1, 4))
+        exclusive = set(store.clustered_range("NP", 0, 1, 4, False, False))
+        assert exclusive <= inclusive
+        for row in inclusive - exclusive:
+            assert store.left[row] in (1, 4)
+
+    def test_tid_rows_sorted_by_id(self):
+        store = figure1_store()
+        rows = store.tid_rows(0)
+        assert len(rows) == len(store)
+        ids = [store.id[row] for row in rows]
+        assert ids == sorted(ids)
+        assert list(store.tid_rows(99)) == []
+
+    def test_tid_id_rows_finds_element_and_attributes(self):
+        store = figure1_store()
+        for row in range(len(store)):
+            matches = store.tid_id_rows(store.tid[row], store.id[row])
+            assert row in matches
+            assert all(store.id[m] == store.id[row] for m in matches)
+
+    def test_bitmaps(self):
+        store = figure1_store()
+        for row in range(len(store)):
+            assert bool(store.is_attr[row]) == store.names[row].startswith("@")
+            assert bool(store.right_edge[row]) == (
+                store.right[row] == store.root_right[store.tid[row]]
+            )
+
+    def test_value_rows(self):
+        store = figure1_store()
+        rows = list(store.value_rows("saw"))
+        assert rows and all(store.values[row] == "saw" for row in rows)
+        assert list(store.value_rows("saw", tid=0)) == rows
+        assert list(store.value_rows("saw", tid=9)) == []
+        assert list(store.value_rows("no-such-word")) == []
+
+    def test_string_value_matches_volcano(self):
+        trees = [figure1_tree()]
+        engine = LPathEngine(trees)
+        store = engine._compiler.columnar_runtime.store
+        volcano = engine._compiler.runtime
+        for row in range(len(store)):
+            row_tuple = tuple(store.col(position)[row] for position in range(8))
+            assert store.string_value(row) == volcano.string_value(row_tuple)
+
+    @given(corpora(max_trees=3, max_depth=4))
+    @settings(max_examples=15, deadline=None)
+    def test_frequency_matches_rows(self, trees):
+        rows = list(label_corpus(trees))
+        store = ColumnStore.from_rows(rows)
+        assert store.frequency(None) == len(rows)
+        for name in {row.name for row in rows}:
+            assert store.frequency(name) == sum(1 for row in rows if row.name == name)
+
+    def test_iter_rows_round_trips(self):
+        rows = sorted(
+            tuple(row) for row in label_corpus([figure1_tree()])
+        )
+        store = ColumnStore.from_rows(label_corpus([figure1_tree()]))
+        assert sorted(store.iter_rows()) == rows
+
+
+class TestColumnarCatalog:
+    def test_access_paths(self):
+        catalog = ColumnarCatalog(figure1_store())
+        clustered = catalog.access_path(("name", "tid"), "left")
+        assert clustered.index.name == "clustered"
+        assert clustered.range_column == "left"
+        by_id = catalog.access_path(("tid", "id"), None)
+        assert by_id.index.name == "idx_tid_id"
+        assert catalog.access_path(("value",), None) is None
+
+    def test_size_and_frequency(self):
+        store = figure1_store()
+        catalog = ColumnarCatalog(store)
+        assert catalog.size() == len(store)
+        assert catalog.frequency("NP") == store.frequency("NP")
+
+
+class TestColumnarExecutor:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(LPathError):
+            LPathEngine([figure1_tree()], executor="gpu")
+        with pytest.raises(LPathError):
+            XPathEngine([figure1_tree()], executor="gpu")
+
+    def test_engine_level_default(self):
+        engine = LPathEngine([figure1_tree()], executor="columnar")
+        assert engine.query("//NP") == engine.query("//NP", executor="volcano")
+
+    def test_nodes_accepts_executor(self):
+        engine = LPathEngine([figure1_tree()])
+        assert [node.label for node in engine.nodes("//NP", executor="columnar")] == [
+            node.label for node in engine.nodes("//NP")
+        ]
+
+    @given(corpora(max_trees=3, max_depth=4))
+    @settings(max_examples=10, deadline=None)
+    def test_ablation_index_probes(self, trees):
+        """extra_indexes engines route immediate-preceding probes through
+        the (name, tid, right) ablation index; the columnar executor must
+        serve them through a generic sorted projection."""
+        engine = LPathEngine(trees, extra_indexes=True)
+        for query in ("//NP<-V", "//NP<=V", "//N<-Det"):
+            expected = engine.query(query, backend="treewalk")
+            assert engine.query(query, executor="volcano") == expected, query
+            assert engine.query(query, executor="columnar") == expected, query
+
+    def test_columnar_explain_mentions_batches(self):
+        engine = LPathEngine([figure1_tree()])
+        text = engine.explain("//S//NP", executor="columnar")
+        assert "ColumnarJoin" in text and "ColumnarScan" in text
+
+    def test_compiled_plans_are_reiterable(self):
+        engine = LPathEngine([figure1_tree()])
+        compiled = engine.compile("//NP", executor="columnar")
+        assert list(compiled.rows()) == list(compiled.rows())
+        assert compiled.count() == len(list(compiled.rows()))

@@ -1,0 +1,105 @@
+"""Property-based differential fuzzing across every execution path.
+
+For random corpora and *random queries* (tests/strategies.py generators),
+the four LPath execution paths must agree exactly:
+
+    plan/volcano == plan/columnar == emitted-SQL-on-SQLite == tree-walk
+
+and the XPath engine (both executors) must match the LPath engine on the
+start/end-expressible fragment.  A disagreement produces a reproducible
+failure report carrying the bracketed corpus and the query, so any
+falsifying example can be replayed by hand; hypothesis additionally
+prints the shrunken example and its seed.
+
+``REPRO_FUZZ_EXAMPLES`` scales the number of hypothesis examples (the
+nightly CI job raises it well past the default); every example checks
+``QUERIES_PER_EXAMPLE`` queries, so the default run covers at least
+25 x 8 = 200 fuzzed (corpus, query) pairs.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lpath import LPathEngine
+from repro.tree import write_trees
+from repro.xpath import XPATH_AXES, XPathEngine
+from tests.strategies import corpora, lpath_queries, xpath_queries
+
+FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+QUERIES_PER_EXAMPLE = 8
+
+
+def _bracketed(trees) -> str:
+    out = io.StringIO()
+    write_trees(trees, out)
+    return out.getvalue()
+
+
+def _report(trees, query: str, results: dict[str, list]) -> str:
+    """A self-contained reproduction blob for one disagreement."""
+    lines = [
+        "backends disagree!",
+        f"query: {query}",
+        "corpus (bracketed, one tree per line):",
+        _bracketed(trees).rstrip(),
+        "results:",
+    ]
+    for backend, rows in results.items():
+        lines.append(f"  {backend:16s} ({len(rows):3d}): {rows}")
+    lines.append(
+        "replay: save the corpus to a file and run "
+        f"`repro query <file> '{query}' --engine <backend>`"
+    )
+    return "\n".join(lines)
+
+
+def _assert_agreement(trees, engine: LPathEngine, query: str) -> None:
+    expected = engine.query(query, backend="treewalk")
+    results = {
+        "treewalk": expected,
+        "volcano": engine.query(query, executor="volcano"),
+        "volcano+pivot": engine.query(query, executor="volcano", pivot=True),
+        "columnar": engine.query(query, executor="columnar"),
+        "columnar+pivot": engine.query(query, executor="columnar", pivot=True),
+        "sqlite": engine.query(query, backend="sqlite"),
+    }
+    if any(rows != expected for rows in results.values()):
+        raise AssertionError(_report(trees, query, results))
+
+
+class TestLPathDifferentialFuzz:
+    @given(data=st.data())
+    @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+    def test_four_paths_agree_on_random_queries(self, data):
+        trees = data.draw(corpora(max_trees=3, max_depth=4), label="corpus")
+        engine = LPathEngine(trees)
+        for index in range(QUERIES_PER_EXAMPLE):
+            query = data.draw(lpath_queries(), label=f"query {index}")
+            _assert_agreement(trees, engine, query)
+
+
+class TestXPathDifferentialFuzz:
+    @given(data=st.data())
+    @settings(max_examples=max(5, FUZZ_EXAMPLES // 3), deadline=None)
+    def test_xpath_engine_matches_lpath_on_fragment(self, data):
+        trees = data.draw(corpora(max_trees=3, max_depth=4), label="corpus")
+        lpath_engine = LPathEngine(trees, keep_trees=False)
+        xpath_engine = XPathEngine(trees, axes=XPATH_AXES)
+        for index in range(QUERIES_PER_EXAMPLE):
+            query = data.draw(xpath_queries(), label=f"query {index}")
+            expected = lpath_engine.query(query)
+            results = {
+                "lpath/volcano": expected,
+                "xpath/volcano": xpath_engine.query(query),
+                "xpath/columnar": xpath_engine.query(query, executor="columnar"),
+                "xpath/columnar+pivot": xpath_engine.query(
+                    query, pivot=True, executor="columnar"
+                ),
+            }
+            if any(rows != expected for rows in results.values()):
+                raise AssertionError(_report(trees, query, results))

@@ -69,6 +69,38 @@ class TestEngineCaching:
         assert plain is not pivoted
         assert engine.compile("//S//V", pivot=True) is pivoted
 
+    def test_executor_keys_separately(self, engine):
+        """A warm hit must never return a plan compiled for the other
+        executor."""
+        volcano = engine.compile("//S//V")
+        columnar = engine.compile("//S//V", executor="columnar")
+        assert volcano is not columnar
+        assert engine.compile("//S//V", executor="columnar") is columnar
+        assert engine.compile("//S//V", executor="volcano") is volcano
+        from repro.columnar import ColumnarPlan
+        from repro.relational.operators import Operator
+
+        assert isinstance(columnar.plan, ColumnarPlan)
+        assert isinstance(volcano.plan, Operator)
+
+    def test_executor_and_pivot_key_independently(self, engine):
+        plans = {
+            (pivot, executor): engine.compile("//S//V", pivot=pivot, executor=executor)
+            for pivot in (False, True)
+            for executor in ("volcano", "columnar")
+        }
+        assert len(set(map(id, plans.values()))) == 4
+        for key, plan in plans.items():
+            assert engine.compile("//S//V", pivot=key[0], executor=key[1]) is plan
+
+    def test_engine_default_executor_drives_the_key(self):
+        from repro.tree import figure1_tree
+
+        engine = LPathEngine([figure1_tree()], executor="columnar")
+        default = engine.compile("//NP")
+        assert engine.compile("//NP", executor="columnar") is default
+        assert engine.compile("//NP", executor="volcano") is not default
+
     def test_ast_queries_share_the_text_key(self, engine):
         from repro.lpath import parse
 

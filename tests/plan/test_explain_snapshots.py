@@ -1,0 +1,111 @@
+"""Golden snapshots of ``explain()`` output.
+
+Pins the logical-IR + physical-plan rendering for a representative query
+set in both dialects (and both physical executors), so any optimizer or
+compiler change shows up as a readable snapshot diff rather than a silent
+plan regression.
+
+Snapshots live in ``tests/plan/snapshots/``; regenerate after an
+*intentional* plan change with::
+
+    REPRO_UPDATE_SNAPSHOTS=1 PYTHONPATH=src python -m pytest tests/plan/test_explain_snapshots.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import pathlib
+
+import pytest
+
+from repro.lpath import LPathEngine
+from repro.tree import iter_trees
+from repro.xpath import XPathEngine
+
+SNAPSHOT_DIR = pathlib.Path(__file__).parent / "snapshots"
+UPDATE = os.environ.get("REPRO_UPDATE_SNAPSHOTS") == "1"
+
+#: A small fixed corpus (never generated, so snapshots cannot drift with
+#: the corpus generator).
+CORPUS = """
+( (S (NP (Det the) (N dog)) (VP (V saw) (NP (NP (Det a) (Adj old) (N man)) (PP (Prep with) (NP (N today)))))) )
+( (S (NP I) (VP (V ran))) )
+( (S (NP (Det the) (Adj old) (N man)) (VP (V saw) (NP (N dog)) (ADVP today))) )
+"""
+
+#: (slug, dialect, query, compile kwargs).
+SNAPSHOTS = [
+    ("lpath_descendant", "lpath", "//NP", {}),
+    ("lpath_child_chain", "lpath", "//NP/N", {}),
+    ("lpath_two_step_scan", "lpath", "//S//V", {}),
+    ("lpath_two_step_scan_pivot", "lpath", "//S//V", {"pivot": True}),
+    ("lpath_immediate_following", "lpath", "//V->NP", {}),
+    ("lpath_sibling", "lpath", "//V==>NP", {}),
+    ("lpath_parent", "lpath", "//N\\NP", {}),
+    ("lpath_ancestor", "lpath", "//Det\\ancestor::S", {}),
+    ("lpath_scope_aligned", "lpath", "//VP{//NP$}", {}),
+    ("lpath_value_seed", "lpath", "//S[//_[@lex=saw]]", {}),
+    ("lpath_negated_exists", "lpath", "//NP[not(//Det) and not(//Adj)]", {}),
+    ("lpath_count", "lpath", "//NP[count(//N)>1]", {}),
+    ("lpath_name_function", "lpath", "//_[name()=NP]", {}),
+    ("lpath_exists_pivot", "lpath", "//S[//NP/N]", {"pivot": True}),
+    ("lpath_columnar_scan", "lpath", "//S//NP", {"executor": "columnar"}),
+    ("lpath_columnar_subplan", "lpath", "//S[//NP/N]", {"executor": "columnar"}),
+    ("xpath_child_chain", "xpath", "//NP/N", {}),
+    ("xpath_two_step_scan_pivot", "xpath", "//S//V", {"pivot": True}),
+    ("xpath_ancestor", "xpath", "//Det\\ancestor::S", {}),
+    ("xpath_columnar_scan", "xpath", "//S//NP", {"executor": "columnar"}),
+]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    trees = list(iter_trees(CORPUS))
+    return {
+        "lpath": LPathEngine(trees, keep_trees=False),
+        "xpath": XPathEngine(trees),
+    }
+
+
+def _snapshot_path(slug: str) -> pathlib.Path:
+    return SNAPSHOT_DIR / f"{slug}.txt"
+
+
+@pytest.mark.parametrize(
+    "slug,dialect,query,kwargs",
+    SNAPSHOTS,
+    ids=[slug for slug, *_ in SNAPSHOTS],
+)
+def test_explain_snapshot(engines, slug, dialect, query, kwargs):
+    actual = engines[dialect].explain(query, **kwargs) + "\n"
+    path = _snapshot_path(slug)
+    if UPDATE or not path.exists():
+        SNAPSHOT_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        if not UPDATE:
+            pytest.fail(
+                f"snapshot {path.name} was missing and has been written; "
+                "inspect and commit it"
+            )
+        return
+    expected = path.read_text()
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"snapshots/{path.name}",
+                tofile="explain()",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"explain() drifted from the pinned snapshot for {query!r}:\n{diff}\n"
+            "(REPRO_UPDATE_SNAPSHOTS=1 regenerates after an intentional change)"
+        )
+
+
+def test_snapshot_list_is_unique():
+    slugs = [slug for slug, *_ in SNAPSHOTS]
+    assert len(slugs) == len(set(slugs))

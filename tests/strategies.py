@@ -1,4 +1,11 @@
-"""Shared hypothesis strategies: random linguistic trees and corpora."""
+"""Shared hypothesis strategies: random trees, corpora and *queries*.
+
+The query generators emit surface-syntax LPath text constrained to the
+fragment every execution path understands (plan/volcano, plan/columnar,
+the emitted-SQL SQLite oracle and the tree-walk reference), so the
+differential fuzz harness can assert exact agreement.  Axes, predicates
+and scopes are sampled independently; predicate nesting is depth-bounded.
+"""
 
 from __future__ import annotations
 
@@ -42,3 +49,116 @@ def corpora(draw, max_trees: int = 4, max_depth: int = 4) -> list[Tree]:
     return [
         Tree(draw(tree_nodes(max_depth=max_depth)), tid=tid) for tid in range(count)
     ]
+
+
+# -- random queries -----------------------------------------------------------
+
+#: Step separators of the main chain (surface syntax -> axis):
+#: child, descendant, parent, named vertical axes, and the horizontal /
+#: sibling arrow axes.
+_LPATH_SEPARATORS = [
+    "/", "//", "\\",
+    "\\ancestor::", "\\ancestor-or-self::",
+    "->", "-->", "<-", "<--",
+    "=>", "==>", "<=", "<==",
+]
+
+#: Separators usable inside predicate paths (relative paths).
+_PRED_SEPARATORS = ["/", "//", "->", "=>", "==>", "<="]
+
+#: The subset expressible over start/end labels (the XPath engine with the
+#: full [11] axis inventory: vertical axes + horizontal/sibling, but no
+#: immediate-* axes, scopes or alignment).
+_XPATH_SEPARATORS = ["/", "//", "\\", "\\ancestor::", "\\ancestor-or-self::"]
+_XPATH_PRED_SEPARATORS = ["/", "//"]
+
+_COMPARE_OPS = ["=", "!=", ">", ">=", "<"]
+
+name_tests = st.sampled_from(LABELS + ["_"])
+
+
+@st.composite
+def _predicate(draw, depth: int, separators: list[str]) -> str:
+    """One ``[...]`` predicate body, nesting bounded by ``depth``."""
+    simple = [
+        "path", "attr-exists", "attr-cmp", "name-cmp", "count-cmp",
+    ]
+    nested = ["not", "and", "or"] if depth > 0 else []
+    kind = draw(st.sampled_from(simple + nested))
+    if kind == "path":
+        return draw(_relative_path(separators))
+    if kind == "attr-exists":
+        return "@lex"
+    if kind == "attr-cmp":
+        op = draw(st.sampled_from(["=", "!="]))
+        return f"@lex{op}{draw(words)}"
+    if kind == "name-cmp":
+        op = draw(st.sampled_from(["=", "!="]))
+        return f"name(){op}{draw(labels)}"
+    if kind == "count-cmp":
+        op = draw(st.sampled_from(_COMPARE_OPS))
+        target = draw(st.integers(min_value=0, max_value=3))
+        return f"count({draw(_relative_path(separators))}){op}{target}"
+    if kind == "not":
+        return f"not({draw(_predicate(depth - 1, separators))})"
+    joiner = " and " if kind == "and" else " or "
+    return joiner.join(
+        (
+            draw(_predicate(depth - 1, separators)),
+            draw(_predicate(depth - 1, separators)),
+        )
+    )
+
+
+@st.composite
+def _relative_path(draw, separators: list[str]) -> str:
+    """A 1-2 step relative path for use inside a predicate."""
+    steps = draw(st.integers(min_value=1, max_value=2))
+    first = draw(st.sampled_from(["/", "//"]))
+    text = first + draw(name_tests)
+    for _ in range(steps - 1):
+        text += draw(st.sampled_from(separators)) + draw(name_tests)
+    return text
+
+
+@st.composite
+def _scope(draw, max_pred_depth: int) -> str:
+    """A trailing ``{...}`` scope with optional edge alignment on its
+    final step."""
+    sep = draw(st.sampled_from(["/", "//"]))
+    caret = "^" if draw(st.booleans()) else ""
+    body = f"{sep}{caret}{draw(name_tests)}"
+    if draw(st.booleans()):
+        body += draw(st.sampled_from(["/", "//", "->", "=>"])) + draw(name_tests)
+    if draw(st.booleans()):
+        body += "$"
+    return "{" + body + "}"
+
+
+@st.composite
+def lpath_queries(draw, max_steps: int = 3, max_pred_depth: int = 2) -> str:
+    """A random LPath query supported by every execution path."""
+    step_count = draw(st.integers(min_value=1, max_value=max_steps))
+    text = draw(st.sampled_from(["/", "//"])) + draw(name_tests)
+    for index in range(step_count):
+        if draw(st.integers(min_value=0, max_value=2)) == 0:
+            text += f"[{draw(_predicate(max_pred_depth, _PRED_SEPARATORS))}]"
+        if index < step_count - 1:
+            text += draw(st.sampled_from(_LPATH_SEPARATORS)) + draw(name_tests)
+    if draw(st.integers(min_value=0, max_value=4)) == 0:
+        text += draw(_scope(max_pred_depth))
+    return text
+
+
+@st.composite
+def xpath_queries(draw, max_steps: int = 3, max_pred_depth: int = 2) -> str:
+    """A random query inside the start/end-expressible fragment (shared by
+    the XPath baseline engine and the LPath engine)."""
+    step_count = draw(st.integers(min_value=1, max_value=max_steps))
+    text = draw(st.sampled_from(["/", "//"])) + draw(name_tests)
+    for index in range(step_count):
+        if draw(st.integers(min_value=0, max_value=2)) == 0:
+            text += f"[{draw(_predicate(max_pred_depth, _XPATH_PRED_SEPARATORS))}]"
+        if index < step_count - 1:
+            text += draw(st.sampled_from(_XPATH_SEPARATORS)) + draw(name_tests)
+    return text

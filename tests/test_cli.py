@@ -46,6 +46,39 @@ class TestQuery:
         assert code == 0
         assert int(output.strip()) > 0
 
+    def test_columnar_executor_matches_volcano(self, corpus_file):
+        code, volcano = run(["query", corpus_file, "//S//NP", "--count"])
+        assert code == 0
+        code, columnar = run(
+            ["query", corpus_file, "//S//NP", "--count", "--executor", "columnar"]
+        )
+        assert code == 0
+        assert columnar == volcano
+
+    def test_columnar_executor_on_compiled_corpus(self, corpus_file, tmp_path):
+        lpdb = str(tmp_path / "corpus.lpdb")
+        code, _ = run(["compile", corpus_file, "-o", lpdb])
+        assert code == 0
+        code, volcano = run(["query", lpdb, "//S//NP", "--count"])
+        assert code == 0
+        code, columnar = run(
+            ["query", lpdb, "//S//NP", "--count", "--executor", "columnar"]
+        )
+        assert code == 0
+        assert columnar == volcano
+
+    def test_xpath_engine_accepts_executor(self, corpus_file):
+        code, volcano = run(
+            ["query", corpus_file, "//NP/NN", "--count", "--engine", "xpath"]
+        )
+        assert code == 0
+        code, columnar = run(
+            ["query", corpus_file, "//NP/NN", "--count", "--engine", "xpath",
+             "--executor", "columnar"]
+        )
+        assert code == 0
+        assert columnar == volcano
+
     def test_matches_highlighted(self, corpus_file):
         code, output = run(["query", corpus_file, "//VB->NP", "--show", "2"])
         assert code == 0

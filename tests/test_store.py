@@ -3,6 +3,7 @@
 import io
 
 import pytest
+import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro import store
@@ -17,6 +18,12 @@ def round_trip(rows):
     store.save_labels(rows, buffer)
     buffer.seek(0)
     return store.load_labels(buffer)
+
+
+def saved_bytes(rows, checksum=True) -> bytes:
+    buffer = io.BytesIO()
+    store.save_labels(rows, buffer, checksum=checksum)
+    return buffer.getvalue()
 
 
 class TestFormat:
@@ -68,6 +75,104 @@ class TestFormat:
         assert not store.is_compiled_corpus(str(tmp_path / "missing"))
         rows = store.load_corpus_labels(str(path))
         assert len(rows) == 25
+
+
+class TestColumnarLoader:
+    """The direct-to-columns loader must agree with the row loader."""
+
+    def test_columns_match_rows_figure1(self):
+        rows = list(label_corpus([figure1_tree()]))
+        data = saved_bytes(rows)
+        columns = store.load_label_columns(io.BytesIO(data))
+        assert len(columns) == len(rows)
+        for index, row in enumerate(rows):
+            assert (
+                columns.tid[index], columns.left[index], columns.right[index],
+                columns.depth[index], columns.id[index], columns.pid[index],
+                columns.names[index], columns.values[index],
+            ) == tuple(row)
+
+    @given(corpora(max_trees=3, max_depth=4))
+    @settings(max_examples=20, deadline=None)
+    def test_columns_match_rows_random(self, trees):
+        rows = list(label_corpus(trees))
+        data = saved_bytes(rows)
+        columns = store.load_label_columns(io.BytesIO(data))
+        assert columns.names == [row.name for row in rows]
+        assert list(columns.left) == [row.left for row in rows]
+        assert columns.values == [row.value for row in rows]
+
+    def test_reads_legacy_format(self):
+        rows = list(label_corpus([figure1_tree()]))
+        data = saved_bytes(rows, checksum=False)
+        assert data.startswith(store.LEGACY_MAGIC)
+        assert store.load_labels(io.BytesIO(data)) == rows
+        assert store.load_label_columns(io.BytesIO(data)).names == [
+            row.name for row in rows
+        ]
+
+    def test_file_helper(self, tmp_path):
+        path = tmp_path / "corpus.lpdb"
+        store.save_corpus([figure1_tree()], str(path))
+        columns = store.load_corpus_columns(str(path))
+        assert len(columns) == 25
+
+
+class TestCorruptionDetection:
+    """Truncation and bit corruption raise StoreError — never garbage."""
+
+    @pytest.fixture(scope="class")
+    def blob(self):
+        return saved_bytes(list(label_corpus([figure1_tree()])))
+
+    def test_every_truncation_detected(self, blob):
+        for cut in range(len(blob)):
+            for loader in (store.load_labels, store.load_label_columns):
+                with pytest.raises(store.StoreError):
+                    loader(io.BytesIO(blob[:cut]))
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_single_bit_flips_detected(self, blob, data):
+        position = data.draw(st.integers(0, len(blob) - 1), label="byte")
+        bit = data.draw(st.integers(0, 7), label="bit")
+        corrupt = bytearray(blob)
+        corrupt[position] ^= 1 << bit
+        for loader in (store.load_labels, store.load_label_columns):
+            with pytest.raises(store.StoreError):
+                loader(io.BytesIO(bytes(corrupt)))
+
+    def test_trailing_garbage_detected(self, blob):
+        with pytest.raises(store.StoreError):
+            store.load_labels(io.BytesIO(blob + b"\x00"))
+
+    def test_checksum_message_is_loud(self, blob):
+        corrupt = bytearray(blob)
+        corrupt[-1] ^= 0xFF
+        with pytest.raises(store.StoreError, match="mismatch"):
+            store.load_labels(io.BytesIO(bytes(corrupt)))
+
+
+class TestEngineFromColumns:
+    def test_columnar_engine_matches_row_engine(self):
+        trees = [figure1_tree()]
+        rows = list(label_corpus(trees))
+        data = saved_bytes(rows)
+        from_trees = LPathEngine(trees)
+        engine = LPathEngine.from_columns(store.load_label_columns(io.BytesIO(data)))
+        for query in ("//NP", "//V->NP", "//VP{//NP$}", "//S[//_[@lex=saw]]", "//NP$"):
+            assert engine.query(query) == from_trees.query(query), query
+
+    def test_row_backends_unavailable(self):
+        rows = list(label_corpus([figure1_tree()]))
+        data = saved_bytes(rows)
+        engine = LPathEngine.from_columns(store.load_label_columns(io.BytesIO(data)))
+        with pytest.raises(LPathError):
+            engine.query("//NP", backend="sqlite")
+        with pytest.raises(LPathError):
+            engine.query("//NP", executor="volcano")
+        with pytest.raises(LPathError):
+            engine.treewalk
 
 
 class TestEngineFromLabels:
