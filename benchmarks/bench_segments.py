@@ -1,0 +1,146 @@
+"""Figure 9 rerun over the segmented corpus architecture.
+
+The paper's scalability experiment replicates WSJ 0.5x-4x and watches
+query time grow; this module reruns that sweep with the corpus sharded
+into 1/2/4/8 independent segments and the per-segment plans fanned out on
+a worker pool.  Two views:
+
+* a **scaling series** per Figure 9 query: the single-segment default
+  engine (Volcano — the pre-segmentation baseline configuration), the
+  single-segment columnar engine, and the sharded multi-worker columnar
+  engine across every replication factor;
+* a **segment x worker grid** at the largest factor for the columnar
+  executor, showing where sharding pays and where it just adds per-shard
+  constant costs (tiny shards, sequential drivers).
+
+Acceptance: the multi-worker columnar configuration must beat the
+single-segment baseline on the largest dataset (summed over the Figure 9
+queries), and every configuration must agree on every result size.
+Results also land in machine-readable ``BENCH_segments.json`` so CI can
+track the trajectory across commits.
+"""
+
+from repro.bench import by_id, datasets
+from repro.bench.harness import paper_timing
+from repro.bench.report import scaling_table
+
+FACTORS = (0.5, 1.0, 2.0, 4.0)
+FIGURE9_QUERIES = (3, 6, 11)
+SEGMENT_SWEEP = (1, 2, 4, 8)
+WORKER_SWEEP = (1, 4)
+#: The sharded configuration the headline series tracks.
+SEGMENTS, WORKERS = 8, 4
+
+
+def _timed(engine, query: str, repeats: int) -> tuple[float, int]:
+    engine.count(query)  # warm the plan cache; time execution only
+    return paper_timing(lambda: engine.count(query), repeats)
+
+
+def _engine(factor: float, executor: str, segments: int, workers: int):
+    # workers only sizes the fan-out pool; normalize the sequential cases
+    # to None so this module shares lru_cache entries (and engines) with
+    # the other bench modules instead of rebuilding identical ones.
+    effective = workers if segments > 1 and workers > 1 else None
+    return datasets.lpath_engine(
+        "wsj", factor, executor, segments=segments, workers=effective
+    )
+
+
+def test_fig9_segment_scaling(benchmark, write_result, write_json, repeats):
+    configs = {
+        "1seg-volcano": ("volcano", 1, 1),
+        "1seg-columnar": ("columnar", 1, 1),
+        f"{SEGMENTS}seg-columnar-w{WORKERS}": ("columnar", SEGMENTS, WORKERS),
+    }
+    baseline_name = "1seg-volcano"
+    sharded_name = f"{SEGMENTS}seg-columnar-w{WORKERS}"
+
+    sections, json_series = [], {}
+    totals = {name: 0.0 for name in configs}
+    for qid in FIGURE9_QUERIES:
+        query = by_id(qid).lpath
+        series = {name: [] for name in configs}
+        sizes = {}
+        for factor in FACTORS:
+            for name, (executor, segments, workers) in configs.items():
+                seconds, size = _timed(
+                    _engine(factor, executor, segments, workers), query, repeats
+                )
+                series[name].append((factor, seconds))
+                sizes.setdefault(factor, size)
+                assert size == sizes[factor], (
+                    f"{name} disagrees on Q{qid} at {factor}x: "
+                    f"{size} vs {sizes[factor]}"
+                )
+                if factor == FACTORS[-1]:
+                    totals[name] += seconds
+        sections.append(
+            scaling_table(series, f"Figure 9 Q{qid}: time (s) vs scale, segmented")
+        )
+        json_series[f"Q{qid}"] = {
+            name: [
+                {"factor": factor, "seconds": seconds}
+                for factor, seconds in points
+            ]
+            for name, points in series.items()
+        }
+
+    # Segment x worker grid at the largest factor (columnar executor).
+    grid_query = by_id(FIGURE9_QUERIES[-1]).lpath
+    grid_rows, json_grid = [], []
+    for segments in SEGMENT_SWEEP:
+        for workers in WORKER_SWEEP:
+            seconds, size = _timed(
+                _engine(FACTORS[-1], "columnar", segments, workers),
+                grid_query,
+                repeats,
+            )
+            grid_rows.append(
+                f"  segments={segments:<2d} workers={workers:<2d} "
+                f"{seconds:10.5f}s  ({size} rows)"
+            )
+            json_grid.append(
+                {"segments": segments, "workers": workers, "seconds": seconds}
+            )
+    sections.append(
+        f"Segment x worker grid at {FACTORS[-1]:g}x (columnar, "
+        f"Q{FIGURE9_QUERIES[-1]}):\n" + "\n".join(grid_rows)
+    )
+
+    summary = "".join(
+        f"\n{name}: {seconds:.5f}s at {FACTORS[-1]:g}x (sum of "
+        f"Q{'/Q'.join(str(q) for q in FIGURE9_QUERIES)})"
+        for name, seconds in totals.items()
+    )
+    write_result(
+        "fig9_segments.txt", "\n\n".join(sections) + "\n" + summary
+    )
+    write_json(
+        "segments",
+        {
+            "configs": {
+                name: {
+                    "executor": executor,
+                    "segments": segments,
+                    "workers": workers,
+                }
+                for name, (executor, segments, workers) in configs.items()
+            },
+            "scaling": json_series,
+            "grid": json_grid,
+            "totals_at_largest_factor": totals,
+        },
+    )
+
+    # Regression benchmark: the sharded engine on the largest dataset.
+    sharded = _engine(FACTORS[-1], *configs[sharded_name])
+    benchmark(lambda: sharded.count(grid_query))
+
+    # Acceptance: the multi-worker columnar configuration beats the
+    # single-segment baseline on the largest fig. 9 dataset.
+    assert totals[sharded_name] < totals[baseline_name], (
+        f"sharded columnar ({totals[sharded_name]:.5f}s) did not beat the "
+        f"single-segment baseline ({totals[baseline_name]:.5f}s) at "
+        f"{FACTORS[-1]:g}x"
+    )

@@ -8,13 +8,19 @@ Environment knobs:
 
 Every bench module writes its paper-style table into
 ``benchmarks/results/*.txt`` so EXPERIMENTS.md can be assembled from a
-single run.
+single run.  Machine-readable results go to
+``benchmarks/results/BENCH_<name>.json`` via the ``write_json`` fixture —
+each document carries the corpus size/repeat knobs so CI can track the
+perf trajectory across commits (the smoke job uploads them as artifacts).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import platform
+import time
 
 import pytest
 
@@ -37,6 +43,33 @@ def write_result(results_dir):
         path = results_dir / name
         path.write_text(text + "\n")
         print(f"\n{text}\n[written to {path}]")
+
+    return writer
+
+
+@pytest.fixture(scope="session")
+def write_json(results_dir):
+    """Write one machine-readable ``BENCH_<name>.json`` result document.
+
+    ``payload`` is the benchmark's own structure (lists/dicts of timings);
+    the wrapper adds the environment every reading depends on, so two
+    documents are only comparable when their knobs match.
+    """
+    from repro.bench.datasets import bench_sentences
+
+    def writer(name: str, payload) -> pathlib.Path:
+        path = results_dir / f"BENCH_{name}.json"
+        document = {
+            "bench": name,
+            "unix_time": int(time.time()),
+            "python": platform.python_version(),
+            "sentences": bench_sentences(),
+            "repeats": bench_repeats(),
+            "results": payload,
+        }
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"\n[JSON results written to {path}]")
+        return path
 
     return writer
 

@@ -41,11 +41,21 @@ def scaled_corpus(profile: str, factor: float) -> tuple[Tree, ...]:
 
 @lru_cache(maxsize=None)
 def lpath_engine(
-    profile: str, factor: float = 1.0, executor: str = "volcano"
+    profile: str,
+    factor: float = 1.0,
+    executor: str = "volcano",
+    segments: int = 1,
+    workers: int | None = None,
 ) -> LPathEngine:
-    """The LPath engine loaded with a (possibly scaled) corpus."""
+    """The LPath engine loaded with a (possibly scaled) corpus.
+
+    ``segments``/``workers`` build the sharded engine variants the
+    segment-scaling benchmark sweeps."""
     trees = corpus(profile) if factor == 1.0 else scaled_corpus(profile, factor)
-    return LPathEngine(list(trees), keep_trees=False, executor=executor)
+    return LPathEngine(
+        list(trees), keep_trees=False, executor=executor,
+        segments=segments, workers=workers,
+    )
 
 
 @lru_cache(maxsize=None)

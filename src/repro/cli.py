@@ -58,6 +58,8 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
 
     engine_name = args.engine
     executor = getattr(args, "executor", "volcano")
+    segments = getattr(args, "segments", None)
+    workers = getattr(args, "workers", None)
     compiled = args.corpus != "-" and store.is_compiled_corpus(args.corpus)
     if compiled and engine_name not in ("lpath", "sqlite"):
         print(
@@ -71,18 +73,36 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
         plan_executor = executor if engine_name == "lpath" else "volcano"
         if compiled:
             if engine_name == "lpath" and executor == "columnar":
-                # Straight into columns — no per-row Label objects.
-                engine = LPathEngine.from_columns(
-                    store.load_corpus_columns(args.corpus)
-                )
+                # Straight into columns — no per-row Label objects.  An
+                # LPDB0003 file keeps its on-disk shards unless an explicit
+                # --segments asks for a different split, in which case the
+                # shards are merged and re-dealt.
+                file_segments = store.corpus_segment_count(args.corpus)
+                if file_segments > 1 and segments in (None, file_segments):
+                    engine = LPathEngine.from_columns(
+                        store.load_corpus_segments(args.corpus),
+                        workers=workers,
+                    )
+                else:
+                    engine = LPathEngine.from_columns(
+                        store.load_corpus_columns(args.corpus),
+                        segments=segments,
+                        workers=workers,
+                    )
             else:
                 engine = LPathEngine.from_labels(
-                    store.load_corpus_labels(args.corpus), executor=plan_executor
+                    store.load_corpus_labels(args.corpus),
+                    executor=plan_executor,
+                    segments=1 if segments is None else segments,
+                    workers=workers,
                 )
             trees = []
         else:
             trees = _load_trees(args.corpus)
-            engine = LPathEngine(trees, executor=plan_executor)
+            engine = LPathEngine(
+                trees, executor=plan_executor,
+                segments=1 if segments is None else segments, workers=workers,
+            )
         backend = "plan" if engine_name == "lpath" else engine_name
         matches = engine.query(
             args.query, backend=backend, pivot=getattr(args, "pivot", False)
@@ -94,9 +114,10 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
         elif engine_name == "corpussearch":
             matches = CorpusSearchEngine(trees).query(args.query)
         else:
-            matches = XPathEngine(trees, executor=executor).query(
-                args.query, pivot=getattr(args, "pivot", False)
-            )
+            matches = XPathEngine(
+                trees, executor=executor,
+                segments=1 if segments is None else segments, workers=workers,
+            ).query(args.query, pivot=getattr(args, "pivot", False))
 
     if args.count or compiled:
         print(len(matches), file=out)
@@ -134,9 +155,15 @@ def _command_compile(args: argparse.Namespace, out: TextIO) -> int:
     from . import store
 
     trees = _load_trees(args.corpus)
-    rows = store.save_corpus(trees, args.output)
-    print(f"compiled {len(trees)} trees ({rows} label rows) to {args.output}",
-          file=out)
+    segments = getattr(args, "segments", None)
+    segments = 1 if segments is None else segments
+    rows = store.save_corpus(trees, args.output, segments=segments)
+    suffix = f" in {segments} segments" if segments > 1 else ""
+    print(
+        f"compiled {len(trees)} trees ({rows} label rows) to "
+        f"{args.output}{suffix}",
+        file=out,
+    )
     return 0
 
 
@@ -182,6 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="physical executor for the plan engines: "
                             "tuple-at-a-time interpreter or batch "
                             "columnar execution (default volcano)")
+    query.add_argument("--segments", type=int, default=None, metavar="N",
+                       help="shard the corpus by tree into N independent "
+                            "segments (lpath and xpath plan engines; "
+                            "segmented LPDB0003 files keep their on-disk "
+                            "shards by default)")
+    query.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="thread-pool size for fanning a query out "
+                            "across segments (default: sequential)")
     query.set_defaults(handler=_command_query)
 
     sql = commands.add_parser("sql", help="translate an LPath query to SQL")
@@ -193,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_cmd.add_argument("corpus", help="bracketed treebank file")
     compile_cmd.add_argument("-o", "--output", required=True)
+    compile_cmd.add_argument("--segments", type=int, default=None, metavar="N",
+                             help="write the segmented LPDB0003 layout "
+                                  "with the corpus sharded by tree into N "
+                                  "blocks (default: one store)")
     compile_cmd.set_defaults(handler=_command_compile)
 
     stats = commands.add_parser("stats", help="dataset characteristics (Fig 6a/6b)")

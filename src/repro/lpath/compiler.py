@@ -27,7 +27,6 @@ from ..relational.operators import Operator
 from ..relational.table import Table
 from .ast import Path
 from .errors import LPathCompileError
-from .parser import parse
 
 Query = Union[str, Path]
 
@@ -147,13 +146,18 @@ class PlanCompiler:
         ``executor`` picks the physical backend for the optimized IR:
         ``"volcano"`` (tuple-at-a-time interpreter) or ``"columnar"``
         (batch execution over parallel arrays)."""
-        from ..plan.optimizer import optimize
+        from ..plan.lower import lower_and_optimize
 
-        path = parse(query) if isinstance(query, str) else query
-        lowered = self.lowerer.lower_pivot(path) if pivot else None
-        if lowered is None:
-            lowered = self.lowerer.lower(path)
-        root = optimize(lowered.root, self.lowerer, pivot=pivot)
+        root, lowered = lower_and_optimize(self.lowerer, query, pivot)
+        return self.compile_physical(root, lowered, executor)
+
+    def compile_physical(
+        self, root: PlanNode, lowered, executor: str = "volcano"
+    ) -> CompiledQuery:
+        """Compile an already optimized logical plan against *this*
+        relation.  Split out of :meth:`compile` so a segmented engine can
+        lower and optimize a query once and physical-compile it against
+        every segment (:mod:`repro.plan.segmented`)."""
         if executor == "columnar":
             from ..columnar import compile_plan as columnar_compile
 

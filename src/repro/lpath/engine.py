@@ -13,6 +13,12 @@ Three backends share one parser and one axis semantics:
 * ``"treewalk"`` — direct tree walking (:mod:`repro.lpath.treewalk`); the
   reference semantics.
 
+``segments > 1`` shards the corpus by tree into independent physical
+stores (:mod:`repro.plan.segmented`): queries compile once, run against
+every shard (optionally on a ``workers``-sized thread pool) and merge the
+sorted per-shard results — identical output, embarrassingly parallel
+execution.  The sqlite and treewalk oracles always see the whole corpus.
+
 Compiled plans are kept in an LRU :class:`~repro.plan.cache.PlanCache`
 keyed on the unparsed query text plus the compile options (pivot flag and
 executor choice), so repeated queries (the benchmark hot path) skip
@@ -25,8 +31,15 @@ from typing import Optional, Sequence, Union
 
 from ..labeling.lpath_scheme import label_corpus, root_spans
 from ..plan.cache import PlanCache, cached_compile
+from ..plan.segmented import (
+    Segment,
+    SegmentPool,
+    SegmentedPlanCompiler,
+    validate_segmentation,
+)
 from ..relational.database import Database, create_node_table
 from ..relational.sqlite_backend import SQLiteBackend
+from ..store import partition_columns, partition_rows_by_tid
 from ..tree.node import Tree, TreeNode
 from .ast import Path
 from .compiler import CompiledQuery, EXECUTORS, PlanCompiler
@@ -37,6 +50,12 @@ from .treewalk import TreeWalkEvaluator
 
 Query = Union[str, Path]
 BACKENDS = ("plan", "sqlite", "treewalk")
+
+#: The attribute surface an object must expose to count as a column bundle
+#: (:class:`repro.store.LabelColumns` or anything shaped like it).
+COLUMN_BUNDLE_ATTRS = (
+    "tid", "left", "right", "depth", "id", "pid", "names", "values",
+)
 
 
 class LPathEngine:
@@ -49,6 +68,8 @@ class LPathEngine:
         keep_trees: bool = True,
         plan_cache_size: int = 128,
         executor: str = "volcano",
+        segments: int = 1,
+        workers: Optional[int] = None,
     ) -> None:
         self.trees = list(trees)
         tids = [tree.tid for tree in self.trees]
@@ -56,7 +77,10 @@ class LPathEngine:
             raise LPathError("trees must have distinct tids")
         rows = list(label_corpus(self.trees))
         root_right = {tree.tid: tree.root.right for tree in self.trees}
-        self._init_from_rows(rows, root_right, extra_indexes, plan_cache_size, executor)
+        self._init_from_rows(
+            rows, root_right, extra_indexes, plan_cache_size, executor,
+            segments=segments, workers=workers,
+        )
         self._treewalk = TreeWalkEvaluator(self.trees) if keep_trees else None
         self._by_id = (
             {tree.tid: tree for tree in self.trees} if keep_trees else None
@@ -69,6 +93,8 @@ class LPathEngine:
         extra_indexes: bool = False,
         plan_cache_size: int = 128,
         executor: str = "volcano",
+        segments: int = 1,
+        workers: Optional[int] = None,
     ) -> "LPathEngine":
         """Build an engine straight from label rows (e.g. a compiled corpus
         loaded with :mod:`repro.store`).  Tree-dependent features
@@ -77,28 +103,80 @@ class LPathEngine:
         engine.trees = []
         rows = list(rows)
         engine._init_from_rows(
-            rows, root_spans(rows), extra_indexes, plan_cache_size, executor
+            rows, root_spans(rows), extra_indexes, plan_cache_size, executor,
+            segments=segments, workers=workers,
         )
         engine._treewalk = None
         engine._by_id = None
         return engine
 
     @classmethod
-    def from_columns(cls, columns, plan_cache_size: int = 128) -> "LPathEngine":
-        """Build a columnar-only engine from a column bundle (e.g.
-        :func:`repro.store.load_corpus_columns`) without ever materializing
-        per-row tuples.  Only ``backend="plan"`` with the columnar executor
-        is available — no row table, no SQLite oracle, no trees."""
+    def from_columns(
+        cls,
+        columns,
+        plan_cache_size: int = 128,
+        executor: str = "columnar",
+        segments: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> "LPathEngine":
+        """Build a columnar-only engine from one column bundle (e.g.
+        :func:`repro.store.load_corpus_columns`) or a *list* of per-segment
+        bundles (:func:`repro.store.load_corpus_segments`) without ever
+        materializing per-row tuples.  Only ``backend="plan"`` with the
+        columnar executor is available — no row table, no SQLite oracle,
+        no trees.
+
+        ``segments=N`` re-shards a single bundle by tree; a bundle list is
+        already sharded and adopts one store per element.  ``workers``
+        sizes the thread pool the per-segment plans fan out on."""
         from ..columnar import ColumnStore
 
-        store = columns if isinstance(columns, ColumnStore) else ColumnStore.from_columns(columns)
+        if executor not in EXECUTORS:
+            raise LPathError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
+        if executor != "columnar":
+            raise LPathError(
+                "from_columns builds a columnar-only engine (no row table); "
+                "executor='volcano' needs row storage — build the engine "
+                "with from_labels or from trees instead"
+            )
+        bundles = cls._as_bundle_list(columns, segments)
+        validate_segmentation(len(bundles), workers)
+        stores = [
+            bundle if isinstance(bundle, ColumnStore)
+            else ColumnStore.from_columns(bundle)
+            for bundle in bundles
+        ]
         engine = cls.__new__(cls)
         engine.trees = []
         engine.executor = "columnar"
+        engine.segments = len(stores)
+        engine.workers = workers
+        engine._pool = SegmentPool(workers, len(stores))
         engine.database = None
         engine.node_table = None
-        engine.root_right = store.root_right
-        engine._compiler = PlanCompiler(column_store=store, root_right=store.root_right)
+        engine.root_right = {}
+        for store in stores:
+            engine.root_right.update(store.root_right)
+        if len(stores) == 1:
+            engine._compiler = PlanCompiler(
+                column_store=stores[0], root_right=stores[0].root_right
+            )
+        else:
+            engine._compiler = SegmentedPlanCompiler(
+                [
+                    Segment(
+                        index,
+                        PlanCompiler(
+                            column_store=store, root_right=store.root_right
+                        ),
+                        len(store),
+                    )
+                    for index, store in enumerate(stores)
+                ],
+                get_pool=engine._pool,
+            )
         engine._sql = SQLGenerator()
         engine._rows = None
         engine._sqlite = None
@@ -107,25 +185,107 @@ class LPathEngine:
         engine.plan_cache = PlanCache(plan_cache_size)
         return engine
 
+    @staticmethod
+    def _as_bundle_list(columns, segments: Optional[int]) -> list:
+        """Normalize ``from_columns`` input to a list of validated column
+        bundles, applying an optional re-shard."""
+        from ..columnar import ColumnStore
+
+        def check(bundle):
+            if isinstance(bundle, ColumnStore):
+                return bundle
+            missing = [
+                attr for attr in COLUMN_BUNDLE_ATTRS
+                if not hasattr(bundle, attr)
+            ]
+            if missing:
+                raise LPathError(
+                    "from_columns expected a column bundle with the "
+                    f"{'/'.join(COLUMN_BUNDLE_ATTRS)} columns "
+                    f"(e.g. repro.store.LabelColumns); {type(bundle).__name__!r} "
+                    f"is missing {', '.join(missing)}"
+                )
+            lengths = {
+                attr: len(getattr(bundle, attr)) for attr in COLUMN_BUNDLE_ATTRS
+            }
+            if len(set(lengths.values())) > 1:
+                raise LPathError(
+                    f"ragged column bundle: column lengths differ ({lengths})"
+                )
+            return bundle
+
+        if isinstance(columns, (list, tuple)):
+            if not columns:
+                raise LPathError("from_columns needs at least one bundle")
+            bundles = [check(bundle) for bundle in columns]
+            if segments is not None and segments != len(bundles):
+                raise LPathError(
+                    f"segments={segments} conflicts with a list of "
+                    f"{len(bundles)} pre-sharded bundles"
+                )
+            return bundles
+        bundle = check(columns)
+        if segments is None or segments == 1:
+            return [bundle]
+        if isinstance(bundle, ColumnStore):
+            raise LPathError(
+                "cannot re-shard an already built ColumnStore; pass the raw "
+                "LabelColumns (or a list of per-segment bundles) instead"
+            )
+        return partition_columns(bundle, segments)
+
     def _init_from_rows(
         self, rows, root_right, extra_indexes: bool, plan_cache_size: int,
-        executor: str = "volcano",
+        executor: str = "volcano", segments: int = 1,
+        workers: Optional[int] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise LPathError(
                 f"unknown executor {executor!r}; choose from {EXECUTORS}"
             )
+        validate_segmentation(segments, workers)
         self.executor = executor
-        self.database = Database("lpath")
-        self.node_table = create_node_table(
-            self.database, rows, extra_indexes=extra_indexes
-        )
+        self.segments = segments
+        self.workers = workers
+        self._pool = SegmentPool(workers, segments)
         self.root_right = root_right
-        self._compiler = PlanCompiler(self.node_table, self.root_right)
+        if segments == 1:
+            self.database = Database("lpath")
+            self.node_table = create_node_table(
+                self.database, rows, extra_indexes=extra_indexes
+            )
+            self._compiler = PlanCompiler(self.node_table, self.root_right)
+            compilers = [self._compiler]
+        else:
+            # One relational store per shard; the monolithic table
+            # attributes stay None so misuse fails loudly.
+            self.database = None
+            self.node_table = None
+            parts = []
+            for index, shard in enumerate(partition_rows_by_tid(rows, segments)):
+                database = Database(f"lpath-seg{index}")
+                table = create_node_table(
+                    database, shard, extra_indexes=extra_indexes
+                )
+                shard_tids = {row[0] for row in shard}
+                shard_root_right = {
+                    tid: right for tid, right in root_right.items()
+                    if tid in shard_tids
+                }
+                parts.append(
+                    Segment(
+                        index,
+                        PlanCompiler(table, shard_root_right),
+                        len(shard),
+                    )
+                )
+            self._compiler = SegmentedPlanCompiler(parts, get_pool=self._pool)
+            compilers = [segment.compiler for segment in parts]
         if executor == "columnar":
             # The engine's default executor gets its physical structures at
-            # load time (the row table is always built eagerly above).
-            self._compiler.columnar_runtime
+            # load time (the row tables are always built eagerly above).
+            for compiler in compilers:
+                compiler.columnar_runtime
         self._sql = SQLGenerator()
         self._rows = rows
         self._sqlite: Optional[SQLiteBackend] = None
@@ -145,6 +305,8 @@ class LPathEngine:
         ``pivot=True`` (plan backend only, ignored elsewhere) enables
         selectivity-driven join ordering; ``executor`` overrides the
         engine's physical executor for this query (plan backend only)."""
+        if self._compiler is None:
+            raise LPathError("engine is closed")
         if backend == "plan":
             return [
                 tuple(row)
@@ -182,8 +344,10 @@ class LPathEngine:
 
     def compile(
         self, query: Query, pivot: bool = False, executor: Optional[str] = None
-    ) -> CompiledQuery:
+    ):
         """Compile to a shared-IR plan, via the per-engine plan cache."""
+        if self._compiler is None:
+            raise LPathError("engine is closed")
         return cached_compile(
             self.plan_cache,
             self._compiler,
@@ -220,15 +384,30 @@ class LPathEngine:
     def treewalk(self) -> TreeWalkEvaluator:
         """The tree-walking reference evaluator."""
         if self._treewalk is None:
-            raise LPathError("engine was built with keep_trees=False")
+            raise LPathError(
+                "this engine keeps no trees (built with keep_trees=False, "
+                "from_labels or from_columns), so the treewalk backend is "
+                "unavailable"
+            )
         return self._treewalk
 
     def close(self) -> None:
-        """Release backend resources and drop cached plans."""
+        """Release every backend resource: the SQLite oracle, the worker
+        pool, cached plans, and the relational store / row references —
+        so a closed engine is promptly garbage-collectable.  Idempotent;
+        queries on a closed engine raise :class:`LPathError`."""
         if self._sqlite is not None:
             self._sqlite.close()
             self._sqlite = None
+        self._pool.shutdown()
         self.plan_cache.clear()
+        self.database = None
+        self.node_table = None
+        self._rows = None
+        self._compiler = None
+        self._treewalk = None
+        self._by_id = None
+        self.trees = []
 
     def __enter__(self) -> "LPathEngine":
         return self

@@ -12,6 +12,14 @@ from .executor import Runtime, compile_plan, compile_subplan
 from .ir import render
 from .lower import Lowerer, LoweredQuery, find_attribute_equality
 from .optimizer import optimize
+from .segmented import (
+    Segment,
+    SegmentPool,
+    SegmentedCatalog,
+    SegmentedPlanCompiler,
+    SegmentedQuery,
+    validate_segmentation,
+)
 from .schemes import (
     Catalog,
     LPathScheme,
@@ -29,6 +37,11 @@ __all__ = [
     "Lowerer",
     "PlanCache",
     "Runtime",
+    "Segment",
+    "SegmentPool",
+    "SegmentedCatalog",
+    "SegmentedPlanCompiler",
+    "SegmentedQuery",
     "StartEndScheme",
     "VERTICAL_FRAGMENT",
     "XPATH_AXES",
@@ -37,4 +50,5 @@ __all__ = [
     "find_attribute_equality",
     "optimize",
     "render",
+    "validate_segmentation",
 ]

@@ -82,6 +82,25 @@ class LoweredQuery:
     description: str
 
 
+def lower_and_optimize(
+    lowerer: "Lowerer", query, pivot: bool = False
+) -> tuple[PlanNode, LoweredQuery]:
+    """The logical half of every compile: parse (if text), lower —
+    pivoted when requested and applicable, plain otherwise — and
+    optimize.  Shared by the monolithic compilers and the segmented
+    driver so the pivot-fallback and optimizer invocation can never
+    diverge between them."""
+    from ..lpath.parser import parse
+    from .optimizer import optimize
+
+    path = parse(query) if isinstance(query, str) else query
+    lowered = lowerer.lower_pivot(path) if pivot else None
+    if lowered is None:
+        lowered = lowerer.lower(path)
+    root = optimize(lowered.root, lowerer, pivot=pivot)
+    return root, lowered
+
+
 class Lowerer:
     """Lower parsed queries to the shared IR for one engine instance."""
 

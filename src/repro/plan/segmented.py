@@ -1,0 +1,214 @@
+"""Segment-aware plan compilation and execution.
+
+A segmented engine shards its corpus by tree (``tid``) into N independent
+:class:`Segment`\\ s — each one a complete physical context (row table or
+:class:`~repro.columnar.ColumnStore`) over a disjoint set of trees.
+Because every query result row belongs to exactly one tree, running the
+same plan against each segment and merging the per-segment ``(tid, id)``
+lists is *embarrassingly parallel*: no cross-segment joins, no
+deduplication, just a sorted merge.
+
+The division of labor:
+
+* :class:`SegmentedPlanCompiler` — parse → lower → optimize exactly
+  **once** (against a :class:`SegmentedCatalog` that sums per-segment
+  statistics, so selectivity decisions see the whole corpus), then
+  physical-compile the optimized IR per segment through the regular
+  :meth:`~repro.lpath.compiler.PlanCompiler.compile_physical`.  The
+  per-engine plan cache stores the resulting :class:`SegmentedQuery`
+  under the same ``(query, pivot, executor)`` key as a monolithic plan —
+  the cache is segment-count-agnostic.
+* :class:`SegmentedQuery` — drives the per-segment plans, optionally on a
+  thread pool supplied by the owning engine, and merges the sorted
+  per-segment results.
+
+Results are byte-identical to the monolithic engine: each per-segment
+plan yields sorted distinct ``(tid, id)`` pairs, segments partition the
+tid space, and ``heapq.merge`` preserves global order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from heapq import merge
+from typing import Callable, Iterable, Optional, Sequence
+
+from .ir import PlanNode, render
+from .lower import Lowerer, lower_and_optimize
+
+
+def validate_segmentation(segments: int, workers: Optional[int]) -> None:
+    """Reject nonsensical shard/pool sizes with one error shape for every
+    engine (raises :class:`~repro.lpath.errors.LPathError`)."""
+    from ..lpath.errors import LPathError
+
+    if not isinstance(segments, int) or segments < 1:
+        raise LPathError(f"segments must be a positive int, got {segments!r}")
+    if workers is not None and (not isinstance(workers, int) or workers < 1):
+        raise LPathError(
+            f"workers must be a positive int or None, got {workers!r}"
+        )
+
+
+class SegmentPool:
+    """An engine-owned, lazily created thread pool for segment fan-out.
+
+    Calling the pool returns the underlying executor (created on first
+    use) or ``None`` when execution should stay sequential — no workers
+    configured, nothing to fan out over, or the owning engine has shut
+    the pool down.  After :meth:`shutdown`, later calls keep returning
+    ``None`` (already-compiled plans still run, just sequentially) rather
+    than resurrecting a pool the engine would never release."""
+
+    def __init__(self, workers: Optional[int], segments: int) -> None:
+        self.workers = workers
+        self.segments = segments
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    def __call__(self) -> Optional[ThreadPoolExecutor]:
+        if (
+            self._closed
+            or self.workers is None
+            or self.workers <= 1
+            or self.segments <= 1
+        ):
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self.workers, self.segments),
+                thread_name_prefix="repro-segment",
+            )
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Release the executor (if any) and stay sequential forever."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class Segment:
+    """One shard of a segmented corpus: a disjoint set of trees plus the
+    physical structures (and per-segment ``(name, tid)`` partition bounds)
+    to query them independently."""
+
+    __slots__ = ("index", "compiler", "size")
+
+    def __init__(self, index: int, compiler, size: int) -> None:
+        self.index = index
+        self.compiler = compiler  # a PlanCompiler over this shard only
+        self.size = size          # label rows in the shard
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Segment {self.index} rows={self.size}>"
+
+
+class SegmentedCatalog:
+    """The lowerer's catalog surface, summed over every segment.
+
+    Sizes and name frequencies add across disjoint shards, so pivot
+    selectivity ordering sees corpus-wide statistics; access-path
+    selection delegates to the first segment — all segments share one
+    physical design (same clustered key, same index set), so the choice
+    is representative."""
+
+    def __init__(self, catalogs: Sequence) -> None:
+        if not catalogs:
+            raise ValueError("a segmented catalog needs at least one segment")
+        self._catalogs = list(catalogs)
+
+    def size(self) -> int:
+        return sum(catalog.size() for catalog in self._catalogs)
+
+    def frequency(self, name: Optional[str]) -> int:
+        return sum(catalog.frequency(name) for catalog in self._catalogs)
+
+    def access_path(self, eq_columns, range_column=None):
+        return self._catalogs[0].access_path(eq_columns, range_column)
+
+
+class SegmentedQuery:
+    """A compiled query fanned out over N segments.
+
+    Holds one per-segment compiled result (the same
+    :class:`~repro.lpath.compiler.CompiledQuery` objects a monolithic
+    engine produces) and merges their sorted outputs.  ``get_pool`` is a
+    zero-argument callable supplied by the owning engine returning a
+    ``concurrent.futures`` executor, or ``None`` for sequential execution
+    — a callable rather than a pool so cached plans survive the engine's
+    pool being recycled by :meth:`close`."""
+
+    def __init__(
+        self,
+        parts: Sequence,
+        description: str,
+        logical: PlanNode,
+        get_pool: Optional[Callable] = None,
+    ) -> None:
+        self.parts = list(parts)
+        self.description = description
+        self.logical = logical
+        self.get_pool = get_pool
+
+    def _map(self, task: Callable) -> list:
+        pool = self.get_pool() if self.get_pool is not None else None
+        if pool is None or len(self.parts) <= 1:
+            return [task(part) for part in self.parts]
+        return list(pool.map(task, self.parts))
+
+    def rows(self) -> Iterable[tuple]:
+        """Distinct, sorted ``(tid, id)`` pairs across every segment."""
+        return merge(*self._map(lambda part: part.rows()))
+
+    def count(self) -> int:
+        """Total result size — per-segment counts simply add because the
+        segments partition the tid space."""
+        return sum(self._map(lambda part: part.count()))
+
+    def explain(self) -> str:
+        """The shared logical IR plus the first segment's physical plan
+        (all segments compile the same IR against the same design)."""
+        parts = [self.description]
+        if self.logical is not None:
+            parts.append("logical plan:\n" + render(self.logical, indent=2))
+        parts.append(
+            f"physical plan (x{len(self.parts)} segments, segment 0 shown):\n"
+            + self.parts[0].plan.explain(indent=2)
+        )
+        return "\n".join(parts)
+
+
+class SegmentedPlanCompiler:
+    """Compile queries once, execute them against every segment.
+
+    Mirrors the :class:`~repro.lpath.compiler.PlanCompiler` surface the
+    engines and the plan cache consume (``compile(query, pivot,
+    executor)``), so an engine swaps monolithic for segmented compilation
+    without touching its query paths.  Works for both dialects — the
+    per-segment compilers carry the scheme, dialect and result class."""
+
+    def __init__(self, segments: Sequence[Segment], get_pool=None) -> None:
+        if not segments:
+            raise ValueError("a segmented compiler needs at least one segment")
+        self.segments = list(segments)
+        first = self.segments[0].compiler
+        self.dialect = first.dialect
+        self.scheme = first.scheme
+        self.catalog = SegmentedCatalog(
+            [segment.compiler.catalog for segment in self.segments]
+        )
+        self.lowerer = Lowerer(self.scheme, self.catalog, self.dialect)
+        self.get_pool = get_pool
+
+    def compile(
+        self, query, pivot: bool = False, executor: str = "volcano"
+    ) -> SegmentedQuery:
+        """One logical compile, N physical compiles, one merged result."""
+        root, lowered = lower_and_optimize(self.lowerer, query, pivot)
+        parts = [
+            segment.compiler.compile_physical(root, lowered, executor)
+            for segment in self.segments
+        ]
+        return SegmentedQuery(parts, lowered.description, root, self.get_pool)

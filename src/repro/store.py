@@ -4,23 +4,31 @@ TGrep2 queries a "binary file representation of the data"; the analogous
 artifact for the LPath engine is the labeled relation itself.  This module
 writes ``node(tid, left, right, depth, id, pid, name, value)`` rows to a
 compact binary file so an engine can start without re-parsing and
-re-labeling the treebank:
+re-labeling the treebank.  Three on-disk revisions exist:
 
-* header: magic ``LPDB0002`` + payload length + CRC-32 of the payload,
-* payload: row count, string table (interned names and values — tags and
-  words repeat heavily), then rows of seven varint-packed integers plus
-  two string-table references.
+* ``LPDB0001`` — magic + payload, no checksum (read-only legacy);
+* ``LPDB0002`` — magic + payload length + CRC-32 + payload, where the
+  payload is a row count, a string table (interned names and values —
+  tags and words repeat heavily), then rows of seven varint-packed
+  integers plus two string-table references;
+* ``LPDB0003`` — the *segmented* format: magic + a manifest (segment
+  count) followed by one block per segment, each block carrying its own
+  length + CRC-32 header over an ``LPDB0002``-shaped payload.  Segments
+  partition the corpus by tree (``tid``), so every block is a
+  self-contained shard that one :class:`repro.columnar.ColumnStore` (or
+  row table) can adopt independently and query in parallel.
 
-The format is self-contained and versioned; both loaders verify the magic,
-the declared length and the checksum, so truncation and bit corruption
-fail loudly with :class:`StoreError` instead of decoding to garbage.
-Files written by the previous ``LPDB0001`` revision (no checksum) are
-still readable.
+Every revision is self-contained and versioned; the loaders verify the
+magic, the declared lengths and the checksums, so truncation and bit
+corruption fail loudly with :class:`StoreError` instead of decoding to
+garbage.
 
-Two loaders share one parser: :func:`load_labels` materializes ``Label``
-rows for the row-oriented engine, while :func:`load_label_columns` fills
-parallel arrays directly — the shape :class:`repro.columnar.ColumnStore`
-adopts without ever building a per-row object.
+Loaders share one payload parser: :func:`load_labels` materializes
+``Label`` rows for the row-oriented engine, :func:`load_label_columns`
+fills parallel arrays directly — the shape
+:class:`repro.columnar.ColumnStore` adopts without ever building a
+per-row object — and :func:`load_segment_columns` keeps the shards of an
+``LPDB0003`` file apart (older single-store files load as one segment).
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from .labeling.lpath_scheme import Label
 
 MAGIC = b"LPDB0002"
 LEGACY_MAGIC = b"LPDB0001"
+SEGMENTED_MAGIC = b"LPDB0003"
 #: String-table index meaning "no value" (element rows).
 _NO_VALUE = 0
 
@@ -77,14 +86,8 @@ def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
         shift += 7
 
 
-def save_labels(
-    rows: Sequence[Label], stream: BinaryIO, checksum: bool = True
-) -> int:
-    """Write label rows; returns the number of rows written.
-
-    ``checksum=False`` writes the legacy ``LPDB0001`` layout (no length or
-    CRC header) — kept for round-trip tests against old files.
-    """
+def _encode_payload(rows: Iterable) -> tuple[bytes, int]:
+    """Encode rows into one LPDB payload blob; returns ``(blob, count)``."""
     strings: dict[str, int] = {}
 
     def intern(text: str) -> int:
@@ -97,14 +100,15 @@ def save_labels(
     body = io.BytesIO()
     count = 0
     for row in rows:
-        _write_varint(body, row.tid)
-        _write_varint(body, row.left)
-        _write_varint(body, row.right)
-        _write_varint(body, row.depth)
-        _write_varint(body, row.id)
-        _write_varint(body, row.pid)
-        _write_varint(body, intern(row.name))
-        _write_varint(body, _NO_VALUE if row.value is None else intern(row.value))
+        tid, left, right, depth, node_id, pid, name, value = row
+        _write_varint(body, tid)
+        _write_varint(body, left)
+        _write_varint(body, right)
+        _write_varint(body, depth)
+        _write_varint(body, node_id)
+        _write_varint(body, pid)
+        _write_varint(body, intern(name))
+        _write_varint(body, _NO_VALUE if value is None else intern(value))
         count += 1
 
     payload = io.BytesIO()
@@ -115,43 +119,136 @@ def save_labels(
         _write_varint(payload, len(encoded))
         payload.write(encoded)
     payload.write(body.getvalue())
-    blob = payload.getvalue()
+    return payload.getvalue(), count
 
-    if not checksum:
-        stream.write(LEGACY_MAGIC)
-        stream.write(blob)
-        return count
-    stream.write(MAGIC)
+
+def _write_block(stream: BinaryIO, blob: bytes) -> None:
+    """One length + CRC-32 header followed by the payload bytes."""
     header = io.BytesIO()
     _write_varint(header, len(blob))
     _write_varint(header, zlib.crc32(blob))
     stream.write(header.getvalue())
     stream.write(blob)
+
+
+def partition_rows_by_tid(rows: Sequence, segments: int) -> list[list]:
+    """Deal the trees of a label relation into ``segments`` disjoint shards.
+
+    Trees stay whole (every row of one ``tid`` lands in the same shard);
+    distinct tids are dealt round-robin in sorted order, so the split is
+    deterministic and balanced for the common case of similar tree sizes.
+    Shards may be empty when there are fewer trees than segments.
+    """
+    if segments < 1:
+        raise StoreError(f"segment count must be >= 1, got {segments}")
+    assignment = {
+        tid: index % segments
+        for index, tid in enumerate(sorted({row[0] for row in rows}))
+    }
+    shards: list[list] = [[] for _ in range(segments)]
+    for row in rows:
+        shards[assignment[row[0]]].append(row)
+    return shards
+
+
+def save_segments(
+    segment_rows: Sequence[Sequence[Label]], stream: BinaryIO
+) -> int:
+    """Write an ``LPDB0003`` segmented corpus; returns total rows written.
+
+    The caller controls the sharding — each element of ``segment_rows``
+    becomes one block.  Use :func:`partition_rows_by_tid` for the standard
+    tid-partitioned split (required for parallel query execution to return
+    distinct results; this function does not re-check it).
+    """
+    stream.write(SEGMENTED_MAGIC)
+    header = io.BytesIO()
+    _write_varint(header, len(segment_rows))
+    stream.write(header.getvalue())
+    total = 0
+    for rows in segment_rows:
+        blob, count = _encode_payload(rows)
+        _write_block(stream, blob)
+        total += count
+    return total
+
+
+def save_labels(
+    rows: Sequence[Label], stream: BinaryIO, checksum: bool = True,
+    segments: int = 1,
+) -> int:
+    """Write label rows; returns the number of rows written.
+
+    ``segments > 1`` writes the ``LPDB0003`` segmented layout with the
+    corpus partitioned by tree (:func:`partition_rows_by_tid`).
+    ``checksum=False`` writes the legacy ``LPDB0001`` layout (no length or
+    CRC header) — kept for round-trip tests against old files; it has no
+    segmented variant.
+    """
+    if segments < 1:
+        raise StoreError(f"segment count must be >= 1, got {segments}")
+    if segments > 1:
+        if not checksum:
+            raise StoreError("the segmented layout always carries checksums")
+        return save_segments(partition_rows_by_tid(rows, segments), stream)
+    blob, count = _encode_payload(rows)
+    if not checksum:
+        stream.write(LEGACY_MAGIC)
+        stream.write(blob)
+        return count
+    stream.write(MAGIC)
+    _write_block(stream, blob)
     return count
 
 
 # -- parsing (shared by both loaders) -----------------------------------------
 
 
-def _checked_payload(data: bytes) -> bytes:
-    """Verify magic/length/CRC and return the payload bytes."""
-    if data.startswith(LEGACY_MAGIC):
-        return data[len(LEGACY_MAGIC):]
-    if not data.startswith(MAGIC):
-        raise StoreError(
-            "not a compiled corpus file (bad magic; expected LPDB0002)"
-        )
-    offset = len(MAGIC)
+def _checked_block(data: bytes, offset: int) -> tuple[bytes, int]:
+    """Verify one length + CRC-32 block at ``offset``; returns the payload
+    bytes and the offset past the block."""
     length, offset = _read_varint(data, offset)
     expected_crc, offset = _read_varint(data, offset)
-    payload = data[offset:]
-    if len(payload) != length:
+    end = offset + length
+    if end > len(data):
         raise StoreError(
-            f"payload length mismatch: header says {length}, file has {len(payload)}"
+            f"payload length mismatch: header says {length}, "
+            f"file has {len(data) - offset}"
         )
+    payload = data[offset:end]
     if zlib.crc32(payload) != expected_crc:
         raise StoreError("checksum mismatch: the file is corrupt")
-    return payload
+    return payload, end
+
+
+def _segment_payloads(data: bytes) -> list[bytes]:
+    """Verify magics/lengths/CRCs and return one payload per segment.
+
+    Single-store revisions (``LPDB0001``/``LPDB0002``) come back as one
+    segment, so every caller sees the same shape regardless of the on-disk
+    format generation.
+    """
+    if data.startswith(LEGACY_MAGIC):
+        return [data[len(LEGACY_MAGIC):]]
+    if data.startswith(MAGIC):
+        payload, end = _checked_block(data, len(MAGIC))
+        if end != len(data):
+            raise StoreError(f"{len(data) - end} trailing bytes after payload")
+        return [payload]
+    if data.startswith(SEGMENTED_MAGIC):
+        count, offset = _read_varint(data, len(SEGMENTED_MAGIC))
+        payloads: list[bytes] = []
+        for _ in range(count):
+            payload, offset = _checked_block(data, offset)
+            payloads.append(payload)
+        if offset != len(data):
+            raise StoreError(
+                f"{len(data) - offset} trailing bytes after the last segment"
+            )
+        return payloads
+    raise StoreError(
+        "not a compiled corpus file (bad magic; expected LPDB0002/LPDB0003)"
+    )
 
 
 def _parse_string_table(payload: bytes) -> tuple[int, list[str], int]:
@@ -173,10 +270,16 @@ def _parse_string_table(payload: bytes) -> tuple[int, list[str], int]:
 
 
 def load_labels(stream: BinaryIO) -> list[Label]:
-    """Read label rows written by :func:`save_labels`."""
-    payload = _checked_payload(stream.read())
-    count, table, offset = _parse_string_table(payload)
+    """Read label rows written by :func:`save_labels` (any revision;
+    segmented files concatenate their shards in segment order)."""
     rows: list[Label] = []
+    for payload in _segment_payloads(stream.read()):
+        _decode_labels_into(payload, rows)
+    return rows
+
+
+def _decode_labels_into(payload: bytes, rows: list[Label]) -> None:
+    count, table, offset = _parse_string_table(payload)
     for _ in range(count):
         tid, offset = _read_varint(payload, offset)
         left, offset = _read_varint(payload, offset)
@@ -194,7 +297,6 @@ def load_labels(stream: BinaryIO) -> list[Label]:
         rows.append(Label(tid, left, right, depth, node_id, pid, name, value))
     if offset != len(payload):
         raise StoreError(f"{len(payload) - offset} trailing bytes after rows")
-    return rows
 
 
 @dataclass
@@ -220,11 +322,34 @@ def load_label_columns(stream: BinaryIO) -> LabelColumns:
     Decodes the same byte layout as :func:`load_labels` but appends each
     field to its column array — no :class:`Label` (or any other per-row
     object) is ever created, which is what makes cold columnar-engine
-    startup linear in the file size with tiny constant factors.
+    startup linear in the file size with tiny constant factors.  Segmented
+    files merge their shards into one bundle; use
+    :func:`load_segment_columns` to keep them apart.
     """
-    payload = _checked_payload(stream.read())
-    count, table, offset = _parse_string_table(payload)
     columns = LabelColumns()
+    for payload in _segment_payloads(stream.read()):
+        _decode_columns_into(payload, columns)
+    return columns
+
+
+def load_segment_columns(stream: BinaryIO) -> list[LabelColumns]:
+    """Read a compiled corpus as one column bundle *per segment*.
+
+    The shard structure of an ``LPDB0003`` file survives loading — each
+    bundle feeds one :class:`repro.columnar.ColumnStore`, which is what a
+    segmented engine fans queries out over.  Single-store revisions load
+    as one segment, so callers need no format-generation switch.
+    """
+    segments: list[LabelColumns] = []
+    for payload in _segment_payloads(stream.read()):
+        columns = LabelColumns()
+        _decode_columns_into(payload, columns)
+        segments.append(columns)
+    return segments
+
+
+def _decode_columns_into(payload: bytes, columns: LabelColumns) -> None:
+    count, table, offset = _parse_string_table(payload)
     ints = (columns.tid, columns.left, columns.right,
             columns.depth, columns.id, columns.pid)
     names, values = columns.names, columns.values
@@ -242,18 +367,41 @@ def load_label_columns(stream: BinaryIO) -> LabelColumns:
             raise StoreError("string-table reference out of range") from None
     if offset != len(payload):
         raise StoreError(f"{len(payload) - offset} trailing bytes after rows")
-    return columns
+
+
+def partition_columns(columns: LabelColumns, segments: int) -> list[LabelColumns]:
+    """Shard one column bundle by tree, mirroring
+    :func:`partition_rows_by_tid` (same deterministic round-robin deal
+    over sorted tids), without materializing row objects."""
+    if segments < 1:
+        raise StoreError(f"segment count must be >= 1, got {segments}")
+    assignment = {
+        tid: index % segments
+        for index, tid in enumerate(sorted(set(columns.tid)))
+    }
+    shards = [LabelColumns() for _ in range(segments)]
+    ints = ("tid", "left", "right", "depth", "id", "pid")
+    for row in range(len(columns)):
+        shard = shards[assignment[columns.tid[row]]]
+        for name in ints:
+            getattr(shard, name).append(getattr(columns, name)[row])
+        shard.names.append(columns.names[row])
+        shard.values.append(columns.values[row])
+    return shards
 
 
 # -- file helpers -------------------------------------------------------------
 
 
-def save_corpus(trees: Iterable, path: str) -> int:
-    """Label a corpus of trees and save it; returns the row count."""
+def save_corpus(trees: Iterable, path: str, segments: int = 1) -> int:
+    """Label a corpus of trees and save it; returns the row count.
+
+    ``segments > 1`` writes the ``LPDB0003`` segmented layout, sharded by
+    tree."""
     from .labeling.lpath_scheme import label_corpus
 
     with open(path, "wb") as handle:
-        return save_labels(list(label_corpus(trees)), handle)
+        return save_labels(list(label_corpus(trees)), handle, segments=segments)
 
 
 def load_corpus_labels(path: str) -> list[Label]:
@@ -268,11 +416,32 @@ def load_corpus_columns(path: str) -> LabelColumns:
         return load_label_columns(handle)
 
 
+def load_corpus_segments(path: str) -> list[LabelColumns]:
+    """Load a compiled corpus file as per-segment column bundles."""
+    with open(path, "rb") as handle:
+        return load_segment_columns(handle)
+
+
+def corpus_segment_count(path: str) -> int:
+    """How many segments the file declares (1 for single-store formats),
+    from the header alone — no payload is read or verified."""
+    with open(path, "rb") as handle:
+        head = handle.read(len(SEGMENTED_MAGIC) + 10)
+    if head.startswith((MAGIC, LEGACY_MAGIC)):
+        return 1
+    if head.startswith(SEGMENTED_MAGIC):
+        count, _ = _read_varint(head, len(SEGMENTED_MAGIC))
+        return count
+    raise StoreError(
+        "not a compiled corpus file (bad magic; expected LPDB0002/LPDB0003)"
+    )
+
+
 def is_compiled_corpus(path: str) -> bool:
     """Cheap sniff: does the file start with an LPDB magic?"""
     try:
         with open(path, "rb") as handle:
             magic = handle.read(len(MAGIC))
-            return magic in (MAGIC, LEGACY_MAGIC)
+            return magic in (MAGIC, LEGACY_MAGIC, SEGMENTED_MAGIC)
     except OSError:
         return False

@@ -16,8 +16,15 @@ from ..labeling import xpath_scheme
 from ..lpath.ast import Path
 from ..lpath.errors import LPathError
 from ..plan.cache import PlanCache, cached_compile
+from ..plan.segmented import (
+    Segment,
+    SegmentPool,
+    SegmentedPlanCompiler,
+    validate_segmentation,
+)
 from ..relational.database import Database
 from ..relational.table import Table
+from ..store import partition_rows_by_tid
 from ..tree.node import Tree
 from .compiler import (
     VERTICAL_FRAGMENT,
@@ -55,6 +62,8 @@ class XPathEngine:
         axes: frozenset = VERTICAL_FRAGMENT,
         plan_cache_size: int = 128,
         executor: str = "volcano",
+        segments: int = 1,
+        workers: Optional[int] = None,
     ) -> None:
         from ..lpath.compiler import EXECUTORS
 
@@ -62,21 +71,41 @@ class XPathEngine:
             raise LPathError(
                 f"unknown executor {executor!r}; choose from {EXECUTORS}"
             )
+        validate_segmentation(segments, workers)
         self.trees = list(trees)
         tids = [tree.tid for tree in self.trees]
         if len(set(tids)) != len(tids):
             raise LPathError("trees must have distinct tids")
         rows = [tuple(row) for row in xpath_scheme.label_corpus(self.trees)]
-        self.database = Database("xpath")
-        self.xnode_table = create_xnode_table(self.database, rows)
-        self._compiler = XPathPlanCompiler(self.xnode_table, axes=axes)
         self.executor = executor
+        self.segments = segments
+        self.workers = workers
+        self._pool = SegmentPool(workers, segments)
+        if segments == 1:
+            self.database = Database("xpath")
+            self.xnode_table = create_xnode_table(self.database, rows)
+            self._compiler = XPathPlanCompiler(self.xnode_table, axes=axes)
+        else:
+            self.database = None
+            self.xnode_table = None
+            parts = []
+            for index, shard in enumerate(partition_rows_by_tid(rows, segments)):
+                database = Database(f"xpath-seg{index}")
+                table = create_xnode_table(database, shard)
+                parts.append(
+                    Segment(
+                        index, XPathPlanCompiler(table, axes=axes), len(shard)
+                    )
+                )
+            self._compiler = SegmentedPlanCompiler(parts, get_pool=self._pool)
         self.plan_cache = PlanCache(plan_cache_size)
 
     def compile(
         self, query: Query, pivot: bool = False, executor: Optional[str] = None
-    ) -> XPathCompiledQuery:
+    ):
         """Compile to a shared-IR plan, via the per-engine plan cache."""
+        if self._compiler is None:
+            raise LPathError("engine is closed")
         return cached_compile(
             self.plan_cache,
             self._compiler,
@@ -106,3 +135,19 @@ class XPathEngine:
         """Logical-IR and physical plan description (same IR format as the
         LPath engine)."""
         return self.compile(query, pivot=pivot, executor=executor).explain()
+
+    def close(self) -> None:
+        """Release the worker pool, cached plans and relational stores so
+        a closed engine is promptly garbage-collectable.  Idempotent."""
+        self._pool.shutdown()
+        self.plan_cache.clear()
+        self.database = None
+        self.xnode_table = None
+        self._compiler = None
+        self.trees = []
+
+    def __enter__(self) -> "XPathEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

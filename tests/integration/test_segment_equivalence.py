@@ -1,0 +1,150 @@
+"""Differential sweep: segmented engines must equal the monolithic one.
+
+For random corpora and random queries (the tests/strategies.py
+generators), sharding the corpus must be invisible in the results:
+
+* the LPath engine at 1, 2, 3 and 7 segments — both physical executors,
+  with and without a worker pool — must return exactly the monolithic
+  engine's ``(tid, id)`` lists;
+* the same holds for the XPath engine on the start/end-expressible
+  fragment;
+* a corpus round-tripped through the segmented ``LPDB0003`` store format
+  (and loaded shard-by-shard into a columnar-only ``from_columns``
+  engine) must also agree exactly.
+
+``REPRO_FUZZ_EXAMPLES`` scales the hypothesis example budget like the
+main differential-fuzz harness.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import store
+from repro.labeling import label_corpus
+from repro.lpath import LPathEngine
+from repro.xpath import XPATH_AXES, XPathEngine
+from tests.strategies import corpora, lpath_queries, xpath_queries
+
+FUZZ_EXAMPLES = max(5, int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25")) // 3)
+QUERIES_PER_EXAMPLE = 4
+SEGMENT_SWEEP = (1, 2, 3, 7)
+WORKER_SWEEP = (None, 2)
+
+
+class TestLPathSegmentEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+    def test_segmented_engines_match_monolithic(self, data):
+        trees = data.draw(corpora(max_trees=4, max_depth=4), label="corpus")
+        monolithic = LPathEngine(trees, keep_trees=False)
+        engines = {
+            (segments, workers): LPathEngine(
+                trees, keep_trees=False, segments=segments, workers=workers
+            )
+            for segments in SEGMENT_SWEEP
+            for workers in WORKER_SWEEP
+            if (segments, workers) != (1, None)
+        }
+        for index in range(QUERIES_PER_EXAMPLE):
+            query = data.draw(lpath_queries(), label=f"query {index}")
+            expected = monolithic.query(query)
+            for (segments, workers), engine in engines.items():
+                for executor in ("volcano", "columnar"):
+                    got = engine.query(query, executor=executor)
+                    assert got == expected, (
+                        f"segments={segments} workers={workers} "
+                        f"executor={executor} disagrees on {query!r}: "
+                        f"{got} != {expected}"
+                    )
+
+    @given(data=st.data())
+    @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+    def test_lpdb0003_round_trip_matches_monolithic(self, data):
+        trees = data.draw(corpora(max_trees=4, max_depth=4), label="corpus")
+        monolithic = LPathEngine(trees, keep_trees=False)
+        rows = list(label_corpus(trees))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer, segments=3)
+        buffer.seek(0)
+        engine = LPathEngine.from_columns(
+            store.load_segment_columns(buffer), workers=2
+        )
+        for index in range(QUERIES_PER_EXAMPLE):
+            query = data.draw(lpath_queries(), label=f"query {index}")
+            assert engine.query(query) == monolithic.query(query), query
+
+
+class TestXPathSegmentEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+    def test_segmented_xpath_matches_monolithic(self, data):
+        trees = data.draw(corpora(max_trees=4, max_depth=4), label="corpus")
+        monolithic = XPathEngine(trees, axes=XPATH_AXES)
+        engines = [
+            XPathEngine(trees, axes=XPATH_AXES, segments=segments, workers=workers)
+            for segments in (2, 3, 7)
+            for workers in WORKER_SWEEP
+        ]
+        for index in range(QUERIES_PER_EXAMPLE):
+            query = data.draw(xpath_queries(), label=f"query {index}")
+            expected = monolithic.query(query)
+            for engine in engines:
+                for executor in ("volcano", "columnar"):
+                    got = engine.query(query, executor=executor)
+                    assert got == expected, (
+                        f"segments={engine.segments} workers={engine.workers} "
+                        f"executor={executor} disagrees on {query!r}"
+                    )
+
+
+class TestSegmentedPlanSurface:
+    """Non-fuzz sanity for the segmented compile/execute surface."""
+
+    def _trees(self):
+        from repro.tree import figure1_tree
+
+        return [figure1_tree(tid=tid) for tid in range(5)]
+
+    def test_plan_cache_hit_returns_same_segmented_plan(self):
+        engine = LPathEngine(self._trees(), segments=3, workers=2)
+        first = engine.compile("//NP")
+        assert engine.compile("//NP") is first
+        assert len(first.parts) == 3
+
+    def test_explain_shows_segment_count(self):
+        engine = LPathEngine(self._trees(), segments=3)
+        text = engine.explain("//VP//NP")
+        assert "logical plan:" in text
+        assert "x3 segments" in text
+
+    def test_pivot_uses_corpus_wide_statistics(self):
+        # Selectivity ordering must see summed frequencies; the pivoted
+        # plan still returns the same rows.
+        engine = LPathEngine(self._trees(), segments=3)
+        baseline = LPathEngine(self._trees())
+        for executor in ("volcano", "columnar"):
+            assert engine.query(
+                "//S//NP", pivot=True, executor=executor
+            ) == baseline.query("//S//NP")
+
+    def test_count_matches_len_query(self):
+        engine = LPathEngine(self._trees(), segments=2, workers=2)
+        assert engine.count("//NP") == len(engine.query("//NP"))
+
+    def test_more_segments_than_trees(self):
+        trees = self._trees()[:2]
+        engine = LPathEngine(trees, segments=7)
+        baseline = LPathEngine(trees)
+        assert engine.query("//NP") == baseline.query("//NP")
+
+    def test_sqlite_and_treewalk_see_whole_corpus(self):
+        trees = self._trees()
+        engine = LPathEngine(trees, segments=3)
+        expected = LPathEngine(trees).query("//NP")
+        assert engine.query("//NP", backend="sqlite") == expected
+        assert engine.query("//NP", backend="treewalk") == expected

@@ -56,6 +56,71 @@ class TestEngineAPI:
         assert "Distinct" in text
 
 
+class TestClose:
+    def test_close_is_idempotent(self):
+        engine = LPathEngine([figure1_tree()])
+        engine.query("//NP", backend="sqlite")
+        engine.close()
+        engine.close()
+        engine.close()
+
+    def test_close_releases_relational_store_and_rows(self):
+        engine = LPathEngine([figure1_tree()])
+        engine.query("//NP")
+        engine.close()
+        assert engine.database is None
+        assert engine.node_table is None
+        assert engine._rows is None
+        assert engine._compiler is None
+        assert len(engine.plan_cache) == 0
+
+    def test_closed_engine_rejects_queries_on_every_backend(self):
+        engine = LPathEngine([figure1_tree()])
+        engine.close()
+        for backend in ("plan", "sqlite", "treewalk"):
+            with pytest.raises(LPathError, match="closed"):
+                engine.query("//NP", backend=backend)
+
+    def test_closed_engine_is_collectable(self):
+        import gc
+        import weakref
+
+        engine = LPathEngine([figure1_tree()])
+        engine.query("//NP")
+        table_ref = weakref.ref(engine.node_table)
+        database_ref = weakref.ref(engine.database)
+        engine.close()
+        gc.collect()
+        assert table_ref() is None
+        assert database_ref() is None
+
+    def test_close_shuts_down_worker_pool(self):
+        engine = LPathEngine(
+            [figure1_tree(tid=tid) for tid in range(4)],
+            segments=2, workers=2,
+        )
+        engine.query("//NP")  # spins the pool up
+        executor = engine._pool()
+        assert executor is not None
+        engine.close()
+        assert executor._shutdown
+        # A shut-down pool stays sequential instead of resurrecting.
+        assert engine._pool() is None
+
+    def test_compiled_plan_survives_close_without_new_pool(self):
+        engine = LPathEngine(
+            [figure1_tree(tid=tid) for tid in range(4)],
+            segments=2, workers=2,
+        )
+        plan = engine.compile("//NP")
+        expected = list(plan.rows())
+        engine.close()
+        # The cached plan still executes (its per-segment runtimes are
+        # self-contained) but sequentially — no executor comes back.
+        assert list(plan.rows()) == expected
+        assert engine._pool() is None
+
+
 class TestPlanCompiler:
     def test_value_seed_used_for_wildcard_value_query(self, engine):
         text = engine.explain("//_[@lex=saw]")

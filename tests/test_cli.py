@@ -79,6 +79,44 @@ class TestQuery:
         assert code == 0
         assert columnar == volcano
 
+    def test_segments_and_workers_preserve_counts(self, corpus_file):
+        code, expected = run(["query", corpus_file, "//S//NP", "--count"])
+        assert code == 0
+        for extra in (
+            ["--segments", "3"],
+            ["--segments", "3", "--workers", "2"],
+            ["--segments", "4", "--executor", "columnar", "--workers", "2"],
+            ["--segments", "3", "--engine", "xpath"],
+        ):
+            argv = ["query", corpus_file, "//S//NP", "--count"] + extra
+            code, output = run(argv)
+            assert code == 0, argv
+            assert output == expected, argv
+
+    def test_compile_segmented_and_query(self, corpus_file, tmp_path):
+        lpdb = str(tmp_path / "sharded.lpdb")
+        code, output = run(["compile", corpus_file, "-o", lpdb,
+                            "--segments", "4"])
+        assert code == 0
+        assert "in 4 segments" in output
+        code, expected = run(["query", corpus_file, "//S//NP", "--count"])
+        assert code == 0
+        # The segmented file serves both executors, sequential and pooled,
+        # and an explicit --segments re-deals the on-disk shards.
+        for extra in ([], ["--executor", "columnar"],
+                      ["--executor", "columnar", "--workers", "2"],
+                      ["--executor", "columnar", "--segments", "4"],
+                      ["--executor", "columnar", "--segments", "2"],
+                      ["--executor", "columnar", "--segments", "1"]):
+            code, output = run(["query", lpdb, "//S//NP", "--count"] + extra)
+            assert code == 0, extra
+            assert output == expected, extra
+
+    def test_invalid_segments_reported(self, corpus_file):
+        code, _ = run(["query", corpus_file, "//NP", "--count",
+                       "--segments", "0"])
+        assert code == 1
+
     def test_matches_highlighted(self, corpus_file):
         code, output = run(["query", corpus_file, "//VB->NP", "--show", "2"])
         assert code == 0

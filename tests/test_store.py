@@ -118,6 +118,114 @@ class TestColumnarLoader:
         assert len(columns) == 25
 
 
+class TestSegmentedFormat:
+    """The LPDB0003 manifest + per-segment block layout."""
+
+    def trees(self, count=5):
+        return [figure1_tree(tid=tid) for tid in range(count)]
+
+    def test_round_trip_concatenates_shards(self):
+        rows = list(label_corpus(self.trees()))
+        buffer = io.BytesIO()
+        count = store.save_labels(rows, buffer, segments=3)
+        assert count == len(rows)
+        data = buffer.getvalue()
+        assert data.startswith(store.SEGMENTED_MAGIC)
+        # Same multiset of rows; shard-major order.
+        assert sorted(store.load_labels(io.BytesIO(data))) == sorted(rows)
+
+    def test_segment_columns_partition_by_tid(self):
+        rows = list(label_corpus(self.trees()))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer, segments=3)
+        shards = store.load_segment_columns(io.BytesIO(buffer.getvalue()))
+        assert len(shards) == 3
+        tid_sets = [set(shard.tid) for shard in shards]
+        # Disjoint shards covering every tree (round-robin over sorted tids).
+        assert tid_sets == [{0, 3}, {1, 4}, {2}]
+        assert sum(len(shard) for shard in shards) == len(rows)
+
+    def test_single_store_formats_load_as_one_segment(self):
+        rows = list(label_corpus([figure1_tree()]))
+        for checksum in (True, False):
+            shards = store.load_segment_columns(
+                io.BytesIO(saved_bytes(rows, checksum=checksum))
+            )
+            assert len(shards) == 1
+            assert shards[0].names == [row.name for row in rows]
+
+    def test_merged_column_loader_reads_segmented_files(self):
+        rows = list(label_corpus(self.trees()))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer, segments=4)
+        columns = store.load_label_columns(io.BytesIO(buffer.getvalue()))
+        assert len(columns) == len(rows)
+        assert sorted(columns.tid) == sorted(row.tid for row in rows)
+
+    def test_empty_segments_allowed(self):
+        rows = list(label_corpus([figure1_tree()]))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer, segments=3)
+        shards = store.load_segment_columns(io.BytesIO(buffer.getvalue()))
+        assert [len(shard) for shard in shards] == [len(rows), 0, 0]
+
+    def test_legacy_layout_has_no_segmented_variant(self):
+        rows = list(label_corpus(self.trees()))
+        with pytest.raises(store.StoreError):
+            store.save_labels(rows, io.BytesIO(), checksum=False, segments=2)
+
+    def test_partition_rows_deterministic_and_whole_trees(self):
+        rows = list(label_corpus(self.trees(7)))
+        shards = store.partition_rows_by_tid(rows, 3)
+        again = store.partition_rows_by_tid(rows, 3)
+        assert shards == again
+        seen = set()
+        for shard in shards:
+            tids = {row.tid for row in shard}
+            assert not tids & seen
+            seen |= tids
+        assert seen == set(range(7))
+
+    def test_partition_rejects_bad_counts(self):
+        for partition in (store.partition_rows_by_tid, store.partition_columns):
+            with pytest.raises(store.StoreError):
+                partition([] if partition is store.partition_rows_by_tid
+                          else store.LabelColumns(), 0)
+
+    def test_truncation_and_bit_flips_detected(self):
+        rows = list(label_corpus(self.trees()))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer, segments=3)
+        blob = buffer.getvalue()
+        for cut in range(0, len(blob), 7):
+            with pytest.raises(store.StoreError):
+                store.load_segment_columns(io.BytesIO(blob[:cut]))
+        for position in range(0, len(blob), 11):
+            corrupt = bytearray(blob)
+            corrupt[position] ^= 0x10
+            with pytest.raises(store.StoreError):
+                store.load_segment_columns(io.BytesIO(bytes(corrupt)))
+
+    def test_trailing_garbage_detected(self):
+        rows = list(label_corpus(self.trees()))
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer, segments=2)
+        with pytest.raises(store.StoreError):
+            store.load_segment_columns(io.BytesIO(buffer.getvalue() + b"\x00"))
+
+    def test_file_helpers_and_sniffing(self, tmp_path):
+        path = tmp_path / "corpus.lpdb"
+        store.save_corpus(self.trees(), str(path), segments=3)
+        assert store.is_compiled_corpus(str(path))
+        assert store.corpus_segment_count(str(path)) == 3
+        shards = store.load_corpus_segments(str(path))
+        assert len(shards) == 3
+        single = tmp_path / "single.lpdb"
+        store.save_corpus(self.trees(), str(single))
+        assert store.corpus_segment_count(str(single)) == 1
+        assert len(store.load_corpus_segments(str(single))) == 1
+
+
 class TestCorruptionDetection:
     """Truncation and bit corruption raise StoreError — never garbage."""
 
@@ -173,6 +281,49 @@ class TestEngineFromColumns:
             engine.query("//NP", executor="volcano")
         with pytest.raises(LPathError):
             engine.treewalk
+
+    def test_rejects_row_executors_at_construction(self):
+        rows = list(label_corpus([figure1_tree()]))
+        columns = store.load_label_columns(io.BytesIO(saved_bytes(rows)))
+        with pytest.raises(LPathError, match="columnar-only"):
+            LPathEngine.from_columns(columns, executor="volcano")
+        with pytest.raises(LPathError, match="unknown executor"):
+            LPathEngine.from_columns(columns, executor="sqlite")
+
+    def test_rejects_non_bundle_input(self):
+        rows = list(label_corpus([figure1_tree()]))
+        # Label rows are not a column bundle: clear LPathError, not an
+        # AttributeError from deep inside ColumnStore construction.
+        with pytest.raises(LPathError, match="column bundle"):
+            LPathEngine.from_columns(rows[0])
+        with pytest.raises(LPathError, match="column bundle"):
+            LPathEngine.from_columns(rows)
+        with pytest.raises(LPathError, match="at least one"):
+            LPathEngine.from_columns([])
+
+    def test_rejects_ragged_bundle(self):
+        rows = list(label_corpus([figure1_tree()]))
+        columns = store.load_label_columns(io.BytesIO(saved_bytes(rows)))
+        columns.names.append("EXTRA")
+        with pytest.raises(LPathError, match="ragged"):
+            LPathEngine.from_columns(columns)
+
+    def test_segment_list_and_reshard(self):
+        trees = [figure1_tree(tid=tid) for tid in range(4)]
+        rows = list(label_corpus(trees))
+        expected = LPathEngine(trees).query("//NP")
+        buffer = io.BytesIO()
+        store.save_labels(rows, buffer, segments=3)
+        shards = store.load_segment_columns(io.BytesIO(buffer.getvalue()))
+        sharded = LPathEngine.from_columns(shards, workers=2)
+        assert sharded.segments == 3
+        assert sharded.query("//NP") == expected
+        columns = store.load_label_columns(io.BytesIO(saved_bytes(rows)))
+        resharded = LPathEngine.from_columns(columns, segments=2)
+        assert resharded.segments == 2
+        assert resharded.query("//NP") == expected
+        with pytest.raises(LPathError, match="conflicts"):
+            LPathEngine.from_columns(shards, segments=2)
 
 
 class TestEngineFromLabels:
