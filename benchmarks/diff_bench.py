@@ -1,0 +1,105 @@
+"""Compare two machine-readable benchmark documents for perf regressions.
+
+CI runs every benchmark into ``benchmarks/results/BENCH_<name>.json`` and
+uploads the documents as artifacts.  This tool diffs a fresh document
+against the baseline artifact from a previous run and fails (exit 1) when
+any shared timing regressed beyond the tolerance::
+
+    python benchmarks/diff_bench.py baseline/BENCH_structural_join.json \\
+        benchmarks/results/BENCH_structural_join.json --tolerance 1.5
+
+Two documents are only comparable when their environment knobs match
+(corpus size, repeats); mismatched knobs downgrade the diff to a report
+without failing, since the numbers mean different workloads.  Timings are
+found by walking the ``results`` payload for numeric keys ending in
+``_seconds`` (plus ``seconds``), keyed by their JSON path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+COMPARABLE_KNOBS = ("sentences", "repeats", "python")
+
+
+def timings(document: dict) -> dict[str, float]:
+    """``json-path -> seconds`` for every timing in the results payload."""
+    found: dict[str, float] = {}
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{path}.{key}" if path else key)
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                label = index
+                if isinstance(value, dict):
+                    label = value.get("query", value.get("suite", index))
+                walk(value, f"{path}[{label}]")
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            leaf = path.rsplit(".", 1)[-1]
+            if leaf == "seconds" or leaf.endswith("_seconds"):
+                found[path] = float(node)
+
+    walk(document.get("results", {}), "")
+    return found
+
+
+def diff(baseline: dict, current: dict, tolerance: float) -> tuple[list[str], bool]:
+    lines: list[str] = []
+    comparable = all(
+        baseline.get(knob) == current.get(knob) for knob in COMPARABLE_KNOBS
+    )
+    if not comparable:
+        lines.append(
+            "knobs differ ("
+            + ", ".join(
+                f"{knob}: {baseline.get(knob)} -> {current.get(knob)}"
+                for knob in COMPARABLE_KNOBS
+                if baseline.get(knob) != current.get(knob)
+            )
+            + "); reporting only, not failing"
+        )
+    old, new = timings(baseline), timings(current)
+    regressed = False
+    for path in sorted(old.keys() & new.keys()):
+        was, now = old[path], new[path]
+        ratio = now / was if was else float("inf")
+        marker = ""
+        if ratio > tolerance:
+            marker = f"  <-- regression (> {tolerance:.2f}x)"
+            regressed = True
+        lines.append(f"{path}: {was:.5f}s -> {now:.5f}s ({ratio:.2f}x){marker}")
+    for path in sorted(new.keys() - old.keys()):
+        lines.append(f"{path}: (new) {new[path]:.5f}s")
+    for path in sorted(old.keys() - new.keys()):
+        lines.append(f"{path}: (gone, was {old[path]:.5f}s)")
+    if not (old.keys() & new.keys()):
+        lines.append("no shared timings to compare")
+    return lines, regressed and comparable
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("current", type=Path, help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=1.5,
+        help="fail when a timing grows beyond this factor (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    lines, regressed = diff(baseline, current, args.tolerance)
+    name = current.get("bench", args.current.name)
+    print(f"benchmark diff for {name}:")
+    for line in lines:
+        print(f"  {line}")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,10 +53,33 @@ def _command_generate(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _print_cache_stats(args: argparse.Namespace, engine, out: TextIO) -> None:
+    if not getattr(args, "cache_stats", False):
+        return
+    stats = engine.cache_stats()
+    print(
+        "plan cache: "
+        + " ".join(f"{key}={stats[key]}" for key in sorted(stats)),
+        file=out,
+    )
+
+
 def _command_query(args: argparse.Namespace, out: TextIO) -> int:
     from . import store
 
     engine_name = args.engine
+    if engine_name not in ("lpath", "xpath"):
+        wanted = [
+            flag
+            for flag, attr in (("--explain", "explain"), ("--cache-stats", "cache_stats"))
+            if getattr(args, attr, False)
+        ]
+        if wanted:
+            print(
+                f"error: {'/'.join(wanted)} requires --engine lpath or xpath",
+                file=sys.stderr,
+            )
+            return 1
     executor = getattr(args, "executor", "volcano")
     segments = getattr(args, "segments", None)
     workers = getattr(args, "workers", None)
@@ -103,27 +126,47 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
                 trees, executor=plan_executor,
                 segments=1 if segments is None else segments, workers=workers,
             )
+        if getattr(args, "explain", False):
+            print(
+                engine.explain(args.query, pivot=getattr(args, "pivot", False)),
+                file=out,
+            )
+            _print_cache_stats(args, engine, out)
+            return 0
         backend = "plan" if engine_name == "lpath" else engine_name
         matches = engine.query(
             args.query, backend=backend, pivot=getattr(args, "pivot", False)
         )
+        stats_engine = engine
     else:
         trees = _load_trees(args.corpus)
+        stats_engine = None
         if engine_name == "tgrep2":
             matches = TGrep2Engine(trees).query(args.query)
         elif engine_name == "corpussearch":
             matches = CorpusSearchEngine(trees).query(args.query)
         else:
-            matches = XPathEngine(
+            engine = XPathEngine(
                 trees, executor=executor,
                 segments=1 if segments is None else segments, workers=workers,
-            ).query(args.query, pivot=getattr(args, "pivot", False))
+            )
+            if getattr(args, "explain", False):
+                print(
+                    engine.explain(args.query, pivot=getattr(args, "pivot", False)),
+                    file=out,
+                )
+                _print_cache_stats(args, engine, out)
+                return 0
+            matches = engine.query(args.query, pivot=getattr(args, "pivot", False))
+            stats_engine = engine
 
     if args.count or compiled:
         print(len(matches), file=out)
         if not args.count:
             for tid, node_id in matches[: args.show or 10]:
                 print(f"tree {tid}\tnode {node_id}", file=out)
+        if stats_engine is not None:
+            _print_cache_stats(args, stats_engine, out)
         return 0
     by_tid = {tree.tid: tree for tree in trees}
     shown = 0
@@ -142,6 +185,8 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
         print(f"tree {tid}\t({node.label})\t{words}", file=out)
         shown += 1
     print(f"{len(matches)} match(es)", file=out)
+    if stats_engine is not None:
+        _print_cache_stats(args, stats_engine, out)
     return 0
 
 
@@ -217,6 +262,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=None, metavar="N",
                        help="thread-pool size for fanning a query out "
                             "across segments (default: sequential)")
+    query.add_argument("--explain", action="store_true",
+                       help="print the logical and physical plan (with the "
+                            "optimizer's per-join physical choice) instead "
+                            "of running the query (lpath and xpath plan "
+                            "engines)")
+    query.add_argument("--cache-stats", action="store_true",
+                       help="print plan-cache hit/miss/eviction counters "
+                            "after the query (lpath and xpath plan engines)")
     query.set_defaults(handler=_command_query)
 
     sql = commands.add_parser("sql", help="translate an LPath query to SQL")

@@ -6,16 +6,28 @@ arrays, :class:`ColumnarRuntime`/:func:`compile_plan` execute optimized
 plans batch-at-a-time over row ids, and :class:`ColumnarCatalog` lets the
 lowerer compile against a store with no row table at all.  Engines expose
 it behind ``executor="columnar"``.
+
+Hierarchical joins additionally come in a *set-at-a-time* flavor
+(:mod:`repro.columnar.structural`): merge-eligible axis steps evaluate as
+structural merge joins over the sorted span columns when the optimizer's
+statistics-driven cost model picks them (``REPRO_FORCE_JOIN`` forces a
+side for differential testing).
 """
 
 from .catalog import ColumnarCatalog
 from .executor import ColumnarPlan, ColumnarRuntime, compile_plan
-from .store import ColumnStore
+from .store import ColumnStore, NameStats
+from .structural import MergeJoinStep, MergeSpec, choose_join, merge_spec
 
 __all__ = [
     "ColumnStore",
     "ColumnarCatalog",
     "ColumnarPlan",
     "ColumnarRuntime",
+    "MergeJoinStep",
+    "MergeSpec",
+    "NameStats",
+    "choose_join",
     "compile_plan",
+    "merge_spec",
 ]

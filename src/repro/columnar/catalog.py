@@ -43,6 +43,12 @@ class ColumnarCatalog:
     def frequency(self, name: Optional[str]) -> int:
         return self.store.frequency(name)
 
+    def tree_count(self) -> int:
+        return self.store.tree_count()
+
+    def name_stats(self, name: Optional[str]):
+        return self.store.name_stats(name)
+
     def access_path(
         self, eq_columns: Sequence[str], range_column: Optional[str] = None
     ) -> Optional[AccessPath]:

@@ -11,8 +11,15 @@ Both compile the *same* optimized IR; the difference is entirely physical:
   ``range`` of row ids);
 * residual conditions that compare one candidate column against an
   already-bound value are evaluated as **vector filters** — one pass over
-  the candidate ids reading a single column array — rather than per-row
-  closure calls over wide tuples;
+  the candidate ids reading a single column array, with the right-hand
+  operand pre-resolved per step — rather than per-row closure calls over
+  wide tuples;
+* merge-eligible hierarchical joins additionally choose (per store, from
+  collected statistics, or via ``REPRO_FORCE_JOIN``) the set-at-a-time
+  structural merge join of :mod:`repro.columnar.structural` over the
+  per-binding probe join;
+* wildcard child steps read the store's CSR children index instead of
+  scanning a whole tree per binding;
 * only genuinely row-wise predicates (correlated subplans, positional
   checks, mixed and/or trees) fall back to per-row evaluation, on
   bindings that are short lists of row ids.
@@ -101,19 +108,68 @@ class ColumnarRuntime:
         #: Secondary-index column layouts of the owning engine's row table,
         #: so probes against ablation indexes resolve to generic projections.
         self.index_columns = dict(index_columns or {})
+        #: Hot-path string resolution: one closure with the column arrays
+        #: and the per-tree ``@lex`` bounds pre-resolved, instead of
+        #: re-walking store attributes and bound dictionaries per row.
+        self.string_value = _make_string_value(
+            store, scheme.element_string_values
+        )
 
-    def string_value(self, row: int) -> Optional[str]:
-        return self.store.string_value(row, self.scheme.element_string_values)
+
+def _make_string_value(
+    store: ColumnStore, element_values: bool
+) -> Callable[[int], Optional[str]]:
+    values, is_attr = store.values, store.is_attr
+    lefts, rights, tids = store.left, store.right, store.tid
+    bounds = store.name_tid_bounds
+    lex_bounds: dict[int, tuple[int, int]] = {}
+
+    def string_value(row: int) -> Optional[str]:
+        if is_attr[row]:
+            value = values[row]
+            return value if value is not None else ""
+        if not element_values:
+            return None
+        tid = tids[row]
+        span = lex_bounds.get(tid)
+        if span is None:
+            span = lex_bounds[tid] = bounds.get(("@lex", tid), (0, 0))
+        lo, hi = span
+        if lo == hi:
+            return ""
+        low, high = lefts[row], rights[row]
+        lo = bisect_left(lefts, low, lo, hi)
+        hi = bisect_left(lefts, high, lo, hi)
+        words = [
+            values[leaf]
+            for leaf in range(lo, hi)
+            if rights[leaf] <= high and values[leaf] is not None
+        ]
+        return " ".join(words)
+
+    return string_value
 
 
 # -- plan compilation ---------------------------------------------------------
 
 
 def compile_plan(node: PlanNode, runtime: ColumnarRuntime) -> "ColumnarPlan":
-    """Compile a top-level IR plan into a re-iterable batch pipeline."""
+    """Compile a top-level IR plan into a re-iterable batch pipeline.
+
+    Each ``Join`` picks its physical algorithm here, against *this*
+    store's collected statistics (so every segment of a sharded corpus
+    decides independently): merge-eligible joins run as set-at-a-time
+    structural merge joins when the cost model favors them — or when
+    ``REPRO_FORCE_JOIN`` forces a side — and fall back to per-binding
+    index probes otherwise."""
+    from .structural import MergeJoinStep, chain_estimates, decide_join, force_mode
+
     steps: list = []
     output = None
-    for item in linearize(node):
+    chain = linearize(node)
+    force = force_mode()
+    estimates = None
+    for item in chain:
         if output is not None:
             raise LPathCompileError(
                 "Distinct/Project must terminate a columnar pipeline"
@@ -121,7 +177,22 @@ def compile_plan(node: PlanNode, runtime: ColumnarRuntime) -> "ColumnarPlan":
         if isinstance(item, Scan):
             steps.append(_ScanStep(item, runtime))
         elif isinstance(item, Join):
-            steps.append(_JoinStep(item, runtime, expected_width=len(steps)))
+            if item.slot != len(steps):
+                raise LPathCompileError(
+                    f"columnar join expected slot {len(steps)}, got {item.slot}"
+                )
+            if estimates is None:
+                estimates = chain_estimates(chain, runtime.store)
+            spec, choice, _est = decide_join(item, estimates, runtime.store, force)
+            if choice == "merge" and spec is not None:
+                vector, binding, row = _classify(
+                    item.conditions, item.slot, runtime
+                )
+                steps.append(
+                    MergeJoinStep(item, runtime, spec, vector, binding, row)
+                )
+            else:
+                steps.append(_JoinStep(item, runtime, expected_width=len(steps)))
         elif isinstance(item, Filter):
             steps.append(_FilterStep(item, runtime))
         elif isinstance(item, Distinct):
@@ -159,10 +230,15 @@ class ColumnarPlan:
                 for i in range(count)
             ]
         kind, key = self.output
-        getters = [(batch[slot], store.col(col)) for slot, col in key]
-        count = len(batch[0]) if batch else 0
-        rows = (
-            tuple(column[ids[i]] for ids, column in getters) for i in range(count)
+        if not batch or not len(batch[0]):
+            return []
+        # C-level gather: map each key column over its row-id array and
+        # zip the streams into result tuples (no per-row Python frames).
+        rows = zip(
+            *(
+                map(store.col(col).__getitem__, batch[slot])
+                for slot, col in key
+            )
         )
         if kind == "distinct":
             return list(set(rows))
@@ -208,25 +284,38 @@ def _classify(
 
 
 def _vector_filter(pred: Pred, cand_slot: int, runtime: ColumnarRuntime):
-    """``(column, opfunc, rhs_getter)`` for a condition that reads exactly
-    one candidate column, or ``None``."""
+    """``(column, opfunc, rhs_slot, payload)`` for a condition that reads
+    exactly one candidate column, or ``None``.  The right-hand side is
+    pre-resolved once per step: ``rhs_slot is None`` means ``payload`` is a
+    constant, otherwise ``payload`` is the column array the binding slot
+    indexes into — no per-row getter closures on the hot path."""
     store = runtime.store
     if isinstance(pred, IsElement) and pred.slot == cand_slot:
-        return store.is_attr, operator.eq, lambda b: 0
+        return store.is_attr, operator.eq, None, 0
     if isinstance(pred, IsAttr) and pred.slot == cand_slot:
-        return store.is_attr, operator.eq, lambda b: 1
+        return store.is_attr, operator.eq, None, 1
     if isinstance(pred, RightEdge) and pred.slot == cand_slot:
-        return store.right_edge, operator.eq, lambda b: 1
+        return store.right_edge, operator.eq, None, 1
     if not isinstance(pred, Cmp):
         return None
     left, right = pred.left, pred.right
     cand_left = isinstance(left, Col) and left.slot == cand_slot
     cand_right = isinstance(right, Col) and right.slot == cand_slot
     if cand_left and not cand_right:
-        return store.col(left.col), _OPS[pred.op], _operand_getter(right, store)
+        return (store.col(left.col), _OPS[pred.op]) + _operand_parts(right, store)
     if cand_right and not cand_left:
-        return store.col(right.col), _OPS[_FLIPPED[pred.op]], _operand_getter(left, store)
+        return (
+            store.col(right.col), _OPS[_FLIPPED[pred.op]]
+        ) + _operand_parts(left, store)
     return None
+
+
+def _operand_parts(operand, store: ColumnStore) -> tuple:
+    """``(slot, column array)`` for a binding column, ``(None, value)``
+    for a constant."""
+    if isinstance(operand, Col):
+        return operand.slot, store.col(operand.col)
+    return None, operand.value
 
 
 def _operand_getter(operand, store: ColumnStore) -> Callable[[Binding], object]:
@@ -239,8 +328,8 @@ def _operand_getter(operand, store: ColumnStore) -> Callable[[Binding], object]:
 
 
 def _apply_filters(cands, b: Binding, vector, row_checks) -> Sequence[int]:
-    for column, opf, rhs in vector:
-        wanted = rhs(b)
+    for column, opf, rhs_slot, payload in vector:
+        wanted = payload if rhs_slot is None else payload[b[rhs_slot]]
         cands = [j for j in cands if opf(column[j], wanted)]
         if not cands:
             return cands
@@ -276,11 +365,56 @@ class _ScanStep:
         )
 
 
+def _children_probe(node: Join, runtime: ColumnarRuntime):
+    """``(probe, remaining conditions)`` when a wildcard child step —
+    a whole-tree ``idx_tid_id`` probe plus a ``cand.pid = ctx.id``
+    condition — can instead read one slice of the store's CSR children
+    index, or ``None``."""
+    access = node.access
+    if not (
+        isinstance(access, IndexProbe)
+        and access.index == "idx_tid_id"
+        and len(access.eq) == 1
+        and access.low is None
+        and access.high is None
+        and access.self_slot is None
+        and isinstance(access.eq[0], Col)
+        and access.eq[0].col == T
+    ):
+        return None
+    cand = node.slot
+    for condition in node.conditions:
+        if not isinstance(condition, Cmp) or condition.op != "=":
+            continue
+        sides = (condition.left, condition.right)
+        for mine, other in (sides, sides[::-1]):
+            if (
+                isinstance(mine, Col) and mine.slot == cand and mine.col == P
+                and isinstance(other, Col) and other.slot != cand
+                and other.col == I
+            ):
+                store = runtime.store
+                tids, ids = store.tid, store.id
+                children = store.children_rows
+                tid_slot, id_slot = access.eq[0].slot, other.slot
+
+                def probe(
+                    b: Binding, children=children, tids=tids, ids=ids,
+                    tid_slot=tid_slot, id_slot=id_slot,
+                ) -> Sequence[int]:
+                    return children(tids[b[tid_slot]], ids[b[id_slot]])
+
+                remaining = tuple(c for c in node.conditions if c is not condition)
+                return probe, remaining
+    return None
+
+
 class _JoinStep:
     """Extend every binding of the batch with matching candidate rows.
 
     Candidates come from binary-search slices of the clustered arrays (the
-    per-tree ``(name, tid)`` partitions), then shrink through the vector
+    per-tree ``(name, tid)`` partitions) — or, for wildcard child steps,
+    one slice of the CSR children index — then shrink through the vector
     filters; surviving outer values are replicated into the output arrays.
     """
 
@@ -290,9 +424,16 @@ class _JoinStep:
                 f"columnar join expected slot {expected_width}, got {node.slot}"
             )
         self.slot = node.slot
-        self.probe = compile_access(node.access, runtime)
+        children = _children_probe(node, runtime)
+        if children is not None:
+            self.probe, conditions = children
+            self.via_children = True
+        else:
+            self.probe = compile_access(node.access, runtime)
+            conditions = node.conditions
+            self.via_children = False
         self.vector, self.binding, self.row = _classify(
-            node.conditions, node.slot, runtime
+            conditions, node.slot, runtime
         )
         self.label = node.label
         self.access = node.access
@@ -318,9 +459,10 @@ class _JoinStep:
         return out
 
     def describe(self) -> str:
+        via = " via=children-index" if self.via_children else ""
         return (
             f"ColumnarJoin(s{self.slot} <- {self.access}: {self.label}"
-            f" | vector={len(self.vector)} row={len(self.row)})"
+            f" | vector={len(self.vector)} row={len(self.row)}{via})"
         )
 
 
@@ -558,11 +700,17 @@ def compile_subplan(node: PlanNode, runtime: ColumnarRuntime):
         if isinstance(item, Context):
             continue
         if isinstance(item, Join):
+            children = _children_probe(item, runtime)
+            if children is not None:
+                probe, conditions = children
+            else:
+                probe = compile_access(item.access, runtime)
+                conditions = item.conditions
             steps.append(
                 (
                     "join",
-                    compile_access(item.access, runtime),
-                    [compile_pred(c, runtime) for c in item.conditions],
+                    probe,
+                    [compile_pred(c, runtime) for c in conditions],
                 )
             )
         elif isinstance(item, Filter):

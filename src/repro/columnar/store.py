@@ -15,9 +15,13 @@ as parallel arrays instead:
   element/attribute tests and LPath's root alignment (``$``) into plain
   array reads;
 * secondary projections — a ``(tid, id)`` permutation for parent /
-  attribute / whole-tree probes and per-value row lists for the
+  attribute / whole-tree probes, a CSR-style ``(tid, pid)`` children
+  index for wildcard child/parent steps, and per-value row lists for the
   ``[@attr = literal]`` seeds — are permutation arrays over the same
-  columns, so no row is ever stored twice.
+  columns, so no row is ever stored twice;
+* per-name cardinality/partition/depth statistics (:class:`NameStats`)
+  feed the optimizer's cost-based choice between per-binding probe joins
+  and the structural merge joins of :mod:`repro.columnar.structural`.
 
 Row ids index every column; a query binding is a short list of row ids
 rather than a concatenation of 8-wide tuples.  The batch executor in
@@ -28,7 +32,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left, bisect_right
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, NamedTuple, Optional
 
 from ..labeling.lpath_scheme import ATTRIBUTE_PREFIX
 
@@ -38,6 +42,18 @@ T, L, R, D, I, P, N, V = range(8)
 #: Default column names (the LPath relation; the start/end relation only
 #: renames ``left``/``right`` to ``start``/``end`` — positions are equal).
 COLUMN_NAMES = ("tid", "left", "right", "depth", "id", "pid", "name", "value")
+
+
+class NameStats(NamedTuple):
+    """Collected statistics for one name partition, feeding the
+    optimizer's join cost model (:mod:`repro.plan.optimizer` /
+    :mod:`repro.columnar.structural`)."""
+
+    rows: int            # rows carrying the name across the corpus
+    partitions: int      # distinct (name, tid) partitions
+    max_partition: int   # rows in the largest per-tree partition
+    min_depth: int       # shallowest occurrence (0 when absent)
+    max_depth: int       # deepest occurrence (0 when absent)
 
 
 class ColumnStore:
@@ -66,9 +82,12 @@ class ColumnStore:
         "name_tid_bounds",
         "tid_id_perm",
         "tid_bounds",
+        "children_perm",
+        "children_bounds",
         "_perm_ids",
         "_by_value",
         "_projections",
+        "_name_stats",
     )
 
     def __init__(
@@ -117,8 +136,10 @@ class ColumnStore:
         self._build_clustered_bounds()
         self._build_bitmaps()
         self._build_tid_id_projection()
+        self._build_children_index()
         self._by_value: Optional[dict] = None       # built on first value seed
         self._projections: dict[tuple, tuple] = {}  # generic index projections
+        self._name_stats: dict[Optional[str], NameStats] = {}
 
     # -- constructors --------------------------------------------------------
 
@@ -204,6 +225,35 @@ class ColumnStore:
         self.tid_id_perm = perm
         self.tid_bounds = tid_bounds
         self._perm_ids = array("q", (ids[r] for r in perm))
+
+    def _build_children_index(self) -> None:
+        """CSR-style children offsets: rows grouped by ``(tid, pid)`` in
+        span order, so a node's children (element + attribute rows) are one
+        contiguous slice of a permutation array — the wildcard child/parent
+        steps become direct lookups instead of whole-tree scans."""
+        tids, pids, lefts = self.tid, self.pid, self.left
+        perm = array(
+            "q", sorted(range(self.n), key=lambda r: (tids[r], pids[r], lefts[r], r))
+        )
+        bounds: dict[tuple[int, int], tuple[int, int]] = {}
+        start = 0
+        for slot in range(1, self.n + 1):
+            if (
+                slot == self.n
+                or tids[perm[slot]] != tids[perm[start]]
+                or pids[perm[slot]] != pids[perm[start]]
+            ):
+                key = (tids[perm[start]], pids[perm[start]])
+                bounds[key] = (start, slot)
+                start = slot
+        self.children_perm = perm
+        self.children_bounds = bounds
+
+    def children_rows(self, tid: int, pid: int):
+        """Rows whose parent is ``(tid, pid)`` in span order (attribute
+        rows of the children included, exactly like a filtered tree scan)."""
+        lo, hi = self.children_bounds.get((tid, pid), (0, 0))
+        return self.children_perm[lo:hi]
 
     # -- column access -------------------------------------------------------
 
@@ -356,6 +406,59 @@ class ColumnStore:
             return self.n
         lo, hi = self.name_bounds.get(name, (0, 0))
         return hi - lo
+
+    # -- statistics -----------------------------------------------------------
+
+    def tree_count(self) -> int:
+        """Distinct trees in the store."""
+        return len(self.tid_bounds)
+
+    def size(self) -> int:
+        """Total rows (the catalog-protocol spelling of ``len``)."""
+        return self.n
+
+    def name_stats(self, name: Optional[str]) -> NameStats:
+        """Per-name cardinality/partition/depth statistics for the join
+        cost model; one linear pass over the name block, cached per name
+        (``None`` summarizes the whole store)."""
+        cached = self._name_stats.get(name)
+        if cached is not None:
+            return cached
+        if name is None:
+            lo, hi = 0, self.n
+            partitions = len(self.tid_bounds)
+            max_partition = max(
+                (bounds[1] - bounds[0] for bounds in self.tid_bounds.values()),
+                default=0,
+            )
+        else:
+            lo, hi = self.name_bounds.get(name, (0, 0))
+            partitions = 0
+            max_partition = 0
+            tids = self.tid
+            start = lo
+            for row in range(lo + 1, hi + 1):
+                if row == hi or tids[row] != tids[start]:
+                    partitions += 1
+                    if row - start > max_partition:
+                        max_partition = row - start
+                    start = row
+            if lo == hi:
+                partitions = max_partition = 0
+        if lo == hi:
+            stats = NameStats(0, 0, 0, 0, 0)
+        else:
+            depths = self.depth
+            min_depth = max_depth = depths[lo]
+            for row in range(lo + 1, hi):
+                d = depths[row]
+                if d < min_depth:
+                    min_depth = d
+                elif d > max_depth:
+                    max_depth = d
+            stats = NameStats(hi - lo, partitions, max_partition, min_depth, max_depth)
+        self._name_stats[name] = stats
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ColumnStore rows={self.n} names={len(self.name_bounds)}>"

@@ -1,0 +1,621 @@
+"""Set-at-a-time structural joins over the clustered span columns.
+
+The batch executor's default ``Join`` step is *binding-at-a-time*: every
+left-side binding triggers an independent binary-search probe of the
+``(name, tid)`` partition, so a query touching ``k`` hierarchical steps
+does ``O(|bindings| * k * log n)`` probe work plus per-binding closure
+overhead.  Classic XML-DB structural-join results (stack-tree, staircase)
+show that sorted span columns admit *merge-based* evaluation: sort the
+bindings once by their probe bound, then answer the whole axis step in a
+single forward pass over the partition.  This module brings that to the
+columnar executor:
+
+* ``sweep`` — the sort-merge join for every probe with a lower span bound
+  (child / descendant / following / sibling axes, scoped variants
+  included): bindings sorted by ``(tid, low)`` make the partition start
+  pointer monotone, so finding each candidate range costs amortized O(1)
+  instead of two binary searches, and the residual Table 2 comparisons run
+  inline over the raw arrays;
+* ``stack`` — the stack-tree variant for the ancestor axes: a stack of
+  "open" spans replaces the per-binding prefix scan, so each partition row
+  is pushed and popped exactly once per tid group (boundary-sharing LPath
+  labels only ever leave stale entries that the residual conditions
+  filter);
+* ``prefix`` — the merge variant for the preceding axes, whose matches
+  genuinely are a prefix of the partition: a monotone end pointer replaces
+  the per-binding binary search.
+
+Which joins are *eligible* is a pure IR-shape question (:func:`merge_spec`);
+whether a merge join is *worth it* is a cost question answered from
+collected statistics (:func:`choose_join`), shared by the optimizer's
+annotation pass and the per-segment physical compile so both always agree
+on the model.  ``REPRO_FORCE_JOIN=merge|probe`` overrides the choice for
+differential testing.
+"""
+
+from __future__ import annotations
+
+import operator as _operator
+import os
+from array import array
+from itertools import repeat
+from math import log2
+from typing import NamedTuple, Optional
+
+from ..lpath.axes import Axis
+from ..plan.ir import (
+    Col,
+    Const,
+    IndexProbe,
+    Join,
+    PlanNode,
+    Scan,
+    TableScan,
+    ValueSeed,
+    L, R, T,
+)
+
+SWEEP, STACK, PREFIX = "sweep", "stack", "prefix"
+
+_ANCESTOR_AXES = (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF)
+_CHILD_LIKE = (Axis.CHILD, Axis.IMMEDIATE_FOLLOWING_SIBLING, Axis.IMMEDIATE_FOLLOWING)
+
+#: Cost-model units, calibrated to CPython's actual constants: a probe
+#: pays per binding for the binding-list build, the access closures, one
+#: dict lookup and two bisects; a merge pays a sort (C-level tuple sort,
+#: hence the small per-element unit), a flat per-binding bookkeeping cost
+#: and an amortized pointer advance over each touched partition.
+PROBE_SETUP = 5.0
+PROBE_BINDING = 12.0
+MERGE_SETUP = 40.0
+MERGE_BINDING = 5.0
+SORT_UNIT = 0.2
+ADVANCE_UNIT = 0.1
+
+FORCE_ENV = "REPRO_FORCE_JOIN"
+
+
+def force_mode() -> Optional[str]:
+    """The forced physical-join mode from the environment, if any.
+
+    An unset or empty variable means "let the cost model decide"; any
+    other value than ``merge``/``probe`` is a configuration error and
+    raises, so a typo'd override can never silently fall back to the
+    cost-based choice mid-differential-run."""
+    mode = os.environ.get(FORCE_ENV)
+    if not mode:
+        return None
+    if mode in ("merge", "probe"):
+        return mode
+    from ..lpath.errors import LPathError
+
+    raise LPathError(
+        f"invalid {FORCE_ENV} value {mode!r}; use 'merge' or 'probe'"
+    )
+
+
+def decide_join(node: Join, estimates: dict, stats,
+                force: Optional[str]) -> tuple[Optional[MergeSpec], str, float]:
+    """The one join-selection decision shared by the optimizer's
+    annotation pass and the columnar physical compile: analyze the shape,
+    look up the chain estimate, and cost the alternatives (or obey the
+    force override).  Returns ``(spec, choice, est_in)`` with ``spec``
+    ``None`` (and ``choice`` ``"probe"``) for merge-ineligible joins."""
+    spec = merge_spec(node)
+    if spec is None:
+        return None, "probe", 0.0
+    est_in = estimates.get(id(node), 0.0)
+    if force is not None:
+        return spec, force, est_in
+    return spec, choose_join(est_in, spec.name, stats), est_in
+
+
+class MergeSpec(NamedTuple):
+    """The analyzed shape of a merge-eligible join."""
+
+    strategy: str                     # SWEEP / STACK / PREFIX
+    name: str                         # candidate partition name
+    tid_slot: int                     # binding slot supplying the tree id
+    low: Optional[tuple[int, int]]    # (slot, column) of the lower bound
+    high: Optional[tuple[int, int]]   # (slot, column) of the upper bound
+    include_low: bool
+    include_high: bool
+    self_slot: Optional[int]          # or-self context slot
+    self_name: Optional[str]
+
+
+def _bound(operand) -> tuple[Optional[tuple[int, int]], bool]:
+    if operand is None:
+        return None, True
+    if isinstance(operand, Col) and operand.col in (L, R):
+        return (operand.slot, operand.col), True
+    return None, False
+
+
+def merge_spec(node: PlanNode) -> Optional[MergeSpec]:
+    """A :class:`MergeSpec` when ``node`` is a structural-join-eligible
+    ``Join`` (clustered ``(name, tid)`` probe with span-column bounds),
+    else ``None``."""
+    if not isinstance(node, Join):
+        return None
+    access = node.access
+    if not isinstance(access, IndexProbe):
+        return None
+    if access.index != "clustered" and not access.index.endswith("_clustered"):
+        return None
+    if len(access.eq) != 2:
+        return None
+    name_op, tid_op = access.eq
+    if not isinstance(name_op, Const) or not isinstance(name_op.value, str):
+        return None
+    if not isinstance(tid_op, Col) or tid_op.col != T:
+        return None
+    low, low_ok = _bound(access.low)
+    high, high_ok = _bound(access.high)
+    if not low_ok or not high_ok:
+        return None
+    if low is None and high is None:
+        return None  # a bare partition scan needs no probe to beat
+    if low is not None:
+        strategy = SWEEP
+    elif node.axis in _ANCESTOR_AXES:
+        strategy = STACK
+    else:
+        strategy = PREFIX
+    return MergeSpec(
+        strategy,
+        name_op.value,
+        tid_op.slot,
+        low,
+        high,
+        access.include_low,
+        access.include_high,
+        access.self_slot,
+        access.self_name,
+    )
+
+
+# -- cardinality estimation ---------------------------------------------------
+
+
+def _avg_partition(stats, name: str) -> float:
+    ns = stats.name_stats(name)
+    return ns.rows / ns.partitions if ns.partitions else 0.0
+
+
+def scan_estimate(node: Scan, stats) -> float:
+    """Estimated cardinality of a pipeline's first step."""
+    access = node.access
+    if isinstance(access, TableScan):
+        return float(stats.size())
+    if isinstance(access, ValueSeed):
+        # Value seeds hit the {value, tid, id} index: typically a small
+        # fraction of the attribute rows; the square root keeps the guess
+        # between "constant" and "everything" without per-value stats.
+        return max(1.0, float(stats.frequency(access.attr)) ** 0.5)
+    if isinstance(access, IndexProbe) and access.eq and isinstance(access.eq[0], Const):
+        return float(stats.frequency(access.eq[0].value))
+    return float(stats.size())
+
+
+def join_fanout(node: Join, stats) -> float:
+    """Expected matches per input binding for one join step."""
+    access = node.access
+    if isinstance(access, IndexProbe):
+        if access.eq and isinstance(access.eq[0], Const) and isinstance(
+            access.eq[0].value, str
+        ):
+            name = access.eq[0].value
+            ns = stats.name_stats(name)
+            avg_part = _avg_partition(stats, name)
+            if node.axis in _CHILD_LIKE:
+                return min(avg_part, 2.0)
+            if node.axis in _ANCESTOR_AXES:
+                depth_range = float(ns.max_depth - ns.min_depth + 1)
+                return min(avg_part, depth_range)
+            return avg_part * 0.5
+        if len(access.eq) >= 2:
+            return 1.5   # (tid, id) family: a handful of rows per node
+        trees = max(1, stats.tree_count())
+        return max(1.0, stats.size() / trees * 0.5)   # whole-tree scan
+    if isinstance(access, ValueSeed):
+        trees = max(1, stats.tree_count())
+        return max(1.0, float(stats.frequency(access.attr)) / trees * 0.5)
+    return 1.0
+
+
+def chain_estimates(chain, stats) -> dict[int, float]:
+    """``id(join) -> estimated input cardinality`` along a main pipeline."""
+    estimates: dict[int, float] = {}
+    current: Optional[float] = None
+    for node in chain:
+        if isinstance(node, Scan):
+            current = scan_estimate(node, stats)
+        elif isinstance(node, Join):
+            if current is None:
+                break  # Context-rooted subplans are evaluated per binding
+            estimates[id(node)] = current
+            current = current * join_fanout(node, stats)
+    return estimates
+
+
+def choose_join(est_in: float, name: str, stats) -> str:
+    """Pick the cheaper physical join under the module's cost units."""
+    ns = stats.name_stats(name)
+    avg_part = _avg_partition(stats, name)
+    probe = PROBE_SETUP + est_in * (PROBE_BINDING + log2(avg_part + 2.0))
+    touched = min(est_in, float(ns.partitions))
+    merge = (
+        MERGE_SETUP
+        + est_in * (MERGE_BINDING + SORT_UNIT * log2(est_in + 2.0))
+        + touched * avg_part * ADVANCE_UNIT
+    )
+    return "merge" if merge < probe else "probe"
+
+
+# -- the physical operator ----------------------------------------------------
+
+_EMPTY = (0, 0)
+#: Span positions are small ints; this sentinel keeps the scan loops to a
+#: single bound comparison when the probe has no upper bound.
+_NO_LIMIT = 1 << 62
+
+#: Comparison functions the executor's vector filters use, mapped back to
+#: source tokens so the sweep loop can be generated with *native*
+#: comparisons — a C function call per candidate per condition is the
+#: difference between parity and a 2x win at corpus scale.
+_OP_TOKEN = {
+    _operator.eq: "==",
+    _operator.ne: "!=",
+    _operator.lt: "<",
+    _operator.le: "<=",
+    _operator.gt: ">",
+    _operator.ge: ">=",
+}
+
+_SWEEP_CACHE: dict[tuple, object] = {}
+
+
+def _compile_sweep(spec: MergeSpec, checks) -> Optional[object]:
+    """Generate (and cache per shape) the flat sweep loop for one join
+    shape, with the bound arithmetic and every vector comparison inlined.
+    Returns ``None`` when a condition uses an operator outside the fixed
+    comparison set — the generic interpreted sweep handles those."""
+    tokens = []
+    for _column, opf, rhs_slot, _payload in checks:
+        token = _OP_TOKEN.get(opf)
+        if token is None:
+            return None
+        tokens.append((token, rhs_slot is None))
+    shape = (
+        tuple(tokens),
+        spec.include_low,
+        spec.high is not None,
+        spec.include_high,
+    )
+    cached = _SWEEP_CACHE.get(shape)
+    if cached is not None:
+        return cached
+
+    unpack, resolve, conds = [], [], []
+    for k, (token, is_const) in enumerate(tokens):
+        unpack.append(f"    c{k}, _o{k}, s{k}, p{k} = checks[{k}]")
+        if is_const:
+            resolve.append(f"        v{k} = p{k}")
+        else:
+            unpack.append(f"    b{k} = batch[s{k}]")
+            resolve.append(f"        v{k} = p{k}[b{k}[i]]")
+        conds.append(f"c{k}[j] {token} v{k}")
+    start = "low_val" if spec.include_low else "low_val + 1"
+    if spec.high is None:
+        limit = f"        limit = {_NO_LIMIT}"
+    elif spec.include_high:
+        limit = "        limit = high_arr[high_col[i]] + 1"
+    else:
+        limit = "        limit = high_arr[high_col[i]]"
+    if conds:
+        body = (
+            f"            if {' and '.join(conds)}:\n"
+            "                res_append(j)\n"
+            "                src_append(i)\n"
+            "            j += 1"
+        )
+    else:
+        body = (
+            "            res_append(j)\n"
+            "            src_append(i)\n"
+            "            j += 1"
+        )
+    # The loop emits (source binding, candidate) index pairs; the caller
+    # gathers them into replicated output columns with one C-level map
+    # per slot — two list appends per match beat an extend/repeat pair
+    # per binding for the typical 1-3 matches a binding produces.
+    source = f"""\
+def sweep(keyed, batch, bounds, lefts, name, high_col, high_arr, checks):
+{chr(10).join(unpack) if unpack else '    pass'}
+    src = []
+    src_append = src.append
+    res = []
+    res_append = res.append
+    current_tid = None
+    lo = hi = ptr = 0
+    for tid_val, low_val, i in keyed:
+        if tid_val != current_tid:
+            current_tid = tid_val
+            lo, hi = bounds.get((name, tid_val), (0, 0))
+            ptr = lo
+        start = {start}
+        while ptr < hi and lefts[ptr] < start:
+            ptr += 1
+{limit}
+{chr(10).join(resolve) if resolve else ''}
+        j = ptr
+        while j < hi and lefts[j] < limit:
+{body}
+    return src, res
+"""
+    namespace: dict = {}
+    exec(source, namespace)  # tokens come from the fixed comparison set
+    compiled = namespace["sweep"]
+    _SWEEP_CACHE[shape] = compiled
+    return compiled
+
+
+class MergeJoinStep:
+    """One structural merge join in a columnar pipeline.
+
+    Drop-in peer of the executor's probe ``_JoinStep``: consumes and
+    produces the same slot-per-array batches and applies the same
+    classified conditions, but enumerates candidates by merging the sorted
+    binding bounds against the sorted partition instead of re-probing per
+    binding.  Construction is done by :func:`repro.columnar.executor.
+    compile_plan`, which passes in the classified condition lists so both
+    join flavors share one condition compiler.
+    """
+
+    def __init__(self, node: Join, runtime, spec: MergeSpec,
+                 vector, binding, row) -> None:
+        store = runtime.store
+        self.slot = node.slot
+        self.label = node.label
+        self.access = node.access
+        self.spec = spec
+        self.store = store
+        self.bounds = store.name_tid_bounds
+        self.lefts = store.left
+        self.rights = store.right
+        self.tids = store.tid
+        self.names = store.names
+        self.binding = binding
+        self.row = row
+        # Vector filters pre-resolved to raw column sequences, split by
+        # operand kind: constants bind once here, binding-column
+        # comparisons resolve once per binding inside run().
+        self.vector_specs = list(vector)
+        self.const_checks = [
+            (column, opf, payload)
+            for column, opf, rhs_slot, payload in vector
+            if rhs_slot is None
+        ]
+        self.col_checks = [
+            (column, opf, rhs_slot, payload)
+            for column, opf, rhs_slot, payload in vector
+            if rhs_slot is not None
+        ]
+        self.low_arr = None if spec.low is None else store.col(spec.low[1])
+        self.high_arr = None if spec.high is None else store.col(spec.high[1])
+        self._sweep_loop = (
+            _compile_sweep(spec, self.vector_specs)
+            if spec.strategy == SWEEP
+            else None
+        )
+
+    # -- candidate enumeration ------------------------------------------------
+
+    def run(self, batch: list) -> list:
+        width = len(batch)
+        out = [array("q") for _ in range(width + 1)]
+        count = len(batch[0]) if batch else 0
+        if count == 0:
+            return out
+        spec = self.spec
+        tids, tid_col = self.tids, batch[spec.tid_slot]
+        if spec.strategy == SWEEP:
+            key_slot, key_arr = spec.low[0], self.low_arr
+        else:
+            key_slot, key_arr = spec.high[0], self.high_arr
+        key_col = batch[key_slot]
+        # One C-level build-and-sort replaces per-binding binary searches.
+        keyed = list(
+            zip(
+                map(tids.__getitem__, tid_col),
+                map(key_arr.__getitem__, key_col),
+                range(count),
+            )
+        )
+        keyed.sort()
+        if spec.strategy == SWEEP:
+            self._run_sweep(batch, keyed, out, width)
+        elif spec.strategy == STACK:
+            self._run_stack(batch, keyed, out, width)
+        else:
+            self._run_prefix(batch, keyed, out, width)
+        return out
+
+    def _resolved_checks(self, batch, i):
+        col_checks = self.col_checks
+        if not col_checks:
+            return self.const_checks
+        return self.const_checks + [
+            (column, opf, payload[batch[rhs_slot][i]])
+            for column, opf, rhs_slot, payload in col_checks
+        ]
+
+    def _emit(self, batch, i, width, out, matched):
+        """Replicate binding ``i`` for every matched candidate, applying
+        or-self and the residual per-row checks."""
+        spec = self.spec
+        if spec.self_slot is not None:
+            self_row = batch[spec.self_slot][i]
+            if self.names[self_row] == spec.self_name:
+                checks = self._resolved_checks(batch, i)
+                if all(opf(column[self_row], value) for column, opf, value in checks):
+                    matched = [self_row] + matched
+        if self.row and matched:
+            b = [batch[s][i] for s in range(width)]
+            row_checks = self.row
+            matched = [
+                j for j in matched
+                if all(check(b + [j]) for check in row_checks)
+            ]
+        if not matched:
+            return
+        m = len(matched)
+        for s in range(width):
+            out[s].extend(repeat(batch[s][i], m))
+        out[width].extend(matched)
+
+    def _prune(self, batch, i, width) -> bool:
+        """Binding-only conditions (no candidate column involved)."""
+        checks = self.binding
+        if not checks:
+            return True
+        b = [batch[s][i] for s in range(width)]
+        return all(check(b) for check in checks)
+
+    def _run_sweep(self, batch, keyed, out, width) -> None:
+        spec = self.spec
+        checks = self.vector_specs
+        if (
+            self._sweep_loop is not None
+            and not self.binding
+            and not self.row
+            and spec.self_slot is None
+        ):
+            high_col = None if spec.high is None else batch[spec.high[0]]
+            src, res = self._sweep_loop(
+                keyed, batch, self.bounds, self.lefts,
+                spec.name, high_col, self.high_arr, checks,
+            )
+            for s in range(width):
+                out[s] = array("q", map(batch[s].__getitem__, src))
+            out[width] = array("q", res)
+            return
+        lefts, bounds, name = self.lefts, self.bounds, spec.name
+        include_low, include_high = spec.include_low, spec.include_high
+        high = spec.high
+        high_arr = self.high_arr
+        high_col = None if high is None else batch[high[0]]
+        current_tid = None
+        lo = hi = ptr = 0
+        for tid_val, low_val, i in keyed:
+            if not self._prune(batch, i, width):
+                continue
+            if tid_val != current_tid:
+                current_tid = tid_val
+                lo, hi = bounds.get((name, tid_val), _EMPTY)
+                ptr = lo
+            start = low_val if include_low else low_val + 1
+            while ptr < hi and lefts[ptr] < start:
+                ptr += 1
+            if high is None:
+                limit = _NO_LIMIT
+            else:
+                high_val = high_arr[high_col[i]]
+                limit = high_val + 1 if include_high else high_val
+            matched = self._scan(batch, i, ptr, hi, limit)
+            self._emit(batch, i, width, out, matched)
+
+    def _scan(self, batch, i, start, hi, limit) -> list:
+        """Collect candidates from ``start`` up to the span limit, running
+        the pre-resolved comparisons inline (specialized for the common
+        0/1/2-condition shapes so the hot loop stays call-free)."""
+        lefts = self.lefts
+        checks = self._resolved_checks(batch, i)
+        matched: list[int] = []
+        append = matched.append
+        j = start
+        n_checks = len(checks)
+        if n_checks == 0:
+            while j < hi and lefts[j] < limit:
+                append(j)
+                j += 1
+        elif n_checks == 1:
+            c0, o0, v0 = checks[0]
+            while j < hi and lefts[j] < limit:
+                if o0(c0[j], v0):
+                    append(j)
+                j += 1
+        elif n_checks == 2:
+            (c0, o0, v0), (c1, o1, v1) = checks
+            while j < hi and lefts[j] < limit:
+                if o0(c0[j], v0) and o1(c1[j], v1):
+                    append(j)
+                j += 1
+        else:
+            while j < hi and lefts[j] < limit:
+                if all(opf(column[j], value) for column, opf, value in checks):
+                    append(j)
+                j += 1
+        return matched
+
+    def _run_stack(self, batch, keyed, out, width) -> None:
+        """Stack-tree ancestors: spans still open at the context's left
+        edge are the only possible ancestors; each partition row is pushed
+        once per tid group and popped once its span closes (spans are
+        strict — ``right > left`` in both labeling schemes — so a span
+        ending at the context edge can never contain it)."""
+        spec = self.spec
+        lefts, rights, bounds, name = self.lefts, self.rights, self.bounds, spec.name
+        include_high = spec.include_high
+        current_tid = None
+        lo = hi = ptr = 0
+        stack: list[int] = []
+        push = stack.append
+        for tid_val, edge, i in keyed:
+            if not self._prune(batch, i, width):
+                continue
+            if tid_val != current_tid:
+                current_tid = tid_val
+                lo, hi = bounds.get((name, tid_val), _EMPTY)
+                ptr = lo
+                del stack[:]
+            limit = edge + 1 if include_high else edge
+            while ptr < hi and lefts[ptr] < limit:
+                push(ptr)
+                ptr += 1
+            while stack and rights[stack[-1]] <= edge:
+                stack.pop()
+            checks = self._resolved_checks(batch, i)
+            matched = [
+                j for j in stack
+                if all(opf(column[j], value) for column, opf, value in checks)
+            ]
+            self._emit(batch, i, width, out, matched)
+
+    def _run_prefix(self, batch, keyed, out, width) -> None:
+        spec = self.spec
+        lefts, bounds, name = self.lefts, self.bounds, spec.name
+        include_high = spec.include_high
+        current_tid = None
+        lo = hi = end = 0
+        for tid_val, edge, i in keyed:
+            if not self._prune(batch, i, width):
+                continue
+            if tid_val != current_tid:
+                current_tid = tid_val
+                lo, hi = bounds.get((name, tid_val), _EMPTY)
+                end = lo
+            limit = edge + 1 if include_high else edge
+            while end < hi and lefts[end] < limit:
+                end += 1
+            matched = self._scan(batch, i, lo, end, _NO_LIMIT)
+            self._emit(batch, i, width, out, matched)
+
+    def describe(self) -> str:
+        return (
+            f"StructuralMergeJoin(s{self.slot} <- {self.access}: {self.label}"
+            f" | strategy={self.spec.strategy}"
+            f" vector={len(self.const_checks) + len(self.col_checks)}"
+            f" row={len(self.row)})"
+        )

@@ -148,7 +148,7 @@ class PlanCompiler:
         (batch execution over parallel arrays)."""
         from ..plan.lower import lower_and_optimize
 
-        root, lowered = lower_and_optimize(self.lowerer, query, pivot)
+        root, lowered = lower_and_optimize(self.lowerer, query, pivot, executor)
         return self.compile_physical(root, lowered, executor)
 
     def compile_physical(

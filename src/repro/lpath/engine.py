@@ -361,6 +361,11 @@ class LPathEngine:
         path = parse(query) if isinstance(query, str) else query
         return self._sql.generate(path)
 
+    def cache_stats(self) -> dict[str, int]:
+        """Plan-cache observability: hits, misses, evictions, size and
+        capacity of this engine's LRU plan cache."""
+        return self.plan_cache.stats
+
     def explain(
         self, query: Query, pivot: bool = False, executor: Optional[str] = None
     ) -> str:

@@ -5,16 +5,23 @@ compile options such as ``pivot``), so the repeated-query loops of the
 fig6/fig9 benchmarks skip parsing, lowering and optimization entirely.
 Compiled plans are stateless closure trees and re-iterable, so sharing one
 plan across executions is safe.
+
+The physical-join choice (probe vs. structural merge) is derived from the
+engine's collected statistics, which are immutable for a loaded corpus —
+so cached plans can never go stale from the cost model.  The only mutable
+input is the ``REPRO_FORCE_JOIN`` override, which therefore participates
+in the cache key.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Hashable, Optional
 
 
 class PlanCache:
-    """LRU cache with hit/miss statistics."""
+    """LRU cache with hit/miss/eviction statistics."""
 
     def __init__(self, maxsize: int = 128) -> None:
         if maxsize < 0:
@@ -22,6 +29,7 @@ class PlanCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
 
     def get(self, key: Hashable) -> Optional[object]:
@@ -42,12 +50,14 @@ class PlanCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         """Invalidate every entry and reset the statistics."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,10 +67,19 @@ class PlanCache:
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self),
+            "maxsize": self.maxsize,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<PlanCache size={len(self)}/{self.maxsize} hits={self.hits} misses={self.misses}>"
+        return (
+            f"<PlanCache size={len(self)}/{self.maxsize} hits={self.hits} "
+            f"misses={self.misses} evictions={self.evictions}>"
+        )
 
 
 def cached_compile(
@@ -68,15 +87,21 @@ def cached_compile(
     executor: str = "volcano",
 ):
     """Compile ``query`` through ``cache``, keyed on its unparsed text
-    plus every compile option (``pivot`` and the physical ``executor``),
-    so a warm hit can never return a plan compiled for the other executor
-    or the other join order.
+    plus every compile option (``pivot``, the physical ``executor`` and
+    the ``REPRO_FORCE_JOIN`` override), so a warm hit can never return a
+    plan compiled for the other executor, the other join order, or the
+    other physical-join mode.
 
     The lookup happens before any parsing, so a warm hit skips the whole
     parse → lower → optimize pipeline; AST queries key on their unparse,
     which round-trips, so they share entries with their textual form.
     """
-    key = ((query if isinstance(query, str) else str(query)), pivot, executor)
+    key = (
+        (query if isinstance(query, str) else str(query)),
+        pivot,
+        executor,
+        os.environ.get("REPRO_FORCE_JOIN") or None,
+    )
     cached = cache.get(key)
     if cached is not None:
         return cached

@@ -300,8 +300,16 @@ class Scan(PlanNode):
 
 @dataclass(eq=False)
 class Join(PlanNode):
-    """Index-nested-loop extension: for each input binding, append every
-    access row that satisfies the conditions as slot ``slot``."""
+    """Extension join: for each input binding, append every access row
+    that satisfies the conditions as slot ``slot``.
+
+    ``physical`` records the optimizer's cost-based choice of join
+    algorithm for batch execution — ``"merge"`` (set-at-a-time structural
+    merge join over the sorted span columns) or ``"probe"`` (per-binding
+    index probe); ``None`` means the join shape admits no structural
+    variant (or the plan targets the Volcano interpreter, which only
+    probes).  ``est_in`` is the estimated input cardinality the choice was
+    based on."""
 
     input: PlanNode
     slot: int
@@ -312,6 +320,8 @@ class Join(PlanNode):
     step: object = None          # AST Step annotation
     ctx_slot: Optional[int] = None
     scope_slot: Optional[int] = None
+    physical: Optional[str] = None
+    est_in: Optional[float] = None
 
 
 @dataclass(eq=False)
@@ -436,6 +446,13 @@ def _render_conditions(conditions: Sequence[Pred]) -> str:
     return " if " + " and ".join(str(c) for c in conditions)
 
 
+def _format_estimate(value: float) -> str:
+    """Cardinality estimates rendered stably (no float noise in snapshots)."""
+    if value >= 1000:
+        return f"{value:.2g}"
+    return f"{value:g}" if value == round(value, 1) else f"{value:.1f}"
+
+
 def render(node: PlanNode, indent: int = 0) -> str:
     """A uniform, dialect-independent textual rendering of the IR."""
     pad = " " * indent
@@ -444,8 +461,15 @@ def render(node: PlanNode, indent: int = 0) -> str:
     if isinstance(node, Scan):
         return f"{pad}Scan(s{node.slot} <- {node.access}: {node.label}){_render_conditions(node.conditions)}"
     if isinstance(node, Join):
+        choice = ""
+        if node.physical is not None:
+            est = (
+                "" if node.est_in is None
+                else f" est_in={_format_estimate(node.est_in)}"
+            )
+            choice = f"[{node.physical}{est}]"
         head = (
-            f"{pad}Join(s{node.slot} <- {node.access}: {node.label})"
+            f"{pad}Join{choice}(s{node.slot} <- {node.access}: {node.label})"
             f"{_render_conditions(node.conditions)}"
         )
         return head + "\n" + render(node.input, indent + 2)

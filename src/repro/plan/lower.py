@@ -83,13 +83,14 @@ class LoweredQuery:
 
 
 def lower_and_optimize(
-    lowerer: "Lowerer", query, pivot: bool = False
+    lowerer: "Lowerer", query, pivot: bool = False, executor: str = "volcano"
 ) -> tuple[PlanNode, LoweredQuery]:
     """The logical half of every compile: parse (if text), lower —
     pivoted when requested and applicable, plain otherwise — and
     optimize.  Shared by the monolithic compilers and the segmented
     driver so the pivot-fallback and optimizer invocation can never
-    diverge between them."""
+    diverge between them.  ``executor`` reaches the optimizer so plans
+    bound for the batch executor carry their physical-join annotations."""
     from ..lpath.parser import parse
     from .optimizer import optimize
 
@@ -97,7 +98,7 @@ def lower_and_optimize(
     lowered = lowerer.lower_pivot(path) if pivot else None
     if lowered is None:
         lowered = lowerer.lower(path)
-    root = optimize(lowered.root, lowerer, pivot=pivot)
+    root = optimize(lowered.root, lowerer, pivot=pivot, executor=executor)
     return root, lowered
 
 

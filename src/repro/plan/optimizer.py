@@ -1,6 +1,6 @@
 """Optimizer passes over the logical IR.
 
-Three passes run between lowering and execution, for both dialects:
+Four passes run between lowering and execution, for both dialects:
 
 * :func:`push_down` — classic predicate pushdown over the main pipeline:
   every :class:`~repro.plan.ir.Filter` condition sinks to the deepest
@@ -14,7 +14,17 @@ Three passes run between lowering and execution, for both dialects:
   rarest step (main-chain reordering lives in
   :meth:`repro.plan.lower.Lowerer.lower_pivot`);
 * :func:`order_conditions` — evaluate cheap column comparisons before
-  positional checks and correlated subplans on every node.
+  positional checks and correlated subplans on every node; with catalog
+  statistics available, subplan predicates of the same shape additionally
+  order by their estimated seed cardinality (the rarest ``exists`` runs
+  first) instead of the static cost class alone;
+* :func:`annotate_join_physical` (batch executor only) — the cost-based
+  physical-join selection: every merge-eligible ``Join`` is costed as a
+  per-binding probe join vs. a set-at-a-time structural merge join using
+  the collected per-name cardinality/partition/depth statistics, and the
+  winner is recorded on the node (``Join.physical`` / ``Join.est_in``) so
+  ``explain()`` shows the choice.  The per-segment physical compile
+  re-runs the same model against each shard's own statistics.
 
 All passes mutate the IR in place and preserve results exactly; they are
 covered by the cross-backend differential sweeps.
@@ -54,12 +64,23 @@ from .lower import Lowerer
 from .schemes import Catalog
 
 
-def optimize(root: PlanNode, lowerer: Lowerer, pivot: bool = False) -> PlanNode:
-    """Run every pass; returns the (mutated) root."""
+def optimize(
+    root: PlanNode,
+    lowerer: Lowerer,
+    pivot: bool = False,
+    executor: str = "volcano",
+) -> PlanNode:
+    """Run every pass; returns the (mutated) root.
+
+    ``executor`` names the physical backend the plan is destined for —
+    the batch executor additionally gets per-join physical selection
+    (probe vs. structural merge) annotated from catalog statistics."""
     if pivot:
         reorder_exists_subplans(root, lowerer)
     root = push_down(root, lowerer.catalog)
-    order_conditions(root)
+    order_conditions(root, lowerer.catalog)
+    if executor == "columnar":
+        annotate_join_physical(root, lowerer.catalog)
     return root
 
 
@@ -215,6 +236,34 @@ def _pivoted_subplan(subplan: PlanNode, lowerer: Lowerer) -> Optional[PlanNode]:
     return lowerer.lower_subchain_pivot(steps, ctx, free_slot)
 
 
+# -- physical join selection --------------------------------------------------
+
+
+def annotate_join_physical(root: PlanNode, catalog) -> None:
+    """Record the cost-based probe vs. structural-merge choice on every
+    merge-eligible main-chain ``Join``, from the catalog's collected
+    statistics (``REPRO_FORCE_JOIN`` pins the choice for differential
+    testing).  Correlated subplans always run binding-at-a-time, so only
+    the main pipeline is annotated."""
+    from ..columnar.structural import chain_estimates, decide_join, force_mode
+
+    chain = linearize(root)
+    if not chain or not isinstance(chain[0], Scan):
+        return
+    estimates = chain_estimates(chain, catalog)
+    force = force_mode()
+    for node in chain:
+        if not isinstance(node, Join):
+            continue
+        spec, choice, est_in = decide_join(node, estimates, catalog, force)
+        if spec is None:
+            node.physical = None
+            node.est_in = None
+            continue
+        node.est_in = est_in
+        node.physical = choice
+
+
 # -- condition ordering -------------------------------------------------------
 
 
@@ -238,23 +287,44 @@ def _parts(pred: Pred):
     return pred.parts
 
 
-def order_conditions(root: PlanNode) -> None:
+def _subplan_seed_estimate(pred: Pred, stats) -> float:
+    """Estimated cardinality of a subplan predicate's seeding probe — the
+    statistics-driven tiebreak between same-shape subplan conditions (a
+    rare ``exists`` refutes bindings more cheaply than a common one)."""
+    if not isinstance(pred, (ExistsPred, ValueCmpPred, CountCmpPred)):
+        return 0.0
+    for node in linearize(pred.subplan):
+        if isinstance(node, Join) and isinstance(node.access, IndexProbe):
+            operand = node.access.eq[0] if node.access.eq else None
+            if isinstance(operand, Const) and isinstance(operand.value, str):
+                return float(stats.frequency(operand.value))
+            return float(stats.size())
+    return float(stats.size())
+
+
+def order_conditions(root: PlanNode, stats=None) -> None:
     """Stable-sort every node's conditions so cheap column comparisons run
-    before correlated subplans; recurses into subplans."""
+    before correlated subplans; with catalog statistics, subplans of the
+    same cost class additionally order by estimated seed cardinality.
+    Recurses into subplans."""
+    if stats is None:
+        key = _condition_cost
+    else:
+        def key(pred: Pred):
+            return (_condition_cost(pred), _subplan_seed_estimate(pred, stats))
+
     for node in linearize(root):
         if isinstance(node, (Scan, Join, Filter)):
-            node.conditions = tuple(
-                sorted(node.conditions, key=_condition_cost)
-            )
+            node.conditions = tuple(sorted(node.conditions, key=key))
             for condition in node.conditions:
-                _order_in_pred(condition)
+                _order_in_pred(condition, stats)
 
 
-def _order_in_pred(pred: Pred) -> None:
+def _order_in_pred(pred: Pred, stats=None) -> None:
     if isinstance(pred, (AllPred, AnyPred)):
         for part in pred.parts:
-            _order_in_pred(part)
+            _order_in_pred(part, stats)
     elif isinstance(pred, NotPred):
-        _order_in_pred(pred.part)
+        _order_in_pred(pred.part, stats)
     elif isinstance(pred, (ExistsPred, ValueCmpPred, CountCmpPred)):
-        order_conditions(pred.subplan)
+        order_conditions(pred.subplan, stats)

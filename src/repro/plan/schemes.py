@@ -116,10 +116,15 @@ _COLUMN_POSITIONS = {"tid": T, "left": L, "right": R, "depth": D, "id": I, "pid"
 
 
 class Catalog:
-    """What the lowerer may ask about the physical side of one engine."""
+    """What the lowerer and optimizer may ask about the physical side of
+    one engine: sizes, access paths, and the collected per-name
+    cardinality/partition/depth statistics behind the cost-based join
+    selection."""
 
     def __init__(self, table: Table) -> None:
         self.table = table
+        self._tree_count: Optional[int] = None
+        self._name_stats: dict = {}
 
     def size(self) -> int:
         return len(self.table)
@@ -129,6 +134,60 @@ class Catalog:
         if name is None:
             return len(self.table)
         return self.table.clustered.count_eq((name,))
+
+    def tree_count(self) -> int:
+        """Distinct trees in the relation (one pass, cached)."""
+        if self._tree_count is None:
+            self._tree_count = len({row[0] for row in self.table.scan()})
+        return self._tree_count
+
+    def name_stats(self, name: Optional[str]):
+        """Cardinality/partition/depth statistics for one name (or the
+        whole relation for ``None``); one pass over the clustered name
+        block, cached per name."""
+        from ..columnar.store import NameStats
+
+        cached = self._name_stats.get(name)
+        if cached is not None:
+            return cached
+        count = max_partition = 0
+        min_depth = max_depth = 0
+        if name is None:
+            per_tree: dict = {}
+            for row in self.table.scan():
+                count += 1
+                depth = row[3]
+                if count == 1:
+                    min_depth = max_depth = depth
+                elif depth < min_depth:
+                    min_depth = depth
+                elif depth > max_depth:
+                    max_depth = depth
+                per_tree[row[0]] = per_tree.get(row[0], 0) + 1
+            partitions = len(per_tree)
+            max_partition = max(per_tree.values(), default=0)
+        else:
+            partitions = run = 0
+            current_tid = object()
+            for row in self.table.clustered.scan_eq((name,)):
+                count += 1
+                depth = row[3]
+                if count == 1:
+                    min_depth = max_depth = depth
+                elif depth < min_depth:
+                    min_depth = depth
+                elif depth > max_depth:
+                    max_depth = depth
+                if row[0] != current_tid:
+                    current_tid = row[0]
+                    partitions += 1
+                    run = 0
+                run += 1
+                if run > max_partition:
+                    max_partition = run
+        stats = NameStats(count, partitions, max_partition, min_depth, max_depth)
+        self._name_stats[name] = stats
+        return stats
 
     def access_path(self, eq_columns: Sequence[str], range_column: Optional[str]):
         return choose_access_path(self.table, eq_columns, range_column)

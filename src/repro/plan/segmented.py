@@ -125,6 +125,34 @@ class SegmentedCatalog:
     def frequency(self, name: Optional[str]) -> int:
         return sum(catalog.frequency(name) for catalog in self._catalogs)
 
+    def tree_count(self) -> int:
+        """Trees across all shards (tids are disjoint, so counts add)."""
+        return sum(catalog.tree_count() for catalog in self._catalogs)
+
+    def name_stats(self, name: Optional[str]):
+        """Per-name statistics merged across shards: cardinalities and
+        partition counts add, depth ranges widen, the largest partition is
+        the max — giving the optimizer corpus-wide inputs while each
+        segment still re-decides its physical join from its own stats."""
+        from ..columnar.store import NameStats
+
+        merged = None
+        for catalog in self._catalogs:
+            stats = catalog.name_stats(name)
+            if stats.rows == 0:
+                continue
+            if merged is None:
+                merged = stats
+            else:
+                merged = NameStats(
+                    merged.rows + stats.rows,
+                    merged.partitions + stats.partitions,
+                    max(merged.max_partition, stats.max_partition),
+                    min(merged.min_depth, stats.min_depth),
+                    max(merged.max_depth, stats.max_depth),
+                )
+        return merged if merged is not None else NameStats(0, 0, 0, 0, 0)
+
     def access_path(self, eq_columns, range_column=None):
         return self._catalogs[0].access_path(eq_columns, range_column)
 
@@ -205,8 +233,12 @@ class SegmentedPlanCompiler:
     def compile(
         self, query, pivot: bool = False, executor: str = "volcano"
     ) -> SegmentedQuery:
-        """One logical compile, N physical compiles, one merged result."""
-        root, lowered = lower_and_optimize(self.lowerer, query, pivot)
+        """One logical compile, N physical compiles, one merged result.
+
+        The logical plan's join annotations come from the summed
+        corpus-wide statistics; each per-segment physical compile then
+        re-decides probe vs. merge against its own shard's statistics."""
+        root, lowered = lower_and_optimize(self.lowerer, query, pivot, executor)
         parts = [
             segment.compiler.compile_physical(root, lowered, executor)
             for segment in self.segments

@@ -136,6 +136,11 @@ class XPathEngine:
         LPath engine)."""
         return self.compile(query, pivot=pivot, executor=executor).explain()
 
+    def cache_stats(self) -> dict[str, int]:
+        """Plan-cache observability: hits, misses, evictions, size and
+        capacity of this engine's LRU plan cache."""
+        return self.plan_cache.stats
+
     def close(self) -> None:
         """Release the worker pool, cached plans and relational stores so
         a closed engine is promptly garbage-collectable.  Idempotent."""

@@ -6,10 +6,14 @@ the four LPath execution paths must agree exactly:
     plan/volcano == plan/columnar == emitted-SQL-on-SQLite == tree-walk
 
 and the XPath engine (both executors) must match the LPath engine on the
-start/end-expressible fragment.  A disagreement produces a reproducible
-failure report carrying the bracketed corpus and the query, so any
-falsifying example can be replayed by hand; hypothesis additionally
-prints the shrunken example and its seed.
+start/end-expressible fragment.  The columnar executor additionally runs
+every pair with structural merge joins forced **on** and forced **off**
+(the ``REPRO_FORCE_JOIN=merge|probe`` knob), so the set-at-a-time join
+layer is differentially verified against the per-binding probe join and
+the oracles regardless of what the cost model would pick.  A disagreement
+produces a reproducible failure report carrying the bracketed corpus and
+the query, so any falsifying example can be replayed by hand; hypothesis
+additionally prints the shrunken example and its seed.
 
 ``REPRO_FUZZ_EXAMPLES`` scales the number of hypothesis examples (the
 nightly CI job raises it well past the default); every example checks
@@ -21,10 +25,12 @@ from __future__ import annotations
 
 import io
 import os
+from contextlib import contextmanager
 
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
+from repro.columnar.structural import FORCE_ENV
 from repro.lpath import LPathEngine
 from repro.tree import write_trees
 from repro.xpath import XPATH_AXES, XPathEngine
@@ -32,6 +38,20 @@ from tests.strategies import corpora, lpath_queries, xpath_queries
 
 FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
 QUERIES_PER_EXAMPLE = 8
+
+
+@contextmanager
+def forced_join(mode: str):
+    """Pin the physical-join choice for the duration of one query run."""
+    previous = os.environ.get(FORCE_ENV)
+    os.environ[FORCE_ENV] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[FORCE_ENV]
+        else:
+            os.environ[FORCE_ENV] = previous
 
 
 def _bracketed(trees) -> str:
@@ -68,6 +88,13 @@ def _assert_agreement(trees, engine: LPathEngine, query: str) -> None:
         "columnar+pivot": engine.query(query, executor="columnar", pivot=True),
         "sqlite": engine.query(query, backend="sqlite"),
     }
+    with forced_join("merge"):
+        results["columnar+merge"] = engine.query(query, executor="columnar")
+        results["columnar+merge+pivot"] = engine.query(
+            query, executor="columnar", pivot=True
+        )
+    with forced_join("probe"):
+        results["columnar+probe"] = engine.query(query, executor="columnar")
     if any(rows != expected for rows in results.values()):
         raise AssertionError(_report(trees, query, results))
 
@@ -101,5 +128,13 @@ class TestXPathDifferentialFuzz:
                     query, pivot=True, executor="columnar"
                 ),
             }
+            with forced_join("merge"):
+                results["xpath/columnar+merge"] = xpath_engine.query(
+                    query, executor="columnar"
+                )
+            with forced_join("probe"):
+                results["xpath/columnar+probe"] = xpath_engine.query(
+                    query, executor="columnar"
+                )
             if any(rows != expected for rows in results.values()):
                 raise AssertionError(_report(trees, query, results))

@@ -14,7 +14,9 @@ class TestPlanCacheUnit:
         assert cache.get("a") is None
         cache.put("a", 1)
         assert cache.get("a") == 1
-        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+        assert cache.stats == {
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1, "maxsize": 4,
+        }
 
     def test_lru_eviction(self):
         cache = PlanCache(maxsize=2)
@@ -25,6 +27,8 @@ class TestPlanCacheUnit:
         assert "b" not in cache
         assert "a" in cache and "c" in cache
         assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.stats["evictions"] == 1
 
     def test_clear_invalidates_everything(self):
         cache = PlanCache()
@@ -32,7 +36,9 @@ class TestPlanCacheUnit:
         cache.get("a")
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats == {"hits": 0, "misses": 0, "size": 0}
+        assert cache.stats == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 128,
+        }
         assert cache.get("a") is None
 
     def test_zero_capacity_disables_caching(self):

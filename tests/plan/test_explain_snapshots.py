@@ -52,10 +52,14 @@ SNAPSHOTS = [
     ("lpath_exists_pivot", "lpath", "//S[//NP/N]", {"pivot": True}),
     ("lpath_columnar_scan", "lpath", "//S//NP", {"executor": "columnar"}),
     ("lpath_columnar_subplan", "lpath", "//S[//NP/N]", {"executor": "columnar"}),
+    ("lpath_columnar_deep_chain", "lpath", "//S//NP//N", {"executor": "columnar"}),
+    ("lpath_columnar_ancestor", "lpath", "//Det\\ancestor::S", {"executor": "columnar"}),
+    ("lpath_columnar_wildcard_child", "lpath", "//S/_", {"executor": "columnar"}),
     ("xpath_child_chain", "xpath", "//NP/N", {}),
     ("xpath_two_step_scan_pivot", "xpath", "//S//V", {"pivot": True}),
     ("xpath_ancestor", "xpath", "//Det\\ancestor::S", {}),
     ("xpath_columnar_scan", "xpath", "//S//NP", {"executor": "columnar"}),
+    ("xpath_columnar_deep_chain", "xpath", "//S//NP//N", {"executor": "columnar"}),
 ]
 
 

@@ -133,6 +133,59 @@ class TestQuery:
             counts.add(output.strip())
         assert len(counts) == 1
 
+    def test_explain_prints_plans_with_join_choice(self, corpus_file):
+        code, output = run(
+            ["query", corpus_file, "//S//NP", "--executor", "columnar",
+             "--explain"]
+        )
+        assert code == 0
+        assert "logical plan:" in output and "physical plan:" in output
+        assert "[merge est_in=" in output or "[probe est_in=" in output
+
+    def test_explain_volcano_engine(self, corpus_file):
+        code, output = run(["query", corpus_file, "//S//NP", "--explain"])
+        assert code == 0
+        assert "IndexNestedLoopJoin" in output or "physical plan:" in output
+
+    def test_explain_xpath_engine(self, corpus_file):
+        code, output = run(
+            ["query", corpus_file, "//S//NP", "--engine", "xpath", "--explain"]
+        )
+        assert code == 0
+        assert "XPath plan" in output
+
+    def test_explain_rejects_non_plan_engines(self, corpus_file):
+        for engine in ("treewalk", "sqlite", "tgrep2"):
+            code, _ = run(
+                ["query", corpus_file, "//S", "--engine", engine, "--explain"]
+            )
+            assert code == 1, engine
+
+    def test_cache_stats_rejects_non_plan_engines(self, corpus_file):
+        code, _ = run(
+            ["query", corpus_file, "//S", "--engine", "corpussearch",
+             "--count", "--cache-stats"]
+        )
+        assert code == 1
+
+    def test_cache_stats_printed_after_results(self, corpus_file):
+        code, output = run(
+            ["query", corpus_file, "//NP", "--count", "--cache-stats"]
+        )
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert lines[-1].startswith("plan cache: ")
+        assert "misses=1" in lines[-1]
+        assert "evictions=0" in lines[-1]
+
+    def test_cache_stats_with_xpath_engine(self, corpus_file):
+        code, output = run(
+            ["query", corpus_file, "//NP", "--engine", "xpath", "--count",
+             "--cache-stats"]
+        )
+        assert code == 0
+        assert "plan cache: " in output
+
     def test_pivot_flag_preserves_results(self, corpus_file):
         plain = run(["query", corpus_file, "//S//NP//WHPP", "--count"])
         pivoted = run(["query", corpus_file, "//S//NP//WHPP", "--count", "--pivot"])
