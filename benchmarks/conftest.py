@@ -20,6 +20,7 @@ import json
 import os
 import pathlib
 import platform
+import resource
 import time
 
 import pytest
@@ -47,13 +48,33 @@ def write_result(results_dir):
     return writer
 
 
+def peak_rss_kb() -> int:
+    """The process's peak resident set size in kibibytes (Linux reports
+    ``ru_maxrss`` in KiB already; macOS reports bytes).
+
+    This is the *process-lifetime* high-water mark — it never decreases,
+    so when several bench modules run in one pytest session, a later
+    document's reading includes every earlier benchmark's peak.  Compare
+    documents produced by the same session layout (CI runs each bench
+    module as its own pytest process, so its gate is unaffected); treat
+    within-session readings as an upper bound, not a per-test figure."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return peak
+
+
 @pytest.fixture(scope="session")
 def write_json(results_dir):
     """Write one machine-readable ``BENCH_<name>.json`` result document.
 
     ``payload`` is the benchmark's own structure (lists/dicts of timings);
     the wrapper adds the environment every reading depends on, so two
-    documents are only comparable when their knobs match.
+    documents are only comparable when their knobs match — plus the
+    process's peak RSS at write time, so ``diff_bench.py`` flags memory
+    regressions (and, together with the ``*_seconds`` open timings the
+    store benchmarks record, cold-start regressions) alongside the
+    query-time ones.
     """
     from repro.bench.datasets import bench_sentences
 
@@ -65,6 +86,7 @@ def write_json(results_dir):
             "python": platform.python_version(),
             "sentences": bench_sentences(),
             "repeats": bench_repeats(),
+            "max_rss_kb": peak_rss_kb(),
             "results": payload,
         }
         path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

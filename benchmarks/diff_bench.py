@@ -12,7 +12,10 @@ Two documents are only comparable when their environment knobs match
 (corpus size, repeats); mismatched knobs downgrade the diff to a report
 without failing, since the numbers mean different workloads.  Timings are
 found by walking the ``results`` payload for numeric keys ending in
-``_seconds`` (plus ``seconds``), keyed by their JSON path.
+``_seconds`` (plus ``seconds``), keyed by their JSON path.  Memory
+metrics — keys ending in ``_kb``, plus the envelope's ``max_rss_kb`` peak
+RSS — diff under the same tolerance, so a memory or cold-start regression
+fails the gate exactly like a slow query would.
 """
 
 from __future__ import annotations
@@ -41,10 +44,16 @@ def timings(document: dict) -> dict[str, float]:
                 walk(value, f"{path}[{label}]")
         elif isinstance(node, (int, float)) and not isinstance(node, bool):
             leaf = path.rsplit(".", 1)[-1]
-            if leaf == "seconds" or leaf.endswith("_seconds"):
+            if (
+                leaf == "seconds"
+                or leaf.endswith("_seconds")
+                or leaf.endswith("_kb")
+            ):
                 found[path] = float(node)
 
     walk(document.get("results", {}), "")
+    if isinstance(document.get("max_rss_kb"), (int, float)):
+        found["max_rss_kb"] = float(document["max_rss_kb"])
     return found
 
 
@@ -65,18 +74,29 @@ def diff(baseline: dict, current: dict, tolerance: float) -> tuple[list[str], bo
         )
     old, new = timings(baseline), timings(current)
     regressed = False
+
+    def fmt(path: str, value: float) -> str:
+        if path.rsplit(".", 1)[-1].endswith("_kb") or path == "max_rss_kb":
+            return f"{value:.0f}kb"
+        return f"{value:.5f}s"
+
     for path in sorted(old.keys() & new.keys()):
         was, now = old[path], new[path]
-        ratio = now / was if was else float("inf")
+        # A zero baseline (e.g. a sub-KiB file size) carries no signal;
+        # only flag it when the current value actually appeared.
+        ratio = now / was if was else (float("inf") if now else 1.0)
         marker = ""
-        if ratio > tolerance:
+        if ratio > tolerance and was:
             marker = f"  <-- regression (> {tolerance:.2f}x)"
             regressed = True
-        lines.append(f"{path}: {was:.5f}s -> {now:.5f}s ({ratio:.2f}x){marker}")
+        lines.append(
+            f"{path}: {fmt(path, was)} -> {fmt(path, now)} ({ratio:.2f}x)"
+            f"{marker}"
+        )
     for path in sorted(new.keys() - old.keys()):
-        lines.append(f"{path}: (new) {new[path]:.5f}s")
+        lines.append(f"{path}: (new) {fmt(path, new[path])}")
     for path in sorted(old.keys() - new.keys()):
-        lines.append(f"{path}: (gone, was {old[path]:.5f}s)")
+        lines.append(f"{path}: (gone, was {fmt(path, old[path])})")
     if not (old.keys() & new.keys()):
         lines.append("no shared timings to compare")
     return lines, regressed and comparable

@@ -2,15 +2,21 @@
 """Dataset characteristics: regenerate Figures 6(a) and 6(b) at any scale.
 
 Generates WSJ-like and SWB-like corpora, prints their characteristics and
-top-10 tag tables, and round-trips the WSJ corpus through bracketed text
-(the Treebank-3 interchange format).
+top-10 tag tables, round-trips the WSJ corpus through bracketed text
+(the Treebank-3 interchange format), and compiles it into a zero-copy
+``LPDB0004`` store whose collected statistics are printed straight from
+the sidecar via ``repro store info`` — no column data is read.
 
 Run:  python examples/corpus_statistics.py [sentences]
 """
 
 import io
+import os
+import shutil
 import sys
+import tempfile
 
+from repro.cli import main as repro_main
 from repro.corpus import (
     corpus_stats,
     format_stats_table,
@@ -18,6 +24,7 @@ from repro.corpus import (
     generate_corpus,
     top_tags,
 )
+from repro.store import save_corpus
 from repro.tree import read_trees, write_trees
 
 
@@ -48,6 +55,16 @@ def main() -> None:
           f"({'OK' if len(back) == len(wsj) else 'MISMATCH'})")
     print("First tree:")
     print(" ", text.splitlines()[0][:100], "...")
+
+    directory = tempfile.mkdtemp(prefix="repro-stats-")
+    try:
+        path = os.path.join(directory, "wsj.lpdb")
+        save_corpus(wsj, path, segments=4, format="lpdb0004")
+        print("\nCompiled to a zero-copy LPDB0004 store; `repro store info` "
+              "reads these statistics from the sidecar alone:")
+        repro_main(["store", "info", path, "--top", "10"])
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
 
 
 if __name__ == "__main__":

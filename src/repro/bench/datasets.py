@@ -9,6 +9,7 @@ scaling run shows the trend toward full size).
 from __future__ import annotations
 
 import os
+import tempfile
 from functools import lru_cache
 
 from ..baselines.corpussearch import CorpusSearchEngine
@@ -78,8 +79,68 @@ def xpath_engine(profile: str) -> XPathEngine:
     return XPathEngine(list(corpus(profile)))
 
 
+#: Resources the lru_caches below cannot release themselves: compiled
+#: store temp dirs and opened mmap engines (which own file mappings and,
+#: in process mode, live worker pools).  :func:`clear_caches` drains both.
+_STORE_DIRS: list[str] = []
+_MMAP_ENGINES: list[LPathEngine] = []
+
+
+@lru_cache(maxsize=None)
+def compiled_corpus_path(
+    profile: str, factor: float = 1.0, segments: int = 1,
+    format: str = "lpdb0004", sentences: int | None = None,
+) -> str:
+    """Save the (possibly scaled) benchmark corpus to a compiled store
+    file in a per-process temp dir; cached so the store-open benchmarks
+    can reopen one file repeatedly.  ``sentences`` overrides the
+    environment knob (benchmarks that need a floor-sized workload clamp
+    it, like the structural-join A/B does)."""
+    from ..store import save_corpus
+
+    base = corpus(profile, sentences)
+    trees = base if factor == 1.0 else replicate_corpus(list(base), factor)
+    directory = tempfile.mkdtemp(prefix="repro-bench-store-")
+    _STORE_DIRS.append(directory)
+    path = os.path.join(
+        directory, f"{profile}-{factor:g}x-{segments}seg.{format}"
+    )
+    save_corpus(list(trees), path, segments=segments, format=format)
+    return path
+
+
+@lru_cache(maxsize=None)
+def mmap_engine(
+    profile: str, factor: float = 1.0, segments: int = 1,
+    workers: int | None = None, mode: str | None = None,
+    sentences: int | None = None,
+) -> LPathEngine:
+    """An mmap-backed LPath engine over the compiled benchmark corpus
+    (``mode`` as in :meth:`LPathEngine.from_store_mmap`: process fan-out
+    by default when ``workers > 1``)."""
+    path = compiled_corpus_path(profile, factor, segments,
+                                sentences=sentences)
+    engine = LPathEngine.from_store_mmap(path, workers=workers, mode=mode)
+    _MMAP_ENGINES.append(engine)
+    return engine
+
+
 def clear_caches() -> None:
-    """Drop all cached corpora/engines (tests use this to bound memory)."""
+    """Drop all cached corpora/engines (tests use this to bound memory).
+
+    Mmap engines are closed first — releasing their mappings, file
+    descriptors and worker pools — and the compiled-store temp dirs are
+    deleted, so clearing actually returns the resources instead of
+    leaving them to whenever GC finalizes the evicted entries."""
+    import shutil
+
+    for engine in _MMAP_ENGINES:
+        engine.close()
+    _MMAP_ENGINES.clear()
+    for directory in _STORE_DIRS:
+        shutil.rmtree(directory, ignore_errors=True)
+    _STORE_DIRS.clear()
     for cached in (corpus, scaled_corpus, lpath_engine, tgrep2_engine,
-                   corpussearch_engine, xpath_engine):
+                   corpussearch_engine, xpath_engine, compiled_corpus_path,
+                   mmap_engine):
         cached.cache_clear()

@@ -80,9 +80,12 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
                 file=sys.stderr,
             )
             return 1
-    executor = getattr(args, "executor", "volcano")
+    executor_flag = getattr(args, "executor", None)
+    executor = executor_flag if executor_flag is not None else "volcano"
     segments = getattr(args, "segments", None)
     workers = getattr(args, "workers", None)
+    mode = getattr(args, "mode", None)
+    use_mmap = getattr(args, "mmap", False)
     compiled = args.corpus != "-" and store.is_compiled_corpus(args.corpus)
     if compiled and engine_name not in ("lpath", "sqlite"):
         print(
@@ -90,12 +93,42 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
             file=sys.stderr,
         )
         return 1
+    if use_mmap and (not compiled or engine_name != "lpath"):
+        print(
+            "error: --mmap needs a compiled LPDB0004 corpus and "
+            "--engine lpath",
+            file=sys.stderr,
+        )
+        return 1
+    if use_mmap and segments is not None:
+        print(
+            "error: --mmap keeps the file's on-disk segments; it cannot "
+            "re-shard (drop --segments, or re-compile with --segments N "
+            "--format lpdb0004)",
+            file=sys.stderr,
+        )
+        return 1
+    if use_mmap and executor_flag == "volcano":
+        print(
+            "error: mmap-backed engines are columnar-only; --executor "
+            "volcano needs row storage (drop --mmap or the flag)",
+            file=sys.stderr,
+        )
+        return 1
+    if mode is not None and not use_mmap:
+        print("error: --mode requires --mmap", file=sys.stderr)
+        return 1
     if engine_name in ("lpath", "treewalk", "sqlite"):
         # Only the plan backend runs a physical executor; don't build
         # columnar structures for treewalk/sqlite queries.
         plan_executor = executor if engine_name == "lpath" else "volcano"
         if compiled:
-            if engine_name == "lpath" and executor == "columnar":
+            if use_mmap:
+                # Zero-copy adoption of an LPDB0004 store; columnar-only.
+                engine = LPathEngine.from_store_mmap(
+                    args.corpus, workers=workers, mode=mode
+                )
+            elif engine_name == "lpath" and executor == "columnar":
                 # Straight into columns — no per-row Label objects.  An
                 # LPDB0003 file keeps its on-disk shards unless an explicit
                 # --segments asks for a different split, in which case the
@@ -134,6 +167,16 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
             _print_cache_stats(args, engine, out)
             return 0
         backend = "plan" if engine_name == "lpath" else engine_name
+        if args.count and backend == "plan":
+            # Count through the compiled plan: segmented engines add
+            # per-segment counts, and process-mode workers return one
+            # integer each instead of shipping every result row.
+            print(
+                engine.count(args.query, pivot=getattr(args, "pivot", False)),
+                file=out,
+            )
+            _print_cache_stats(args, engine, out)
+            return 0
         matches = engine.query(
             args.query, backend=backend, pivot=getattr(args, "pivot", False)
         )
@@ -153,6 +196,15 @@ def _command_query(args: argparse.Namespace, out: TextIO) -> int:
             if getattr(args, "explain", False):
                 print(
                     engine.explain(args.query, pivot=getattr(args, "pivot", False)),
+                    file=out,
+                )
+                _print_cache_stats(args, engine, out)
+                return 0
+            if args.count:
+                print(
+                    engine.count(
+                        args.query, pivot=getattr(args, "pivot", False)
+                    ),
                     file=out,
                 )
                 _print_cache_stats(args, engine, out)
@@ -202,13 +254,46 @@ def _command_compile(args: argparse.Namespace, out: TextIO) -> int:
     trees = _load_trees(args.corpus)
     segments = getattr(args, "segments", None)
     segments = 1 if segments is None else segments
-    rows = store.save_corpus(trees, args.output, segments=segments)
+    format = getattr(args, "format", None)
+    format = None if format in (None, "auto") else format
+    rows = store.save_corpus(
+        trees, args.output, segments=segments, format=format
+    )
     suffix = f" in {segments} segments" if segments > 1 else ""
+    revision = store.corpus_format(args.output)
     print(
         f"compiled {len(trees)} trees ({rows} label rows) to "
-        f"{args.output}{suffix}",
+        f"{args.output}{suffix} [{revision}]",
         file=out,
     )
+    return 0
+
+
+def _command_store_info(args: argparse.Namespace, out: TextIO) -> int:
+    from . import store
+
+    info = store.corpus_info(args.path, top=args.top)
+    print(f"file: {info['path']} ({info['bytes']} bytes)", file=out)
+    print(f"format: {info['format']}", file=out)
+    print(f"segments: {info['segments']}", file=out)
+    print(f"rows: {info['rows']}", file=out)
+    print(f"trees: {info['trees']}", file=out)
+    print(f"distinct names: {info['distinct_names']}", file=out)
+    if info["top_names"]:
+        print(f"top {len(info['top_names'])} names by rows:", file=out)
+        width = max(len(name) for name, _stats in info["top_names"])
+        header = (
+            f"  {'name':<{width}}  {'rows':>8}  {'parts':>7}  "
+            f"{'maxpart':>7}  depth"
+        )
+        print(header, file=out)
+        for name, stats in info["top_names"]:
+            rows, partitions, max_partition, min_depth, max_depth = stats
+            print(
+                f"  {name:<{width}}  {rows:>8}  {partitions:>7}  "
+                f"{max_partition:>7}  {min_depth}..{max_depth}",
+                file=out,
+            )
     return 0
 
 
@@ -250,18 +335,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="selectivity-driven join ordering "
                             "(lpath and xpath plan engines)")
     query.add_argument("--executor", choices=("volcano", "columnar"),
-                       default="volcano",
+                       default=None,
                        help="physical executor for the plan engines: "
                             "tuple-at-a-time interpreter or batch "
-                            "columnar execution (default volcano)")
+                            "columnar execution (default volcano; "
+                            "--mmap engines are always columnar)")
     query.add_argument("--segments", type=int, default=None, metavar="N",
                        help="shard the corpus by tree into N independent "
                             "segments (lpath and xpath plan engines; "
                             "segmented LPDB0003 files keep their on-disk "
                             "shards by default)")
     query.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="thread-pool size for fanning a query out "
+                       help="worker-pool size for fanning a query out "
                             "across segments (default: sequential)")
+    query.add_argument("--mmap", action="store_true",
+                       help="open a compiled LPDB0004 corpus zero-copy "
+                            "via mmap (lpath engine; columnar-only, "
+                            "O(1) cold start)")
+    query.add_argument("--mode", choices=("thread", "process"), default=None,
+                       help="segment fan-out pool flavor for --mmap "
+                            "engines: GIL-bound threads or true "
+                            "multi-core worker processes (default: "
+                            "process when --workers > 1)")
     query.add_argument("--explain", action="store_true",
                        help="print the logical and physical plan (with the "
                             "optimizer's per-join physical choice) instead "
@@ -282,10 +377,32 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("corpus", help="bracketed treebank file")
     compile_cmd.add_argument("-o", "--output", required=True)
     compile_cmd.add_argument("--segments", type=int, default=None, metavar="N",
-                             help="write the segmented LPDB0003 layout "
-                                  "with the corpus sharded by tree into N "
-                                  "blocks (default: one store)")
+                             help="shard the corpus by tree into N "
+                                  "segments (default: one store)")
+    compile_cmd.add_argument("--format",
+                             choices=("auto", "lpdb0002", "lpdb0003",
+                                      "lpdb0004"),
+                             default="auto",
+                             help="on-disk revision: auto picks "
+                                  "lpdb0002/lpdb0003 by --segments; "
+                                  "lpdb0004 writes the zero-copy mmap "
+                                  "layout (columns + statistics "
+                                  "pre-built, millisecond opens)")
     compile_cmd.set_defaults(handler=_command_compile)
+
+    store_cmd = commands.add_parser(
+        "store", help="inspect compiled corpus files"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    info = store_sub.add_parser(
+        "info",
+        help="format revision, segment/row/tree counts and top-k name "
+             "statistics (LPDB0004: sidecar only — no column data read)",
+    )
+    info.add_argument("path", help="compiled corpus file")
+    info.add_argument("--top", type=int, default=10, metavar="K",
+                      help="names to list, ranked by row count (default 10)")
+    info.set_defaults(handler=_command_store_info)
 
     stats = commands.add_parser("stats", help="dataset characteristics (Fig 6a/6b)")
     stats.add_argument("corpus", nargs="+")

@@ -16,7 +16,7 @@ side for differential testing).
 
 from .catalog import ColumnarCatalog
 from .executor import ColumnarPlan, ColumnarRuntime, compile_plan
-from .store import ColumnStore, NameStats
+from .store import ColumnStore, MappedColumnStore, NameStats, StringColumn
 from .structural import MergeJoinStep, MergeSpec, choose_join, merge_spec
 
 __all__ = [
@@ -24,9 +24,11 @@ __all__ = [
     "ColumnarCatalog",
     "ColumnarPlan",
     "ColumnarRuntime",
+    "MappedColumnStore",
     "MergeJoinStep",
     "MergeSpec",
     "NameStats",
+    "StringColumn",
     "choose_join",
     "compile_plan",
     "merge_spec",

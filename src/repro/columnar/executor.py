@@ -27,6 +27,18 @@ Both compile the *same* optimized IR; the difference is entirely physical:
 Compiled plans are stateless and re-iterable, so they are safe to keep in
 the per-engine plan cache alongside Volcano plans (the cache keys on the
 executor choice).
+
+Operand access is **sequence-protocol only** — a deliberate contract
+since the zero-copy store arrived: every column reference compiled here
+(``store.col(...)``, the bitmap filters, the probe bound getters, the
+string columns) must go through ``__getitem__``/``len``/iteration and
+never assume ``array('q')`` concretely, because a
+:class:`~repro.columnar.store.MappedColumnStore` hands back ``memoryview``
+casts straight off an ``mmap`` and lazy
+:class:`~repro.columnar.store.StringColumn` wrappers instead.  The same
+rule binds :mod:`repro.columnar.structural`, whose generated sweep loops
+index the raw views directly.  (A released view — the owning engine was
+closed — raises ``ValueError`` on access, so stale plans fail loudly.)
 """
 
 from __future__ import annotations

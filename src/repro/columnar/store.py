@@ -462,3 +462,165 @@ class ColumnStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ColumnStore rows={self.n} names={len(self.name_bounds)}>"
+
+
+# -- zero-copy adoption of an LPDB0004 segment ---------------------------------
+
+
+class StringColumn:
+    """A lazy string column: an int64 id view over the mapped file plus
+    the decoded string table.  Rows resolve on access, so adopting the
+    column is O(1) instead of an O(rows) list build; repeated lookups of
+    one row return the *same* table entry (interning for free)."""
+
+    __slots__ = ("ids", "table")
+
+    def __init__(self, ids, table: list) -> None:
+        self.ids = ids
+        self.table = table
+
+    def __getitem__(self, row: int):
+        return self.table[self.ids[row]]
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self):
+        table = self.table
+        return (table[index] for index in self.ids)
+
+
+class PartitionBounds:
+    """The ``(name, tid) -> (row lo, row hi)`` mapping of a mapped store,
+    answered from the sidecar's name directory plus two int64 views
+    (partition tids and row starts, in clustered order) — a dict lookup
+    and one binary search instead of an O(partitions) dict build at open.
+    Implements the read surface the executor and the structural joins use
+    (``get``/``[]``/``in``)."""
+
+    __slots__ = ("_name_dir", "_tids", "_starts", "_n")
+
+    def __init__(self, name_dir: dict, tids, starts, n: int) -> None:
+        self._name_dir = name_dir   # name -> (part lo, part hi, row hi)
+        self._tids = tids
+        self._starts = starts
+        self._n = n
+
+    def _lookup(self, key):
+        name, tid = key
+        span = self._name_dir.get(name)
+        if span is None:
+            return None
+        part_lo, part_hi, _row_hi = span
+        tids = self._tids
+        index = bisect_left(tids, tid, part_lo, part_hi)
+        if index == part_hi or tids[index] != tid:
+            return None
+        starts = self._starts
+        start = starts[index]
+        end = starts[index + 1] if index + 1 < len(starts) else self._n
+        return start, end
+
+    def get(self, key, default=None):
+        bounds = self._lookup(key)
+        return default if bounds is None else bounds
+
+    def __getitem__(self, key):
+        bounds = self._lookup(key)
+        if bounds is None:
+            raise KeyError(key)
+        return bounds
+
+    def __contains__(self, key) -> bool:
+        return self._lookup(key) is not None
+
+
+class ChildrenBounds:
+    """The ``(tid, pid) -> (slot lo, slot hi)`` mapping over a mapped
+    store's children permutation: a per-tree group directory plus two
+    int64 views (group pids and slot starts)."""
+
+    __slots__ = ("_tid_dir", "_pids", "_starts")
+
+    def __init__(self, tid_dir: dict, pids, starts) -> None:
+        self._tid_dir = tid_dir     # tid -> (group lo, group hi)
+        self._pids = pids
+        self._starts = starts
+
+    def get(self, key, default=None):
+        tid, pid = key
+        span = self._tid_dir.get(tid)
+        if span is None:
+            return default
+        group_lo, group_hi = span
+        pids = self._pids
+        index = bisect_left(pids, pid, group_lo, group_hi)
+        if index == group_hi or pids[index] != pid:
+            return default
+        return self._starts[index], self._starts[index + 1]
+
+    def __getitem__(self, key):
+        bounds = self.get(key)
+        if bounds is None:
+            raise KeyError(key)
+        return bounds
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+
+class MappedColumnStore(ColumnStore):
+    """A :class:`ColumnStore` adopted zero-copy from one segment of an
+    ``LPDB0004`` file (:class:`repro.store.MappedSegment`).
+
+    Nothing is decoded, sorted or scanned: the integer columns and the
+    derived permutations/bitmaps are ``memoryview``\\ s straight off the
+    ``mmap``, the string columns resolve through the sidecar's table
+    lazily, the partition/children bounds answer from sidecar directories
+    plus binary search, and every :class:`NameStats` the cost model asks
+    for was collected at save time — open cost is O(names + trees), not
+    O(rows).  Closing the owning :class:`~repro.store.MappedCorpus`
+    releases the views; a store used after that raises ``ValueError``."""
+
+    __slots__ = ()
+
+    def __init__(
+        self, segment, column_names: tuple[str, ...] = COLUMN_NAMES
+    ) -> None:
+        self.n = segment.n
+        self.column_names = tuple(column_names)
+        self.tid = segment.tid
+        self.left = segment.left
+        self.right = segment.right
+        self.depth = segment.depth
+        self.id = segment.id
+        self.pid = segment.pid
+        table = segment.table
+        self.names = StringColumn(segment.name_ids, table)
+        self.values = StringColumn(segment.value_ids, table)
+        self.is_attr = segment.is_attr
+        self.right_edge = segment.right_edge
+        self.root_right = segment.root_right
+        self.tid_id_perm = segment.tid_id_perm
+        self._perm_ids = segment.perm_ids
+        self.tid_bounds = segment.tid_bounds
+        self.children_perm = segment.children_perm
+        self.children_bounds = ChildrenBounds(
+            segment.child_tid_dir, segment.child_pids, segment.child_starts
+        )
+
+        name_bounds: dict[str, tuple[int, int]] = {}
+        name_dir: dict[str, tuple[int, int, int]] = {}
+        stats: dict[Optional[str], NameStats] = {}
+        for name, lo, hi, part_lo, part_hi, collected in segment.name_entries:
+            name_bounds[name] = (lo, hi)
+            name_dir[name] = (part_lo, part_hi, hi)
+            stats[name] = NameStats(*collected)
+        self.name_bounds = name_bounds
+        self.name_tid_bounds = PartitionBounds(
+            name_dir, segment.part_tids, segment.part_starts, self.n
+        )
+        stats[None] = NameStats(*segment.store_stats)
+        self._name_stats = stats
+        self._by_value = None
+        self._projections = {}

@@ -32,6 +32,7 @@ from typing import Optional, Sequence, Union
 from ..labeling.lpath_scheme import label_corpus, root_spans
 from ..plan.cache import PlanCache, cached_compile
 from ..plan.segmented import (
+    RemoteSpec,
     Segment,
     SegmentPool,
     SegmentedPlanCompiler,
@@ -153,6 +154,8 @@ class LPathEngine:
         engine.executor = "columnar"
         engine.segments = len(stores)
         engine.workers = workers
+        engine.mode = "thread"
+        engine._mapped = None
         engine._pool = SegmentPool(workers, len(stores))
         engine.database = None
         engine.node_table = None
@@ -184,6 +187,91 @@ class LPathEngine:
         engine._by_id = None
         engine.plan_cache = PlanCache(plan_cache_size)
         return engine
+
+    @classmethod
+    def from_store_mmap(
+        cls,
+        path: str,
+        plan_cache_size: int = 128,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> "LPathEngine":
+        """Open an ``LPDB0004`` compiled corpus zero-copy.
+
+        The file is ``mmap``\\ ed and every segment's columns, projections,
+        bitmaps, partition bounds and collected statistics are adopted as
+        views straight off the map — open cost is O(segments + names),
+        not O(rows), and two engines (or processes) opening the same file
+        share its pages through the OS cache.  Columnar-only, like
+        :meth:`from_columns`.
+
+        ``mode`` picks the fan-out pool: ``"thread"`` or ``"process"``
+        (default: process whenever ``workers > 1``, because this engine
+        is exactly the shape process workers need — they re-open the
+        store by ``(path, segment)`` instead of unpickling it).
+        :meth:`close` unmaps the file, invalidating every adopted view."""
+        from ..columnar.store import MappedColumnStore
+        from ..store import open_mapped_corpus
+
+        validate_segmentation(1, workers, mode)
+        if mode is None:
+            mode = "process" if workers is not None and workers > 1 else "thread"
+        corpus = open_mapped_corpus(path)
+        try:
+            stores = [
+                MappedColumnStore(segment) for segment in corpus.segments
+            ]
+            engine = cls.from_columns(
+                stores if len(stores) > 1 else stores[0],
+                plan_cache_size=plan_cache_size,
+                workers=workers,
+            )
+        except BaseException:
+            corpus.close()
+            raise
+        engine._mapped = corpus
+        engine.mode = mode
+        engine._pool = SegmentPool(workers, len(stores), mode=mode)
+        if len(stores) > 1:
+            # Re-point the already-built segmented compiler at the
+            # mode-aware pool and teach it how workers re-open the store.
+            engine._compiler.get_pool = engine._pool
+            engine._compiler.remote = RemoteSpec(path, "LPath")
+        return engine
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        plan_cache_size: int = 128,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> "LPathEngine":
+        """Open any compiled corpus file as a columnar engine.
+
+        ``LPDB0004`` files are adopted zero-copy via
+        :meth:`from_store_mmap`; older revisions are decoded eagerly
+        (``mode="process"`` therefore requires an ``LPDB0004`` file —
+        worker processes re-open the store by path)."""
+        from .. import store as store_module
+
+        if store_module.corpus_format(path) == "LPDB0004":
+            return cls.from_store_mmap(
+                path, plan_cache_size=plan_cache_size,
+                workers=workers, mode=mode,
+            )
+        if mode == "process":
+            raise LPathError(
+                "process-mode fan-out needs an LPDB0004 store (re-save the "
+                f"corpus with format='lpdb0004'); {path} is "
+                f"{store_module.corpus_format(path)}"
+            )
+        shards = store_module.load_corpus_segments(path)
+        return cls.from_columns(
+            shards if len(shards) > 1 else shards[0],
+            plan_cache_size=plan_cache_size,
+            workers=workers,
+        )
 
     @staticmethod
     def _as_bundle_list(columns, segments: Optional[int]) -> list:
@@ -247,6 +335,8 @@ class LPathEngine:
         self.executor = executor
         self.segments = segments
         self.workers = workers
+        self.mode = "thread"
+        self._mapped = None
         self._pool = SegmentPool(workers, segments)
         self.root_right = root_right
         if segments == 1:
@@ -326,7 +416,14 @@ class LPathEngine:
         pivot: bool = False,
         executor: Optional[str] = None,
     ) -> int:
-        """Result-set size (what the paper's experiments report)."""
+        """Result-set size (what the paper's experiments report).
+
+        The plan backend counts through the compiled plan itself, so a
+        segmented engine adds per-segment counts — and a process-mode
+        engine ships back one integer per worker instead of packing,
+        unpacking and merging every result row just to take its length."""
+        if backend == "plan":
+            return self.compile(query, pivot=pivot, executor=executor).count()
         return len(self.query(query, backend=backend, pivot=pivot, executor=executor))
 
     def nodes(
@@ -398,9 +495,11 @@ class LPathEngine:
 
     def close(self) -> None:
         """Release every backend resource: the SQLite oracle, the worker
-        pool, cached plans, and the relational store / row references —
-        so a closed engine is promptly garbage-collectable.  Idempotent;
-        queries on a closed engine raise :class:`LPathError`."""
+        pool, cached plans, the relational store / row references, and —
+        for mmap-backed engines — the file mapping itself, which
+        invalidates every adopted column view (later reads through a
+        stale reference raise ``ValueError``).  Idempotent; queries on a
+        closed engine raise :class:`LPathError`."""
         if self._sqlite is not None:
             self._sqlite.close()
             self._sqlite = None
@@ -413,6 +512,10 @@ class LPathEngine:
         self._treewalk = None
         self._by_id = None
         self.trees = []
+        mapped = getattr(self, "_mapped", None)
+        if mapped is not None:
+            mapped.close()
+            self._mapped = None
 
     def __enter__(self) -> "LPathEngine":
         return self

@@ -11,17 +11,24 @@ engine's collected statistics, which are immutable for a loaded corpus —
 so cached plans can never go stale from the cost model.  The only mutable
 input is the ``REPRO_FORCE_JOIN`` override, which therefore participates
 in the cache key.
+
+The cache is thread-safe: segment fan-out already calls back into engines
+from pool threads, so the LRU reorder, the eviction sweep and the
+hit/miss/eviction counters all run under one lock — concurrent lookups
+can never corrupt the ``OrderedDict`` or tear a :attr:`PlanCache.stats`
+snapshot.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Hashable, Optional
 
 
 class PlanCache:
-    """LRU cache with hit/miss/eviction statistics."""
+    """A lock-protected LRU cache with hit/miss/eviction statistics."""
 
     def __init__(self, maxsize: int = 128) -> None:
         if maxsize < 0:
@@ -31,49 +38,58 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable) -> Optional[object]:
         """The cached plan for ``key``, or ``None`` (counts a miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, plan: object) -> None:
         """Insert (or refresh) an entry, evicting the least recently used."""
-        if self.maxsize == 0:
-            return
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if self.maxsize == 0:
+                return
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Invalidate every entry and reset the statistics."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def stats(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self),
-            "maxsize": self.maxsize,
-        }
+        """A consistent counter snapshot (taken under the lock, so a
+        concurrent ``put`` can never tear hits against size)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

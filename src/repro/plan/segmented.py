@@ -25,21 +25,40 @@ The division of labor:
 Results are byte-identical to the monolithic engine: each per-segment
 plan yields sorted distinct ``(tid, id)`` pairs, segments partition the
 tid space, and ``heapq.merge`` preserves global order.
+
+Fan-out comes in two pool flavors (:class:`SegmentPool`):
+
+* ``mode="thread"`` — the classic thread pool.  Cheap, shares every
+  structure, but the columnar executor is CPU-bound pure Python, so the
+  GIL serializes the actual work;
+* ``mode="process"`` — real multi-core execution for *mmap-backed*
+  engines.  Nothing heavy crosses the process boundary: each worker opens
+  the ``LPDB0004`` store by ``(path, segment index)`` itself (the OS page
+  cache makes the second and every later map of the same file free),
+  compiles the query against its own segment, and ships results back as
+  packed ``array('q')`` bytes.  The parent merges the sorted per-segment
+  results exactly as in thread mode.
 """
 
 from __future__ import annotations
 
+import os
+from array import array
 from concurrent.futures import ThreadPoolExecutor
 from heapq import merge
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, NamedTuple, Optional, Sequence
 
 from .ir import PlanNode, render
 from .lower import Lowerer, lower_and_optimize
 
+POOL_MODES = ("thread", "process")
 
-def validate_segmentation(segments: int, workers: Optional[int]) -> None:
-    """Reject nonsensical shard/pool sizes with one error shape for every
-    engine (raises :class:`~repro.lpath.errors.LPathError`)."""
+
+def validate_segmentation(
+    segments: int, workers: Optional[int], mode: Optional[str] = None
+) -> None:
+    """Reject nonsensical shard/pool configurations with one error shape
+    for every engine (raises :class:`~repro.lpath.errors.LPathError`)."""
     from ..lpath.errors import LPathError
 
     if not isinstance(segments, int) or segments < 1:
@@ -48,25 +67,37 @@ def validate_segmentation(segments: int, workers: Optional[int]) -> None:
         raise LPathError(
             f"workers must be a positive int or None, got {workers!r}"
         )
+    if mode is not None and mode not in POOL_MODES:
+        raise LPathError(
+            f"mode must be one of {POOL_MODES} or None, got {mode!r}"
+        )
 
 
 class SegmentPool:
-    """An engine-owned, lazily created thread pool for segment fan-out.
+    """An engine-owned, lazily created worker pool for segment fan-out.
 
     Calling the pool returns the underlying executor (created on first
     use) or ``None`` when execution should stay sequential — no workers
     configured, nothing to fan out over, or the owning engine has shut
     the pool down.  After :meth:`shutdown`, later calls keep returning
     ``None`` (already-compiled plans still run, just sequentially) rather
-    than resurrecting a pool the engine would never release."""
+    than resurrecting a pool the engine would never release.
 
-    def __init__(self, workers: Optional[int], segments: int) -> None:
+    ``mode="process"`` builds a ``ProcessPoolExecutor`` instead of a
+    thread pool; queries only take the process path when they also carry
+    a :class:`RemoteTask` (mmap-backed engines), since worker processes
+    re-open the store by path rather than unpickling it."""
+
+    def __init__(
+        self, workers: Optional[int], segments: int, mode: str = "thread"
+    ) -> None:
         self.workers = workers
         self.segments = segments
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self.mode = mode if mode is not None else "thread"
+        self._executor = None
         self._closed = False
 
-    def __call__(self) -> Optional[ThreadPoolExecutor]:
+    def __call__(self):
         if (
             self._closed
             or self.workers is None
@@ -75,10 +106,16 @@ class SegmentPool:
         ):
             return None
         if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=min(self.workers, self.segments),
-                thread_name_prefix="repro-segment",
-            )
+            size = min(self.workers, self.segments)
+            if self.mode == "process":
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(max_workers=size)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=size,
+                    thread_name_prefix="repro-segment",
+                )
         return self._executor
 
     def shutdown(self) -> None:
@@ -87,6 +124,106 @@ class SegmentPool:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+
+class RemoteSpec(NamedTuple):
+    """How worker processes can rebuild one engine's segments: the
+    ``LPDB0004`` path plus the compile dialect (``axes`` carries the
+    XPath engine's axis whitelist as enum member names — plain strings,
+    so the spec stays trivially picklable)."""
+
+    path: str
+    dialect: str                          # "LPath" | "XPath"
+    axes: Optional[tuple[str, ...]] = None
+
+
+class RemoteTask(NamedTuple):
+    """One compiled query's process-fan-out recipe: everything a worker
+    needs to recompile and run the identical query against one segment.
+    Captured at compile time (including the ``REPRO_FORCE_JOIN`` override,
+    which is part of the plan-cache key) so a cached plan always fans out
+    the same physical choice it was compiled with."""
+
+    spec: RemoteSpec
+    query: str
+    pivot: bool
+    executor: str
+    force: Optional[str]
+
+
+#: Per-process caches for worker-side segment engines: one opened corpus
+#: per path, one compiler + plan cache per (path, segment, dialect).
+_WORKER_CORPORA: dict = {}
+_WORKER_SEGMENTS: dict = {}
+
+
+def _worker_segment(spec: RemoteSpec, index: int):
+    key = (spec.path, index, spec.dialect, spec.axes)
+    entry = _WORKER_SEGMENTS.get(key)
+    if entry is None:
+        corpus = _WORKER_CORPORA.get(spec.path)
+        if corpus is None:
+            from ..store import open_mapped_corpus
+
+            corpus = _WORKER_CORPORA[spec.path] = open_mapped_corpus(spec.path)
+        from ..columnar.store import MappedColumnStore
+        from .cache import PlanCache
+
+        segment = corpus.segments[index]
+        if spec.dialect == "XPath":
+            from ..lpath.axes import Axis
+            from ..xpath.compiler import XPathPlanCompiler
+            from ..xpath.engine import XNODE_COLUMNS
+
+            store = MappedColumnStore(segment, column_names=XNODE_COLUMNS)
+            axes = frozenset(Axis[name] for name in spec.axes or ())
+            compiler = XPathPlanCompiler(column_store=store, axes=axes)
+        else:
+            from ..lpath.compiler import PlanCompiler
+
+            store = MappedColumnStore(segment)
+            compiler = PlanCompiler(
+                column_store=store, root_right=store.root_right
+            )
+        entry = _WORKER_SEGMENTS[key] = (compiler, PlanCache())
+    return entry
+
+
+def _execute_segment(task: RemoteTask, index: int, kind: str):
+    """Worker-process entry point: open (cached), compile (cached), run
+    one segment, return a count or packed ``(tid, id)`` int64 bytes."""
+    from ..columnar.structural import FORCE_ENV
+    from .cache import cached_compile
+
+    compiler, cache = _worker_segment(task.spec, index)
+    previous = os.environ.get(FORCE_ENV)
+    if task.force is None:
+        os.environ.pop(FORCE_ENV, None)
+    else:
+        os.environ[FORCE_ENV] = task.force
+    try:
+        compiled = cached_compile(
+            cache, compiler, task.query, task.pivot, executor=task.executor
+        )
+        if kind == "count":
+            return compiled.count()
+        packed = array("q")
+        for tid, node_id in compiled.rows():
+            packed.append(tid)
+            packed.append(node_id)
+        return packed.tobytes()
+    finally:
+        if previous is None:
+            os.environ.pop(FORCE_ENV, None)
+        else:
+            os.environ[FORCE_ENV] = previous
+
+
+def _unpack_pairs(blob: bytes) -> list[tuple[int, int]]:
+    flat = array("q")
+    flat.frombytes(blob)
+    pairs = iter(flat)
+    return list(zip(pairs, pairs))
 
 
 class Segment:
@@ -174,11 +311,13 @@ class SegmentedQuery:
         description: str,
         logical: PlanNode,
         get_pool: Optional[Callable] = None,
+        remote: Optional[RemoteTask] = None,
     ) -> None:
         self.parts = list(parts)
         self.description = description
         self.logical = logical
         self.get_pool = get_pool
+        self.remote = remote
 
     def _map(self, task: Callable) -> list:
         pool = self.get_pool() if self.get_pool is not None else None
@@ -186,13 +325,39 @@ class SegmentedQuery:
             return [task(part) for part in self.parts]
         return list(pool.map(task, self.parts))
 
+    def _map_remote(self, kind: str) -> Optional[list]:
+        """Fan the query out to worker *processes*, or ``None`` when the
+        thread/sequential path should run instead (no pool, a thread
+        pool, or nothing to fan out over)."""
+        if (
+            self.remote is None
+            or self.get_pool is None
+            or len(self.parts) <= 1
+            or getattr(self.get_pool, "mode", "thread") != "process"
+        ):
+            return None
+        pool = self.get_pool()
+        if pool is None:
+            return None
+        futures = [
+            pool.submit(_execute_segment, self.remote, index, kind)
+            for index in range(len(self.parts))
+        ]
+        return [future.result() for future in futures]
+
     def rows(self) -> Iterable[tuple]:
         """Distinct, sorted ``(tid, id)`` pairs across every segment."""
+        packed = self._map_remote("rows")
+        if packed is not None:
+            return merge(*(_unpack_pairs(blob) for blob in packed))
         return merge(*self._map(lambda part: part.rows()))
 
     def count(self) -> int:
         """Total result size — per-segment counts simply add because the
         segments partition the tid space."""
+        counts = self._map_remote("count")
+        if counts is not None:
+            return sum(counts)
         return sum(self._map(lambda part: part.count()))
 
     def explain(self) -> str:
@@ -217,7 +382,12 @@ class SegmentedPlanCompiler:
     without touching its query paths.  Works for both dialects — the
     per-segment compilers carry the scheme, dialect and result class."""
 
-    def __init__(self, segments: Sequence[Segment], get_pool=None) -> None:
+    def __init__(
+        self,
+        segments: Sequence[Segment],
+        get_pool=None,
+        remote: Optional[RemoteSpec] = None,
+    ) -> None:
         if not segments:
             raise ValueError("a segmented compiler needs at least one segment")
         self.segments = list(segments)
@@ -229,6 +399,7 @@ class SegmentedPlanCompiler:
         )
         self.lowerer = Lowerer(self.scheme, self.catalog, self.dialect)
         self.get_pool = get_pool
+        self.remote = remote
 
     def compile(
         self, query, pivot: bool = False, executor: str = "volcano"
@@ -237,10 +408,26 @@ class SegmentedPlanCompiler:
 
         The logical plan's join annotations come from the summed
         corpus-wide statistics; each per-segment physical compile then
-        re-decides probe vs. merge against its own shard's statistics."""
+        re-decides probe vs. merge against its own shard's statistics.
+        Engines built over an ``LPDB0004`` file additionally attach a
+        :class:`RemoteTask` so a process pool can re-run the same query
+        worker-side without pickling any plan or store."""
         root, lowered = lower_and_optimize(self.lowerer, query, pivot, executor)
         parts = [
             segment.compiler.compile_physical(root, lowered, executor)
             for segment in self.segments
         ]
-        return SegmentedQuery(parts, lowered.description, root, self.get_pool)
+        remote_task = None
+        if self.remote is not None:
+            from ..columnar.structural import force_mode
+
+            remote_task = RemoteTask(
+                self.remote,
+                query if isinstance(query, str) else str(query),
+                pivot,
+                executor,
+                force_mode(),
+            )
+        return SegmentedQuery(
+            parts, lowered.description, root, self.get_pool, remote_task
+        )

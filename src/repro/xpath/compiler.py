@@ -26,11 +26,19 @@ class XPathCompiledQuery(CompiledQuery):
 
 
 class XPathPlanCompiler(PlanCompiler):
-    """Compile the XPath-expressible fragment against the xnode table."""
+    """Compile the XPath-expressible fragment against the xnode relation
+    (a row table, or a column store for row-less mmap-backed engines)."""
 
     dialect = "XPath"
     result_class = XPathCompiledQuery
 
-    def __init__(self, table: Table, axes: frozenset = VERTICAL_FRAGMENT) -> None:
+    def __init__(
+        self,
+        table: Table = None,
+        axes: frozenset = VERTICAL_FRAGMENT,
+        column_store=None,
+    ) -> None:
         self.axes = axes
-        super().__init__(table, scheme=StartEndScheme(axes))
+        super().__init__(
+            table, scheme=StartEndScheme(axes), column_store=column_store
+        )

@@ -17,6 +17,7 @@ from ..lpath.ast import Path
 from ..lpath.errors import LPathError
 from ..plan.cache import PlanCache, cached_compile
 from ..plan.segmented import (
+    RemoteSpec,
     Segment,
     SegmentPool,
     SegmentedPlanCompiler,
@@ -80,6 +81,8 @@ class XPathEngine:
         self.executor = executor
         self.segments = segments
         self.workers = workers
+        self.mode = "thread"
+        self._mapped = None
         self._pool = SegmentPool(workers, segments)
         if segments == 1:
             self.database = Database("xpath")
@@ -99,6 +102,71 @@ class XPathEngine:
                 )
             self._compiler = SegmentedPlanCompiler(parts, get_pool=self._pool)
         self.plan_cache = PlanCache(plan_cache_size)
+
+    @classmethod
+    def from_store_mmap(
+        cls,
+        path: str,
+        axes: frozenset = VERTICAL_FRAGMENT,
+        plan_cache_size: int = 128,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> "XPathEngine":
+        """Open an ``LPDB0004`` file of *start/end-labeled* rows zero-copy
+        (save one with ``repro.labeling.xpath_scheme.label_corpus`` rows
+        and ``save_labels(format='lpdb0004')``).  Columnar-only — no row
+        table, no trees.  ``mode`` as in
+        :meth:`repro.lpath.LPathEngine.from_store_mmap` (process default
+        when ``workers > 1``); :meth:`close` unmaps the file."""
+        from ..columnar.store import MappedColumnStore
+        from ..store import open_mapped_corpus
+        from .compiler import XPathPlanCompiler
+
+        validate_segmentation(1, workers, mode)
+        if mode is None:
+            mode = "process" if workers is not None and workers > 1 else "thread"
+        corpus = open_mapped_corpus(path)
+        try:
+            stores = [
+                MappedColumnStore(segment, column_names=XNODE_COLUMNS)
+                for segment in corpus.segments
+            ]
+            validate_segmentation(len(stores), workers)
+            engine = cls.__new__(cls)
+            engine.trees = []
+            engine.executor = "columnar"
+            engine.segments = len(stores)
+            engine.workers = workers
+            engine.mode = mode
+            engine._mapped = corpus
+            engine._pool = SegmentPool(workers, len(stores), mode=mode)
+            engine.database = None
+            engine.xnode_table = None
+            if len(stores) == 1:
+                engine._compiler = XPathPlanCompiler(
+                    column_store=stores[0], axes=axes
+                )
+            else:
+                engine._compiler = SegmentedPlanCompiler(
+                    [
+                        Segment(
+                            index,
+                            XPathPlanCompiler(column_store=store, axes=axes),
+                            len(store),
+                        )
+                        for index, store in enumerate(stores)
+                    ],
+                    get_pool=engine._pool,
+                    remote=RemoteSpec(
+                        path, "XPath",
+                        tuple(sorted(axis.name for axis in axes)),
+                    ),
+                )
+            engine.plan_cache = PlanCache(plan_cache_size)
+        except BaseException:
+            corpus.close()
+            raise
+        return engine
 
     def compile(
         self, query: Query, pivot: bool = False, executor: Optional[str] = None
@@ -126,8 +194,10 @@ class XPathEngine:
     def count(
         self, query: Query, pivot: bool = False, executor: Optional[str] = None
     ) -> int:
-        """Result-set size."""
-        return len(self.query(query, pivot=pivot, executor=executor))
+        """Result-set size, counted through the compiled plan (segmented
+        engines add per-segment counts; process-mode engines return one
+        integer per worker instead of shipping the rows)."""
+        return self.compile(query, pivot=pivot, executor=executor).count()
 
     def explain(
         self, query: Query, pivot: bool = False, executor: Optional[str] = None
@@ -142,14 +212,19 @@ class XPathEngine:
         return self.plan_cache.stats
 
     def close(self) -> None:
-        """Release the worker pool, cached plans and relational stores so
-        a closed engine is promptly garbage-collectable.  Idempotent."""
+        """Release the worker pool, cached plans, relational stores and
+        (for mmap-backed engines) the file mapping, so a closed engine is
+        promptly garbage-collectable.  Idempotent."""
         self._pool.shutdown()
         self.plan_cache.clear()
         self.database = None
         self.xnode_table = None
         self._compiler = None
         self.trees = []
+        mapped = getattr(self, "_mapped", None)
+        if mapped is not None:
+            mapped.close()
+            self._mapped = None
 
     def __enter__(self) -> "XPathEngine":
         return self

@@ -5,8 +5,12 @@ the four LPath execution paths must agree exactly:
 
     plan/volcano == plan/columnar == emitted-SQL-on-SQLite == tree-walk
 
-and the XPath engine (both executors) must match the LPath engine on the
-start/end-expressible fragment.  The columnar executor additionally runs
+— and so must the zero-copy deployment shapes: the same corpus saved as
+a segmented ``LPDB0004`` store and opened mmap-backed, executed both
+sequentially and fanned out over *worker processes* (results cross the
+process boundary as packed int64 pairs; any packing or re-compile drift
+would break byte-identity here).  The XPath engine (both executors) must
+match the LPath engine on the start/end-expressible fragment.  The columnar executor additionally runs
 every pair with structural merge joins forced **on** and forced **off**
 (the ``REPRO_FORCE_JOIN=merge|probe`` knob), so the set-at-a-time join
 layer is differentially verified against the per-binding probe join and
@@ -25,12 +29,15 @@ from __future__ import annotations
 
 import io
 import os
+import tempfile
 from contextlib import contextmanager
 
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
+from repro import store
 from repro.columnar.structural import FORCE_ENV
+from repro.labeling import label_corpus
 from repro.lpath import LPathEngine
 from repro.tree import write_trees
 from repro.xpath import XPATH_AXES, XPathEngine
@@ -78,7 +85,9 @@ def _report(trees, query: str, results: dict[str, list]) -> str:
     return "\n".join(lines)
 
 
-def _assert_agreement(trees, engine: LPathEngine, query: str) -> None:
+def _assert_agreement(
+    trees, engine: LPathEngine, query: str, extra_engines=None
+) -> None:
     expected = engine.query(query, backend="treewalk")
     results = {
         "treewalk": expected,
@@ -95,8 +104,33 @@ def _assert_agreement(trees, engine: LPathEngine, query: str) -> None:
         )
     with forced_join("probe"):
         results["columnar+probe"] = engine.query(query, executor="columnar")
+    for label, extra in (extra_engines or {}).items():
+        results[label] = extra.query(query)
     if any(rows != expected for rows in results.values()):
         raise AssertionError(_report(trees, query, results))
+
+
+@contextmanager
+def mmap_engines(trees, workers: int = 2):
+    """The same corpus as a 2-segment LPDB0004 file, opened mmap-backed:
+    once sequential, once with process fan-out."""
+    handle, path = tempfile.mkstemp(suffix=".lpdb")
+    engines = {}
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            store.save_labels(
+                list(label_corpus(trees)), stream, segments=2,
+                format="lpdb0004",
+            )
+        engines["mmap"] = LPathEngine.from_store_mmap(path)
+        engines["mmap+process"] = LPathEngine.from_store_mmap(
+            path, workers=workers, mode="process"
+        )
+        yield engines
+    finally:
+        for engine in engines.values():
+            engine.close()
+        os.unlink(path)
 
 
 class TestLPathDifferentialFuzz:
@@ -105,9 +139,10 @@ class TestLPathDifferentialFuzz:
     def test_four_paths_agree_on_random_queries(self, data):
         trees = data.draw(corpora(max_trees=3, max_depth=4), label="corpus")
         engine = LPathEngine(trees)
-        for index in range(QUERIES_PER_EXAMPLE):
-            query = data.draw(lpath_queries(), label=f"query {index}")
-            _assert_agreement(trees, engine, query)
+        with mmap_engines(trees) as extra:
+            for index in range(QUERIES_PER_EXAMPLE):
+                query = data.draw(lpath_queries(), label=f"query {index}")
+                _assert_agreement(trees, engine, query, extra)
 
 
 class TestXPathDifferentialFuzz:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import io
 import os
 
+import pytest
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
@@ -77,6 +78,39 @@ class TestLPathSegmentEquivalence:
         for index in range(QUERIES_PER_EXAMPLE):
             query = data.draw(lpath_queries(), label=f"query {index}")
             assert engine.query(query) == monolithic.query(query), query
+
+    @given(data=st.data())
+    @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+    def test_lpdb0004_mmap_engines_match_monolithic(self, data, tmp_path_factory):
+        trees = data.draw(corpora(max_trees=4, max_depth=4), label="corpus")
+        monolithic = LPathEngine(trees, keep_trees=False)
+        rows = list(label_corpus(trees))
+        path = str(tmp_path_factory.mktemp("mmap") / "corpus.lpdb")
+        with open(path, "wb") as handle:
+            store.save_labels(rows, handle, segments=3, format="lpdb0004")
+        engines = {
+            "sequential": LPathEngine.from_store_mmap(path),
+            "thread": LPathEngine.from_store_mmap(
+                path, workers=2, mode="thread"
+            ),
+            "process": LPathEngine.from_store_mmap(
+                path, workers=2, mode="process"
+            ),
+        }
+        try:
+            for index in range(QUERIES_PER_EXAMPLE):
+                query = data.draw(lpath_queries(), label=f"query {index}")
+                expected = monolithic.query(query)
+                for label, engine in engines.items():
+                    got = engine.query(query)
+                    assert got == expected, (
+                        f"mmap/{label} disagrees on {query!r}: "
+                        f"{got} != {expected}"
+                    )
+                    assert engine.count(query) == len(expected), (label, query)
+        finally:
+            for engine in engines.values():
+                engine.close()
 
 
 class TestXPathSegmentEquivalence:
@@ -148,3 +182,106 @@ class TestSegmentedPlanSurface:
         expected = LPathEngine(trees).query("//NP")
         assert engine.query("//NP", backend="sqlite") == expected
         assert engine.query("//NP", backend="treewalk") == expected
+
+    def test_process_mode_rejected_without_mmap_backing(self):
+        from repro.lpath.errors import LPathError
+        from repro.plan.segmented import validate_segmentation
+
+        with pytest.raises(LPathError, match="mode"):
+            validate_segmentation(2, 2, "fibers")
+        validate_segmentation(2, 2, "process")  # valid spelling
+
+
+class TestProcessWorkerEntryPoints:
+    """The process-pool worker functions, driven in-process: the exact
+    code a forked worker runs (engine cache, local compile, env-pinned
+    join force, int64 packing) — testable and coverable without a pool."""
+
+    @pytest.fixture()
+    def corpus_path(self, tmp_path):
+        from repro.tree import figure1_tree
+
+        trees = [figure1_tree(tid=tid) for tid in range(5)]
+        path = str(tmp_path / "corpus.lpdb")
+        with open(path, "wb") as handle:
+            store.save_labels(
+                list(label_corpus(trees)), handle, segments=2,
+                format="lpdb0004",
+            )
+        return path, trees
+
+    def test_worker_results_match_parent(self, corpus_path):
+        from repro.plan import segmented
+
+        path, trees = corpus_path
+        spec = segmented.RemoteSpec(path, "LPath")
+        oracle = LPathEngine(trees)
+        expected = oracle.query("//VP//NP")
+        merged = []
+        total = 0
+        for index in range(2):
+            task = segmented.RemoteTask(spec, "//VP//NP", False, "columnar",
+                                        None)
+            blob = segmented._execute_segment(task, index, "rows")
+            assert isinstance(blob, bytes)
+            merged.extend(segmented._unpack_pairs(blob))
+            total += segmented._execute_segment(task, index, "count")
+        assert sorted(merged) == expected
+        assert total == len(expected)
+        # The per-(path, segment) worker cache is warm now: the same
+        # compiler object answers the second call.
+        compiler, cache = segmented._worker_segment(spec, 0)
+        assert segmented._worker_segment(spec, 0)[0] is compiler
+        assert cache.stats["misses"] >= 1
+
+    def test_worker_pins_forced_join_and_restores_env(self, corpus_path):
+        import os as _os
+        from repro.columnar.structural import FORCE_ENV
+        from repro.plan import segmented
+
+        path, trees = corpus_path
+        spec = segmented.RemoteSpec(path, "LPath")
+        previous = _os.environ.get(FORCE_ENV)
+        try:
+            _os.environ[FORCE_ENV] = "probe"
+            task = segmented.RemoteTask(spec, "//VP//NP", False, "columnar",
+                                        "merge")
+            forced = segmented._execute_segment(task, 0, "rows")
+            assert _os.environ.get(FORCE_ENV) == "probe"  # restored
+            unforced = segmented._execute_segment(
+                segmented.RemoteTask(spec, "//VP//NP", False, "columnar",
+                                     None),
+                0, "rows",
+            )
+            assert forced == unforced
+        finally:
+            if previous is None:
+                _os.environ.pop(FORCE_ENV, None)
+            else:
+                _os.environ[FORCE_ENV] = previous
+
+    def test_xpath_worker_dialect(self, tmp_path):
+        from repro.labeling import xpath_scheme
+        from repro.plan import segmented
+        from repro.tree import figure1_tree
+        from repro.xpath import XPATH_AXES, XPathEngine
+
+        trees = [figure1_tree(tid=tid) for tid in range(4)]
+        rows = [tuple(row) for row in xpath_scheme.label_corpus(trees)]
+        path = str(tmp_path / "xpath.lpdb")
+        with open(path, "wb") as handle:
+            store.save_labels(rows, handle, segments=2, format="lpdb0004")
+        spec = segmented.RemoteSpec(
+            path, "XPath", tuple(sorted(axis.name for axis in XPATH_AXES))
+        )
+        expected = XPathEngine(trees, axes=XPATH_AXES).query("//VP//NP")
+        merged = []
+        for index in range(2):
+            task = segmented.RemoteTask(spec, "//VP//NP", False, "columnar",
+                                        None)
+            merged.extend(
+                segmented._unpack_pairs(
+                    segmented._execute_segment(task, index, "rows")
+                )
+            )
+        assert sorted(merged) == expected

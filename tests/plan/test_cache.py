@@ -51,6 +51,44 @@ class TestPlanCacheUnit:
         with pytest.raises(ValueError):
             PlanCache(maxsize=-1)
 
+    def test_concurrent_access_never_tears(self):
+        """Hammer one small cache from many threads: the LRU reorder,
+        eviction sweep and counters all run under the lock, so the totals
+        must reconcile exactly and no operation may raise (an unlocked
+        OrderedDict dies with RuntimeError/KeyError under this load)."""
+        import threading
+
+        cache = PlanCache(maxsize=8)
+        threads, errors = 8, []
+        rounds = 300
+        barrier = threading.Barrier(threads)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for step in range(rounds):
+                    key = (seed * step) % 16
+                    if cache.get(key) is None:
+                        cache.put(key, key)
+                    stats = cache.stats
+                    assert stats["size"] <= stats["maxsize"]
+                    assert stats["hits"] + stats["misses"] >= stats["size"]
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        pool = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(1, threads + 1)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not errors
+        stats = cache.stats
+        assert stats["hits"] + stats["misses"] == threads * rounds
+        assert len(cache) <= 8
+
 
 @pytest.fixture()
 def engine():

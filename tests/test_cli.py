@@ -221,6 +221,88 @@ class TestQuery:
         assert code == 2
 
 
+class TestMmapQuery:
+    @pytest.fixture()
+    def mmap_file(self, corpus_file, tmp_path):
+        lpdb = str(tmp_path / "corpus4.lpdb")
+        code, output = run(["compile", corpus_file, "-o", lpdb,
+                            "--segments", "3", "--format", "lpdb0004"])
+        assert code == 0
+        assert "[LPDB0004]" in output
+        return lpdb
+
+    def test_mmap_matches_eager_engine(self, corpus_file, mmap_file):
+        code, eager = run(["query", corpus_file, "//S//NP", "--count"])
+        assert code == 0
+        code, mapped = run(["query", mmap_file, "//S//NP", "--count",
+                            "--mmap"])
+        assert code == 0
+        assert mapped == eager
+
+    def test_mmap_process_mode(self, mmap_file):
+        code, sequential = run(["query", mmap_file, "//NP", "--count",
+                                "--mmap"])
+        assert code == 0
+        code, fanned = run(["query", mmap_file, "//NP", "--count", "--mmap",
+                            "--workers", "2", "--mode", "process"])
+        assert code == 0
+        assert fanned == sequential
+
+    def test_mmap_requires_compiled_corpus(self, corpus_file):
+        code, _ = run(["query", corpus_file, "//NP", "--count", "--mmap"])
+        assert code == 1
+
+    def test_mmap_rejects_old_revision(self, corpus_file, tmp_path):
+        lpdb = str(tmp_path / "old.lpdb")
+        code, _ = run(["compile", corpus_file, "-o", lpdb])
+        assert code == 0
+        code, _ = run(["query", lpdb, "//NP", "--count", "--mmap"])
+        assert code == 1
+
+    def test_mode_requires_mmap(self, corpus_file):
+        code, _ = run(["query", corpus_file, "//NP", "--count",
+                       "--mode", "process"])
+        assert code == 1
+
+    def test_mmap_rejects_resharding(self, mmap_file):
+        code, _ = run(["query", mmap_file, "//NP", "--count", "--mmap",
+                       "--segments", "4"])
+        assert code == 1
+
+    def test_mmap_rejects_volcano_executor(self, mmap_file):
+        code, _ = run(["query", mmap_file, "//NP", "--count", "--mmap",
+                       "--executor", "volcano"])
+        assert code == 1
+        code, _ = run(["query", mmap_file, "//NP", "--count", "--mmap",
+                       "--executor", "columnar"])
+        assert code == 0
+
+
+class TestStoreInfo:
+    def test_lpdb0004_info(self, corpus_file, tmp_path):
+        lpdb = str(tmp_path / "corpus.lpdb")
+        run(["compile", corpus_file, "-o", lpdb, "--segments", "2",
+             "--format", "lpdb0004"])
+        code, output = run(["store", "info", lpdb, "--top", "3"])
+        assert code == 0
+        assert "format: LPDB0004" in output
+        assert "segments: 2" in output
+        assert "trees: 50" in output
+        assert "top 3 names by rows:" in output
+
+    def test_legacy_info(self, corpus_file, tmp_path):
+        lpdb = str(tmp_path / "corpus.lpdb")
+        run(["compile", corpus_file, "-o", lpdb])
+        code, output = run(["store", "info", lpdb])
+        assert code == 0
+        assert "format: LPDB0002" in output
+        assert "segments: 1" in output
+
+    def test_non_store_file_reported(self, corpus_file):
+        code, _ = run(["store", "info", corpus_file])
+        assert code == 1
+
+
 class TestSQL:
     def test_translation(self):
         code, output = run(["sql", "//VB->NP"])

@@ -226,6 +226,263 @@ class TestSegmentedFormat:
         assert len(store.load_corpus_segments(str(single))) == 1
 
 
+def mmap_bytes(rows, segments=1) -> bytes:
+    buffer = io.BytesIO()
+    store.save_labels(rows, buffer, segments=segments, format="lpdb0004")
+    return buffer.getvalue()
+
+
+def rebuild_mmap_file(blob: bytes, mutate) -> bytes:
+    """Reassemble an LPDB0004 file with a sidecar edited by ``mutate``
+    (CRC recomputed, data region kept) — how the corruption tests craft
+    *precisely* broken files that still pass the checksum."""
+    import zlib
+
+    sidecar_length, offset = store._read_varint(blob, len(store.MMAP_MAGIC))
+    _crc, offset = store._read_varint(blob, offset)
+    header = store._parse_mmap_sidecar(blob[offset:offset + sidecar_length])
+    region = blob[store._align8(offset + sidecar_length):]
+    mutate(header)
+    sidecar = store._encode_mmap_sidecar(header)
+    head = io.BytesIO()
+    store._write_varint(head, len(sidecar))
+    store._write_varint(head, zlib.crc32(sidecar))
+    prefix = store.MMAP_MAGIC + head.getvalue() + sidecar
+    padding = b"\x00" * (store._align8(len(prefix)) - len(prefix))
+    return prefix + padding + region
+
+
+class TestMmapFormat:
+    """The LPDB0004 zero-copy layout: sidecar + aligned raw columns."""
+
+    def trees(self, count=5):
+        return [figure1_tree(tid=tid) for tid in range(count)]
+
+    def test_round_trip_clustered_order(self):
+        rows = list(label_corpus(self.trees()))
+        data = mmap_bytes(rows, segments=2)
+        assert data.startswith(store.MMAP_MAGIC)
+        # Rows come back in clustered (not insertion) order.
+        assert sorted(store.load_labels(io.BytesIO(data))) == sorted(rows)
+
+    def test_segment_columns_partition_by_tid(self):
+        rows = list(label_corpus(self.trees()))
+        shards = store.load_segment_columns(
+            io.BytesIO(mmap_bytes(rows, segments=3))
+        )
+        assert [set(shard.tid) for shard in shards] == [{0, 3}, {1, 4}, {2}]
+        assert sum(len(shard) for shard in shards) == len(rows)
+
+    def test_merged_column_loader(self):
+        rows = list(label_corpus(self.trees()))
+        columns = store.load_label_columns(
+            io.BytesIO(mmap_bytes(rows, segments=4))
+        )
+        assert len(columns) == len(rows)
+        assert sorted(columns.tid) == sorted(row.tid for row in rows)
+
+    def test_empty_corpus_and_empty_segments(self):
+        assert store.load_labels(io.BytesIO(mmap_bytes([]))) == []
+        rows = list(label_corpus([figure1_tree()]))
+        shards = store.load_segment_columns(
+            io.BytesIO(mmap_bytes(rows, segments=3))
+        )
+        assert [len(shard) for shard in shards] == [len(rows), 0, 0]
+
+    def test_resave_round_trips_from_every_older_revision(self, tmp_path):
+        from repro.lpath import LPathEngine
+
+        rows = list(label_corpus(self.trees()))
+        olds = {
+            "LPDB0001": saved_bytes(rows, checksum=False),
+            "LPDB0002": saved_bytes(rows),
+        }
+        seg_buffer = io.BytesIO()
+        store.save_labels(rows, seg_buffer, segments=3)
+        olds["LPDB0003"] = seg_buffer.getvalue()
+        oracle = LPathEngine.from_labels(rows)
+        for revision, blob in olds.items():
+            assert blob.startswith(revision.encode("ascii"))
+            reloaded = store.load_labels(io.BytesIO(blob))
+            path = tmp_path / f"from-{revision}.lpdb"
+            with open(path, "wb") as handle:
+                store.save_labels(reloaded, handle, segments=2,
+                                  format="lpdb0004")
+            assert store.corpus_format(str(path)) == "LPDB0004"
+            with LPathEngine.from_store_mmap(str(path)) as engine:
+                for query in ("//NP", "//V->NP", "//VP{//NP$}"):
+                    assert engine.query(query) == oracle.query(query), (
+                        revision, query,
+                    )
+
+    def test_file_helpers(self, tmp_path):
+        path = tmp_path / "corpus.lpdb"
+        store.save_corpus(self.trees(), str(path), segments=3,
+                          format="lpdb0004")
+        assert store.is_compiled_corpus(str(path))
+        assert store.corpus_format(str(path)) == "LPDB0004"
+        assert store.corpus_segment_count(str(path)) == 3
+        assert len(store.load_corpus_segments(str(path))) == 3
+
+    def test_info_reads_only_the_sidecar(self, tmp_path):
+        path = tmp_path / "corpus.lpdb"
+        store.save_corpus(self.trees(), str(path), segments=2,
+                          format="lpdb0004")
+        info = store.corpus_info(str(path), top=3)
+        assert info["format"] == "LPDB0004"
+        assert info["segments"] == 2
+        assert info["rows"] == 125
+        assert info["trees"] == 5
+        assert len(info["top_names"]) == 3
+        name, stats = info["top_names"][0]
+        assert stats[0] >= info["top_names"][1][1][0]
+        # Same numbers as a full legacy scan of the same corpus.
+        legacy = tmp_path / "corpus3.lpdb"
+        store.save_corpus(self.trees(), str(legacy), segments=2)
+        legacy_info = store.corpus_info(str(legacy), top=3)
+        for key in ("rows", "trees", "distinct_names", "top_names"):
+            assert info[key] == legacy_info[key], key
+
+    def test_checksum_false_rejected(self):
+        with pytest.raises(store.StoreError, match="checksum"):
+            store.save_labels([], io.BytesIO(), checksum=False,
+                              format="lpdb0004")
+
+    def test_lpdb0002_format_rejects_segments(self):
+        with pytest.raises(store.StoreError, match="single-store"):
+            store.save_labels([], io.BytesIO(), segments=2,
+                              format="lpdb0002")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(store.StoreError, match="unknown store format"):
+            store.save_labels([], io.BytesIO(), format="lpdb9999")
+
+
+class TestMmapCorruption:
+    """LPDB0004 failure modes: truncation anywhere, sidecar bit flips,
+    and misaligned/overrunning blob offsets all raise StoreError."""
+
+    @pytest.fixture(scope="class")
+    def blob(self):
+        rows = list(label_corpus([figure1_tree(tid=t) for t in range(3)]))
+        return mmap_bytes(rows, segments=2)
+
+    def loaders(self):
+        return (store.load_labels, store.load_label_columns,
+                store.load_segment_columns)
+
+    def test_every_truncation_detected(self, blob):
+        # Includes every cut *mid-column* in the data region: the file
+        # size no longer matches the declared region length.
+        for cut in range(0, len(blob), 17):
+            for loader in self.loaders():
+                with pytest.raises(store.StoreError):
+                    loader(io.BytesIO(blob[:cut]))
+
+    def test_mapped_open_detects_truncation(self, blob, tmp_path):
+        path = tmp_path / "cut.lpdb"
+        path.write_bytes(blob[:len(blob) - len(blob) // 3])  # mid-column
+        with pytest.raises(store.StoreError, match="size mismatch"):
+            store.open_mapped_corpus(str(path))
+
+    def test_trailing_garbage_detected(self, blob):
+        with pytest.raises(store.StoreError, match="size mismatch"):
+            store.load_labels(io.BytesIO(blob + b"\x00"))
+
+    def test_sidecar_bit_flips_detected(self, blob):
+        sidecar_length, offset = store._read_varint(
+            blob, len(store.MMAP_MAGIC)
+        )
+        _crc, offset = store._read_varint(blob, offset)
+        for position in range(offset, offset + sidecar_length, 5):
+            corrupt = bytearray(blob)
+            corrupt[position] ^= 0x20
+            with pytest.raises(store.StoreError):
+                store.load_labels(io.BytesIO(bytes(corrupt)))
+
+    def test_crc_mismatch_is_loud(self, blob):
+        sidecar_length, offset = store._read_varint(
+            blob, len(store.MMAP_MAGIC)
+        )
+        _crc, offset = store._read_varint(blob, offset)
+        corrupt = bytearray(blob)
+        corrupt[offset + sidecar_length // 2] ^= 0xFF
+        with pytest.raises(store.StoreError, match="sidecar is corrupt"):
+            store.load_labels(io.BytesIO(bytes(corrupt)))
+
+    def test_misaligned_blob_offset_detected(self, blob, tmp_path):
+        def misalign(header):
+            meta = header.segments[0]
+            offset, length = meta.blobs[1]
+            meta.blobs[1] = (offset + 4, length)
+
+        broken = rebuild_mmap_file(blob, misalign)
+        with pytest.raises(store.StoreError, match="misaligned"):
+            store.load_labels(io.BytesIO(broken))
+        path = tmp_path / "misaligned.lpdb"
+        path.write_bytes(broken)
+        with pytest.raises(store.StoreError, match="misaligned"):
+            store.open_mapped_corpus(str(path))
+
+    def test_blob_length_mismatch_detected(self, blob):
+        def shrink(header):
+            meta = header.segments[0]
+            offset, length = meta.blobs[0]
+            meta.blobs[0] = (offset, length - 8)
+
+        with pytest.raises(store.StoreError, match="declares"):
+            store.load_labels(io.BytesIO(rebuild_mmap_file(blob, shrink)))
+
+    def test_blob_overrun_detected(self, blob):
+        def overrun(header):
+            meta = header.segments[-1]
+            _offset, length = meta.blobs[-1]
+            meta.blobs[-1] = (store._align8(header.data_length), length)
+
+        with pytest.raises(store.StoreError, match="overruns"):
+            store.load_labels(io.BytesIO(rebuild_mmap_file(blob, overrun)))
+
+    def test_bad_string_reference_detected(self, blob):
+        def poison(header):
+            meta = header.segments[0]
+            sid, row_hi, part_hi, max_part, min_d, max_d = meta.names[0]
+            meta.names[0] = (len(meta.strings) + 7, row_hi, part_hi,
+                             max_part, min_d, max_d)
+
+        with pytest.raises(store.StoreError, match="string id"):
+            store.load_labels(io.BytesIO(rebuild_mmap_file(blob, poison)))
+
+    def test_foreign_byteorder_rejected(self, blob):
+        import sys
+
+        def flip(header):
+            header.byteorder = "big" if sys.byteorder == "little" else "little"
+
+        with pytest.raises(store.StoreError, match="byte order"):
+            store.load_labels(io.BytesIO(rebuild_mmap_file(blob, flip)))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.lpdb"
+        path.write_bytes(b"")
+        with pytest.raises(store.StoreError):
+            store.open_mapped_corpus(str(path))
+        path.write_bytes(b"NOTLPDB!")
+        with pytest.raises(store.StoreError, match="magic"):
+            store.open_mapped_corpus(str(path))
+
+    def test_mapped_corpus_close_invalidates_views(self, blob, tmp_path):
+        path = tmp_path / "ok.lpdb"
+        path.write_bytes(blob)
+        corpus = store.open_mapped_corpus(str(path))
+        segment = corpus.segments[0]
+        left = segment.left
+        assert left[0] >= 0
+        corpus.close()
+        corpus.close()  # idempotent
+        with pytest.raises(ValueError):
+            left[0]
+
+
 class TestCorruptionDetection:
     """Truncation and bit corruption raise StoreError — never garbage."""
 
