@@ -48,6 +48,23 @@ def write_result(results_dir):
     return writer
 
 
+def kernel_environment() -> dict:
+    """The kernel backend and toolchain versions a timing depends on —
+    two documents with different backends time different machine code,
+    so ``diff_bench.py`` comparisons need the provenance recorded."""
+    from repro.columnar.kernels import kernel_info
+
+    info = kernel_info()
+    compiler = platform.python_compiler()
+    return {
+        "backend": info["backend"],
+        "mode": info["mode"],
+        "native_available": info["native_available"],
+        "cffi": info["cffi"],
+        "compiler": compiler or None,
+    }
+
+
 def peak_rss_kb() -> int:
     """The process's peak resident set size in kibibytes (Linux reports
     ``ru_maxrss`` in KiB already; macOS reports bytes).
@@ -87,6 +104,7 @@ def write_json(results_dir):
             "sentences": bench_sentences(),
             "repeats": bench_repeats(),
             "max_rss_kb": peak_rss_kb(),
+            "kernels": kernel_environment(),
             "results": payload,
         }
         path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -1,9 +1,19 @@
 """Shim for editable installs in environments without the `wheel` package.
 
 All project metadata lives in pyproject.toml; this file only enables
-``pip install -e . --no-use-pep517 --no-build-isolation`` offline.
+``pip install -e . --no-use-pep517 --no-build-isolation`` offline, and —
+when cffi is present — pre-builds the native columnar kernels so the
+first query does not pay the compile (the extension also self-builds on
+first import, so installs without cffi still work end to end).
 """
 
 from setuptools import setup
 
-setup()
+try:
+    import cffi  # noqa: F401
+
+    extras = {"cffi_modules": ["src/repro/columnar/kernels/build.py:ffibuilder"]}
+except ImportError:
+    extras = {}
+
+setup(**extras)

@@ -16,6 +16,7 @@ with the Treebank-3 ``( ... )`` wrappers).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence, TextIO
 
@@ -28,6 +29,7 @@ from .corpus import (
     generate_corpus,
     top_tags,
 )
+from .columnar.kernels import KERNEL_MODES, KERNELS_ENV, kernel_info
 from .lpath import LPathEngine, SQLGenerator, parse
 from .tree import iter_trees, write_trees
 from .xpath import XPathEngine
@@ -56,6 +58,12 @@ def _command_generate(args: argparse.Namespace, out: TextIO) -> int:
 def _print_cache_stats(args: argparse.Namespace, engine, out: TextIO) -> None:
     if not getattr(args, "cache_stats", False):
         return
+    info = kernel_info()
+    print(
+        f"kernels: backend={info['backend']} mode={info['mode']} "
+        f"native_available={info['native_available']}",
+        file=out,
+    )
     stats = engine.cache_stats()
     print(
         "plan cache: "
@@ -65,6 +73,23 @@ def _print_cache_stats(args: argparse.Namespace, engine, out: TextIO) -> None:
 
 
 def _command_query(args: argparse.Namespace, out: TextIO) -> int:
+    kernels = getattr(args, "kernels", None)
+    if kernels is None:
+        return _run_query(args, out)
+    # Scope the override to this query: the CLI may be driven in-process
+    # (tests, notebooks), so the ambient environment must come back.
+    previous = os.environ.get(KERNELS_ENV)
+    os.environ[KERNELS_ENV] = kernels
+    try:
+        return _run_query(args, out)
+    finally:
+        if previous is None:
+            del os.environ[KERNELS_ENV]
+        else:
+            os.environ[KERNELS_ENV] = previous
+
+
+def _run_query(args: argparse.Namespace, out: TextIO) -> int:
     from . import store
 
     engine_name = args.engine
@@ -273,8 +298,19 @@ def _command_store_info(args: argparse.Namespace, out: TextIO) -> int:
     from . import store
 
     info = store.corpus_info(args.path, top=args.top)
+    kernels = kernel_info()
+    native = (
+        "available"
+        if kernels["native_available"]
+        else f"unavailable ({kernels['error']})"
+    )
     print(f"file: {info['path']} ({info['bytes']} bytes)", file=out)
     print(f"format: {info['format']}", file=out)
+    print(
+        f"kernels: backend={kernels['backend']} mode={kernels['mode']} "
+        f"native {native}",
+        file=out,
+    )
     print(f"segments: {info['segments']}", file=out)
     print(f"rows: {info['rows']}", file=out)
     print(f"trees: {info['trees']}", file=out)
@@ -352,6 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="open a compiled LPDB0004 corpus zero-copy "
                             "via mmap (lpath engine; columnar-only, "
                             "O(1) cold start)")
+    query.add_argument("--kernels", choices=KERNEL_MODES, default=None,
+                       help="columnar hot-loop backend: native cffi "
+                            "kernels, the pure-Python loops, or pick "
+                            "native when the extension builds (default: "
+                            "the REPRO_KERNELS environment variable, "
+                            "else auto)")
     query.add_argument("--mode", choices=("thread", "process"), default=None,
                        help="segment fan-out pool flavor for --mmap "
                             "engines: GIL-bound threads or true "

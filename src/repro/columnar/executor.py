@@ -225,6 +225,13 @@ class ColumnarPlan:
         self.steps = steps
         self.output = output
         self.runtime = runtime
+        self._native_gather = None
+        if output is not None:
+            from .kernels.api import native_output_gather
+
+            self._native_gather = native_output_gather(
+                output[1], runtime.store
+            )
 
     def execute(self) -> list[tuple]:
         batch: list[array] = []
@@ -245,13 +252,17 @@ class ColumnarPlan:
         if not batch or not len(batch[0]):
             return []
         # C-level gather: map each key column over its row-id array and
-        # zip the streams into result tuples (no per-row Python frames).
-        rows = zip(
-            *(
-                map(store.col(col).__getitem__, batch[slot])
-                for slot, col in key
+        # zip the streams into result tuples (no per-row Python frames);
+        # integer-only keys gather through the native kernel when active.
+        if self._native_gather is not None:
+            rows = self._native_gather.run(batch)
+        else:
+            rows = zip(
+                *(
+                    map(store.col(col).__getitem__, batch[slot])
+                    for slot, col in key
+                )
             )
-        )
         if kind == "distinct":
             return list(set(rows))
         return list(rows)
@@ -362,12 +373,36 @@ class _ScanStep:
         )
         self.label = node.label
         self.access = node.access
+        # Scan-side vector filters compare buffer columns against
+        # constants (slot 0 binds first, so no binding-column operands
+        # exist); when the native backend is active they run as one C
+        # pass over the candidate range instead of a list comprehension
+        # per condition.
+        from .kernels.api import native_range_filter
+
+        self._native_filter = native_range_filter(self.vector)
 
     def run(self, batch: list[array]) -> list[array]:
         empty: Binding = []
         if not all(check(empty) for check in self.binding):
             return [array("q")]
-        cands = _apply_filters(self.probe(empty), empty, self.vector, self.row)
+        cands = self.probe(empty)
+        if (
+            self._native_filter is not None
+            and isinstance(cands, range)
+            and cands.step == 1
+        ):
+            kept = self._native_filter.run(cands.start, cands.stop)
+            if self.row:
+                kept = array(
+                    "q",
+                    (
+                        j for j in kept
+                        if all(check([j]) for check in self.row)
+                    ),
+                )
+            return [kept]
+        cands = _apply_filters(cands, empty, self.vector, self.row)
         return [array("q", cands)]
 
     def describe(self) -> str:

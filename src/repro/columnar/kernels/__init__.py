@@ -1,0 +1,16 @@
+"""Native (cffi) kernels for the columnar hot loops.
+
+See :mod:`repro.columnar.kernels.api` for backend selection
+(``REPRO_KERNELS``) and the marshalling layer, and
+:mod:`repro.columnar.kernels.build` for the C sources.
+"""
+
+from .api import (  # noqa: F401
+    KERNELS_ENV,
+    KERNEL_MODES,
+    active_kernels,
+    kernel_info,
+    kernel_mode,
+    kernels_backend,
+    native_kernels,
+)

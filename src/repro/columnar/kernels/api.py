@@ -1,0 +1,565 @@
+"""Backend dispatch and marshalling for the native columnar kernels.
+
+The public surface the engine integrates against:
+
+* :func:`kernel_mode` / :func:`kernels_backend` — parse and resolve the
+  ``REPRO_KERNELS`` environment knob (``auto`` | ``native`` | ``python``,
+  default ``auto``).  ``auto`` uses the cffi extension when it imports or
+  builds, and silently stays pure-Python otherwise; ``native`` raises
+  when the extension is unavailable (so a differential run can never
+  silently cross backends); ``python`` never touches the extension.
+  The resolved backend participates in the plan-cache key.
+* :func:`native_join` — a pre-validated marshalling plan for one
+  merge-join shape, or ``None`` when the shape (or backend) requires the
+  interpreter: the native path covers exactly the shapes the generated
+  sweep covers (no binding prunes, no per-row residuals, no or-self
+  prepend) for all three strategies, with every residual condition over
+  fixed-width integer buffers.
+* :func:`native_range_filter` — the scan-side vectorized filter over a
+  contiguous row-id range.
+* :func:`native_output_gather` — the final emit's column gather.
+* :func:`merge_packed_pairs` — the sorted disjoint k-way merge over the
+  packed int64 ``(tid, id)`` blobs worker processes ship back.
+* :func:`column_pointer` / ``ColumnStore.column_ptr`` — raw
+  ``(pointer, length)`` access to a column buffer for the C side.
+
+Lifecycle rule: every ``ffi.from_buffer`` cdata is created per ``run()``
+call and dropped before it returns.  Nothing caches a pointer into an
+``mmap``-backed view, so ``MappedCorpus.close()`` can always release its
+views — a plan run after close fails loudly with ``ValueError`` exactly
+like the interpreted path.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import operator as _operator
+import os
+import tempfile
+import threading
+from array import array
+from typing import NamedTuple, Optional
+
+KERNELS_ENV = "REPRO_KERNELS"
+KERNEL_MODES = ("auto", "native", "python")
+
+#: Comparison opcodes shared with ``repro_check_t.op`` in build.py.
+OPCODES = {
+    _operator.eq: 0,
+    _operator.ne: 1,
+    _operator.lt: 2,
+    _operator.le: 3,
+    _operator.gt: 4,
+    _operator.ge: 5,
+}
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def kernel_mode() -> str:
+    """The requested backend mode from the environment.
+
+    Unset or empty means ``auto``; any value outside the fixed mode set
+    is a configuration error and raises, so a typo'd override can never
+    silently run the wrong backend mid-differential-run (the same
+    contract as ``REPRO_FORCE_JOIN``)."""
+    mode = os.environ.get(KERNELS_ENV)
+    if not mode:
+        return "auto"
+    if mode in KERNEL_MODES:
+        return mode
+    from ...lpath.errors import LPathError
+
+    raise LPathError(
+        f"invalid {KERNELS_ENV} value {mode!r}; use 'native', 'python' or 'auto'"
+    )
+
+
+# -- loading the extension ----------------------------------------------------
+
+_LOCK = threading.Lock()
+_NATIVE: Optional["NativeKernels"] = None
+_NATIVE_ERROR: Optional[str] = None
+_LOADED = False
+
+
+def native_kernels() -> Optional["NativeKernels"]:
+    """The loaded native kernel bundle, or ``None`` when the extension
+    neither imports nor builds (the failure reason is kept for
+    :func:`kernel_info`).  First call may compile the extension; the
+    outcome is cached for the process either way."""
+    global _NATIVE, _NATIVE_ERROR, _LOADED
+    if _LOADED:
+        return _NATIVE
+    with _LOCK:
+        if _LOADED:
+            return _NATIVE
+        try:
+            _NATIVE = _load()
+        except Exception as exc:  # no compiler, no cffi, broken toolchain
+            _NATIVE = None
+            _NATIVE_ERROR = f"{type(exc).__name__}: {exc}"
+        _LOADED = True
+    return _NATIVE
+
+
+def native_error() -> Optional[str]:
+    """Why the native backend is unavailable, if it is."""
+    return _NATIVE_ERROR
+
+
+def _load() -> "NativeKernels":
+    try:
+        from . import _native  # pre-built by setup.py or a prior import
+
+        return NativeKernels(_native.ffi, _native.lib)
+    except ImportError:
+        pass
+    module = _build()
+    return NativeKernels(module.ffi, module.lib)
+
+
+def _build():
+    """Compile the extension into a temporary directory, then atomically
+    install the artifact next to this file so later imports (and worker
+    processes) skip the build.  Concurrent builders race safely — each
+    builds its own copy and ``os.replace`` is atomic; on a read-only
+    checkout the artifact loads straight from the temporary directory
+    (the mapped shared object outlives the file)."""
+    from .build import ffibuilder
+
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    with tempfile.TemporaryDirectory(prefix="repro-kernels-") as tmp:
+        built = ffibuilder.compile(tmpdir=tmp, verbose=False)
+        path = os.path.join(package_dir, os.path.basename(built))
+        try:
+            os.replace(built, path)
+        except OSError:
+            path = built
+        spec = importlib.util.spec_from_file_location(
+            __package__ + "._native", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    return module
+
+
+def kernels_backend() -> str:
+    """The resolved backend for this process and environment: ``native``
+    or ``python``.  Raises when ``REPRO_KERNELS=native`` but the
+    extension is unavailable."""
+    mode = kernel_mode()
+    if mode == "python":
+        return "python"
+    if native_kernels() is not None:
+        return "native"
+    if mode == "native":
+        from ...lpath.errors import LPathError
+
+        raise LPathError(
+            f"{KERNELS_ENV}=native but the cffi kernels are unavailable"
+            f" ({_NATIVE_ERROR})"
+        )
+    return "python"
+
+
+def active_kernels() -> Optional["NativeKernels"]:
+    """The kernel bundle when the resolved backend is ``native``, else
+    ``None`` (raises under a forced-but-unavailable ``native``)."""
+    return native_kernels() if kernels_backend() == "native" else None
+
+
+def kernel_info() -> dict:
+    """A non-raising status snapshot for CLI output and bench metadata."""
+    try:
+        import cffi
+
+        cffi_version = cffi.__version__
+    except ImportError:  # pragma: no cover - cffi ships with the toolchain
+        cffi_version = None
+    mode = kernel_mode()
+    available = native_kernels() is not None
+    backend = "native" if mode != "python" and available else "python"
+    return {
+        "mode": mode,
+        "backend": backend,
+        "native_available": available,
+        "error": _NATIVE_ERROR,
+        "cffi": cffi_version,
+    }
+
+
+# -- buffer classification ----------------------------------------------------
+
+
+def buffer_kind(column) -> Optional[str]:
+    """``"i64"``/``"u8"`` when ``column`` is a fixed-width integer buffer
+    the C side can read directly, else ``None`` (string columns, plain
+    lists, and anything else stays on the interpreted path)."""
+    if isinstance(column, array):
+        return "i64" if column.typecode == "q" and column.itemsize == 8 else None
+    if isinstance(column, (bytes, bytearray)):
+        return "u8"
+    if isinstance(column, memoryview):
+        if column.ndim != 1:
+            return None
+        if column.format in ("q", "l") and column.itemsize == 8:
+            return "i64"
+        if column.format in ("B", "b") and column.itemsize == 1:
+            return "u8"
+    return None
+
+
+class CheckSpec(NamedTuple):
+    """One pre-validated residual condition, ready to pack per run."""
+
+    column: object
+    column_kind: str            # "i64" | "u8"
+    op: int
+    rhs_slot: Optional[int]     # None -> payload is an int constant
+    payload: object
+
+
+def classify_checks(vector, require_const: bool = False):
+    """Pre-validate the executor's vector-filter tuples for the C side,
+    or ``None`` when any condition needs the interpreter (non-buffer
+    column, exotic operator, string/float constant, out-of-range int)."""
+    specs: list[CheckSpec] = []
+    for column, opf, rhs_slot, payload in vector:
+        op = OPCODES.get(opf)
+        if op is None:
+            return None
+        kind = buffer_kind(column)
+        if kind is None:
+            return None
+        if rhs_slot is None:
+            if not isinstance(payload, int):
+                return None
+            payload = int(payload)  # normalizes bool
+            if not _INT64_MIN <= payload <= _INT64_MAX:
+                return None
+        else:
+            if require_const or buffer_kind(payload) != "i64":
+                return None
+        specs.append(CheckSpec(column, kind, op, rhs_slot, payload))
+    return specs
+
+
+# -- the loaded bundle --------------------------------------------------------
+
+
+class NativeKernels:
+    """The ffi/lib pair plus the marshalling helpers every native plan
+    shares.  One instance per process."""
+
+    __slots__ = ("ffi", "lib")
+
+    def __init__(self, ffi, lib) -> None:
+        self.ffi = ffi
+        self.lib = lib
+
+    def i64(self, column):
+        """A read cdata pointer over an int64 buffer (no copy)."""
+        return self.ffi.from_buffer("int64_t[]", column)
+
+    def u8(self, column):
+        """A read cdata pointer over a byte bitmap (no copy)."""
+        return self.ffi.from_buffer("uint8_t[]", column)
+
+    def i64_out(self, column):
+        """A writable cdata pointer over an ``array('q')`` output."""
+        return self.ffi.from_buffer("int64_t[]", column, require_writable=True)
+
+    def pack_checks(self, specs, batch):
+        """Fill a ``repro_check_t[]`` from pre-validated specs.  Returns
+        ``(cdata array, keepalive list)`` — the caller must hold the
+        keepalive until the C call returns, because the struct pointers
+        do not themselves keep the ``from_buffer`` views alive."""
+        ffi = self.ffi
+        checks = ffi.new("repro_check_t[]", max(1, len(specs)))
+        keep = []
+        for index, spec in enumerate(specs):
+            entry = checks[index]
+            if spec.column_kind == "i64":
+                view = self.i64(spec.column)
+                entry.i64 = view
+                entry.u8 = ffi.NULL
+            else:
+                view = self.u8(spec.column)
+                entry.u8 = view
+                entry.i64 = ffi.NULL
+            keep.append(view)
+            entry.op = spec.op
+            if spec.rhs_slot is None:
+                entry.rhs_arr = ffi.NULL
+                entry.rhs_col = ffi.NULL
+                entry.rhs_const = spec.payload
+            else:
+                rhs_arr = self.i64(spec.payload)
+                rhs_col = self.i64(batch[spec.rhs_slot])
+                entry.rhs_arr = rhs_arr
+                entry.rhs_col = rhs_col
+                entry.rhs_const = 0
+                keep.append(rhs_arr)
+                keep.append(rhs_col)
+        return checks, keep
+
+    def merge_packed(self, blobs) -> list:
+        """Merge packed sorted int64 ``(tid, id)`` blobs into one sorted
+        pair list — the C twin of ``heapq.merge`` over unpacked pairs."""
+        ffi, lib = self.ffi, self.lib
+        k = len(blobs)
+        counts = array("q", (len(blob) // 16 for blob in blobs))
+        total = sum(counts)
+        pointers = ffi.new("int64_t *[]", max(1, k))
+        keep = []
+        for index, blob in enumerate(blobs):
+            if len(blob) == 0:
+                pointers[index] = ffi.NULL
+                continue
+            view = ffi.from_buffer("int64_t[]", blob)
+            keep.append(view)
+            pointers[index] = view
+        out = ffi.new("int64_t[]", max(1, 2 * total))
+        counts_view = self.i64(counts) if k else ffi.NULL
+        written = lib.repro_merge_pairs(pointers, counts_view, k, out)
+        if written < 0:
+            raise MemoryError("native pair merge allocation failed")
+        flat = array("q")
+        flat.frombytes(ffi.buffer(out, 16 * written)[:])
+        del keep
+        pairs = iter(flat)
+        return list(zip(pairs, pairs))
+
+
+# -- native plan objects ------------------------------------------------------
+
+
+class NativeMergeJoin:
+    """The marshalling recipe for one merge-join shape: everything static
+    is resolved at construction; ``run`` only wraps buffers and copies the
+    (src, cand) result out."""
+
+    __slots__ = (
+        "kern", "spec", "check_specs", "store",
+        "name_lo", "name_hi", "key_slot", "key_column", "high_column",
+    )
+
+    def __init__(self, kern, spec, check_specs, store,
+                 key_slot, key_column, high_column) -> None:
+        self.kern = kern
+        self.spec = spec
+        self.check_specs = check_specs
+        self.store = store
+        self.name_lo, self.name_hi = store.name_bounds.get(spec.name, (0, 0))
+        self.key_slot = key_slot
+        self.key_column = key_column
+        self.high_column = high_column
+
+    def run(self, batch: list) -> list:
+        kern = self.kern
+        ffi, lib = kern.ffi, kern.lib
+        width = len(batch)
+        out = [array("q") for _ in range(width + 1)]
+        count = len(batch[0]) if batch else 0
+        if count == 0:
+            return out
+        spec = self.spec
+        store = self.store
+        tids = kern.i64(store.tid)
+        lefts = kern.i64(store.left)
+        tid_col = kern.i64(batch[spec.tid_slot])
+        key_col = kern.i64(batch[self.key_slot])
+        key_arr = kern.i64(self.key_column)
+        checks, keep = kern.pack_checks(self.check_specs, batch)
+        n_checks = len(self.check_specs)
+        src_out = ffi.new("int64_t **")
+        cand_out = ffi.new("int64_t **")
+        if spec.strategy == "sweep":
+            if spec.high is None:
+                high_arr = high_col = ffi.NULL
+            else:
+                high_arr = kern.i64(self.high_column)
+                high_col = kern.i64(batch[spec.high[0]])
+            matched = lib.repro_sweep_join(
+                tids, lefts, self.name_lo, self.name_hi,
+                tid_col, key_col, count,
+                key_arr, int(spec.include_low),
+                high_arr, high_col, int(spec.include_high),
+                checks, n_checks, src_out, cand_out,
+            )
+        elif spec.strategy == "stack":
+            rights = kern.i64(store.right)
+            matched = lib.repro_stack_join(
+                tids, lefts, rights, self.name_lo, self.name_hi,
+                tid_col, key_col, count,
+                key_arr, int(spec.include_high),
+                checks, n_checks, src_out, cand_out,
+            )
+        else:
+            matched = lib.repro_prefix_join(
+                tids, lefts, self.name_lo, self.name_hi,
+                tid_col, key_col, count,
+                key_arr, int(spec.include_high),
+                checks, n_checks, src_out, cand_out,
+            )
+        if matched < 0:
+            raise MemoryError("native structural join allocation failed")
+        src, cand = src_out[0], cand_out[0]
+        try:
+            if matched:
+                for slot in range(width):
+                    column = array("q", bytes(8 * matched))
+                    lib.repro_gather(
+                        kern.i64(batch[slot]), src, matched,
+                        kern.i64_out(column),
+                    )
+                    out[slot] = column
+                result = array("q")
+                result.frombytes(ffi.buffer(cand, 8 * matched)[:])
+                out[width] = result
+        finally:
+            lib.repro_free(src)
+            lib.repro_free(cand)
+        del keep
+        return out
+
+
+def native_join(spec, vector, store) -> Optional[NativeMergeJoin]:
+    """A :class:`NativeMergeJoin` for this shape, or ``None`` to stay on
+    the interpreted path.  Eligibility mirrors the generated sweep's
+    guard — the caller additionally requires no binding prunes, no
+    per-row residuals and no or-self slot — plus buffer compatibility of
+    every column the C side reads."""
+    kern = active_kernels()
+    if kern is None:
+        return None
+    check_specs = classify_checks(vector)
+    if check_specs is None:
+        return None
+    structural = [store.tid, store.left]
+    if spec.strategy == "stack":
+        structural.append(store.right)
+    if spec.strategy == "sweep":
+        key_slot, key_position = spec.low
+    else:
+        key_slot, key_position = spec.high
+    key_column = store.col(key_position)
+    structural.append(key_column)
+    high_column = None
+    if spec.strategy == "sweep" and spec.high is not None:
+        high_column = store.col(spec.high[1])
+        structural.append(high_column)
+    if any(buffer_kind(column) != "i64" for column in structural):
+        return None
+    return NativeMergeJoin(
+        kern, spec, check_specs, store, key_slot, key_column, high_column
+    )
+
+
+class NativeRangeFilter:
+    """The scan-side vectorized filter over a contiguous row-id range."""
+
+    __slots__ = ("kern", "check_specs")
+
+    def __init__(self, kern, check_specs) -> None:
+        self.kern = kern
+        self.check_specs = check_specs
+
+    def run(self, start: int, stop: int):
+        kern = self.kern
+        ffi, lib = kern.ffi, kern.lib
+        kept = array("q")
+        if stop <= start:
+            return kept
+        checks, keep = kern.pack_checks(self.check_specs, ())
+        out = ffi.new("int64_t[]", stop - start)
+        survivors = lib.repro_filter_range(
+            start, stop, checks, len(self.check_specs), out
+        )
+        kept.frombytes(ffi.buffer(out, 8 * survivors)[:])
+        del keep
+        return kept
+
+
+def native_range_filter(vector) -> Optional[NativeRangeFilter]:
+    """A :class:`NativeRangeFilter` when every vector condition is a
+    buffer column against an int constant, else ``None``."""
+    if not vector:
+        return None
+    kern = active_kernels()
+    if kern is None:
+        return None
+    check_specs = classify_checks(vector, require_const=True)
+    if check_specs is None:
+        return None
+    return NativeRangeFilter(kern, check_specs)
+
+
+class NativeGather:
+    """The final emit's column gather: one C pass per output column."""
+
+    __slots__ = ("kern", "key", "columns")
+
+    def __init__(self, kern, key, columns) -> None:
+        self.kern = kern
+        self.key = key
+        self.columns = columns
+
+    def run(self, batch):
+        kern, lib = self.kern, self.kern.lib
+        count = len(batch[0])
+        gathered = []
+        for (slot, _position), column in zip(self.key, self.columns):
+            out = array("q", bytes(8 * count))
+            lib.repro_gather(
+                kern.i64(column), kern.i64(batch[slot]), count,
+                kern.i64_out(out),
+            )
+            gathered.append(out)
+        return zip(*gathered)
+
+
+def native_output_gather(key, store) -> Optional[NativeGather]:
+    """A :class:`NativeGather` for an output key over integer columns,
+    or ``None`` (string output columns gather through the interpreter)."""
+    if not key:
+        return None
+    kern = active_kernels()
+    if kern is None:
+        return None
+    columns = [store.col(position) for _slot, position in key]
+    if any(buffer_kind(column) != "i64" for column in columns):
+        return None
+    return NativeGather(kern, list(key), columns)
+
+
+def merge_packed_pairs(blobs) -> Optional[list]:
+    """Native k-way merge of the packed per-segment pair blobs, or
+    ``None`` when the resolved backend is ``python``."""
+    kern = active_kernels()
+    if kern is None:
+        return None
+    return kern.merge_packed(blobs)
+
+
+def column_pointer(column, length: int):
+    """``(cdata pointer, length)`` over one column buffer for direct C
+    consumption (``ColumnStore.column_ptr`` delegates here).  The pointer
+    must not outlive the owning store — for an mmap-backed column it pins
+    the view until dropped, and ``MappedCorpus.close()`` raises
+    ``BufferError`` while such an export exists."""
+    kern = native_kernels()
+    if kern is None:
+        raise RuntimeError(
+            f"native kernels are unavailable ({_NATIVE_ERROR})"
+        )
+    kind = buffer_kind(column)
+    if kind is None:
+        raise TypeError(
+            "column is not a fixed-width integer buffer"
+        )
+    view = kern.i64(column) if kind == "i64" else kern.u8(column)
+    return view, length

@@ -1,0 +1,479 @@
+"""cffi build recipe for the native columnar kernels.
+
+One translation unit implements the engine's hot inner loops over raw
+int64 column buffers — the per-shape structural sweep join, the
+stack-tree ancestor join, the prefix join, the vectorized range filter,
+batch gather, and the sorted disjoint k-way pair merge.  The C code is
+a line-for-line transcription of the pure-Python loops in
+:mod:`repro.columnar.structural` and :mod:`repro.columnar.executor`
+(same traversal order, same comparison semantics, same emit order), so
+the two backends stay byte-identical by construction and the dual-backend
+differential suite can hold them to it.
+
+Build paths (both produce ``repro.columnar.kernels._native``):
+
+* ``python setup.py build_ext`` — via ``cffi_modules`` in ``setup.py``;
+* first import — :mod:`repro.columnar.kernels.api` compiles into a
+  temporary directory and atomically installs the artifact next to this
+  file (falling back to the temporary copy on read-only checkouts).
+
+Residual conditions cross the boundary as an array of ``repro_check_t``:
+a tagged column pointer (int64 column or uint8 bitmap), a comparison
+opcode, and a right-hand side that is either an inline constant or a
+per-binding lookup (``rhs_arr[rhs_col[i]]`` — the store column the
+binding slot indexes into).
+"""
+
+from cffi import FFI
+
+ffibuilder = FFI()
+
+ffibuilder.cdef(
+    """
+typedef struct {
+    const int64_t *i64;      /* candidate int64 column, or NULL        */
+    const uint8_t *u8;       /* candidate uint8 bitmap when i64 NULL   */
+    const int64_t *rhs_arr;  /* rhs store column for binding-resolved  */
+    const int64_t *rhs_col;  /* batch column holding the binding rows  */
+    int64_t rhs_const;       /* inline rhs when rhs_arr is NULL        */
+    int32_t op;              /* 0 == 1 != 2 < 3 <= 4 > 5 >=            */
+    int32_t pad;
+} repro_check_t;
+
+int64_t repro_sweep_join(
+    const int64_t *tids, const int64_t *lefts,
+    int64_t name_lo, int64_t name_hi,
+    const int64_t *tid_col, const int64_t *key_col, int64_t count,
+    const int64_t *key_arr, int include_low,
+    const int64_t *high_arr, const int64_t *high_col, int include_high,
+    const repro_check_t *checks, int32_t n_checks,
+    int64_t **out_src, int64_t **out_cand);
+
+int64_t repro_stack_join(
+    const int64_t *tids, const int64_t *lefts, const int64_t *rights,
+    int64_t name_lo, int64_t name_hi,
+    const int64_t *tid_col, const int64_t *key_col, int64_t count,
+    const int64_t *key_arr, int include_high,
+    const repro_check_t *checks, int32_t n_checks,
+    int64_t **out_src, int64_t **out_cand);
+
+int64_t repro_prefix_join(
+    const int64_t *tids, const int64_t *lefts,
+    int64_t name_lo, int64_t name_hi,
+    const int64_t *tid_col, const int64_t *key_col, int64_t count,
+    const int64_t *key_arr, int include_high,
+    const repro_check_t *checks, int32_t n_checks,
+    int64_t **out_src, int64_t **out_cand);
+
+int64_t repro_filter_range(
+    int64_t start, int64_t end,
+    const repro_check_t *checks, int32_t n_checks,
+    int64_t *out);
+
+void repro_gather(
+    const int64_t *col, const int64_t *idx, int64_t n, int64_t *out);
+
+int64_t repro_merge_pairs(
+    int64_t **blobs, const int64_t *counts, int32_t k, int64_t *out);
+
+void repro_free(int64_t *p);
+"""
+)
+
+CSOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef struct {
+    const int64_t *i64;
+    const uint8_t *u8;
+    const int64_t *rhs_arr;
+    const int64_t *rhs_col;
+    int64_t rhs_const;
+    int32_t op;
+    int32_t pad;
+} repro_check_t;
+
+/* Mirrors structural._NO_LIMIT: above any span position, far from
+   int64 overflow even after the +1 inclusive-bound adjustment. */
+#define REPRO_NO_LIMIT (((int64_t)1) << 62)
+
+static int repro_cmp_op(int64_t v, int32_t op, int64_t rhs)
+{
+    switch (op) {
+        case 0: return v == rhs;
+        case 1: return v != rhs;
+        case 2: return v <  rhs;
+        case 3: return v <= rhs;
+        case 4: return v >  rhs;
+        case 5: return v >= rhs;
+        default: return 0;
+    }
+}
+
+static int repro_checks_pass(const repro_check_t *checks, int32_t n_checks,
+                             int64_t i, int64_t j)
+{
+    int32_t c;
+    for (c = 0; c < n_checks; c++) {
+        const repro_check_t *ch = &checks[c];
+        int64_t rhs = ch->rhs_arr ? ch->rhs_arr[ch->rhs_col[i]]
+                                  : ch->rhs_const;
+        int64_t v = ch->i64 ? ch->i64[j] : (int64_t)ch->u8[j];
+        if (!repro_cmp_op(v, ch->op, rhs))
+            return 0;
+    }
+    return 1;
+}
+
+/* -- keyed binding order (the Python side's keyed.sort()) ----------------- */
+
+typedef struct { int64_t tid; int64_t key; int64_t idx; } repro_keyed_t;
+
+static int repro_keyed_cmp(const void *pa, const void *pb)
+{
+    const repro_keyed_t *a = (const repro_keyed_t *)pa;
+    const repro_keyed_t *b = (const repro_keyed_t *)pb;
+    if (a->tid != b->tid) return a->tid < b->tid ? -1 : 1;
+    if (a->key != b->key) return a->key < b->key ? -1 : 1;
+    if (a->idx != b->idx) return a->idx < b->idx ? -1 : 1;
+    return 0;
+}
+
+static repro_keyed_t *repro_build_keyed(
+    const int64_t *tids, const int64_t *tid_col,
+    const int64_t *key_arr, const int64_t *key_col, int64_t count)
+{
+    int64_t i;
+    repro_keyed_t *keyed =
+        (repro_keyed_t *)malloc((size_t)count * sizeof(repro_keyed_t));
+    if (!keyed)
+        return NULL;
+    for (i = 0; i < count; i++) {
+        keyed[i].tid = tids[tid_col[i]];
+        keyed[i].key = key_arr[key_col[i]];
+        keyed[i].idx = i;
+    }
+    /* The comparator totally orders entries (idx tiebreak), so qsort's
+       instability cannot reorder equal keys — emit order matches the
+       interpreter's stable tuple sort exactly. */
+    qsort(keyed, (size_t)count, sizeof(repro_keyed_t), repro_keyed_cmp);
+    return keyed;
+}
+
+/* -- per-tree partition lookup -------------------------------------------- */
+
+/* The clustered order sorts tids ascending inside a name block, so the
+   (name, tid) partition is a binary-searched run — the C twin of the
+   store's name_tid_bounds lookup.  ``base`` exploits the sorted binding
+   order: later (larger) tids can only start at or after the previous
+   partition's end, shrinking every search. */
+
+static int64_t repro_lower(const int64_t *arr, int64_t value,
+                           int64_t lo, int64_t hi)
+{
+    while (lo < hi) {
+        int64_t mid = lo + ((hi - lo) >> 1);
+        if (arr[mid] < value) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+static int64_t repro_upper(const int64_t *arr, int64_t value,
+                           int64_t lo, int64_t hi)
+{
+    while (lo < hi) {
+        int64_t mid = lo + ((hi - lo) >> 1);
+        if (arr[mid] <= value) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+/* -- growable (src, cand) output ------------------------------------------ */
+
+typedef struct { int64_t *src; int64_t *cand; int64_t n; int64_t cap; }
+    repro_pairs_t;
+
+static int repro_push(repro_pairs_t *p, int64_t src, int64_t cand)
+{
+    if (p->n == p->cap) {
+        int64_t cap = p->cap ? p->cap * 2 : 256;
+        int64_t *grown = (int64_t *)realloc(p->src,
+                                            (size_t)cap * sizeof(int64_t));
+        if (!grown) return -1;
+        p->src = grown;
+        grown = (int64_t *)realloc(p->cand, (size_t)cap * sizeof(int64_t));
+        if (!grown) return -1;
+        p->cand = grown;
+        p->cap = cap;
+    }
+    p->src[p->n] = src;
+    p->cand[p->n] = cand;
+    p->n++;
+    return 0;
+}
+
+/* -- the three structural join strategies --------------------------------- */
+
+int64_t repro_sweep_join(
+    const int64_t *tids, const int64_t *lefts,
+    int64_t name_lo, int64_t name_hi,
+    const int64_t *tid_col, const int64_t *key_col, int64_t count,
+    const int64_t *key_arr, int include_low,
+    const int64_t *high_arr, const int64_t *high_col, int include_high,
+    const repro_check_t *checks, int32_t n_checks,
+    int64_t **out_src, int64_t **out_cand)
+{
+    repro_pairs_t pairs = {NULL, NULL, 0, 0};
+    int have_tid = 0;
+    int64_t cur_tid = 0, lo = 0, hi = 0, ptr = 0, base = name_lo, k;
+    repro_keyed_t *keyed =
+        repro_build_keyed(tids, tid_col, key_arr, key_col, count);
+    if (!keyed)
+        return -1;
+    for (k = 0; k < count; k++) {
+        int64_t i = keyed[k].idx;
+        int64_t tid = keyed[k].tid;
+        int64_t low_val = keyed[k].key;
+        int64_t start, limit, j;
+        if (!have_tid || tid != cur_tid) {
+            have_tid = 1;
+            cur_tid = tid;
+            lo = repro_lower(tids, tid, base, name_hi);
+            hi = repro_upper(tids, tid, lo, name_hi);
+            base = hi;
+            ptr = lo;
+        }
+        start = include_low ? low_val : low_val + 1;
+        while (ptr < hi && lefts[ptr] < start)
+            ptr++;
+        if (!high_arr) {
+            limit = REPRO_NO_LIMIT;
+        } else {
+            int64_t high_val = high_arr[high_col[i]];
+            limit = include_high ? high_val + 1 : high_val;
+        }
+        for (j = ptr; j < hi && lefts[j] < limit; j++) {
+            if (repro_checks_pass(checks, n_checks, i, j)
+                && repro_push(&pairs, i, j))
+                goto oom;
+        }
+    }
+    free(keyed);
+    *out_src = pairs.src;
+    *out_cand = pairs.cand;
+    return pairs.n;
+oom:
+    free(keyed);
+    free(pairs.src);
+    free(pairs.cand);
+    return -1;
+}
+
+int64_t repro_stack_join(
+    const int64_t *tids, const int64_t *lefts, const int64_t *rights,
+    int64_t name_lo, int64_t name_hi,
+    const int64_t *tid_col, const int64_t *key_col, int64_t count,
+    const int64_t *key_arr, int include_high,
+    const repro_check_t *checks, int32_t n_checks,
+    int64_t **out_src, int64_t **out_cand)
+{
+    repro_pairs_t pairs = {NULL, NULL, 0, 0};
+    int have_tid = 0;
+    int64_t cur_tid = 0, lo = 0, hi = 0, ptr = 0, base = name_lo, k;
+    int64_t block = name_hi - name_lo;
+    int64_t *stack;
+    int64_t stack_n = 0;
+    repro_keyed_t *keyed =
+        repro_build_keyed(tids, tid_col, key_arr, key_col, count);
+    if (!keyed)
+        return -1;
+    /* A stack entry is only ever pushed once per partition, so the name
+       block's row count bounds the stack depth. */
+    stack = (int64_t *)malloc((size_t)(block > 0 ? block : 1)
+                              * sizeof(int64_t));
+    if (!stack) {
+        free(keyed);
+        return -1;
+    }
+    for (k = 0; k < count; k++) {
+        int64_t i = keyed[k].idx;
+        int64_t tid = keyed[k].tid;
+        int64_t edge = keyed[k].key;
+        int64_t limit, s;
+        if (!have_tid || tid != cur_tid) {
+            have_tid = 1;
+            cur_tid = tid;
+            lo = repro_lower(tids, tid, base, name_hi);
+            hi = repro_upper(tids, tid, lo, name_hi);
+            base = hi;
+            ptr = lo;
+            stack_n = 0;
+        }
+        limit = include_high ? edge + 1 : edge;
+        while (ptr < hi && lefts[ptr] < limit) {
+            stack[stack_n++] = ptr;
+            ptr++;
+        }
+        while (stack_n && rights[stack[stack_n - 1]] <= edge)
+            stack_n--;
+        for (s = 0; s < stack_n; s++) {
+            int64_t j = stack[s];
+            if (repro_checks_pass(checks, n_checks, i, j)
+                && repro_push(&pairs, i, j))
+                goto oom;
+        }
+    }
+    free(stack);
+    free(keyed);
+    *out_src = pairs.src;
+    *out_cand = pairs.cand;
+    return pairs.n;
+oom:
+    free(stack);
+    free(keyed);
+    free(pairs.src);
+    free(pairs.cand);
+    return -1;
+}
+
+int64_t repro_prefix_join(
+    const int64_t *tids, const int64_t *lefts,
+    int64_t name_lo, int64_t name_hi,
+    const int64_t *tid_col, const int64_t *key_col, int64_t count,
+    const int64_t *key_arr, int include_high,
+    const repro_check_t *checks, int32_t n_checks,
+    int64_t **out_src, int64_t **out_cand)
+{
+    repro_pairs_t pairs = {NULL, NULL, 0, 0};
+    int have_tid = 0;
+    int64_t cur_tid = 0, lo = 0, hi = 0, end = 0, base = name_lo, k;
+    repro_keyed_t *keyed =
+        repro_build_keyed(tids, tid_col, key_arr, key_col, count);
+    if (!keyed)
+        return -1;
+    for (k = 0; k < count; k++) {
+        int64_t i = keyed[k].idx;
+        int64_t tid = keyed[k].tid;
+        int64_t edge = keyed[k].key;
+        int64_t limit, j;
+        if (!have_tid || tid != cur_tid) {
+            have_tid = 1;
+            cur_tid = tid;
+            lo = repro_lower(tids, tid, base, name_hi);
+            hi = repro_upper(tids, tid, lo, name_hi);
+            base = hi;
+            end = lo;
+        }
+        limit = include_high ? edge + 1 : edge;
+        while (end < hi && lefts[end] < limit)
+            end++;
+        for (j = lo; j < end; j++) {
+            if (repro_checks_pass(checks, n_checks, i, j)
+                && repro_push(&pairs, i, j))
+                goto oom;
+        }
+    }
+    free(keyed);
+    *out_src = pairs.src;
+    *out_cand = pairs.cand;
+    return pairs.n;
+oom:
+    free(keyed);
+    free(pairs.src);
+    free(pairs.cand);
+    return -1;
+}
+
+/* -- scan-side vector filter and batch gather ----------------------------- */
+
+int64_t repro_filter_range(
+    int64_t start, int64_t end,
+    const repro_check_t *checks, int32_t n_checks,
+    int64_t *out)
+{
+    int64_t j, n = 0;
+    for (j = start; j < end; j++) {
+        int32_t c;
+        int ok = 1;
+        for (c = 0; c < n_checks; c++) {
+            const repro_check_t *ch = &checks[c];
+            int64_t v = ch->i64 ? ch->i64[j] : (int64_t)ch->u8[j];
+            if (!repro_cmp_op(v, ch->op, ch->rhs_const)) {
+                ok = 0;
+                break;
+            }
+        }
+        if (ok)
+            out[n++] = j;
+    }
+    return n;
+}
+
+void repro_gather(
+    const int64_t *col, const int64_t *idx, int64_t n, int64_t *out)
+{
+    int64_t k;
+    for (k = 0; k < n; k++)
+        out[k] = col[idx[k]];
+}
+
+/* -- sorted disjoint k-way merge of packed (tid, id) pairs ---------------- */
+
+int64_t repro_merge_pairs(
+    int64_t **blobs, const int64_t *counts, int32_t k, int64_t *out)
+{
+    int64_t written = 0;
+    int64_t *pos = (int64_t *)calloc((size_t)(k > 0 ? k : 1),
+                                     sizeof(int64_t));
+    if (!pos)
+        return -1;
+    for (;;) {
+        int32_t best = -1, s;
+        int64_t best_tid = 0, best_id = 0;
+        for (s = 0; s < k; s++) {
+            const int64_t *head;
+            if (pos[s] >= counts[s])
+                continue;
+            head = blobs[s] + 2 * pos[s];
+            /* Strict < keeps the lowest input index on ties, matching
+               heapq.merge's stability. */
+            if (best < 0 || head[0] < best_tid
+                || (head[0] == best_tid && head[1] < best_id)) {
+                best = s;
+                best_tid = head[0];
+                best_id = head[1];
+            }
+        }
+        if (best < 0)
+            break;
+        out[2 * written] = best_tid;
+        out[2 * written + 1] = best_id;
+        written++;
+        pos[best]++;
+    }
+    free(pos);
+    return written;
+}
+
+void repro_free(int64_t *p)
+{
+    free(p);
+}
+"""
+
+ffibuilder.set_source(
+    "repro.columnar.kernels._native",
+    CSOURCE,
+    extra_compile_args=["-O2"],
+)
+
+if __name__ == "__main__":  # pragma: no cover - manual build entry point
+    # Build straight into the source tree (the module name is dotted, so
+    # cffi lays the artifact out under <tmpdir>/repro/columnar/kernels/).
+    import os
+
+    root = os.path.dirname(  # .../src
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+    ffibuilder.compile(tmpdir=root, verbose=True)

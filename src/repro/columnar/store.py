@@ -264,6 +264,19 @@ class ColumnStore:
             self.id, self.pid, self.names, self.values,
         )[position]
 
+    def column_ptr(self, position: int):
+        """``(raw pointer, length)`` over one integer column for the
+        native kernels — zero-copy for both heap arrays and the mmap
+        views of a :class:`MappedColumnStore`, where the C side reads
+        page-cache memory directly.  Raises ``TypeError`` for the string
+        columns, ``RuntimeError`` when the cffi extension is unavailable,
+        and ``ValueError`` once the owning corpus released its views.
+        The pointer pins the underlying buffer: drop it before closing a
+        mapped corpus, or ``close()`` raises ``BufferError``."""
+        from .kernels.api import column_pointer
+
+        return column_pointer(self.col(position), self.n)
+
     def iter_rows(self) -> Iterator[tuple]:
         """Yield plain row tuples in clustered order."""
         cols = tuple(self.col(position) for position in range(8))

@@ -409,10 +409,22 @@ class MergeJoinStep:
             if spec.strategy == SWEEP
             else None
         )
+        # The native (cffi) kernel handles exactly the shapes the
+        # generated sweep handles — no binding prunes, no per-row
+        # residuals, no or-self prepend — for all three strategies, when
+        # every column involved is a fixed-width integer buffer.  The
+        # backend is bound at construction; the plan cache keys on it.
+        self._native = None
+        if not binding and not row and spec.self_slot is None:
+            from .kernels.api import native_join
+
+            self._native = native_join(spec, self.vector_specs, store)
 
     # -- candidate enumeration ------------------------------------------------
 
     def run(self, batch: list) -> list:
+        if self._native is not None:
+            return self._native.run(batch)
         width = len(batch)
         out = [array("q") for _ in range(width + 1)]
         count = len(batch[0]) if batch else 0
@@ -613,9 +625,10 @@ class MergeJoinStep:
             self._emit(batch, i, width, out, matched)
 
     def describe(self) -> str:
+        kernel = "native" if self._native is not None else "python"
         return (
             f"StructuralMergeJoin(s{self.slot} <- {self.access}: {self.label}"
-            f" | strategy={self.spec.strategy}"
+            f" | strategy={self.spec.strategy} kernel={kernel}"
             f" vector={len(self.const_checks) + len(self.col_checks)}"
             f" row={len(self.row)})"
         )

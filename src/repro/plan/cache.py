@@ -103,20 +103,25 @@ def cached_compile(
     executor: str = "volcano",
 ):
     """Compile ``query`` through ``cache``, keyed on its unparsed text
-    plus every compile option (``pivot``, the physical ``executor`` and
-    the ``REPRO_FORCE_JOIN`` override), so a warm hit can never return a
-    plan compiled for the other executor, the other join order, or the
-    other physical-join mode.
+    plus every compile option (``pivot``, the physical ``executor``, the
+    ``REPRO_FORCE_JOIN`` override and the resolved ``REPRO_KERNELS``
+    backend), so a warm hit can never return a plan compiled for the
+    other executor, the other join order, the other physical-join mode,
+    or the other kernel backend (plans bind their backend at compile
+    time).
 
     The lookup happens before any parsing, so a warm hit skips the whole
     parse → lower → optimize pipeline; AST queries key on their unparse,
     which round-trips, so they share entries with their textual form.
     """
+    from ..columnar.kernels.api import kernels_backend
+
     key = (
         (query if isinstance(query, str) else str(query)),
         pivot,
         executor,
         os.environ.get("REPRO_FORCE_JOIN") or None,
+        kernels_backend(),
     )
     cached = cache.get(key)
     if cached is not None:

@@ -243,8 +243,11 @@ def annotate_join_physical(root: PlanNode, catalog) -> None:
     """Record the cost-based probe vs. structural-merge choice on every
     merge-eligible main-chain ``Join``, from the catalog's collected
     statistics (``REPRO_FORCE_JOIN`` pins the choice for differential
-    testing).  Correlated subplans always run binding-at-a-time, so only
-    the main pipeline is annotated."""
+    testing).  Merge choices carry the resolved kernel backend
+    (``merge/native`` | ``merge/python``) so ``explain()`` output can
+    never silently cross backends.  Correlated subplans always run
+    binding-at-a-time, so only the main pipeline is annotated."""
+    from ..columnar.kernels.api import kernels_backend
     from ..columnar.structural import chain_estimates, decide_join, force_mode
 
     chain = linearize(root)
@@ -252,6 +255,7 @@ def annotate_join_physical(root: PlanNode, catalog) -> None:
         return
     estimates = chain_estimates(chain, catalog)
     force = force_mode()
+    backend = kernels_backend()
     for node in chain:
         if not isinstance(node, Join):
             continue
@@ -261,7 +265,7 @@ def annotate_join_physical(root: PlanNode, catalog) -> None:
             node.est_in = None
             continue
         node.est_in = est_in
-        node.physical = choice
+        node.physical = f"merge/{backend}" if choice == "merge" else choice
 
 
 # -- condition ordering -------------------------------------------------------

@@ -149,6 +149,7 @@ class RemoteTask(NamedTuple):
     pivot: bool
     executor: str
     force: Optional[str]
+    kernels: Optional[str] = None    # the REPRO_KERNELS mode, same contract
 
 
 #: Per-process caches for worker-side segment engines: one opened corpus
@@ -192,15 +193,18 @@ def _worker_segment(spec: RemoteSpec, index: int):
 def _execute_segment(task: RemoteTask, index: int, kind: str):
     """Worker-process entry point: open (cached), compile (cached), run
     one segment, return a count or packed ``(tid, id)`` int64 bytes."""
+    from ..columnar.kernels.api import KERNELS_ENV
     from ..columnar.structural import FORCE_ENV
     from .cache import cached_compile
 
     compiler, cache = _worker_segment(task.spec, index)
-    previous = os.environ.get(FORCE_ENV)
-    if task.force is None:
-        os.environ.pop(FORCE_ENV, None)
-    else:
-        os.environ[FORCE_ENV] = task.force
+    overrides = ((FORCE_ENV, task.force), (KERNELS_ENV, task.kernels))
+    previous = {env: os.environ.get(env) for env, _value in overrides}
+    for env, value in overrides:
+        if value is None:
+            os.environ.pop(env, None)
+        else:
+            os.environ[env] = value
     try:
         compiled = cached_compile(
             cache, compiler, task.query, task.pivot, executor=task.executor
@@ -213,10 +217,11 @@ def _execute_segment(task: RemoteTask, index: int, kind: str):
             packed.append(node_id)
         return packed.tobytes()
     finally:
-        if previous is None:
-            os.environ.pop(FORCE_ENV, None)
-        else:
-            os.environ[FORCE_ENV] = previous
+        for env, value in previous.items():
+            if value is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = value
 
 
 def _unpack_pairs(blob: bytes) -> list[tuple[int, int]]:
@@ -349,6 +354,11 @@ class SegmentedQuery:
         """Distinct, sorted ``(tid, id)`` pairs across every segment."""
         packed = self._map_remote("rows")
         if packed is not None:
+            from ..columnar.kernels.api import merge_packed_pairs
+
+            merged = merge_packed_pairs(packed)
+            if merged is not None:
+                return merged
             return merge(*(_unpack_pairs(blob) for blob in packed))
         return merge(*self._map(lambda part: part.rows()))
 
@@ -419,6 +429,7 @@ class SegmentedPlanCompiler:
         ]
         remote_task = None
         if self.remote is not None:
+            from ..columnar.kernels.api import KERNELS_ENV
             from ..columnar.structural import force_mode
 
             remote_task = RemoteTask(
@@ -427,6 +438,7 @@ class SegmentedPlanCompiler:
                 pivot,
                 executor,
                 force_mode(),
+                os.environ.get(KERNELS_ENV) or None,
             )
         return SegmentedQuery(
             parts, lowered.description, root, self.get_pool, remote_task

@@ -1,0 +1,321 @@
+"""Unit tests for the native cffi kernel layer.
+
+Covers the mode/backend resolution contract (``REPRO_KERNELS``), the
+dual-backend byte-identity of every kernel entry point (joins, scans,
+k-way merge, output gather), the edge cases the C side must survive
+(empty batches, single-node trees, absent names, scan-only plans), the
+plan-cache keying on the resolved backend, and the raw
+:meth:`ColumnStore.column_ptr` surface including released-view failure.
+
+Every dual-backend test runs even when the extension is unavailable —
+it degrades to python-vs-python, keeping the suite green on toolchains
+without a C compiler (the ``needs_native`` cases skip instead).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from array import array
+from contextlib import contextmanager
+
+import pytest
+
+from repro.columnar import ColumnStore
+from repro.columnar.kernels import (
+    KERNEL_MODES,
+    KERNELS_ENV,
+    kernel_info,
+    kernel_mode,
+    kernels_backend,
+    native_kernels,
+)
+from repro.columnar.kernels import api
+from repro.columnar.structural import FORCE_ENV
+from repro.labeling.lpath_scheme import label_corpus
+from repro.lpath import LPathEngine
+from repro.lpath.errors import LPathError
+from repro.tree import iter_trees
+
+NATIVE = native_kernels() is not None
+
+needs_native = pytest.mark.skipif(
+    not NATIVE, reason="cffi extension unavailable"
+)
+
+#: Both real backends when the extension built, else python twice (the
+#: identity checks still run; they just stop being cross-backend).
+BACKENDS = ("python", "native") if NATIVE else ("python",)
+
+CORPUS = """
+( (S (NP (Det the) (N dog)) (VP (V saw) (NP (NP (Det a) (N man)) (PP (Prep with) (NP (N today)))))) )
+( (S (NP I) (VP (V ran))) )
+( (S hi) )
+( (S (NP (N rice)) (VP (V grows))) )
+"""
+
+#: Shapes the kernels must get exactly right: every merge strategy,
+#: scan-only plans, absent names (empty batches end to end), residual
+#: row checks that force the interpreted fallback, and attribute values.
+QUERIES = [
+    "//S//NP",                    # sweep
+    "//NP/N",                     # sweep (child, bounded)
+    "//V==>NP",                   # sweep without a high bound
+    "//Det\\ancestor::S",         # stack
+    "//V<--NP",                   # prefix
+    "//NP",                       # scan only, no join
+    "//NOPE",                     # absent name: empty scan batch
+    "//NOPE//NP",                 # empty outer batch into a join
+    "//S//NOPE",                  # empty partition on the join side
+    "//S//NP[//Det]",             # row-level residual (python fallback)
+    "//N[@lex=rice]",             # attribute filter
+]
+
+
+@contextmanager
+def kernels_env(value):
+    """Pin (or clear, with ``None``) the ``REPRO_KERNELS`` override."""
+    previous = os.environ.get(KERNELS_ENV)
+    if value is None:
+        os.environ.pop(KERNELS_ENV, None)
+    else:
+        os.environ[KERNELS_ENV] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(KERNELS_ENV, None)
+        else:
+            os.environ[KERNELS_ENV] = previous
+
+
+@contextmanager
+def forced_join(mode):
+    previous = os.environ.get(FORCE_ENV)
+    os.environ[FORCE_ENV] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[FORCE_ENV]
+        else:
+            os.environ[FORCE_ENV] = previous
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return list(iter_trees(CORPUS))
+
+
+@pytest.fixture(scope="module")
+def engine(trees):
+    return LPathEngine(trees)
+
+
+class TestModeResolution:
+    def test_default_and_empty_mean_auto(self):
+        with kernels_env(None):
+            assert kernel_mode() == "auto"
+        with kernels_env(""):
+            assert kernel_mode() == "auto"
+
+    def test_explicit_modes_round_trip(self):
+        for mode in KERNEL_MODES:
+            with kernels_env(mode):
+                assert kernel_mode() == mode
+
+    def test_invalid_value_rejected(self):
+        with kernels_env("fast"):
+            with pytest.raises(LPathError, match=KERNELS_ENV):
+                kernel_mode()
+
+    def test_invalid_value_rejected_through_engine(self, engine):
+        with kernels_env("turbo"):
+            with pytest.raises(LPathError, match=KERNELS_ENV):
+                engine.query("//S//NP", executor="columnar")
+
+    def test_backend_resolution(self):
+        with kernels_env("python"):
+            assert kernels_backend() == "python"
+        with kernels_env("auto"):
+            assert kernels_backend() == ("native" if NATIVE else "python")
+
+    def test_forced_native_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(api, "_NATIVE", None)
+        monkeypatch.setattr(api, "_LOADED", True)
+        monkeypatch.setattr(api, "_NATIVE_ERROR", "simulated build failure")
+        with kernels_env("native"):
+            with pytest.raises(LPathError, match="simulated build failure"):
+                kernels_backend()
+        with kernels_env("auto"):  # auto degrades instead of raising
+            assert kernels_backend() == "python"
+
+    def test_kernel_info_never_raises(self):
+        info = kernel_info()
+        assert set(info) == {
+            "mode", "backend", "native_available", "error", "cffi",
+        }
+        assert info["backend"] in ("native", "python")
+        assert info["native_available"] is NATIVE
+
+
+class TestDualBackendIdentity:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_results_identical_across_backends(self, engine, query):
+        expected = engine.query(query, backend="treewalk")
+        for backend in BACKENDS:
+            with kernels_env(backend):
+                for force in (None, "merge", "probe"):
+                    if force is None:
+                        got = engine.query(query, executor="columnar")
+                    else:
+                        with forced_join(force):
+                            got = engine.query(query, executor="columnar")
+                    assert got == expected, (query, backend, force)
+
+    def test_single_node_trees(self):
+        tiny = list(iter_trees("( (S hi) )\n( (X y) )"))
+        engine = LPathEngine(tiny)
+        for query in ("//S", "//S//NP", "//X\\ancestor::S"):
+            expected = engine.query(query, backend="treewalk")
+            for backend in BACKENDS:
+                with kernels_env(backend), forced_join("merge"):
+                    got = engine.query(query, executor="columnar")
+                assert got == expected, (query, backend)
+
+    @needs_native
+    def test_explain_names_the_backend(self, engine):
+        with forced_join("merge"):
+            with kernels_env("native"):
+                plan = engine.explain("//S//NP", executor="columnar")
+                assert "[merge/native" in plan and "kernel=native" in plan
+            with kernels_env("python"):
+                plan = engine.explain("//S//NP", executor="columnar")
+                assert "[merge/python" in plan and "kernel=python" in plan
+
+    @needs_native
+    def test_residual_checks_fall_back_to_python(self, engine):
+        # A row-level exists residual is outside the native contract;
+        # the step must keep the interpreted loop even under native.
+        with forced_join("merge"), kernels_env("native"):
+            plan = engine.explain("//S//NP[//Det]", executor="columnar")
+            assert "kernel=python" in plan
+
+
+class TestPlanCacheKey:
+    def test_kernels_backend_keys_the_plan_cache(self, engine):
+        with kernels_env("python"):
+            python_plan = engine.compile("//S//V", executor="columnar")
+        with kernels_env("auto"):
+            auto_plan = engine.compile("//S//V", executor="columnar")
+        if NATIVE:
+            # Resolved backends differ, so the cache must miss.
+            assert python_plan is not auto_plan
+        else:
+            # Both resolve to python: one entry serves both spellings.
+            assert python_plan is auto_plan
+
+
+class TestMergePacked:
+    @staticmethod
+    def _pack(pairs):
+        flat = array("q")
+        for pair in pairs:
+            flat.extend(pair)
+        return flat.tobytes()
+
+    def _heap_reference(self, blobs):
+        unpacked = []
+        for blob in blobs:
+            values = array("q")
+            values.frombytes(blob)
+            unpacked.append(
+                [(values[i], values[i + 1]) for i in range(0, len(values), 2)]
+            )
+        return list(heapq.merge(*unpacked))
+
+    @needs_native
+    def test_matches_heapq_merge(self):
+        blobs = [
+            self._pack([(1, 5), (2, 9), (7, 0)]),
+            self._pack([(0, 3), (2, 1), (2, 9)]),
+            self._pack([]),
+            self._pack([(2, 9)]),
+        ]
+        with kernels_env("native"):
+            merged = api.merge_packed_pairs(blobs)
+        assert merged == self._heap_reference(blobs)
+
+    @needs_native
+    def test_empty_inputs(self):
+        with kernels_env("native"):
+            assert api.merge_packed_pairs([]) == []
+            assert api.merge_packed_pairs([self._pack([])]) == []
+
+    def test_python_backend_declines(self):
+        with kernels_env("python"):
+            assert api.merge_packed_pairs([self._pack([(1, 2)])]) is None
+
+    @needs_native
+    def test_negative_and_large_values(self):
+        blobs = [
+            self._pack([(-(1 << 40), 1), (1 << 40, -2)]),
+            self._pack([(-(1 << 40), 0)]),
+        ]
+        with kernels_env("native"):
+            assert api.merge_packed_pairs(blobs) == self._heap_reference(blobs)
+
+
+class TestColumnPtr:
+    @pytest.fixture(scope="class")
+    def store(self, trees):
+        return ColumnStore.from_rows(label_corpus(trees))
+
+    @needs_native
+    def test_integer_columns_expose_raw_pointers(self, store):
+        for position in range(6):  # tid, left, right, depth, id, pid
+            pointer, length = store.column_ptr(position)
+            assert length == store.n
+            column = store.col(position)
+            assert [pointer[i] for i in range(length)] == list(column)
+
+    @needs_native
+    def test_string_columns_rejected(self, store):
+        for position in (6, 7):  # names, values
+            with pytest.raises(TypeError):
+                store.column_ptr(position)
+
+    def test_unavailable_extension_raises_runtime_error(
+        self, store, monkeypatch
+    ):
+        monkeypatch.setattr(api, "_NATIVE", None)
+        monkeypatch.setattr(api, "_LOADED", True)
+        monkeypatch.setattr(api, "_NATIVE_ERROR", "no compiler")
+        with pytest.raises(RuntimeError, match="no compiler"):
+            store.column_ptr(0)
+
+    @needs_native
+    def test_released_view_raises_value_error(self):
+        view = memoryview(array("q", [1, 2, 3]))
+        view.release()
+        with pytest.raises(ValueError):
+            api.column_pointer(view, 3)
+
+    @needs_native
+    def test_mmap_store_views_fail_loudly_after_close(self, trees, tmp_path):
+        from repro import store as store_module
+        from repro.columnar.store import MappedColumnStore
+
+        path = str(tmp_path / "corpus.lpdb")
+        with open(path, "wb") as handle:
+            store_module.save_labels(
+                list(label_corpus(trees)), handle, format="lpdb0004"
+            )
+        corpus = store_module.open_mapped_corpus(path)
+        mapped = MappedColumnStore(corpus.segments[0])
+        pointer, length = mapped.column_ptr(0)
+        assert length == mapped.n
+        del pointer  # column_ptr pins the view; release before close
+        corpus.close()
+        with pytest.raises(ValueError):
+            mapped.column_ptr(0)

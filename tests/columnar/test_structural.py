@@ -173,7 +173,7 @@ class TestCostModel:
 
     def test_annotation_recorded_and_rendered(self, engine):
         plan = engine.explain("//S//NP", executor="columnar")
-        assert "[probe est_in=" in plan or "[merge est_in=" in plan
+        assert "[probe est_in=" in plan or "[merge/" in plan
 
     def test_volcano_plans_carry_no_annotation(self, engine):
         plan = engine.explain("//S//NP", executor="volcano")
@@ -187,7 +187,7 @@ class TestCostModel:
             keep_trees=False, executor="columnar",
         )
         plan = engine.explain("//S//NP")
-        assert "[merge est_in=" in plan
+        assert "[merge/" in plan and " est_in=" in plan
         assert "StructuralMergeJoin" in plan
 
     def test_force_knob_overrides_choice(self, engine):

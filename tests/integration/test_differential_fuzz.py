@@ -14,7 +14,10 @@ match the LPath engine on the start/end-expressible fragment.  The columnar exec
 every pair with structural merge joins forced **on** and forced **off**
 (the ``REPRO_FORCE_JOIN=merge|probe`` knob), so the set-at-a-time join
 layer is differentially verified against the per-binding probe join and
-the oracles regardless of what the cost model would pick.  A disagreement
+the oracles regardless of what the cost model would pick.  When the cffi
+extension built, the forced-merge runs additionally repeat under
+``REPRO_KERNELS=python`` and ``=native``, pitting the C hot loops
+against the pure-Python loops on the same random pairs.  A disagreement
 produces a reproducible failure report carrying the bracketed corpus and
 the query, so any falsifying example can be replayed by hand; hypothesis
 additionally prints the shrunken example and its seed.
@@ -36,6 +39,7 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro import store
+from repro.columnar.kernels import KERNELS_ENV, native_kernels
 from repro.columnar.structural import FORCE_ENV
 from repro.labeling import label_corpus
 from repro.lpath import LPathEngine
@@ -45,6 +49,14 @@ from tests.strategies import corpora, lpath_queries, xpath_queries
 
 FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
 QUERIES_PER_EXAMPLE = 8
+
+#: The kernel-backend axis: every forced-merge fuzz pair additionally
+#: runs under both ``REPRO_KERNELS`` values when the cffi extension
+#: built, so the native hot loops are differentially verified against
+#: the pure-Python ones on the same random inputs.
+KERNEL_BACKENDS = (
+    ("python", "native") if native_kernels() is not None else ("python",)
+)
 
 
 @contextmanager
@@ -59,6 +71,20 @@ def forced_join(mode: str):
             del os.environ[FORCE_ENV]
         else:
             os.environ[FORCE_ENV] = previous
+
+
+@contextmanager
+def forced_kernels(mode: str):
+    """Pin the kernel backend for the duration of one query run."""
+    previous = os.environ.get(KERNELS_ENV)
+    os.environ[KERNELS_ENV] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[KERNELS_ENV]
+        else:
+            os.environ[KERNELS_ENV] = previous
 
 
 def _bracketed(trees) -> str:
@@ -102,6 +128,11 @@ def _assert_agreement(
         results["columnar+merge+pivot"] = engine.query(
             query, executor="columnar", pivot=True
         )
+        for backend in KERNEL_BACKENDS:
+            with forced_kernels(backend):
+                results[f"columnar+merge+{backend}"] = engine.query(
+                    query, executor="columnar"
+                )
     with forced_join("probe"):
         results["columnar+probe"] = engine.query(query, executor="columnar")
     for label, extra in (extra_engines or {}).items():
@@ -167,6 +198,11 @@ class TestXPathDifferentialFuzz:
                 results["xpath/columnar+merge"] = xpath_engine.query(
                     query, executor="columnar"
                 )
+                for backend in KERNEL_BACKENDS:
+                    with forced_kernels(backend):
+                        results[f"xpath/columnar+merge+{backend}"] = (
+                            xpath_engine.query(query, executor="columnar")
+                        )
             with forced_join("probe"):
                 results["xpath/columnar+probe"] = xpath_engine.query(
                     query, executor="columnar"

@@ -12,20 +12,25 @@ generators), sharding the corpus must be invisible in the results:
   (and loaded shard-by-shard into a columnar-only ``from_columns``
   engine) must also agree exactly.
 
-``REPRO_FUZZ_EXAMPLES`` scales the hypothesis example budget like the
-main differential-fuzz harness.
+The in-memory and mmap sharded sweeps each run once per kernel backend
+(``REPRO_KERNELS=python`` and ``=native``) so the native hot loops are
+exercised across segment boundaries, worker pools and the packed
+cross-process merge.  ``REPRO_FUZZ_EXAMPLES`` scales the hypothesis
+example budget like the main differential-fuzz harness.
 """
 
 from __future__ import annotations
 
 import io
 import os
+from contextlib import contextmanager
 
 import pytest
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro import store
+from repro.columnar.kernels import KERNELS_ENV, native_kernels
 from repro.labeling import label_corpus
 from repro.lpath import LPathEngine
 from repro.xpath import XPATH_AXES, XPathEngine
@@ -36,11 +41,33 @@ QUERIES_PER_EXAMPLE = 4
 SEGMENT_SWEEP = (1, 2, 3, 7)
 WORKER_SWEEP = (None, 2)
 
+#: The sharded sweeps run once per kernel backend (the segment executor,
+#: the packed cross-process merge and the per-segment plan compile all
+#: dispatch on ``REPRO_KERNELS``); ``native`` skips when the extension
+#: did not build.
+KERNEL_BACKENDS = ("python", "native")
+
+
+@contextmanager
+def pinned_kernels(backend: str):
+    if backend == "native" and native_kernels() is None:
+        pytest.skip("cffi extension unavailable")
+    previous = os.environ.get(KERNELS_ENV)
+    os.environ[KERNELS_ENV] = backend
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[KERNELS_ENV]
+        else:
+            os.environ[KERNELS_ENV] = previous
+
 
 class TestLPathSegmentEquivalence:
+    @pytest.mark.parametrize("kernels", KERNEL_BACKENDS)
     @given(data=st.data())
     @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
-    def test_segmented_engines_match_monolithic(self, data):
+    def test_segmented_engines_match_monolithic(self, kernels, data):
         trees = data.draw(corpora(max_trees=4, max_depth=4), label="corpus")
         monolithic = LPathEngine(trees, keep_trees=False)
         engines = {
@@ -51,17 +78,18 @@ class TestLPathSegmentEquivalence:
             for workers in WORKER_SWEEP
             if (segments, workers) != (1, None)
         }
-        for index in range(QUERIES_PER_EXAMPLE):
-            query = data.draw(lpath_queries(), label=f"query {index}")
-            expected = monolithic.query(query)
-            for (segments, workers), engine in engines.items():
-                for executor in ("volcano", "columnar"):
-                    got = engine.query(query, executor=executor)
-                    assert got == expected, (
-                        f"segments={segments} workers={workers} "
-                        f"executor={executor} disagrees on {query!r}: "
-                        f"{got} != {expected}"
-                    )
+        with pinned_kernels(kernels):
+            for index in range(QUERIES_PER_EXAMPLE):
+                query = data.draw(lpath_queries(), label=f"query {index}")
+                expected = monolithic.query(query)
+                for (segments, workers), engine in engines.items():
+                    for executor in ("volcano", "columnar"):
+                        got = engine.query(query, executor=executor)
+                        assert got == expected, (
+                            f"segments={segments} workers={workers} "
+                            f"executor={executor} kernels={kernels} "
+                            f"disagrees on {query!r}: {got} != {expected}"
+                        )
 
     @given(data=st.data())
     @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
@@ -79,9 +107,12 @@ class TestLPathSegmentEquivalence:
             query = data.draw(lpath_queries(), label=f"query {index}")
             assert engine.query(query) == monolithic.query(query), query
 
+    @pytest.mark.parametrize("kernels", KERNEL_BACKENDS)
     @given(data=st.data())
     @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
-    def test_lpdb0004_mmap_engines_match_monolithic(self, data, tmp_path_factory):
+    def test_lpdb0004_mmap_engines_match_monolithic(
+        self, kernels, data, tmp_path_factory
+    ):
         trees = data.draw(corpora(max_trees=4, max_depth=4), label="corpus")
         monolithic = LPathEngine(trees, keep_trees=False)
         rows = list(label_corpus(trees))
@@ -98,16 +129,19 @@ class TestLPathSegmentEquivalence:
             ),
         }
         try:
-            for index in range(QUERIES_PER_EXAMPLE):
-                query = data.draw(lpath_queries(), label=f"query {index}")
-                expected = monolithic.query(query)
-                for label, engine in engines.items():
-                    got = engine.query(query)
-                    assert got == expected, (
-                        f"mmap/{label} disagrees on {query!r}: "
-                        f"{got} != {expected}"
-                    )
-                    assert engine.count(query) == len(expected), (label, query)
+            with pinned_kernels(kernels):
+                for index in range(QUERIES_PER_EXAMPLE):
+                    query = data.draw(lpath_queries(), label=f"query {index}")
+                    expected = monolithic.query(query)
+                    for label, engine in engines.items():
+                        got = engine.query(query)
+                        assert got == expected, (
+                            f"mmap/{label} kernels={kernels} disagrees on "
+                            f"{query!r}: {got} != {expected}"
+                        )
+                        assert engine.count(query) == len(expected), (
+                            label, query,
+                        )
         finally:
             for engine in engines.values():
                 engine.close()

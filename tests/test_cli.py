@@ -140,7 +140,7 @@ class TestQuery:
         )
         assert code == 0
         assert "logical plan:" in output and "physical plan:" in output
-        assert "[merge est_in=" in output or "[probe est_in=" in output
+        assert "[merge/" in output or "[probe est_in=" in output
 
     def test_explain_volcano_engine(self, corpus_file):
         code, output = run(["query", corpus_file, "//S//NP", "--explain"])
