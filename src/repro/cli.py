@@ -72,7 +72,22 @@ def _print_cache_stats(args: argparse.Namespace, engine, out: TextIO) -> None:
     )
 
 
+#: Query flags that configure a *local* engine and are meaningless when
+#: the engine lives in a daemon on the other side of ``--url``.
+_LOCAL_ONLY_QUERY_FLAGS = (
+    ("--executor", "executor"), ("--segments", "segments"),
+    ("--workers", "workers"), ("--mmap", "mmap"), ("--mode", "mode"),
+    ("--kernels", "kernels"), ("--explain", "explain"),
+    ("--cache-stats", "cache_stats"),
+)
+
+
 def _command_query(args: argparse.Namespace, out: TextIO) -> int:
+    if getattr(args, "url", None):
+        return _run_remote_query(args, out)
+    if args.query is None:
+        print("error: query text required", file=sys.stderr)
+        return 1
     kernels = getattr(args, "kernels", None)
     if kernels is None:
         return _run_query(args, out)
@@ -267,6 +282,110 @@ def _run_query(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _run_remote_query(args: argparse.Namespace, out: TextIO) -> int:
+    """``query --url``: ship the query to a running daemon.
+
+    With ``--url`` the corpus lives on the server, so the command takes
+    a single positional — the query text (``repro query --url URL
+    '//NP'``); passing a corpus path too is an error."""
+    from .serve.client import ServeClient
+
+    if args.query is not None:
+        print(
+            "error: with --url the corpus lives on the server; pass only "
+            "the query text",
+            file=sys.stderr,
+        )
+        return 1
+    query_text = args.corpus
+    engine_name = args.engine
+    if engine_name not in ("lpath", "xpath"):
+        print(
+            "error: --url serves the plan dialects; use --engine lpath "
+            "or xpath",
+            file=sys.stderr,
+        )
+        return 1
+    wanted = [
+        flag for flag, attr in _LOCAL_ONLY_QUERY_FLAGS
+        if getattr(args, attr, None) not in (None, False)
+    ]
+    if wanted:
+        print(
+            f"error: {'/'.join(wanted)} configures a local engine and "
+            "cannot be combined with --url (the daemon chose those at "
+            "startup)",
+            file=sys.stderr,
+        )
+        return 1
+    with ServeClient(args.url) as client:
+        if args.count:
+            print(
+                client.count(
+                    query_text, dialect=engine_name,
+                    pivot=getattr(args, "pivot", False),
+                ),
+                file=out,
+            )
+            return 0
+        matches = client.query(
+            query_text, dialect=engine_name,
+            pivot=getattr(args, "pivot", False),
+        )
+    print(len(matches), file=out)
+    for tid, node_id in matches[: args.show or 10]:
+        print(f"tree {tid}\tnode {node_id}", file=out)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace, out: TextIO) -> int:
+    """Run the query daemon until interrupted (then drain and exit 0)."""
+    from .serve import QueryServer, QueryService, StoreSpec
+
+    if args.kernels is not None:
+        # The daemon owns its process: the override holds for its
+        # lifetime (and is inherited by process-mode workers).
+        os.environ[KERNELS_ENV] = args.kernels
+    service = QueryService(
+        [StoreSpec(path, args.dialect) for path in args.store],
+        workers=args.workers,
+        mode=args.mode,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        timeout=args.timeout,
+        result_cache_size=args.result_cache,
+    )
+    server = QueryServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    info = kernel_info()
+    print(
+        f"serving {', '.join(args.store)} [{args.dialect}] on {server.url} "
+        f"(kernels={info['backend']}, workers={args.workers or 1}, "
+        f"max_inflight={args.max_inflight})",
+        file=out,
+    )
+    out.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", file=out)
+    finally:
+        server.close(drain_timeout=args.drain_timeout)
+    return 0
+
+
+def _command_serve_stats(args: argparse.Namespace, out: TextIO) -> int:
+    """Scrape and pretty-print a daemon's ``/stats`` document."""
+    import json
+
+    from .serve.client import ServeClient
+
+    with ServeClient(args.url) as client:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True), file=out)
+    return 0
+
+
 def _command_sql(args: argparse.Namespace, out: TextIO) -> int:
     generator = SQLGenerator()
     print(generator.generate(parse(args.query)), file=out)
@@ -361,8 +480,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(handler=_command_generate)
 
     query = commands.add_parser("query", help="run a query over a bracketed corpus")
-    query.add_argument("corpus", help="bracketed treebank file ('-' for stdin)")
-    query.add_argument("query", help="the query text")
+    query.add_argument("corpus",
+                       help="bracketed treebank file ('-' for stdin); with "
+                            "--url, the query text itself")
+    query.add_argument("query", nargs="?", default=None,
+                       help="the query text (omitted with --url)")
+    query.add_argument("--url", default=None, metavar="URL",
+                       help="send the query to a running `repro serve` "
+                            "daemon instead of loading a corpus "
+                            "(e.g. http://127.0.0.1:8411)")
     query.add_argument("--engine", choices=ENGINES, default="lpath")
     query.add_argument("--count", action="store_true", help="print only the result size")
     query.add_argument("--show", type=int, default=10,
@@ -408,6 +534,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print plan-cache hit/miss/eviction counters "
                             "after the query (lpath and xpath plan engines)")
     query.set_defaults(handler=_command_query)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run a long-lived query daemon over compiled corpora",
+    )
+    serve.add_argument("store", nargs="+",
+                       help="compiled corpus file(s) to serve (LPDB0004 "
+                            "files open zero-copy and stay mmap-backed)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8411,
+                       help="listen port (0 binds an ephemeral port; "
+                            "default 8411)")
+    serve.add_argument("--dialect", choices=("lpath", "xpath"),
+                       default="lpath",
+                       help="the dialect the stores' labels were written "
+                            "for (default lpath)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="per-query segment fan-out pool size "
+                            "(default: sequential)")
+    serve.add_argument("--mode", choices=("thread", "process"), default=None,
+                       help="segment fan-out pool flavor for mmap-backed "
+                            "stores (default: process when --workers > 1)")
+    serve.add_argument("--kernels", choices=KERNEL_MODES, default=None,
+                       help="columnar hot-loop backend for the daemon's "
+                            "lifetime (default: the REPRO_KERNELS "
+                            "environment variable, else auto)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="queries executing concurrently before "
+                            "admission control queues (default 8)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                       help="queries allowed to wait for a slot before "
+                            "the daemon answers 429 (default 16)")
+    serve.add_argument("--timeout", type=float, default=30.0, metavar="SEC",
+                       help="per-query deadline, queue time included "
+                            "(default 30s; requests may lower it via "
+                            "timeout_ms)")
+    serve.add_argument("--result-cache", type=int, default=256, metavar="N",
+                       help="result-cache capacity in entries (0 disables; "
+                            "default 256)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SEC",
+                       help="how long shutdown waits for in-flight "
+                            "queries (default 10s)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per request to stderr")
+    serve.set_defaults(handler=_command_serve)
+
+    serve_stats = commands.add_parser(
+        "serve-stats",
+        help="print a running daemon's /stats document (plan cache, "
+             "result cache, kernels, per-store config)",
+    )
+    serve_stats.add_argument("url", help="daemon base url")
+    serve_stats.set_defaults(handler=_command_serve_stats)
 
     sql = commands.add_parser("sql", help="translate an LPath query to SQL")
     sql.add_argument("query")

@@ -98,31 +98,42 @@ class PlanCache:
         )
 
 
-def cached_compile(
-    cache: PlanCache, compiler, query, pivot: bool = False,
-    executor: str = "volcano",
-):
-    """Compile ``query`` through ``cache``, keyed on its unparsed text
-    plus every compile option (``pivot``, the physical ``executor``, the
-    ``REPRO_FORCE_JOIN`` override and the resolved ``REPRO_KERNELS``
-    backend), so a warm hit can never return a plan compiled for the
-    other executor, the other join order, the other physical-join mode,
-    or the other kernel backend (plans bind their backend at compile
-    time).
-
-    The lookup happens before any parsing, so a warm hit skips the whole
-    parse → lower → optimize pipeline; AST queries key on their unparse,
-    which round-trips, so they share entries with their textual form.
-    """
+def compile_options_key(query, pivot: bool, executor: str) -> tuple:
+    """The tuple of everything a compiled plan's output depends on: the
+    unparsed query text plus every compile option — ``pivot``, the
+    physical ``executor``, the ``REPRO_FORCE_JOIN`` override and the
+    resolved ``REPRO_KERNELS`` backend.  Shared between the per-engine
+    plan cache and the serving layer's result cache
+    (:mod:`repro.serve`), so the two caches can never disagree about
+    which knobs distinguish two executions.  Resolving the kernel
+    backend raises :class:`~repro.lpath.errors.LPathError` on an invalid
+    or forced-but-unavailable ``REPRO_KERNELS`` value."""
     from ..columnar.kernels.api import kernels_backend
 
-    key = (
+    return (
         (query if isinstance(query, str) else str(query)),
         pivot,
         executor,
         os.environ.get("REPRO_FORCE_JOIN") or None,
         kernels_backend(),
     )
+
+
+def cached_compile(
+    cache: PlanCache, compiler, query, pivot: bool = False,
+    executor: str = "volcano",
+):
+    """Compile ``query`` through ``cache``, keyed on
+    :func:`compile_options_key`, so a warm hit can never return a plan
+    compiled for the other executor, the other join order, the other
+    physical-join mode, or the other kernel backend (plans bind their
+    backend at compile time).
+
+    The lookup happens before any parsing, so a warm hit skips the whole
+    parse → lower → optimize pipeline; AST queries key on their unparse,
+    which round-trips, so they share entries with their textual form.
+    """
+    key = compile_options_key(query, pivot, executor)
     cached = cache.get(key)
     if cached is not None:
         return cached

@@ -43,6 +43,7 @@ Fan-out comes in two pool flavors (:class:`SegmentPool`):
 from __future__ import annotations
 
 import os
+import threading
 from array import array
 from concurrent.futures import ThreadPoolExecutor
 from heapq import merge
@@ -96,6 +97,7 @@ class SegmentPool:
         self.mode = mode if mode is not None else "thread"
         self._executor = None
         self._closed = False
+        self._lock = threading.Lock()
 
     def __call__(self):
         if (
@@ -105,25 +107,32 @@ class SegmentPool:
             or self.segments <= 1
         ):
             return None
-        if self._executor is None:
-            size = min(self.workers, self.segments)
-            if self.mode == "process":
-                from concurrent.futures import ProcessPoolExecutor
+        # Locked creation: a long-lived engine shared by a query daemon
+        # sees its first queries *concurrently*, and an unlocked check
+        # would build two pools and leak one.
+        with self._lock:
+            if self._closed:
+                return None
+            if self._executor is None:
+                size = min(self.workers, self.segments)
+                if self.mode == "process":
+                    from concurrent.futures import ProcessPoolExecutor
 
-                self._executor = ProcessPoolExecutor(max_workers=size)
-            else:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=size,
-                    thread_name_prefix="repro-segment",
-                )
-        return self._executor
+                    self._executor = ProcessPoolExecutor(max_workers=size)
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=size,
+                        thread_name_prefix="repro-segment",
+                    )
+            return self._executor
 
     def shutdown(self) -> None:
         """Release the executor (if any) and stay sequential forever."""
-        self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
 
 class RemoteSpec(NamedTuple):

@@ -1,0 +1,29 @@
+"""Serving layer: a long-lived query daemon over compiled corpora.
+
+The library engines answer one process's queries; this package makes
+them a *service* — shared mmap-backed engines behind a threaded HTTP
+daemon with admission control, per-query deadlines, pagination and a
+result cache.  ``repro serve <store>`` starts one from the CLI;
+``repro query --url`` talks to it.
+
+* :class:`QueryService` — engines, admission, cache (transport-free);
+* :class:`QueryServer` — the stdlib HTTP daemon around a service;
+* :class:`ServeClient` — a paginating keep-alive client;
+* :class:`ResultCache` — the LRU of materialized result sets.
+"""
+
+from .cache import ResultCache
+from .client import ServeClient, ServeClientError
+from .daemon import QueryServer
+from .service import DIALECTS, QueryService, ServeError, StoreSpec
+
+__all__ = [
+    "DIALECTS",
+    "QueryServer",
+    "QueryService",
+    "ResultCache",
+    "ServeClient",
+    "ServeClientError",
+    "ServeError",
+    "StoreSpec",
+]

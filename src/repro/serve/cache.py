@@ -1,0 +1,81 @@
+"""The serving layer's result cache.
+
+A long-lived daemon sees the same hot queries over and over (the fig6b
+"rare tag" pattern: many users, few distinct queries), so the service
+memoizes *result sets*, not just compiled plans.  The cache is a
+:class:`~repro.plan.cache.PlanCache` — the same lock-protected LRU with
+hit/miss/eviction counters the engines use for plans — holding immutable
+tuples of ``(tid, id)`` pairs.
+
+Keying mirrors :func:`repro.plan.cache.compile_options_key` and adds the
+serving dimensions: the **store fingerprint**
+(:func:`repro.store.store_fingerprint` — content-derived, so two daemons
+serving byte-identical copies share semantics, and replacing the file on
+disk can never serve stale rows after a reload) and the **dialect**.
+The kernel backend and the ``REPRO_FORCE_JOIN`` override stay in the key
+even though every backend must return identical rows: the differential
+test layer deliberately queries the same store under both backends, and
+a result cached under one backend must never mask a divergence in the
+other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..plan.cache import PlanCache, compile_options_key
+
+
+class ResultCache(PlanCache):
+    """An LRU of fully materialized result sets.
+
+    ``max_rows`` bounds the size of any single cached entry: a query
+    that matches half the corpus would evict the whole working set of
+    hot small results for one giant one, so oversized results are simply
+    not cached (the ``oversize`` counter records how often).
+    """
+
+    def __init__(self, maxsize: int = 256, max_rows: int = 100_000) -> None:
+        super().__init__(maxsize)
+        self.max_rows = max_rows
+        self.oversize = 0
+
+    @staticmethod
+    def key(
+        fingerprint: str, dialect: str, query: str, pivot: bool,
+        executor: str = "columnar",
+    ) -> tuple:
+        """The full result identity: serving dimensions + everything a
+        compiled plan's output depends on.  Raises
+        :class:`~repro.lpath.errors.LPathError` for an invalid
+        ``REPRO_KERNELS`` environment, exactly like compiling would."""
+        return (fingerprint, dialect) + compile_options_key(
+            query, pivot, executor
+        )
+
+    def put_rows(self, key: tuple, rows: tuple) -> bool:
+        """Cache a result set unless it exceeds ``max_rows``; returns
+        whether the entry was stored."""
+        if len(rows) > self.max_rows:
+            with self._lock:
+                self.oversize += 1
+            return False
+        self.put(key, rows)
+        return True
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """The PlanCache counters plus the oversize-rejection count."""
+        snapshot = PlanCache.stats.fget(self)
+        with self._lock:
+            snapshot["oversize"] = self.oversize
+            snapshot["max_rows"] = self.max_rows
+        return snapshot
+
+
+def cached_rows(cache: Optional[ResultCache], key: tuple):
+    """The cached result set for ``key``, or ``None`` (a disabled cache
+    — ``maxsize=0`` still counts lookups, keeping hit-rate math honest)."""
+    if cache is None:
+        return None
+    return cache.get(key)

@@ -1,0 +1,155 @@
+"""A small stdlib client for the query daemon.
+
+One :class:`ServeClient` holds one persistent HTTP/1.1 connection (the
+daemon keeps connections alive), auto-paginates result sets, and turns
+server error documents into :class:`ServeClientError` — an
+:class:`~repro.lpath.errors.LPathError`, so the CLI reports daemon
+failures through the same clean one-line path as local engine errors.
+
+Not thread-safe: give each load-generator thread its own client (the
+serving benchmark does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+from typing import Optional
+from urllib.parse import urlencode, urlsplit
+
+from ..lpath.errors import LPathError
+
+
+class ServeClientError(LPathError):
+    """An error response from the daemon (or a transport failure)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Query a running daemon at ``url`` (e.g. ``http://127.0.0.1:8411``)."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme != "http" or not parts.hostname:
+            raise ServeClientError(
+                0, f"unsupported server url {url!r} (need http://host:port)"
+            )
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._timeout = timeout
+        self._connection: Optional[HTTPConnection] = None
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None):
+        payload = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # One retry on a dead keep-alive connection (the daemon may have
+        # been restarted, or an idle connection timed out).
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = HTTPConnection(
+                    self._host, self._port, timeout=self._timeout
+                )
+            try:
+                self._connection.request(method, path, payload, headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, HTTPException, OSError) as error:
+                self.close()
+                if attempt:
+                    raise ServeClientError(
+                        0,
+                        f"cannot reach daemon at "
+                        f"http://{self._host}:{self._port}: {error}",
+                    )
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServeClientError(
+                response.status,
+                f"daemon returned non-JSON ({response.status}): {raw[:200]!r}",
+            )
+        if response.status != 200:
+            message = document.get("error", raw.decode("utf-8", "replace"))
+            raise ServeClientError(
+                response.status, f"daemon error {response.status}: {message}"
+            )
+        return document
+
+    # -- the query surface --------------------------------------------------
+
+    def query_page(self, query: str, offset: int = 0, **options) -> dict:
+        """One page of results, exactly as the daemon shaped it."""
+        body = {"query": query, "offset": offset}
+        body.update(
+            {key: value for key, value in options.items() if value is not None}
+        )
+        return self._request("POST", "/query", body)
+
+    def query(
+        self,
+        query: str,
+        dialect: str = "lpath",
+        pivot: bool = False,
+        limit: Optional[int] = None,
+        store: Optional[str] = None,
+        timeout_ms: Optional[int] = None,
+    ) -> list[tuple[int, int]]:
+        """All matching ``(tid, id)`` pairs, following pagination until
+        the daemon reports no next page."""
+        rows: list[tuple[int, int]] = []
+        offset = 0
+        while True:
+            page = self.query_page(
+                query, offset=offset, dialect=dialect, pivot=pivot,
+                limit=limit, store=store, timeout_ms=timeout_ms,
+            )
+            rows.extend(tuple(pair) for pair in page["matches"])
+            if page.get("next_offset") is None:
+                return rows
+            offset = page["next_offset"]
+
+    def count(
+        self,
+        query: str,
+        dialect: str = "lpath",
+        pivot: bool = False,
+        store: Optional[str] = None,
+        timeout_ms: Optional[int] = None,
+    ) -> int:
+        """The result-set size (one round trip, no rows shipped)."""
+        page = self.query_page(
+            query, count=True, dialect=dialect, pivot=pivot, store=store,
+            timeout_ms=timeout_ms,
+        )
+        return page["total"]
+
+    def get_query(self, **params) -> dict:
+        """The GET form of ``/query`` (used by tests to pin the query
+        string surface; ``q=...&count=1&...``)."""
+        return self._request("GET", "/query?" + urlencode(params))
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

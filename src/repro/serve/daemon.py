@@ -1,0 +1,191 @@
+"""The HTTP face of the query service (stdlib ``http.server`` only).
+
+``QueryServer`` wraps a :class:`~repro.serve.service.QueryService` in a
+``ThreadingHTTPServer``: one handler thread per connection, HTTP/1.1
+keep-alive (every response carries ``Content-Length``), JSON in and out.
+
+Endpoints::
+
+    GET  /healthz                  {"status": "ok" | "draining"}
+    GET  /stats                    server/result-cache/plan-cache/kernel stats
+    GET  /query?q=//NP&count=1     query via the query string
+    POST /query                    {"query": ..., "dialect": ..., "pivot": ...,
+                                    "count": ..., "limit": ..., "offset": ...,
+                                    "store": ..., "timeout_ms": ...}
+
+Every error is a JSON document ``{"error": "..."}`` with the status the
+service chose (400 bad request, 404 unknown store/path, 429 over
+capacity, 503 draining/closed, 504 deadline) — clients never see a
+traceback.  Large result pages are written to the socket in bounded
+chunks rather than one giant ``bytes``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from ..lpath.errors import LPathError
+from .service import QueryService, ServeError
+
+#: Socket-write granularity for big pages.
+_CHUNK_BYTES = 64 * 1024
+#: Request bodies past this are refused (a query is text, not a corpus).
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+    # Status line, headers and body leave in separate send() calls;
+    # with Nagle on, the tail of the response sits behind the peer's
+    # delayed ACK (~40ms) — fatal for a sub-millisecond cache hit.
+    disable_nagle_algorithm = True
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        for start in range(0, len(body), _CHUNK_BYTES):
+            self.wfile.write(body[start:start + _CHUNK_BYTES])
+
+    def _handle(self, params_from) -> None:
+        try:
+            route, params = params_from()
+            if route == "/healthz":
+                self._respond(200, self.service.health())
+            elif route == "/stats":
+                self._respond(200, self.service.stats())
+            elif route == "/query":
+                self._respond(200, self.service.execute(params))
+            else:
+                self._respond(404, {"error": f"unknown path {route!r}"})
+        except ServeError as error:
+            self._respond(error.status, {"error": str(error)})
+        except LPathError as error:
+            self._respond(400, {"error": str(error)})
+        except BrokenPipeError:  # client went away mid-response
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 — no tracebacks to clients
+            self._respond(
+                500, {"error": f"{type(error).__name__}: {error}"}
+            )
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        def params():
+            parts = urlsplit(self.path)
+            return parts.path, dict(parse_qsl(parts.query))
+
+        self._handle(params)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        def params():
+            route = urlsplit(self.path).path
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > _MAX_BODY_BYTES:
+                raise ServeError(
+                    400, f"request body too large ({length} bytes)"
+                )
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ServeError(400, f"invalid JSON body: {error}")
+            if not isinstance(body, dict):
+                raise ServeError(400, "JSON body must be an object")
+            return route, body
+
+        self._handle(params)
+
+
+class QueryServer:
+    """A query daemon bound to one address, serving one
+    :class:`QueryService`.
+
+    ``port=0`` binds an ephemeral port (tests and benchmarks); the bound
+    address is ``url``.  :meth:`start` serves from a background thread
+    (in-process tests, the load benchmark); :meth:`serve_forever` serves
+    from the calling thread (the CLI).  :meth:`close` drains in-flight
+    queries through the service before tearing the listener down, and is
+    idempotent."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: "threading.Thread | None" = None
+        self._serving = threading.Event()
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve from the calling thread until :meth:`close` (or, in the
+        CLI, KeyboardInterrupt unwinds into a drained shutdown)."""
+        self._serving.set()
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "QueryServer":
+        """Serve from a daemon background thread; returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self, drain_timeout: float = 10.0) -> None:
+        """Drain, then stop: new queries 503 immediately, running ones
+        get ``drain_timeout`` seconds to finish, then the listener and
+        every engine shut down.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.service.close(drain_timeout=drain_timeout)
+        if self._serving.is_set():
+            # shutdown() handshakes with serve_forever; calling it when
+            # the loop never ran would wait on an event nobody sets.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

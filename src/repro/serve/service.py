@@ -1,0 +1,504 @@
+"""The transport-agnostic query service behind the daemon.
+
+One :class:`QueryService` owns:
+
+* a registry of **shared engines**, one per served store path, opened
+  once (mmap-backed for ``LPDB0004`` files) and queried concurrently by
+  every request thread — the plan cache is lock-protected and compiled
+  plans are stateless, so one engine serves any number of threads;
+* **admission control** — at most ``max_inflight`` queries execute at
+  once; up to ``max_queue`` more wait (their queue time counts against
+  their deadline); anything beyond that is rejected immediately with
+  HTTP 429 semantics, so overload degrades to fast rejections instead of
+  unbounded latency;
+* a **per-query deadline** with cooperative cancellation — the request
+  thread waits on the executing future for the deadline's remainder and
+  answers 504 on expiry; the worker observes the cancellation at its
+  checkpoints (on dequeue, after execution) so an abandoned query never
+  populates the result cache and a queued-but-expired query never
+  executes at all;
+* the **result cache** (:mod:`repro.serve.cache`) keyed on
+  ``(store fingerprint, dialect, query, pivot, kernels, force-join)`` —
+  hits bypass admission control entirely, which is what makes hot
+  repeated queries cheap enough for the serving benchmark's QPS floor.
+
+Errors are typed by :class:`ServeError` carrying an HTTP status; engine
+and parse errors (:class:`~repro.lpath.errors.LPathError`) map to 400,
+a closed/draining service to 503, so clients always see a clean one-line
+error instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..columnar.kernels import kernel_info
+from ..lpath.errors import LPathError
+from .cache import ResultCache
+
+DIALECTS = ("lpath", "xpath")
+
+#: Rows per page when the request does not say (and the ceiling any
+#: request can ask for in one page; deeper pagination streams the rest).
+DEFAULT_PAGE_ROWS = 1_000
+MAX_PAGE_ROWS = 50_000
+
+
+class ServeError(LPathError):
+    """A request-level failure with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class QueryCancelled(Exception):
+    """Raised inside a worker when its request gave up waiting."""
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """One store to serve: a compiled corpus path plus the dialect its
+    labels were written for (an LPDB file records lpath- *or*
+    xpath-scheme rows; the operator declares which)."""
+
+    path: str
+    dialect: str = "lpath"
+
+
+class StoreHandle:
+    """A served store: the shared engine plus its cached identity."""
+
+    def __init__(self, spec: StoreSpec, engine, fingerprint: str) -> None:
+        self.spec = spec
+        self.engine = engine
+        self.fingerprint = fingerprint
+
+    def describe(self) -> dict:
+        engine = self.engine
+        return {
+            "path": self.spec.path,
+            "dialect": self.spec.dialect,
+            "fingerprint": self.fingerprint,
+            "segments": engine.segments,
+            "workers": engine.workers,
+            "mode": engine.mode,
+            "executor": engine.executor,
+            "plan_cache": engine.cache_stats(),
+        }
+
+
+class QueryRequest:
+    """A validated query request (transport-independent)."""
+
+    __slots__ = (
+        "query", "dialect", "pivot", "count", "limit", "offset", "store",
+        "timeout",
+    )
+
+    def __init__(self, params: dict) -> None:
+        query = params.get("query") if "query" in params else params.get("q")
+        if not isinstance(query, str) or not query.strip():
+            raise ServeError(400, "missing query text (use 'query' or 'q')")
+        self.query = query
+        dialect = params.get("dialect", "lpath")
+        if dialect not in DIALECTS:
+            raise ServeError(
+                400, f"unknown dialect {dialect!r}; choose from {DIALECTS}"
+            )
+        self.dialect = dialect
+        self.pivot = _flag(params, "pivot")
+        self.count = _flag(params, "count")
+        self.limit = _bounded_int(
+            params, "limit", DEFAULT_PAGE_ROWS, 1, MAX_PAGE_ROWS
+        )
+        self.offset = _bounded_int(params, "offset", 0, 0, None)
+        self.store = params.get("store") or None
+        timeout = params.get("timeout_ms")
+        if timeout is None:
+            self.timeout = None
+        else:
+            millis = _as_int("timeout_ms", timeout)
+            if millis <= 0:
+                raise ServeError(400, "timeout_ms must be a positive integer")
+            self.timeout = millis / 1000.0
+
+
+def _flag(params: dict, name: str) -> bool:
+    value = params.get(name, False)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        if value.lower() in ("1", "true", "yes", "on"):
+            return True
+        if value.lower() in ("0", "false", "no", "off", ""):
+            return False
+    raise ServeError(400, f"{name} must be a boolean (got {value!r})")
+
+
+def _as_int(name: str, value) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise ServeError(400, f"{name} must be an integer (got {value!r})")
+    try:
+        return int(value)
+    except ValueError:
+        raise ServeError(400, f"{name} must be an integer (got {value!r})")
+
+
+def _bounded_int(
+    params: dict, name: str, default: int, floor: int, ceiling: Optional[int]
+) -> int:
+    value = params.get(name)
+    if value is None:
+        return default
+    number = _as_int(name, value)
+    if number < floor:
+        raise ServeError(400, f"{name} must be >= {floor} (got {number})")
+    if ceiling is not None and number > ceiling:
+        raise ServeError(400, f"{name} must be <= {ceiling} (got {number})")
+    return number
+
+
+class _Ticket:
+    """One admitted query's deadline and cancellation flag."""
+
+    __slots__ = ("deadline", "cancelled")
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+        self.cancelled = threading.Event()
+
+    def remaining(self) -> float:
+        return self.deadline - time.monotonic()
+
+    def check(self) -> None:
+        if self.cancelled.is_set():
+            raise QueryCancelled()
+
+
+class QueryService:
+    """Shared engines + admission control + result cache; see module doc."""
+
+    def __init__(
+        self,
+        stores: Union[str, StoreSpec, Sequence[Union[str, StoreSpec]]],
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        timeout: float = 30.0,
+        result_cache_size: int = 256,
+        max_cached_rows: int = 100_000,
+    ) -> None:
+        if max_inflight < 1:
+            raise LPathError(
+                f"max_inflight must be a positive int, got {max_inflight!r}"
+            )
+        if max_queue < 0:
+            raise LPathError(f"max_queue must be >= 0, got {max_queue!r}")
+        if timeout <= 0:
+            raise LPathError(f"timeout must be positive, got {timeout!r}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.timeout = float(timeout)
+        self.results = ResultCache(result_cache_size, max_cached_rows)
+        self._stores: dict[str, StoreHandle] = {}
+        self._default: Optional[str] = None
+        self._lock = threading.Lock()
+        self._turnstile = threading.Condition(self._lock)
+        self._inflight = 0
+        self._waiting = 0
+        self._draining = False
+        self._closed = False
+        self._started = time.monotonic()
+        self.served = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.errors = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-serve"
+        )
+        if isinstance(stores, (str, StoreSpec)):
+            stores = [stores]
+        if not stores:
+            raise LPathError("QueryService needs at least one store to serve")
+        try:
+            for item in stores:
+                spec = item if isinstance(item, StoreSpec) else StoreSpec(item)
+                self._add_store(spec, workers=workers, mode=mode)
+        except BaseException:
+            self.close(drain_timeout=0.0)
+            raise
+
+    # -- engine registry ----------------------------------------------------
+
+    def _add_store(
+        self, spec: StoreSpec, workers: Optional[int], mode: Optional[str]
+    ) -> None:
+        from .. import store as store_module
+
+        if spec.dialect not in DIALECTS:
+            raise LPathError(
+                f"unknown dialect {spec.dialect!r}; choose from {DIALECTS}"
+            )
+        if spec.path in self._stores:
+            raise LPathError(f"store {spec.path!r} is already being served")
+        fingerprint = store_module.store_fingerprint(spec.path)
+        engine = self._open_engine(spec, workers, mode)
+        self._warm(engine)
+        self._stores[spec.path] = StoreHandle(spec, engine, fingerprint)
+        if self._default is None:
+            self._default = spec.path
+
+    @staticmethod
+    def _open_engine(spec: StoreSpec, workers: Optional[int], mode):
+        from ..lpath import LPathEngine
+        from ..xpath import XPathEngine
+
+        if spec.dialect == "lpath":
+            return LPathEngine.open(spec.path, workers=workers, mode=mode)
+        from .. import store as store_module
+
+        if store_module.corpus_format(spec.path) != "LPDB0004":
+            raise LPathError(
+                "serving the xpath dialect needs an LPDB0004 store of "
+                "start/end-labeled rows (save one with "
+                "repro.labeling.xpath_scheme labels and format='lpdb0004')"
+            )
+        return XPathEngine.from_store_mmap(
+            spec.path, workers=workers, mode=mode
+        )
+
+    @staticmethod
+    def _warm(engine) -> None:
+        """Materialize the lazily built columnar runtimes while still
+        single-threaded, so the first burst of concurrent requests finds
+        every per-segment physical context already in place."""
+        compilers = getattr(engine, "_compiler", None)
+        segments = getattr(compilers, "segments", None)
+        for compiler in (
+            [segment.compiler for segment in segments]
+            if segments is not None else [compilers]
+        ):
+            if compiler is not None and compiler.column_store is not None:
+                compiler.columnar_runtime
+
+    def _resolve(self, path: Optional[str]) -> StoreHandle:
+        if path is None:
+            return self._stores[self._default]
+        handle = self._stores.get(path)
+        if handle is None:
+            raise ServeError(
+                404,
+                f"store {path!r} is not served here "
+                f"(serving: {sorted(self._stores)})",
+            )
+        return handle
+
+    # -- the request path ---------------------------------------------------
+
+    def execute(self, params: dict) -> dict:
+        """Run one validated request to a JSON-shaped response dict.
+
+        Raises :class:`ServeError` for every failure mode (bad request,
+        overload, timeout, draining); any other exception is a server
+        bug the transport maps to 500."""
+        request = QueryRequest(params)
+        handle = self._resolve(request.store)
+        try:
+            key = self.results.key(
+                handle.fingerprint, request.dialect, request.query,
+                request.pivot,
+            )
+        except ServeError:
+            raise
+        except LPathError as error:
+            # e.g. an invalid REPRO_KERNELS value in the daemon's
+            # environment — a configuration error, reported cleanly.
+            raise ServeError(400, str(error))
+        if request.dialect != handle.spec.dialect:
+            raise ServeError(
+                400,
+                f"store {handle.spec.path!r} serves dialect "
+                f"{handle.spec.dialect!r}, not {request.dialect!r}",
+            )
+        started = time.perf_counter()
+        rows = self.results.get(key)
+        cached = rows is not None
+        if not cached:
+            rows = self._execute_uncached(handle, request, key)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        return self._page(rows, request, cached, elapsed_ms)
+
+    def _execute_uncached(
+        self, handle: StoreHandle, request: QueryRequest, key: tuple
+    ) -> tuple:
+        budget = self.timeout
+        if request.timeout is not None:
+            budget = min(budget, request.timeout)
+        ticket = _Ticket(time.monotonic() + budget)
+        self._admit(ticket)
+        try:
+            future = self._pool.submit(self._run, handle, request, ticket)
+            try:
+                rows = future.result(timeout=max(ticket.remaining(), 0.0))
+            except FutureTimeout:
+                ticket.cancelled.set()
+                with self._lock:
+                    self.timeouts += 1
+                raise ServeError(
+                    504,
+                    f"query exceeded its {budget:g}s deadline "
+                    "(still cancelling cooperatively)",
+                )
+            except QueryCancelled:
+                raise ServeError(504, "query was cancelled")
+            except ServeError:
+                raise
+            except LPathError as error:
+                with self._lock:
+                    self.errors += 1
+                status = 503 if "closed" in str(error) else 400
+                raise ServeError(status, str(error))
+            self.results.put_rows(key, rows)
+            with self._lock:
+                self.served += 1
+            return rows
+        finally:
+            self._release()
+
+    def _run(self, handle: StoreHandle, request: QueryRequest, ticket):
+        """The worker side: cooperative-cancellation checkpoints wrap
+        the engine call (which itself is not interruptible)."""
+        ticket.check()  # expired or abandoned while queued in the pool
+        rows = tuple(
+            handle.engine.query(request.query, pivot=request.pivot)
+        )
+        ticket.check()  # abandoned mid-flight: never cache, never return
+        return rows
+
+    def _admit(self, ticket: _Ticket) -> None:
+        with self._turnstile:
+            if self._draining:
+                raise ServeError(503, "server is draining")
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                return
+            if self._waiting >= self.max_queue:
+                self.rejected += 1
+                raise ServeError(
+                    429,
+                    f"server is at capacity ({self.max_inflight} in flight, "
+                    f"{self._waiting} queued); retry later",
+                )
+            self._waiting += 1
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = ticket.remaining()
+                    if remaining <= 0 or self._draining:
+                        status, message = (
+                            (503, "server is draining")
+                            if self._draining
+                            else (504, "query expired while queued")
+                        )
+                        if status == 504:
+                            self.timeouts += 1
+                        raise ServeError(status, message)
+                    self._turnstile.wait(timeout=remaining)
+                self._inflight += 1
+            finally:
+                self._waiting -= 1
+
+    def _release(self) -> None:
+        with self._turnstile:
+            self._inflight -= 1
+            self._turnstile.notify_all()
+
+    @staticmethod
+    def _page(
+        rows: tuple, request: QueryRequest, cached: bool, elapsed_ms: float
+    ) -> dict:
+        total = len(rows)
+        if request.count:
+            return {
+                "total": total,
+                "count": total,
+                "cached": cached,
+                "elapsed_ms": round(elapsed_ms, 3),
+            }
+        window = rows[request.offset:request.offset + request.limit]
+        next_offset = request.offset + len(window)
+        return {
+            "total": total,
+            "offset": request.offset,
+            "limit": request.limit,
+            "matches": [list(pair) for pair in window],
+            "next_offset": next_offset if next_offset < total else None,
+            "cached": cached,
+            "elapsed_ms": round(elapsed_ms, 3),
+        }
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One self-describing snapshot for the ``/stats`` endpoint."""
+        with self._lock:
+            server = {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "timeout_seconds": self.timeout,
+                "inflight": self._inflight,
+                "waiting": self._waiting,
+                "draining": self._draining,
+                "served": self.served,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "errors": self.errors,
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+            }
+        return {
+            "server": server,
+            "result_cache": self.results.stats,
+            "kernels": kernel_info(),
+            "stores": [
+                handle.describe() for handle in self._stores.values()
+            ],
+        }
+
+    def health(self) -> dict:
+        with self._lock:
+            status = "draining" if self._draining else "ok"
+        return {"status": status}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, drain_timeout: float = 10.0) -> None:
+        """Stop admitting, drain in-flight queries (bounded by
+        ``drain_timeout``), then release the pool and every engine.
+        Idempotent — and engine ``close()`` is idempotent below it."""
+        with self._turnstile:
+            self._draining = True
+            self._turnstile.notify_all()
+            deadline = time.monotonic() + max(drain_timeout, 0.0)
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._turnstile.wait(timeout=remaining)
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=False)
+        for handle in self._stores.values():
+            handle.engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -526,6 +526,37 @@ def is_compiled_corpus(path: str) -> bool:
         return False
 
 
+#: How much of a store file the fingerprint reads: the whole header region
+#: (every revision keeps its length/CRC headers — for LPDB0004 the entire
+#: sidecar, which itself checksums all metadata — inside the first 64 KiB
+#: for any realistic corpus) plus a tail window, so both a metadata edit
+#: and a truncation/append change the digest.
+_FINGERPRINT_HEAD = 64 * 1024
+_FINGERPRINT_TAIL = 4 * 1024
+
+
+def store_fingerprint(path: str) -> str:
+    """A cheap, content-derived identity for a compiled corpus file.
+
+    The serving layer keys its result cache on this value, so it must
+    change whenever the store's bytes change and must *not* change when
+    the same file is copied, re-opened or served from another path.  It
+    digests the format magic, the file size and a CRC-32 over the head
+    and tail windows — O(1) in the corpus size, in keeping with the
+    zero-copy open — rather than hashing gigabytes of column blobs; the
+    head window covers every revision's own length/CRC headers (the
+    whole LPDB0004 sidecar), so any re-save reshuffles it.  Raises
+    :class:`StoreError` for files without an LPDB magic."""
+    revision = corpus_format(path)  # validates the magic
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        digest = zlib.crc32(handle.read(_FINGERPRINT_HEAD))
+        if size > _FINGERPRINT_HEAD:
+            handle.seek(max(_FINGERPRINT_HEAD, size - _FINGERPRINT_TAIL))
+            digest = zlib.crc32(handle.read(), digest)
+    return f"{revision.lower()}-{size}-{digest:08x}"
+
+
 # -- the LPDB0004 zero-copy layout ---------------------------------------------
 #
 # magic | sidecar block (varint length + CRC-32 + payload) | pad to 8 | data

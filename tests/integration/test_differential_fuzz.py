@@ -22,6 +22,10 @@ produces a reproducible failure report carrying the bracketed corpus and
 the query, so any falsifying example can be replayed by hand; hypothesis
 additionally prints the shrunken example and its seed.
 
+The serving daemon gets the same treatment: rows fetched over HTTP from
+a live ``repro serve`` stack (forced through real pagination and the
+result cache) must match the in-process mmap engine byte for byte.
+
 ``REPRO_FUZZ_EXAMPLES`` scales the number of hypothesis examples (the
 nightly CI job raises it well past the default); every example checks
 ``QUERIES_PER_EXAMPLE`` queries, so the default run covers at least
@@ -174,6 +178,48 @@ class TestLPathDifferentialFuzz:
             for index in range(QUERIES_PER_EXAMPLE):
                 query = data.draw(lpath_queries(), label=f"query {index}")
                 _assert_agreement(trees, engine, query, extra)
+
+
+class TestDaemonDifferentialFuzz:
+    """The serving stack is just transport: for random corpora and
+    random queries, rows fetched over HTTP from a live daemon (with
+    pagination forced small, so the client really reassembles pages)
+    must be byte-identical to the in-process mmap engine — cold, from
+    the result cache, and pivoted."""
+
+    @given(data=st.data())
+    @settings(max_examples=max(3, FUZZ_EXAMPLES // 5), deadline=None)
+    def test_daemon_matches_in_process_engine(self, data):
+        from repro.serve import QueryServer, QueryService, ServeClient
+
+        trees = data.draw(corpora(max_trees=3, max_depth=4), label="corpus")
+        handle, path = tempfile.mkstemp(suffix=".lpdb")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                store.save_labels(
+                    list(label_corpus(trees)), stream, segments=2,
+                    format="lpdb0004",
+                )
+            with LPathEngine.from_store_mmap(path) as engine, \
+                    QueryServer(QueryService(path)).start() as server, \
+                    ServeClient(server.url) as client:
+                for index in range(QUERIES_PER_EXAMPLE):
+                    query = data.draw(lpath_queries(), label=f"query {index}")
+                    expected = engine.query(query)
+                    results = {
+                        "daemon": client.query(query, limit=3),
+                        "daemon+cached": client.query(query, limit=3),
+                        "daemon+pivot": client.query(
+                            query, pivot=True, limit=3
+                        ),
+                    }
+                    if any(rows != expected for rows in results.values()):
+                        raise AssertionError(
+                            _report(trees, query, results)
+                        )
+                    assert client.count(query) == len(expected)
+        finally:
+            os.unlink(path)
 
 
 class TestXPathDifferentialFuzz:

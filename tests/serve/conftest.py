@@ -1,0 +1,41 @@
+"""Shared fixtures for the serving-layer tests: one compiled corpus, a
+fresh service/daemon/client per test (daemon startup is an ephemeral-port
+bind plus an mmap open — milliseconds, so per-test isolation is cheap)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import store
+from repro.corpus import generate_corpus
+from repro.serve import QueryServer, QueryService, ServeClient
+
+
+@pytest.fixture(scope="session")
+def trees():
+    return list(generate_corpus("wsj", sentences=40, seed=3))
+
+
+@pytest.fixture(scope="session")
+def store_path(tmp_path_factory, trees) -> str:
+    path = tmp_path_factory.mktemp("serve") / "corpus.lpdb"
+    store.save_corpus(trees, str(path), segments=2, format="lpdb0004")
+    return str(path)
+
+
+@pytest.fixture()
+def service(store_path):
+    with QueryService(store_path) as built:
+        yield built
+
+
+@pytest.fixture()
+def server(service):
+    with QueryServer(service).start() as built:
+        yield built
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(server.url) as built:
+        yield built

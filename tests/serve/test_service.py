@@ -1,0 +1,317 @@
+"""The query service and daemon against a live mmap store: responses
+byte-identical to the in-process engine, pagination that tiles the result
+set exactly, a result cache that answers repeats, admission control that
+rejects (not queues unboundedly) under overload, and deadlines that turn
+runaway queries into clean 504s."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import store
+from repro.labeling.xpath_scheme import label_corpus as xpath_label_corpus
+from repro.lpath import LPathEngine
+from repro.serve import QueryService, ServeClient, ServeError, StoreSpec
+from repro.xpath import XPathEngine
+
+QUERIES = ("//NP", "//VP//NP", "//S//NP//WHPP", "//_[.//NP]//VB")
+
+
+@pytest.fixture(scope="module")
+def reference(store_path):
+    with LPathEngine.open(store_path) as engine:
+        yield {query: engine.query(query) for query in QUERIES}
+
+
+class TestExecute:
+    def test_rows_match_in_process_engine(self, service, reference):
+        for query, expected in reference.items():
+            page = service.execute({"query": query, "limit": 50_000})
+            assert [tuple(pair) for pair in page["matches"]] == expected
+            assert page["total"] == len(expected)
+
+    def test_pivot_matches_in_process_engine(self, service, store_path):
+        with LPathEngine.open(store_path) as engine:
+            expected = engine.query("//VP//NP", pivot=True)
+        page = service.execute(
+            {"query": "//VP//NP", "pivot": True, "limit": 50_000}
+        )
+        assert [tuple(pair) for pair in page["matches"]] == expected
+
+    def test_count_mode_ships_no_rows(self, service, reference):
+        page = service.execute({"query": "//NP", "count": True})
+        assert page["total"] == len(reference["//NP"])
+        assert page["count"] == page["total"]
+        assert "matches" not in page
+
+    def test_pagination_tiles_the_result_set(self, service, reference):
+        expected = reference["//NP"]
+        assert len(expected) > 7  # the corpus must exercise >1 page
+        rows, offset = [], 0
+        while True:
+            page = service.execute(
+                {"query": "//NP", "limit": 7, "offset": offset}
+            )
+            assert len(page["matches"]) <= 7
+            rows.extend(tuple(pair) for pair in page["matches"])
+            if page["next_offset"] is None:
+                break
+            assert page["next_offset"] == offset + len(page["matches"])
+            offset = page["next_offset"]
+        assert rows == expected
+
+    def test_offset_past_end_is_an_empty_page(self, service, reference):
+        page = service.execute(
+            {"query": "//NP", "offset": len(reference["//NP"]) + 10}
+        )
+        assert page["matches"] == []
+        assert page["next_offset"] is None
+
+    def test_string_flags_from_query_strings(self, service):
+        page = service.execute({"q": "//NP", "count": "1", "limit": "5"})
+        assert page["count"] == page["total"]
+
+
+class TestResultCache:
+    def test_repeat_query_is_a_cache_hit(self, service):
+        first = service.execute({"query": "//VP//NP", "limit": 50_000})
+        again = service.execute({"query": "//VP//NP", "limit": 50_000})
+        assert first["cached"] is False
+        assert again["cached"] is True
+        assert again["matches"] == first["matches"]
+        assert service.results.stats["hits"] == 1
+
+    def test_pages_of_one_query_share_one_entry(self, service):
+        service.execute({"query": "//NP", "limit": 5})
+        page = service.execute({"query": "//NP", "limit": 5, "offset": 5})
+        assert page["cached"] is True
+        assert service.results.stats["misses"] == 1
+
+    def test_pivot_is_a_distinct_entry(self, service):
+        service.execute({"query": "//VP//NP"})
+        page = service.execute({"query": "//VP//NP", "pivot": True})
+        assert page["cached"] is False
+
+    def test_oversize_results_are_not_cached(self, store_path):
+        with QueryService(store_path, max_cached_rows=1) as service:
+            first = service.execute({"query": "//NP"})
+            again = service.execute({"query": "//NP"})
+        assert first["total"] > 1
+        assert again["cached"] is False
+        assert service.results.stats["oversize"] == 2
+
+    def test_count_and_rows_share_the_cache(self, service, reference):
+        service.execute({"query": "//NP"})
+        page = service.execute({"query": "//NP", "count": True})
+        assert page["cached"] is True
+        assert page["total"] == len(reference["//NP"])
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {},                                        # no query at all
+            {"query": "   "},                          # blank
+            {"query": "//NP", "dialect": "sql"},       # unknown dialect
+            {"query": "//NP", "limit": 0},             # below floor
+            {"query": "//NP", "limit": 100_000},       # above ceiling
+            {"query": "//NP", "offset": -1},
+            {"query": "//NP", "offset": "soon"},
+            {"query": "//NP", "timeout_ms": 0},
+            {"query": "//NP", "timeout_ms": "fast"},
+            {"query": "//NP", "pivot": "maybe"},
+        ],
+    )
+    def test_bad_requests_are_400(self, service, params):
+        with pytest.raises(ServeError) as failure:
+            service.execute(params)
+        assert failure.value.status == 400
+
+    def test_unknown_store_is_404(self, service):
+        with pytest.raises(ServeError) as failure:
+            service.execute({"query": "//NP", "store": "/no/such.lpdb"})
+        assert failure.value.status == 404
+        assert "not served here" in str(failure.value)
+
+    def test_parse_error_is_400_not_a_crash(self, service):
+        with pytest.raises(ServeError) as failure:
+            service.execute({"query": "//NP[@"})
+        assert failure.value.status == 400
+
+    def test_invalid_kernels_env_is_400(self, service, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "bogus")
+        with pytest.raises(ServeError) as failure:
+            service.execute({"query": "//NP"})
+        assert failure.value.status == 400
+        assert "REPRO_KERNELS" in str(failure.value)
+
+    def test_dialect_mismatch_is_400(self, service):
+        with pytest.raises(ServeError) as failure:
+            service.execute({"query": "//NP", "dialect": "xpath"})
+        assert failure.value.status == 400
+        assert "dialect" in str(failure.value)
+
+    def test_bad_service_knobs_fail_fast(self, store_path):
+        from repro.lpath.errors import LPathError
+
+        for kwargs in (
+            {"max_inflight": 0},
+            {"max_queue": -1},
+            {"timeout": 0},
+        ):
+            with pytest.raises(LPathError):
+                QueryService(store_path, **kwargs)
+        with pytest.raises(LPathError):
+            QueryService([])
+        with pytest.raises(LPathError):
+            QueryService(StoreSpec(store_path, dialect="sql"))
+
+
+class TestXPathDialect:
+    def test_xpath_store_serves_xpath_queries(self, trees, tmp_path):
+        path = str(tmp_path / "xpath.lpdb")
+        with open(path, "wb") as stream:
+            store.save_labels(
+                list(xpath_label_corpus(trees)), stream, segments=2,
+                format="lpdb0004",
+            )
+        with XPathEngine.from_store_mmap(path) as engine:
+            expected = engine.query("//NP")
+        with QueryService(StoreSpec(path, dialect="xpath")) as service:
+            page = service.execute(
+                {"query": "//NP", "dialect": "xpath", "limit": 50_000}
+            )
+            assert [tuple(pair) for pair in page["matches"]] == expected
+            with pytest.raises(ServeError) as failure:
+                service.execute({"query": "//NP"})  # lpath against xpath
+            assert failure.value.status == 400
+
+    def test_pre_mmap_store_refuses_xpath_dialect(self, trees, tmp_path):
+        # Only the zero-copy LPDB0004 layout can back the xpath engine's
+        # mmap path; an older-revision store gets a clean refusal.
+        from repro.lpath.errors import LPathError
+
+        path = str(tmp_path / "old.lpdb")
+        store.save_corpus(trees, path, segments=2, format="lpdb0003")
+        with pytest.raises(LPathError) as failure:
+            QueryService(StoreSpec(path, dialect="xpath"))
+        assert "LPDB0004" in str(failure.value)
+
+
+class _SlowEngine:
+    """Wraps a served engine so queries block until released."""
+
+    def __init__(self, engine, delay: float) -> None:
+        self._engine = engine
+        self._delay = delay
+        self.entered = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def query(self, *args, **kwargs):
+        self.entered.set()
+        time.sleep(self._delay)
+        return self._engine.query(*args, **kwargs)
+
+
+def _slow_service(store_path, delay, **kwargs):
+    service = QueryService(store_path, **kwargs)
+    handle = service._stores[store_path]
+    handle.engine = _SlowEngine(handle.engine, delay)
+    return service
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_with_429(self, store_path):
+        with _slow_service(
+            store_path, delay=1.0, max_inflight=1, max_queue=0
+        ) as service:
+            slow = service._stores[store_path].engine
+            runner = threading.Thread(
+                target=service.execute, args=({"query": "//NP"},)
+            )
+            runner.start()
+            try:
+                assert slow.entered.wait(timeout=5.0)
+                with pytest.raises(ServeError) as failure:
+                    service.execute({"query": "//VP//NP"})
+                assert failure.value.status == 429
+                assert service.rejected == 1
+            finally:
+                runner.join()
+
+    def test_deadline_expiry_is_504(self, store_path):
+        with _slow_service(store_path, delay=1.0) as service:
+            started = time.monotonic()
+            with pytest.raises(ServeError) as failure:
+                service.execute({"query": "//NP", "timeout_ms": 50})
+            assert failure.value.status == 504
+            assert time.monotonic() - started < 0.9  # gave up, not slept
+            assert service.timeouts == 1
+            # The abandoned query must never have populated the cache.
+            time.sleep(1.2)
+            assert service.results.stats["size"] == 0
+
+    def test_queued_query_expires_while_waiting(self, store_path):
+        with _slow_service(
+            store_path, delay=1.0, max_inflight=1, max_queue=4
+        ) as service:
+            slow = service._stores[store_path].engine
+            runner = threading.Thread(
+                target=service.execute, args=({"query": "//NP"},)
+            )
+            runner.start()
+            try:
+                assert slow.entered.wait(timeout=5.0)
+                with pytest.raises(ServeError) as failure:
+                    service.execute({"query": "//VP//NP", "timeout_ms": 50})
+                assert failure.value.status == 504
+                assert "queued" in str(failure.value)
+            finally:
+                runner.join()
+
+    def test_cache_hits_bypass_admission(self, store_path):
+        # Fill the cache, then wedge the only execution slot: the cached
+        # query must still answer instantly.
+        with _slow_service(
+            store_path, delay=0.0, max_inflight=1, max_queue=0
+        ) as service:
+            service.execute({"query": "//NP"})
+            slow = service._stores[store_path].engine
+            slow._delay = 1.0
+            slow.entered.clear()
+            runner = threading.Thread(
+                target=service.execute, args=({"query": "//VP//NP"},)
+            )
+            runner.start()
+            try:
+                assert slow.entered.wait(timeout=5.0)
+                page = service.execute({"query": "//NP"})
+                assert page["cached"] is True
+            finally:
+                runner.join()
+
+
+class TestStats:
+    def test_stats_shape_and_counters(self, service):
+        service.execute({"query": "//NP"})
+        service.execute({"query": "//NP"})
+        stats = service.stats()
+        assert stats["server"]["served"] == 1
+        assert stats["server"]["inflight"] == 0
+        assert stats["server"]["draining"] is False
+        assert stats["result_cache"]["hits"] == 1
+        assert stats["result_cache"]["misses"] == 1
+        assert stats["kernels"]["backend"] in ("python", "native")
+        (described,) = stats["stores"]
+        assert described["dialect"] == "lpath"
+        assert described["fingerprint"].startswith("lpdb0004-")
+        assert described["plan_cache"]["misses"] >= 1
+
+    def test_health_reports_ok(self, service):
+        assert service.health() == {"status": "ok"}

@@ -1,0 +1,144 @@
+"""Concurrency stress: many threads against ONE shared mmap-backed
+engine and ONE daemon.  Results must be byte-identical to a sequential
+run, and every counter must add up afterwards — a torn cache_stats()
+snapshot or a lost increment is a bug even when the rows are right."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.lpath import LPathEngine
+from repro.serve import QueryServer, QueryService, ServeClient
+
+THREADS = 8
+ROUNDS = 6
+QUERIES = ("//NP", "//VP//NP", "//S//NP//WHPP", "//_[.//NP]//VB", "//WHPP")
+
+
+class TestSharedEngineStress:
+    def test_threads_see_sequential_results(self, store_path):
+        with LPathEngine.open(store_path) as engine:
+            expected = {query: engine.query(query) for query in QUERIES}
+            barrier = threading.Barrier(THREADS)
+            failures = []
+
+            def hammer(seed: int) -> None:
+                barrier.wait()  # maximize overlap on the shared engine
+                for round_ in range(ROUNDS):
+                    query = QUERIES[(seed + round_) % len(QUERIES)]
+                    rows = engine.query(query)
+                    if rows != expected[query]:
+                        failures.append((query, rows))
+
+            with ThreadPoolExecutor(THREADS) as pool:
+                for done in [
+                    pool.submit(hammer, seed) for seed in range(THREADS)
+                ]:
+                    done.result()
+            assert failures == []
+
+    def test_cache_stats_are_tear_free(self, store_path):
+        with LPathEngine.open(store_path) as engine:
+            calls = THREADS * ROUNDS
+
+            def hammer(seed: int) -> None:
+                for round_ in range(ROUNDS):
+                    engine.query(QUERIES[(seed + round_) % len(QUERIES)])
+
+            with ThreadPoolExecutor(THREADS) as pool:
+                for done in [
+                    pool.submit(hammer, seed) for seed in range(THREADS)
+                ]:
+                    done.result()
+            stats = engine.cache_stats()
+            # Every lookup was a hit or a miss — no lost increments, no
+            # snapshot torn between the two counters.
+            assert stats["hits"] + stats["misses"] == calls
+            assert stats["misses"] >= len(QUERIES)
+            assert stats["size"] <= stats["maxsize"]
+
+    def test_pivot_and_plain_interleave_safely(self, store_path):
+        with LPathEngine.open(store_path) as engine:
+            expected_plain = engine.query("//VP//NP")
+            expected_pivot = engine.query("//VP//NP", pivot=True)
+
+            def hammer(seed: int):
+                pivot = bool(seed % 2)
+                rows = engine.query("//VP//NP", pivot=pivot)
+                return rows == (expected_pivot if pivot else expected_plain)
+
+            with ThreadPoolExecutor(THREADS) as pool:
+                verdicts = list(pool.map(hammer, range(THREADS * 2)))
+            assert all(verdicts)
+
+
+class TestDaemonStress:
+    def test_concurrent_clients_get_identical_rows(self, store_path):
+        with LPathEngine.open(store_path) as engine:
+            expected = {query: engine.query(query) for query in QUERIES}
+        service = QueryService(store_path, max_inflight=4, max_queue=64)
+        with QueryServer(service).start() as server:
+            requests = THREADS * ROUNDS
+
+            def hammer(seed: int):
+                # One client (one keep-alive connection) per thread.
+                mismatches = []
+                with ServeClient(server.url) as client:
+                    for round_ in range(ROUNDS):
+                        query = QUERIES[(seed + round_) % len(QUERIES)]
+                        rows = client.query(query, limit=7)
+                        if rows != expected[query]:
+                            mismatches.append(query)
+                return mismatches
+
+            with ThreadPoolExecutor(THREADS) as pool:
+                mismatched = [
+                    bad
+                    for result in pool.map(hammer, range(THREADS))
+                    for bad in result
+                ]
+            assert mismatched == []
+            stats = service.stats()
+            # Pagination re-requests count too: every /query landed as a
+            # result-cache hit or an executed (served) query, exactly.
+            cache = stats["result_cache"]
+            assert cache["hits"] + cache["misses"] >= requests
+            assert stats["server"]["served"] == cache["misses"]
+            assert stats["server"]["rejected"] == 0
+            assert stats["server"]["timeouts"] == 0
+            assert stats["server"]["errors"] == 0
+            assert stats["server"]["inflight"] == 0
+            assert stats["server"]["waiting"] == 0
+
+    def test_overload_degrades_to_rejections_not_hangs(self, store_path):
+        # A tiny admission window under a thundering herd: every request
+        # either succeeds with correct rows or is rejected with 429 —
+        # nothing hangs, nothing crashes, and the books balance.
+        from repro.serve import ServeClientError
+
+        with LPathEngine.open(store_path) as engine:
+            expected = engine.query("//S//NP//WHPP")
+        service = QueryService(store_path, max_inflight=1, max_queue=1)
+        with QueryServer(service).start() as server:
+            outcomes = []
+
+            def hammer(seed: int):
+                with ServeClient(server.url) as client:
+                    # Same parse, distinct query text: defeats the
+                    # result cache so every request really executes.
+                    query = "//S//NP//WHPP" + " " * (seed + 1)
+                    try:
+                        client.query(query)
+                        return "ok"
+                    except ServeClientError as error:
+                        return error.status
+
+            with ThreadPoolExecutor(THREADS) as pool:
+                outcomes = list(pool.map(hammer, range(THREADS)))
+            assert set(outcomes) <= {"ok", 429}
+            assert outcomes.count("ok") == service.served
+            assert service.rejected == outcomes.count(429)
+            # And the daemon still answers normal traffic afterwards.
+            with ServeClient(server.url) as client:
+                assert client.query("//S//NP//WHPP") == expected

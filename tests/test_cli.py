@@ -317,3 +317,209 @@ class TestStats:
         assert code == 0
         assert "Tree Nodes" in output
         assert "NP" in output
+
+
+class TestServeCLI:
+    """The serving surface of the CLI: `repro query --url` against a
+    live daemon, `repro serve-stats`, and the full `repro serve`
+    process lifecycle (banner, traffic, SIGINT drain)."""
+
+    @pytest.fixture()
+    def store_file(self, corpus_file, tmp_path):
+        lpdb = str(tmp_path / "serve.lpdb")
+        code, _ = run(["compile", corpus_file, "-o", lpdb,
+                       "--segments", "2", "--format", "lpdb0004"])
+        assert code == 0
+        return lpdb
+
+    @pytest.fixture()
+    def daemon_url(self, store_file):
+        from repro.serve import QueryServer, QueryService
+
+        with QueryServer(QueryService(store_file)).start() as server:
+            yield server.url
+
+    def test_query_url_matches_local_engine(self, store_file, daemon_url):
+        code, local = run(["query", store_file, "//S//NP", "--count",
+                           "--mmap"])
+        assert code == 0
+        code, remote = run(["query", "//S//NP", "--url", daemon_url,
+                            "--count"])
+        assert code == 0
+        assert remote == local
+
+    def test_query_url_prints_match_lines(self, daemon_url):
+        code, output = run(["query", "//NP", "--url", daemon_url,
+                            "--show", "3"])
+        assert code == 0
+        lines = output.splitlines()
+        assert int(lines[0]) > 3
+        assert all(line.startswith("tree ") for line in lines[1:])
+        assert len(lines) == 4
+
+    def test_query_url_rejects_corpus_and_query(self, daemon_url,
+                                                corpus_file, capsys):
+        code, _ = run(["query", corpus_file, "//NP", "--url", daemon_url])
+        assert code == 1
+        assert "corpus lives on the server" in capsys.readouterr().err
+
+    def test_query_url_rejects_local_engine_flags(self, daemon_url, capsys):
+        for flags in (["--mmap"], ["--executor", "columnar"],
+                      ["--segments", "2"], ["--workers", "2"],
+                      ["--kernels", "python"], ["--explain"],
+                      ["--cache-stats"]):
+            code, _ = run(["query", "//NP", "--url", daemon_url] + flags)
+            assert code == 1
+            assert "--url" in capsys.readouterr().err
+
+    def test_query_url_rejects_baseline_engines(self, daemon_url, capsys):
+        code, _ = run(["query", "//NP", "--url", daemon_url,
+                       "--engine", "tgrep2"])
+        assert code == 1
+        assert "lpath" in capsys.readouterr().err
+
+    def test_query_url_daemon_error_is_one_clean_line(self, daemon_url,
+                                                      capsys):
+        code, _ = run(["query", "//NP[@", "--url", daemon_url, "--count"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_query_url_unreachable_daemon(self, capsys):
+        code, _ = run(["query", "//NP", "--url", "http://127.0.0.1:9",
+                       "--count"])
+        assert code == 1
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_serve_stats_document(self, daemon_url):
+        import json
+
+        code, before = run(["query", "//WHPP", "--url", daemon_url,
+                            "--count"])
+        assert code == 0
+        code, output = run(["serve-stats", daemon_url])
+        assert code == 0
+        stats = json.loads(output)
+        assert stats["server"]["served"] == 1
+        assert stats["result_cache"]["misses"] == 1
+        assert stats["stores"][0]["fingerprint"].startswith("lpdb0004-")
+
+    def test_serve_missing_store_exits_2(self, capsys):
+        code, _ = run(["serve", "/no/such/store.lpdb", "--port", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_non_store_file_is_clean_error(self, corpus_file, capsys):
+        code, _ = run(["serve", corpus_file, "--port", "0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_serve_bad_admission_knobs(self, store_file, capsys):
+        code, _ = run(["serve", store_file, "--port", "0",
+                       "--max-inflight", "0"])
+        assert code == 1
+        assert "max_inflight" in capsys.readouterr().err
+
+
+class TestServeProcessLifecycle:
+    """Drive the real `repro serve` process end to end: banner with the
+    bound address, traffic from a separate client, /stats scrape, then
+    SIGINT -> drain -> exit 0."""
+
+    def test_sigint_drains_and_exits_zero(self, corpus_file, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        lpdb = str(tmp_path / "serve.lpdb")
+        code, _ = run(["compile", corpus_file, "-o", lpdb,
+                       "--segments", "2", "--format", "lpdb0004"])
+        assert code == 0
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (src, env.get("PYTHONPATH")) if part
+        )
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", lpdb, "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env,
+        )
+        try:
+            banner = daemon.stdout.readline()
+            assert " on http://" in banner, (banner, daemon.stderr.read())
+            url = banner.split(" on ", 1)[1].split()[0]
+            code, counted = run(["query", "//NP", "--url", url, "--count"])
+            assert code == 0
+            assert int(counted.strip()) > 0
+            code, again = run(["query", "//NP", "--url", url, "--count"])
+            assert again == counted
+            code, stats = run(["serve-stats", url])
+            assert code == 0
+            assert '"served": 1' in stats
+            daemon.send_signal(signal.SIGINT)
+            out, err = daemon.communicate(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate()
+        assert daemon.returncode == 0, (out, err)
+        assert "draining..." in out
+        assert "Traceback" not in err
+
+
+class TestKernelAndSegmentConfigErrors:
+    """Misconfiguration surfaces as ONE clean `error:` line and a
+    non-zero exit -- never a traceback (and at the daemon, a 4xx)."""
+
+    def test_invalid_kernels_env_at_cli(self, corpus_file, monkeypatch,
+                                        capsys):
+        monkeypatch.setenv("REPRO_KERNELS", "bogus")
+        code, _ = run(["query", corpus_file, "//NP", "--count"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid REPRO_KERNELS")
+        assert "Traceback" not in err
+
+    def test_invalid_kernels_flag_is_an_argparse_error(self, corpus_file,
+                                                       capsys):
+        with pytest.raises(SystemExit):
+            run(["query", corpus_file, "//NP", "--kernels", "bogus"])
+        assert "--kernels" in capsys.readouterr().err
+
+    def test_invalid_segments_at_cli(self, corpus_file, capsys):
+        code, _ = run(["query", corpus_file, "//NP", "--count",
+                       "--segments", "0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_invalid_mode_combination_at_cli(self, corpus_file, capsys):
+        code, _ = run(["query", corpus_file, "//NP", "--count",
+                       "--mode", "process"])
+        assert code == 1
+        assert "--mode requires --mmap" in capsys.readouterr().err
+
+    def test_invalid_kernels_env_at_daemon_is_4xx(self, corpus_file,
+                                                  tmp_path, monkeypatch):
+        from repro.serve import (
+            QueryServer, QueryService, ServeClient, ServeClientError,
+        )
+
+        lpdb = str(tmp_path / "serve.lpdb")
+        code, _ = run(["compile", corpus_file, "-o", lpdb,
+                       "--segments", "2", "--format", "lpdb0004"])
+        assert code == 0
+        with QueryServer(QueryService(lpdb)).start() as server:
+            monkeypatch.setenv("REPRO_KERNELS", "bogus")
+            with ServeClient(server.url) as client:
+                with pytest.raises(ServeClientError) as failure:
+                    client.query("//NP")
+                assert failure.value.status == 400
+                assert "REPRO_KERNELS" in str(failure.value)

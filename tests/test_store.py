@@ -635,3 +635,70 @@ class TestCLIIntegration:
         store.save_corpus([figure1_tree()], str(lpdb))
         assert main(["query", str(lpdb), "NP < Det", "--engine", "tgrep2"],
                     out=io.StringIO()) == 1
+
+
+class TestStoreFingerprint:
+    """The content-derived store identity keying the serving layer's
+    result cache: equal for byte-identical copies, different whenever
+    the bytes that back query answers change."""
+
+    def _store(self, path, count=6, format="lpdb0004", segments=2):
+        trees = [figure1_tree(tid=tid) for tid in range(count)]
+        store.save_corpus(trees, str(path), segments=segments, format=format)
+        return str(path)
+
+    def test_shape_names_the_revision(self, tmp_path):
+        fingerprint = store.store_fingerprint(
+            self._store(tmp_path / "a.lpdb")
+        )
+        revision, size, digest = fingerprint.split("-")
+        assert revision == "lpdb0004"
+        assert int(size) > 0
+        assert len(digest) == 8
+
+    def test_identical_copies_share_identity(self, tmp_path):
+        a = self._store(tmp_path / "a.lpdb")
+        b = tmp_path / "b.lpdb"
+        b.write_bytes(open(a, "rb").read())
+        assert store.store_fingerprint(a) == store.store_fingerprint(str(b))
+
+    def test_different_corpora_differ(self, tmp_path):
+        a = self._store(tmp_path / "a.lpdb", count=6)
+        b = self._store(tmp_path / "b.lpdb", count=7)
+        assert store.store_fingerprint(a) != store.store_fingerprint(b)
+
+    def test_same_size_edit_changes_identity(self, tmp_path):
+        a = self._store(tmp_path / "a.lpdb")
+        original = store.store_fingerprint(a)
+        raw = bytearray(open(a, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF  # flip bits, keep the size
+        edited = tmp_path / "edited.lpdb"
+        edited.write_bytes(bytes(raw))
+        assert store.store_fingerprint(str(edited)) != original
+
+    def test_tail_edit_changes_identity(self, tmp_path):
+        # The digest samples head AND tail, so appended/late corruption
+        # still renames the store even past the head window.
+        a = self._store(tmp_path / "a.lpdb")
+        original = store.store_fingerprint(a)
+        raw = bytearray(open(a, "rb").read())
+        raw[-3] ^= 0xFF
+        edited = tmp_path / "edited.lpdb"
+        edited.write_bytes(bytes(raw))
+        assert store.store_fingerprint(str(edited)) != original
+
+    def test_older_revisions_fingerprint_too(self, tmp_path):
+        fingerprint = store.store_fingerprint(
+            self._store(tmp_path / "old.lpdb", format="lpdb0003")
+        )
+        assert fingerprint.startswith("lpdb0003-")
+
+    def test_non_store_file_raises(self, tmp_path):
+        bogus = tmp_path / "not_a_store.mrg"
+        bogus.write_text("( (S (NP (DT a))))\n")
+        with pytest.raises(store.StoreError):
+            store.store_fingerprint(str(bogus))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            store.store_fingerprint(str(tmp_path / "gone.lpdb"))
