@@ -5,6 +5,9 @@ Usage (also via ``python -m repro``)::
     repro generate --profile wsj --sentences 1000 --seed 7 -o corpus.mrg
     repro query corpus.mrg '//VB->NP' --count
     repro query corpus.mrg '//VP{//NP$}' --show 3
+    repro query corpus.mrg '//S//NP' --limit 10
+    repro query corpus.mrg '//NP' --agg count_by_name
+    repro query corpus.mrg --batch queries.txt --executor columnar
     repro query corpus.mrg 'NP , VB' --engine tgrep2
     repro sql '//NP[not(//JJ)]'
     repro stats corpus.mrg
@@ -31,6 +34,7 @@ from .corpus import (
 )
 from .columnar.kernels import KERNEL_MODES, KERNELS_ENV, kernel_info
 from .lpath import LPathEngine, SQLGenerator, parse
+from .plan.ir import AGGREGATE_OPS
 from .tree import iter_trees, write_trees
 from .xpath import XPathEngine
 
@@ -82,11 +86,87 @@ _LOCAL_ONLY_QUERY_FLAGS = (
 )
 
 
+def _load_batch_entries(path: str) -> list:
+    """Parse a ``--batch`` file: one query per line, or a JSON object per
+    line (``{"query": ..., "limit"/"agg"/"pivot": ...}``); blank lines
+    and ``#`` comments are skipped."""
+    import json
+
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    entries: list = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("{"):
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path} line {number}: invalid JSON batch entry: {error}"
+                )
+        else:
+            entries.append(line)
+    if not entries:
+        raise ValueError(
+            f"{path}: no queries (one per line; '#' starts a comment)"
+        )
+    return entries
+
+
+def _print_aggregate(result: dict, out: TextIO) -> None:
+    for group in sorted(result):
+        print(f"{group}\t{result[group]}", file=out)
+
+
+def _print_batch_results(entries, results, show, out: TextIO) -> None:
+    """One block per batch member: aggregates as ``group<TAB>count``
+    lines, row sets as a count plus the first ``show`` pairs.  Remote
+    results arrive as ``(total, rows)`` — the rows may be just the first
+    page of a larger result."""
+    for index, (entry, result) in enumerate(zip(entries, results)):
+        text = entry["query"] if isinstance(entry, dict) else str(entry)
+        if isinstance(result, dict):
+            rendered = " ".join(
+                f"{group}={result[group]}" for group in sorted(result)
+            )
+            print(f"[q{index}] {text}: {rendered}", file=out)
+            continue
+        if isinstance(result, tuple):
+            total, rows = result
+        else:
+            total, rows = len(result), result
+        print(f"[q{index}] {text}: {total} match(es)", file=out)
+        for tid, node_id in list(rows)[: show or 10]:
+            print(f"  tree {tid}\tnode {node_id}", file=out)
+
+
+def _run_batch_query(args: argparse.Namespace, engine, out: TextIO) -> int:
+    """``query --batch``: shared-scan execution of a whole query file."""
+    entries = _load_batch_entries(args.batch)
+    pivot = getattr(args, "pivot", False)
+    if getattr(args, "explain", False):
+        print(engine.explain_batch(entries, pivot=pivot), file=out)
+        _print_cache_stats(args, engine, out)
+        return 0
+    results = engine.query_batch(entries, pivot=pivot)
+    _print_batch_results(entries, results, args.show, out)
+    _print_cache_stats(args, engine, out)
+    return 0
+
+
 def _command_query(args: argparse.Namespace, out: TextIO) -> int:
     if getattr(args, "url", None):
         return _run_remote_query(args, out)
-    if args.query is None:
-        print("error: query text required", file=sys.stderr)
+    if args.corpus is None:
+        print("error: corpus path required", file=sys.stderr)
+        return 1
+    if args.query is None and getattr(args, "batch", None) is None:
+        print("error: query text required (or --batch FILE)", file=sys.stderr)
         return 1
     kernels = getattr(args, "kernels", None)
     if kernels is None:
@@ -120,6 +200,47 @@ def _run_query(args: argparse.Namespace, out: TextIO) -> int:
                 file=sys.stderr,
             )
             return 1
+    batch_path = getattr(args, "batch", None)
+    limit = getattr(args, "limit", None)
+    agg = getattr(args, "agg", None)
+    if (
+        batch_path is not None or agg is not None
+    ) and engine_name not in ("lpath", "xpath"):
+        print(
+            "error: --batch/--agg require --engine lpath or xpath",
+            file=sys.stderr,
+        )
+        return 1
+    if limit is not None and engine_name not in (
+        "lpath", "xpath", "treewalk", "sqlite"
+    ):
+        print(
+            f"error: --limit is not supported by --engine {engine_name}",
+            file=sys.stderr,
+        )
+        return 1
+    if agg is not None and (args.count or limit is not None):
+        print(
+            "error: --agg already returns counts; drop --count/--limit",
+            file=sys.stderr,
+        )
+        return 1
+    if limit is not None and args.count:
+        print(
+            "error: --count with --limit is just min(K, total); drop one",
+            file=sys.stderr,
+        )
+        return 1
+    if batch_path is not None and (
+        args.query is not None or args.count
+        or agg is not None or limit is not None
+    ):
+        print(
+            "error: --batch entries carry their own query/limit/agg; "
+            "drop the positional query and --count/--limit/--agg",
+            file=sys.stderr,
+        )
+        return 1
     executor_flag = getattr(args, "executor", None)
     executor = executor_flag if executor_flag is not None else "volcano"
     segments = getattr(args, "segments", None)
@@ -199,10 +320,24 @@ def _run_query(args: argparse.Namespace, out: TextIO) -> int:
                 trees, executor=plan_executor,
                 segments=1 if segments is None else segments, workers=workers,
             )
+        if batch_path is not None:
+            return _run_batch_query(args, engine, out)
         if getattr(args, "explain", False):
             print(
-                engine.explain(args.query, pivot=getattr(args, "pivot", False)),
+                engine.explain(
+                    args.query, pivot=getattr(args, "pivot", False),
+                    limit=limit, agg=agg,
+                ),
                 file=out,
+            )
+            _print_cache_stats(args, engine, out)
+            return 0
+        if agg is not None:
+            _print_aggregate(
+                engine.aggregate(
+                    args.query, agg=agg, pivot=getattr(args, "pivot", False)
+                ),
+                out,
             )
             _print_cache_stats(args, engine, out)
             return 0
@@ -218,7 +353,8 @@ def _run_query(args: argparse.Namespace, out: TextIO) -> int:
             _print_cache_stats(args, engine, out)
             return 0
         matches = engine.query(
-            args.query, backend=backend, pivot=getattr(args, "pivot", False)
+            args.query, backend=backend, pivot=getattr(args, "pivot", False),
+            limit=limit,
         )
         stats_engine = engine
     else:
@@ -233,10 +369,25 @@ def _run_query(args: argparse.Namespace, out: TextIO) -> int:
                 trees, executor=executor,
                 segments=1 if segments is None else segments, workers=workers,
             )
+            if batch_path is not None:
+                return _run_batch_query(args, engine, out)
             if getattr(args, "explain", False):
                 print(
-                    engine.explain(args.query, pivot=getattr(args, "pivot", False)),
+                    engine.explain(
+                        args.query, pivot=getattr(args, "pivot", False),
+                        limit=limit, agg=agg,
+                    ),
                     file=out,
+                )
+                _print_cache_stats(args, engine, out)
+                return 0
+            if agg is not None:
+                _print_aggregate(
+                    engine.aggregate(
+                        args.query, agg=agg,
+                        pivot=getattr(args, "pivot", False),
+                    ),
+                    out,
                 )
                 _print_cache_stats(args, engine, out)
                 return 0
@@ -249,7 +400,9 @@ def _run_query(args: argparse.Namespace, out: TextIO) -> int:
                 )
                 _print_cache_stats(args, engine, out)
                 return 0
-            matches = engine.query(args.query, pivot=getattr(args, "pivot", False))
+            matches = engine.query(
+                args.query, pivot=getattr(args, "pivot", False), limit=limit
+            )
             stats_engine = engine
 
     if args.count or compiled:
@@ -287,7 +440,9 @@ def _run_remote_query(args: argparse.Namespace, out: TextIO) -> int:
 
     With ``--url`` the corpus lives on the server, so the command takes
     a single positional — the query text (``repro query --url URL
-    '//NP'``); passing a corpus path too is an error."""
+    '//NP'``); passing a corpus path too is an error.  ``--batch``
+    ships the whole file to ``POST /batch`` for shared-scan execution
+    server-side."""
     from .serve.client import ServeClient
 
     if args.query is not None:
@@ -297,7 +452,6 @@ def _run_remote_query(args: argparse.Namespace, out: TextIO) -> int:
             file=sys.stderr,
         )
         return 1
-    query_text = args.corpus
     engine_name = args.engine
     if engine_name not in ("lpath", "xpath"):
         print(
@@ -318,19 +472,77 @@ def _run_remote_query(args: argparse.Namespace, out: TextIO) -> int:
             file=sys.stderr,
         )
         return 1
+    pivot = getattr(args, "pivot", False)
+    batch_path = getattr(args, "batch", None)
+    limit = getattr(args, "limit", None)
+    agg = getattr(args, "agg", None)
+    if batch_path is not None:
+        if args.corpus is not None or args.count or agg is not None \
+                or limit is not None:
+            print(
+                "error: --batch entries carry their own query/limit/agg; "
+                "drop the positional query and --count/--limit/--agg",
+                file=sys.stderr,
+            )
+            return 1
+        entries = _load_batch_entries(batch_path)
+        # The HTTP surface calls the plan's top-k ``top_k`` (``limit``
+        # is the page size there).
+        requests = [
+            entry if isinstance(entry, str)
+            else {
+                ("top_k" if key == "limit" else key): value
+                for key, value in entry.items()
+            }
+            for entry in entries
+        ]
+        with ServeClient(args.url) as client:
+            documents = client.query_batch(
+                requests, dialect=engine_name, pivot=pivot
+            )
+        results = [
+            dict(document["aggregate"]) if document.get("agg")
+            else (
+                document.get("total", len(document["matches"])),
+                [tuple(pair) for pair in document["matches"]],
+            )
+            for document in documents
+        ]
+        _print_batch_results(entries, results, args.show, out)
+        return 0
+    query_text = args.corpus
+    if query_text is None:
+        print("error: query text required (or --batch FILE)", file=sys.stderr)
+        return 1
+    if agg is not None and (args.count or limit is not None):
+        print(
+            "error: --agg already returns counts; drop --count/--limit",
+            file=sys.stderr,
+        )
+        return 1
+    if limit is not None and args.count:
+        print(
+            "error: --count with --limit is just min(K, total); drop one",
+            file=sys.stderr,
+        )
+        return 1
     with ServeClient(args.url) as client:
+        if agg is not None:
+            _print_aggregate(
+                client.aggregate(
+                    query_text, agg=agg, dialect=engine_name, pivot=pivot
+                ),
+                out,
+            )
+            return 0
         if args.count:
             print(
-                client.count(
-                    query_text, dialect=engine_name,
-                    pivot=getattr(args, "pivot", False),
-                ),
+                client.count(query_text, dialect=engine_name, pivot=pivot),
                 file=out,
             )
             return 0
         matches = client.query(
-            query_text, dialect=engine_name,
-            pivot=getattr(args, "pivot", False),
+            query_text, dialect=engine_name, pivot=pivot, top_k=limit,
         )
     print(len(matches), file=out)
     for tid, node_id in matches[: args.show or 10]:
@@ -480,17 +692,29 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(handler=_command_generate)
 
     query = commands.add_parser("query", help="run a query over a bracketed corpus")
-    query.add_argument("corpus",
+    query.add_argument("corpus", nargs="?", default=None,
                        help="bracketed treebank file ('-' for stdin); with "
                             "--url, the query text itself")
     query.add_argument("query", nargs="?", default=None,
-                       help="the query text (omitted with --url)")
+                       help="the query text (omitted with --url or --batch)")
     query.add_argument("--url", default=None, metavar="URL",
                        help="send the query to a running `repro serve` "
                             "daemon instead of loading a corpus "
                             "(e.g. http://127.0.0.1:8411)")
     query.add_argument("--engine", choices=ENGINES, default="lpath")
     query.add_argument("--count", action="store_true", help="print only the result size")
+    query.add_argument("--limit", type=int, default=None, metavar="K",
+                       help="return only the first K matches in document "
+                            "order, with top-k early termination in the "
+                            "plan engines (with --url: server-side top-k)")
+    query.add_argument("--agg", choices=AGGREGATE_OPS, default=None,
+                       help="evaluate an aggregate without materializing "
+                            "result rows (lpath and xpath plan engines)")
+    query.add_argument("--batch", default=None, metavar="FILE",
+                       help="run every query in FILE as one shared-scan "
+                            "batch ('-' for stdin; one query per line, or "
+                            "JSON objects with query/limit/agg/pivot keys); "
+                            "with --explain, print the shared-scan DAG")
     query.add_argument("--show", type=int, default=10,
                        help="matches to display (default 10)")
     query.add_argument("--pivot", action="store_true",

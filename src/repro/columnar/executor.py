@@ -177,6 +177,8 @@ def compile_plan(node: PlanNode, runtime: ColumnarRuntime) -> "ColumnarPlan":
     from .structural import MergeJoinStep, chain_estimates, decide_join, force_mode
 
     steps: list = []
+    signatures: list = []
+    signature = None
     output = None
     chain = linearize(node)
     force = force_mode()
@@ -209,22 +211,94 @@ def compile_plan(node: PlanNode, runtime: ColumnarRuntime) -> "ColumnarPlan":
             steps.append(_FilterStep(item, runtime))
         elif isinstance(item, Distinct):
             output = ("distinct", item.key)
+            continue
         elif isinstance(item, Project):
             output = ("project", item.cols)
+            continue
         else:
             raise LPathCompileError(f"cannot execute {item!r} as a columnar plan")
+        signature = (signature, _node_signature(item))
+        signatures.append(signature)
     if not steps or not isinstance(steps[0], _ScanStep):
         raise LPathCompileError("a columnar pipeline must start at a Scan")
-    return ColumnarPlan(steps, output, runtime)
+    return ColumnarPlan(steps, output, runtime, signatures=tuple(signatures))
+
+
+def _pred_signature(pred: Pred) -> object:
+    """A hashable structural fingerprint of one predicate.  ``str()``
+    alone is not enough: subplan predicates render as ``exists{...}``,
+    which would collide two different subplans."""
+    if isinstance(pred, ExistsPred):
+        return ("exists", _chain_signature(pred.subplan))
+    if isinstance(pred, ValueCmpPred):
+        return (
+            "valuecmp", pred.op, repr(pred.value), pred.numeric,
+            _chain_signature(pred.subplan),
+        )
+    if isinstance(pred, CountCmpPred):
+        return ("countcmp", pred.op, pred.target, _chain_signature(pred.subplan))
+    if isinstance(pred, (AllPred, AnyPred)):
+        return (type(pred).__name__,) + tuple(
+            _pred_signature(p) for p in pred.parts
+        )
+    if isinstance(pred, NotPred):
+        return ("not", _pred_signature(pred.part))
+    if isinstance(pred, PositionPred):
+        return (
+            "position", str(pred.axis), pred.test_name, pred.op,
+            pred.target, pred.ctx_slot, pred.cand_slot,
+        )
+    return str(pred)
+
+
+def _node_signature(node: PlanNode) -> object:
+    """The structural fingerprint of one chain node — only fields that
+    determine the node's *output* (slot layout, access, conditions), not
+    annotations like ``label``/``step``/``est_in`` that vary between
+    otherwise identical plans."""
+    if isinstance(node, Context):
+        return ("context",)
+    if isinstance(node, Scan):
+        return (
+            "scan", node.slot, str(node.access),
+            tuple(_pred_signature(c) for c in node.conditions),
+        )
+    if isinstance(node, Join):
+        return (
+            "join", node.slot, str(node.access), str(node.axis),
+            node.ctx_slot, node.scope_slot,
+            tuple(_pred_signature(c) for c in node.conditions),
+        )
+    if isinstance(node, Filter):
+        return ("filter", tuple(_pred_signature(c) for c in node.conditions))
+    return (type(node).__name__,)
+
+
+def _chain_signature(node: PlanNode) -> object:
+    signature = None
+    for item in linearize(node):
+        signature = (signature, _node_signature(item))
+    return signature
 
 
 class ColumnarPlan:
-    """An executable batch pipeline; iterating yields result tuples."""
+    """An executable batch pipeline; iterating yields result tuples.
 
-    def __init__(self, steps, output, runtime: ColumnarRuntime) -> None:
+    ``signatures[i]`` is the cumulative structural fingerprint of steps
+    ``0..i`` — two plans whose prefixes carry equal signatures compute
+    identical intermediate batches, which is what the batch executor
+    (:mod:`repro.plan.batch`) exploits: :meth:`execute` can seed itself
+    from a ``shared`` signature → batch cache and record every batch it
+    produces there (batches are immutable by convention — every step
+    returns fresh arrays — so sharing needs no copies)."""
+
+    def __init__(
+        self, steps, output, runtime: ColumnarRuntime, signatures=None
+    ) -> None:
         self.steps = steps
         self.output = output
         self.runtime = runtime
+        self.signatures = signatures
         self._native_gather = None
         if output is not None:
             from .kernels.api import native_output_gather
@@ -233,10 +307,45 @@ class ColumnarPlan:
                 output[1], runtime.store
             )
 
-    def execute(self) -> list[tuple]:
+    def _pipeline(self, shared: Optional[dict] = None) -> list[array]:
+        """Run the step pipeline, resuming from the longest shared prefix
+        when a ``shared`` cache is supplied (and feeding it)."""
         batch: list[array] = []
-        for step in self.steps:
-            batch = step.run(batch)
+        start = 0
+        signatures = self.signatures
+        if shared is not None and signatures:
+            for index in range(len(self.steps), 0, -1):
+                cached = shared.get(signatures[index - 1])
+                if cached is not None:
+                    batch = cached
+                    start = index
+                    break
+        for index in range(start, len(self.steps)):
+            batch = self.steps[index].run(batch)
+            if shared is not None and signatures:
+                shared[signatures[index]] = batch
+        return batch
+
+    def _gather(self, batch: list[array]):
+        """Result-key tuples for a finished batch (unordered iterable)."""
+        store = self.runtime.store
+        kind, key = self.output
+        if not batch or not len(batch[0]):
+            return []
+        # C-level gather: map each key column over its row-id array and
+        # zip the streams into result tuples (no per-row Python frames);
+        # integer-only keys gather through the native kernel when active.
+        if self._native_gather is not None:
+            return self._native_gather.run(batch)
+        return zip(
+            *(
+                map(store.col(col).__getitem__, batch[slot])
+                for slot, col in key
+            )
+        )
+
+    def execute(self, shared: Optional[dict] = None) -> list[tuple]:
+        batch = self._pipeline(shared)
         store = self.runtime.store
         if self.output is None:
             width = len(batch)
@@ -248,24 +357,105 @@ class ColumnarPlan:
                 )
                 for i in range(count)
             ]
-        kind, key = self.output
-        if not batch or not len(batch[0]):
-            return []
-        # C-level gather: map each key column over its row-id array and
-        # zip the streams into result tuples (no per-row Python frames);
-        # integer-only keys gather through the native kernel when active.
-        if self._native_gather is not None:
-            rows = self._native_gather.run(batch)
-        else:
-            rows = zip(
-                *(
-                    map(store.col(col).__getitem__, batch[slot])
-                    for slot, col in key
-                )
-            )
+        kind = self.output[0]
+        rows = self._gather(batch)
         if kind == "distinct":
             return list(set(rows))
         return list(rows)
+
+    def count_rows(self) -> int:
+        """The result cardinality without materializing a result list.
+
+        A one-step plan whose scan resolves to an unfiltered contiguous
+        clustered range (a name-block probe) is counted straight from the
+        partition bounds; everything else counts the distinct gathered
+        keys from the join output without building the sorted row list."""
+        if len(self.steps) == 1 and isinstance(self.steps[0], _ScanStep):
+            bounds = self.steps[0].cardinality()
+            if bounds is not None:
+                return bounds
+        batch = self._pipeline()
+        if self.output is None:
+            return len(batch[0]) if batch else 0
+        rows = self._gather(batch)
+        if self.output[0] == "distinct":
+            return len(set(rows))
+        return sum(1 for _ in rows)
+
+    def rows_limited(self, k: int) -> list[tuple]:
+        """The first ``k`` distinct result keys in sorted order, without
+        materializing the full result set.
+
+        Every join correlates bindings within one tree, so the pipeline
+        restricted to a subset of the scan's trees computes exactly that
+        subset's results.  The driver groups the scan's candidates by
+        tree, processes tid groups in ascending order in geometrically
+        growing chunks, and stops after the first complete chunk that
+        yields >= k distinct keys — all unprocessed trees can only
+        produce larger ``(tid, ...)`` keys, so ``sorted(acc)[:k]`` is
+        exact.  Structural merge joins inside a chunk run under a
+        ``max_rows`` cutoff; a truncated chunk is re-run uncapped (rare:
+        chunks start at 4 trees)."""
+        from .structural import Cutoff, MergeJoinStep
+
+        if k <= 0:
+            return []
+        output = self.output
+        if (
+            output is None
+            or output[0] != "distinct"
+            or not output[1]
+            or output[1][0][1] != T
+            or len(self.steps) < 2
+        ):
+            return sorted(set(self.execute()))[:k]
+        seed = self.steps[0].run([])[0]
+        if not len(seed):
+            return []
+        tids = self.runtime.store.tid
+        # One key-based sort orders the candidates by owning tree (stable,
+        # so within-tree seed order survives); tree boundaries are then
+        # discovered lazily while assembling each chunk.  Only processed
+        # rows ever pay per-row Python cost — an eager dict-of-groups
+        # build here would touch the whole seed and dominate top-k time.
+        ordered = sorted(seed, key=tids.__getitem__)
+        total = len(ordered)
+        rest = self.steps[1:]
+        acc: set = set()
+        chunk, position = 4, 0
+        budget = max(1024, 32 * k)
+        while position < total:
+            seed_rows = array("q")
+            trees = 0
+            previous = -1
+            while position < total:
+                row = ordered[position]
+                tid = tids[row]
+                if tid != previous:
+                    if trees == chunk:
+                        break
+                    trees += 1
+                    previous = tid
+                seed_rows.append(row)
+                position += 1
+            chunk *= 2
+            for capped in (True, False):
+                cutoff = Cutoff(budget) if capped else None
+                batch: list[array] = [seed_rows]
+                for step in rest:
+                    if cutoff is not None and isinstance(step, MergeJoinStep):
+                        batch = step.run(batch, cutoff=cutoff)
+                    else:
+                        batch = step.run(batch)
+                if cutoff is None or not cutoff.hit:
+                    break
+                # The capped run dropped whole trees mid-chunk; its
+                # partial output cannot be merged exactly — redo the
+                # chunk without the cutoff.
+            acc.update(self._gather(batch))
+            if len(acc) >= k:
+                break
+        return sorted(acc)[:k]
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.execute())
@@ -404,6 +594,27 @@ class _ScanStep:
             return [kept]
         cands = _apply_filters(cands, empty, self.vector, self.row)
         return [array("q", cands)]
+
+    def cardinality(self) -> Optional[int]:
+        """The scan's result count straight from the clustered partition
+        bounds, or ``None`` when filters (or a non-contiguous access
+        path) make the count data-dependent.  Rows of one name block are
+        distinct ``(tid, id)`` pairs — a node carries exactly one label
+        row per name — so the range length *is* the distinct count."""
+        if self.vector or self.binding or self.row:
+            return None
+        if not (
+            isinstance(self.access, IndexProbe)
+            and (
+                self.access.index == "clustered"
+                or self.access.index.endswith("_clustered")
+            )
+        ):
+            return None
+        cands = self.probe([])
+        if isinstance(cands, range):
+            return len(cands)
+        return None
 
     def describe(self) -> str:
         return (

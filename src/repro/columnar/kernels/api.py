@@ -358,7 +358,7 @@ class NativeMergeJoin:
         self.key_column = key_column
         self.high_column = high_column
 
-    def run(self, batch: list) -> list:
+    def run(self, batch: list, cutoff=None) -> list:
         kern = self.kern
         ffi, lib = kern.ffi, kern.lib
         width = len(batch)
@@ -377,6 +377,8 @@ class NativeMergeJoin:
         n_checks = len(self.check_specs)
         src_out = ffi.new("int64_t **")
         cand_out = ffi.new("int64_t **")
+        max_rows = -1 if cutoff is None else cutoff.max_rows
+        truncated = ffi.new("int32_t *")
         if spec.strategy == "sweep":
             if spec.high is None:
                 high_arr = high_col = ffi.NULL
@@ -388,7 +390,8 @@ class NativeMergeJoin:
                 tid_col, key_col, count,
                 key_arr, int(spec.include_low),
                 high_arr, high_col, int(spec.include_high),
-                checks, n_checks, src_out, cand_out,
+                checks, n_checks, max_rows, truncated,
+                src_out, cand_out,
             )
         elif spec.strategy == "stack":
             rights = kern.i64(store.right)
@@ -396,17 +399,21 @@ class NativeMergeJoin:
                 tids, lefts, rights, self.name_lo, self.name_hi,
                 tid_col, key_col, count,
                 key_arr, int(spec.include_high),
-                checks, n_checks, src_out, cand_out,
+                checks, n_checks, max_rows, truncated,
+                src_out, cand_out,
             )
         else:
             matched = lib.repro_prefix_join(
                 tids, lefts, self.name_lo, self.name_hi,
                 tid_col, key_col, count,
                 key_arr, int(spec.include_high),
-                checks, n_checks, src_out, cand_out,
+                checks, n_checks, max_rows, truncated,
+                src_out, cand_out,
             )
         if matched < 0:
             raise MemoryError("native structural join allocation failed")
+        if truncated[0] and cutoff is not None:
+            cutoff.hit = True
         src, cand = src_out[0], cand_out[0]
         try:
             if matched:

@@ -47,6 +47,7 @@ int64_t repro_sweep_join(
     const int64_t *key_arr, int include_low,
     const int64_t *high_arr, const int64_t *high_col, int include_high,
     const repro_check_t *checks, int32_t n_checks,
+    int64_t max_rows, int32_t *out_truncated,
     int64_t **out_src, int64_t **out_cand);
 
 int64_t repro_stack_join(
@@ -55,6 +56,7 @@ int64_t repro_stack_join(
     const int64_t *tid_col, const int64_t *key_col, int64_t count,
     const int64_t *key_arr, int include_high,
     const repro_check_t *checks, int32_t n_checks,
+    int64_t max_rows, int32_t *out_truncated,
     int64_t **out_src, int64_t **out_cand);
 
 int64_t repro_prefix_join(
@@ -63,6 +65,7 @@ int64_t repro_prefix_join(
     const int64_t *tid_col, const int64_t *key_col, int64_t count,
     const int64_t *key_arr, int include_high,
     const repro_check_t *checks, int32_t n_checks,
+    int64_t max_rows, int32_t *out_truncated,
     int64_t **out_src, int64_t **out_cand);
 
 int64_t repro_filter_range(
@@ -222,6 +225,7 @@ int64_t repro_sweep_join(
     const int64_t *key_arr, int include_low,
     const int64_t *high_arr, const int64_t *high_col, int include_high,
     const repro_check_t *checks, int32_t n_checks,
+    int64_t max_rows, int32_t *out_truncated,
     int64_t **out_src, int64_t **out_cand)
 {
     repro_pairs_t pairs = {NULL, NULL, 0, 0};
@@ -229,6 +233,7 @@ int64_t repro_sweep_join(
     int64_t cur_tid = 0, lo = 0, hi = 0, ptr = 0, base = name_lo, k;
     repro_keyed_t *keyed =
         repro_build_keyed(tids, tid_col, key_arr, key_col, count);
+    *out_truncated = 0;
     if (!keyed)
         return -1;
     for (k = 0; k < count; k++) {
@@ -237,6 +242,13 @@ int64_t repro_sweep_join(
         int64_t low_val = keyed[k].key;
         int64_t start, limit, j;
         if (!have_tid || tid != cur_tid) {
+            /* Top-k cutoff: stop before starting a new tree once the
+               budget is spent, so the output covers a complete prefix
+               of the ascending tid groups. */
+            if (max_rows >= 0 && have_tid && pairs.n >= max_rows) {
+                *out_truncated = 1;
+                break;
+            }
             have_tid = 1;
             cur_tid = tid;
             lo = repro_lower(tids, tid, base, name_hi);
@@ -276,6 +288,7 @@ int64_t repro_stack_join(
     const int64_t *tid_col, const int64_t *key_col, int64_t count,
     const int64_t *key_arr, int include_high,
     const repro_check_t *checks, int32_t n_checks,
+    int64_t max_rows, int32_t *out_truncated,
     int64_t **out_src, int64_t **out_cand)
 {
     repro_pairs_t pairs = {NULL, NULL, 0, 0};
@@ -286,6 +299,7 @@ int64_t repro_stack_join(
     int64_t stack_n = 0;
     repro_keyed_t *keyed =
         repro_build_keyed(tids, tid_col, key_arr, key_col, count);
+    *out_truncated = 0;
     if (!keyed)
         return -1;
     /* A stack entry is only ever pushed once per partition, so the name
@@ -302,6 +316,10 @@ int64_t repro_stack_join(
         int64_t edge = keyed[k].key;
         int64_t limit, s;
         if (!have_tid || tid != cur_tid) {
+            if (max_rows >= 0 && have_tid && pairs.n >= max_rows) {
+                *out_truncated = 1;
+                break;
+            }
             have_tid = 1;
             cur_tid = tid;
             lo = repro_lower(tids, tid, base, name_hi);
@@ -343,6 +361,7 @@ int64_t repro_prefix_join(
     const int64_t *tid_col, const int64_t *key_col, int64_t count,
     const int64_t *key_arr, int include_high,
     const repro_check_t *checks, int32_t n_checks,
+    int64_t max_rows, int32_t *out_truncated,
     int64_t **out_src, int64_t **out_cand)
 {
     repro_pairs_t pairs = {NULL, NULL, 0, 0};
@@ -350,6 +369,7 @@ int64_t repro_prefix_join(
     int64_t cur_tid = 0, lo = 0, hi = 0, end = 0, base = name_lo, k;
     repro_keyed_t *keyed =
         repro_build_keyed(tids, tid_col, key_arr, key_col, count);
+    *out_truncated = 0;
     if (!keyed)
         return -1;
     for (k = 0; k < count; k++) {
@@ -358,6 +378,10 @@ int64_t repro_prefix_join(
         int64_t edge = keyed[k].key;
         int64_t limit, j;
         if (!have_tid || tid != cur_tid) {
+            if (max_rows >= 0 && have_tid && pairs.n >= max_rows) {
+                *out_truncated = 1;
+                break;
+            }
             have_tid = 1;
             cur_tid = tid;
             lo = repro_lower(tids, tid, base, name_hi);

@@ -255,6 +255,24 @@ def choose_join(est_in: float, name: str, stats) -> str:
 
 # -- the physical operator ----------------------------------------------------
 
+
+class Cutoff:
+    """A per-execution row budget for structural joins (top-k early
+    termination).  Once a join has emitted ``max_rows`` pairs it stops
+    *before starting the next tree*, so its output always covers a
+    complete prefix of the ascending tid groups; ``hit`` records that a
+    truncation happened so the driver can fall back to an uncapped run.
+
+    A fresh ``Cutoff`` is passed per execution — never stored on a step —
+    because compiled plans are cached and shared across threads."""
+
+    __slots__ = ("max_rows", "hit")
+
+    def __init__(self, max_rows: int) -> None:
+        self.max_rows = max_rows
+        self.hit = False
+
+
 _EMPTY = (0, 0)
 #: Span positions are small ints; this sentinel keeps the scan loops to a
 #: single bound comparison when the probe has no upper bound.
@@ -331,16 +349,20 @@ def _compile_sweep(spec: MergeSpec, checks) -> Optional[object]:
     # per slot — two list appends per match beat an extend/repeat pair
     # per binding for the typical 1-3 matches a binding produces.
     source = f"""\
-def sweep(keyed, batch, bounds, lefts, name, high_col, high_arr, checks):
+def sweep(keyed, batch, bounds, lefts, name, high_col, high_arr, checks, max_rows):
 {chr(10).join(unpack) if unpack else '    pass'}
     src = []
     src_append = src.append
     res = []
     res_append = res.append
     current_tid = None
+    truncated = False
     lo = hi = ptr = 0
     for tid_val, low_val, i in keyed:
         if tid_val != current_tid:
+            if max_rows is not None and len(res) >= max_rows:
+                truncated = True
+                break
             current_tid = tid_val
             lo, hi = bounds.get((name, tid_val), (0, 0))
             ptr = lo
@@ -352,7 +374,7 @@ def sweep(keyed, batch, bounds, lefts, name, high_col, high_arr, checks):
         j = ptr
         while j < hi and lefts[j] < limit:
 {body}
-    return src, res
+    return src, res, truncated
 """
     namespace: dict = {}
     exec(source, namespace)  # tokens come from the fixed comparison set
@@ -422,9 +444,9 @@ class MergeJoinStep:
 
     # -- candidate enumeration ------------------------------------------------
 
-    def run(self, batch: list) -> list:
+    def run(self, batch: list, cutoff: Optional[Cutoff] = None) -> list:
         if self._native is not None:
-            return self._native.run(batch)
+            return self._native.run(batch, cutoff)
         width = len(batch)
         out = [array("q") for _ in range(width + 1)]
         count = len(batch[0]) if batch else 0
@@ -447,11 +469,11 @@ class MergeJoinStep:
         )
         keyed.sort()
         if spec.strategy == SWEEP:
-            self._run_sweep(batch, keyed, out, width)
+            self._run_sweep(batch, keyed, out, width, cutoff)
         elif spec.strategy == STACK:
-            self._run_stack(batch, keyed, out, width)
+            self._run_stack(batch, keyed, out, width, cutoff)
         else:
-            self._run_prefix(batch, keyed, out, width)
+            self._run_prefix(batch, keyed, out, width, cutoff)
         return out
 
     def _resolved_checks(self, batch, i):
@@ -495,7 +517,7 @@ class MergeJoinStep:
         b = [batch[s][i] for s in range(width)]
         return all(check(b) for check in checks)
 
-    def _run_sweep(self, batch, keyed, out, width) -> None:
+    def _run_sweep(self, batch, keyed, out, width, cutoff=None) -> None:
         spec = self.spec
         checks = self.vector_specs
         if (
@@ -505,10 +527,13 @@ class MergeJoinStep:
             and spec.self_slot is None
         ):
             high_col = None if spec.high is None else batch[spec.high[0]]
-            src, res = self._sweep_loop(
+            src, res, truncated = self._sweep_loop(
                 keyed, batch, self.bounds, self.lefts,
                 spec.name, high_col, self.high_arr, checks,
+                None if cutoff is None else cutoff.max_rows,
             )
+            if truncated:
+                cutoff.hit = True
             for s in range(width):
                 out[s] = array("q", map(batch[s].__getitem__, src))
             out[width] = array("q", res)
@@ -524,6 +549,9 @@ class MergeJoinStep:
             if not self._prune(batch, i, width):
                 continue
             if tid_val != current_tid:
+                if cutoff is not None and len(out[width]) >= cutoff.max_rows:
+                    cutoff.hit = True
+                    break
                 current_tid = tid_val
                 lo, hi = bounds.get((name, tid_val), _EMPTY)
                 ptr = lo
@@ -571,7 +599,7 @@ class MergeJoinStep:
                 j += 1
         return matched
 
-    def _run_stack(self, batch, keyed, out, width) -> None:
+    def _run_stack(self, batch, keyed, out, width, cutoff=None) -> None:
         """Stack-tree ancestors: spans still open at the context's left
         edge are the only possible ancestors; each partition row is pushed
         once per tid group and popped once its span closes (spans are
@@ -588,6 +616,9 @@ class MergeJoinStep:
             if not self._prune(batch, i, width):
                 continue
             if tid_val != current_tid:
+                if cutoff is not None and len(out[width]) >= cutoff.max_rows:
+                    cutoff.hit = True
+                    break
                 current_tid = tid_val
                 lo, hi = bounds.get((name, tid_val), _EMPTY)
                 ptr = lo
@@ -605,7 +636,7 @@ class MergeJoinStep:
             ]
             self._emit(batch, i, width, out, matched)
 
-    def _run_prefix(self, batch, keyed, out, width) -> None:
+    def _run_prefix(self, batch, keyed, out, width, cutoff=None) -> None:
         spec = self.spec
         lefts, bounds, name = self.lefts, self.bounds, spec.name
         include_high = spec.include_high
@@ -615,6 +646,9 @@ class MergeJoinStep:
             if not self._prune(batch, i, width):
                 continue
             if tid_val != current_tid:
+                if cutoff is not None and len(out[width]) >= cutoff.max_rows:
+                    cutoff.hit = True
+                    break
                 current_tid = tid_val
                 lo, hi = bounds.get((name, tid_val), _EMPTY)
                 end = lo

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 from typing import Iterable, Union
 
-from ..plan.ir import PlanNode, ROW_WIDTH, render
+from collections import Counter
+
+from ..plan.ir import Aggregate, Limit, PlanNode, ROW_WIDTH, render
 from ..relational.operators import Operator
 from ..relational.table import Table
 from .ast import Path
@@ -32,7 +34,13 @@ Query = Union[str, Path]
 
 
 class CompiledQuery:
-    """A compiled main pipeline ready to execute."""
+    """A compiled main pipeline ready to execute.
+
+    ``limit`` carries a logical :class:`~repro.plan.ir.Limit` (top-k in
+    output order) the physical plan was compiled under; ``agg`` carries
+    an :class:`~repro.plan.ir.Aggregate` operation.  Both are recorded
+    here (the physical executors reject post-output operators) and
+    applied by :meth:`rows` / :meth:`aggregate`."""
 
     def __init__(
         self,
@@ -40,21 +48,53 @@ class CompiledQuery:
         result_base: int,
         description: str,
         logical: PlanNode = None,
+        limit: int = None,
+        agg: str = None,
     ) -> None:
         self.plan = plan
         self.result_base = result_base
         self.description = description
         self.logical = logical
+        self.limit = limit
+        self.agg = agg
 
     def rows(self) -> Iterable[tuple]:
-        """Distinct ``(tid, id)`` pairs of the result step, sorted."""
+        """Distinct ``(tid, id)`` pairs of the result step, sorted —
+        truncated to the top-k when the plan carries a limit (the
+        columnar executor terminates early instead of truncating)."""
+        if self.limit is not None:
+            limited = getattr(self.plan, "rows_limited", None)
+            if limited is not None:
+                return limited(self.limit)
+            return sorted(self.plan)[: self.limit]
         return sorted(self.plan)
 
     def count(self) -> int:
+        if self.limit is not None:
+            return len(self.rows())
+        fast = getattr(self.plan, "count_rows", None)
+        if fast is not None:
+            # The columnar pipeline counts without materializing a
+            # result list (partition bounds for bare scans, distinct
+            # key cardinality otherwise).
+            return fast()
         total = 0
         for _ in self.plan:
             total += 1
         return total
+
+    def aggregate(self) -> dict:
+        """Evaluate the plan's aggregate: ``{"count": n}`` for plain
+        counts, ``{group: n}`` for the grouped forms (the group value is
+        the third component of the extended distinct key)."""
+        if self.agg is None:
+            raise LPathCompileError("plan carries no aggregate")
+        if self.agg == "count":
+            return {"count": self.count()}
+        counts = Counter()
+        for key in self.plan:
+            counts[key[2]] += 1
+        return dict(counts)
 
     def explain(self) -> str:
         """The logical IR (uniform across dialects) plus the physical plan."""
@@ -135,7 +175,8 @@ class PlanCompiler:
         return self._columnar_runtime
 
     def compile(
-        self, query: Query, pivot: bool = False, executor: str = "volcano"
+        self, query: Query, pivot: bool = False, executor: str = "volcano",
+        limit: int = None, agg: str = None,
     ) -> CompiledQuery:
         """Compile a query; ``pivot=True`` enables selectivity-driven join
         ordering: when the query is a plain step chain, the join starts at
@@ -145,10 +186,13 @@ class PlanCompiler:
 
         ``executor`` picks the physical backend for the optimized IR:
         ``"volcano"`` (tuple-at-a-time interpreter) or ``"columnar"``
-        (batch execution over parallel arrays)."""
+        (batch execution over parallel arrays).  ``limit`` compiles a
+        top-k plan; ``agg`` an aggregate plan (mutually exclusive)."""
         from ..plan.lower import lower_and_optimize
 
-        root, lowered = lower_and_optimize(self.lowerer, query, pivot, executor)
+        root, lowered = lower_and_optimize(
+            self.lowerer, query, pivot, executor, limit=limit, agg=agg
+        )
         return self.compile_physical(root, lowered, executor)
 
     def compile_physical(
@@ -157,11 +201,22 @@ class PlanCompiler:
         """Compile an already optimized logical plan against *this*
         relation.  Split out of :meth:`compile` so a segmented engine can
         lower and optimize a query once and physical-compile it against
-        every segment (:mod:`repro.plan.segmented`)."""
+        every segment (:mod:`repro.plan.segmented`).
+
+        A ``Limit``/``Aggregate`` wrapper is peeled off here: the
+        physical executors end their pipelines at Distinct/Project, so
+        the wrapper becomes an attribute of the compiled query (applied
+        in :meth:`CompiledQuery.rows` / :meth:`CompiledQuery.aggregate`)
+        while ``explain()`` still renders it from the logical root."""
+        inner, limit, agg = root, None, None
+        if isinstance(inner, Limit):
+            limit, inner = inner.count, inner.input
+        elif isinstance(inner, Aggregate):
+            agg, inner = inner.op, inner.input
         if executor == "columnar":
             from ..columnar import compile_plan as columnar_compile
 
-            physical = columnar_compile(root, self.columnar_runtime)
+            physical = columnar_compile(inner, self.columnar_runtime)
         elif executor == "volcano":
             if self.runtime is None:
                 raise LPathCompileError(
@@ -169,11 +224,12 @@ class PlanCompiler:
                 )
             from ..plan.executor import compile_plan
 
-            physical = compile_plan(root, self.runtime)
+            physical = compile_plan(inner, self.runtime)
         else:
             raise LPathCompileError(
                 f"unknown executor {executor!r}; choose from {EXECUTORS}"
             )
         return self.result_class(
-            physical, lowered.result_slot * ROW_WIDTH, lowered.description, root
+            physical, lowered.result_slot * ROW_WIDTH, lowered.description,
+            root, limit=limit, agg=agg,
         )

@@ -389,25 +389,34 @@ class LPathEngine:
         backend: str = "plan",
         pivot: bool = False,
         executor: Optional[str] = None,
+        limit: Optional[int] = None,
     ) -> list[tuple[int, int]]:
         """Distinct, sorted ``(tid, id)`` pairs matching the query.
 
         ``pivot=True`` (plan backend only, ignored elsewhere) enables
         selectivity-driven join ordering; ``executor`` overrides the
-        engine's physical executor for this query (plan backend only)."""
+        engine's physical executor for this query (plan backend only).
+        ``limit=k`` keeps the first k pairs in sorted order — the plan
+        backend compiles a top-k plan that terminates early instead of
+        truncating; the oracle backends truncate, so differential runs
+        stay comparable."""
         if self._compiler is None:
             raise LPathError("engine is closed")
         if backend == "plan":
-            return [
-                tuple(row)
-                for row in self.compile(query, pivot=pivot, executor=executor).rows()
-            ]
+            compiled = self.compile(
+                query, pivot=pivot, executor=executor, limit=limit
+            )
+            return [tuple(row) for row in compiled.rows()]
         if backend == "sqlite":
             sql = self.to_sql(query)
-            return sorted(tuple(row) for row in self.sqlite.execute(sql))
-        if backend == "treewalk":
-            return self.treewalk.query(query)
-        raise LPathError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+            result = sorted(tuple(row) for row in self.sqlite.execute(sql))
+        elif backend == "treewalk":
+            result = self.treewalk.query(query)
+        else:
+            raise LPathError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        return result[:limit] if limit is not None else result
 
     def count(
         self,
@@ -426,6 +435,77 @@ class LPathEngine:
             return self.compile(query, pivot=pivot, executor=executor).count()
         return len(self.query(query, backend=backend, pivot=pivot, executor=executor))
 
+    def aggregate(
+        self,
+        query: Query,
+        agg: str = "count",
+        pivot: bool = False,
+        executor: Optional[str] = None,
+    ) -> dict:
+        """Evaluate an aggregate over the result set without returning
+        rows: ``{"count": n}``, or ``{group: n}`` keyed by node name
+        (``count_by_name``) / depth (``count_by_depth``).  The plan
+        counts from partition bounds and join output cardinality instead
+        of materializing node lists."""
+        return self.compile(
+            query, pivot=pivot, executor=executor, agg=agg
+        ).aggregate()
+
+    def query_batch(
+        self,
+        queries: Sequence,
+        pivot: bool = False,
+        executor: Optional[str] = None,
+    ) -> list:
+        """Execute a batch of queries through one shared-scan cache:
+        identical scans and common step prefixes across the batch run
+        once and fan out to every consumer (:mod:`repro.plan.batch`).
+
+        Each entry is a query (string or AST) or a mapping with keys
+        ``query`` and optionally ``limit`` / ``agg`` / ``pivot``.
+        Returns one result per entry — the same row list (or aggregate
+        dict) the equivalent :meth:`query` / :meth:`aggregate` call
+        produces."""
+        from ..plan.batch import run_batch
+
+        return run_batch(self._compile_batch(queries, pivot, executor))
+
+    def explain_batch(
+        self,
+        queries: Sequence,
+        pivot: bool = False,
+        executor: Optional[str] = None,
+    ) -> str:
+        """Render the shared-scan DAG :meth:`query_batch` would execute,
+        with reuse annotations on every shared step prefix."""
+        from ..plan.batch import explain_batch
+
+        return explain_batch(self._compile_batch(queries, pivot, executor))
+
+    def _compile_batch(
+        self, queries: Sequence, pivot: bool, executor: Optional[str]
+    ) -> list:
+        if self._compiler is None:
+            raise LPathError("engine is closed")
+        compiled = []
+        for entry in queries:
+            options = {"pivot": pivot}
+            if isinstance(entry, dict):
+                spec = dict(entry)
+                query = spec.pop("query", None)
+                if query is None:
+                    raise LPathError("batch entry mapping needs a 'query' key")
+                unknown = set(spec) - {"limit", "agg", "pivot"}
+                if unknown:
+                    raise LPathError(
+                        f"unknown batch entry keys: {', '.join(sorted(unknown))}"
+                    )
+                options.update(spec)
+            else:
+                query = entry
+            compiled.append(self.compile(query, executor=executor, **options))
+        return compiled
+
     def nodes(
         self, query: Query, pivot: bool = False, executor: Optional[str] = None
     ) -> list[TreeNode]:
@@ -440,7 +520,12 @@ class LPathEngine:
     # -- compilation artifacts -------------------------------------------------
 
     def compile(
-        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+        self,
+        query: Query,
+        pivot: bool = False,
+        executor: Optional[str] = None,
+        limit: Optional[int] = None,
+        agg: Optional[str] = None,
     ):
         """Compile to a shared-IR plan, via the per-engine plan cache."""
         if self._compiler is None:
@@ -451,6 +536,8 @@ class LPathEngine:
             query,
             pivot,
             executor=executor if executor is not None else self.executor,
+            limit=limit,
+            agg=agg,
         )
 
     def to_sql(self, query: Query) -> str:
@@ -464,10 +551,13 @@ class LPathEngine:
         return self.plan_cache.stats
 
     def explain(
-        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None,
+        limit: Optional[int] = None, agg: Optional[str] = None,
     ) -> str:
         """Logical-IR and physical plan description."""
-        return self.compile(query, pivot=pivot, executor=executor).explain()
+        return self.compile(
+            query, pivot=pivot, executor=executor, limit=limit, agg=agg
+        ).explain()
 
     # -- backends ---------------------------------------------------------------
 

@@ -350,6 +350,34 @@ class Distinct(PlanNode):
     key: tuple[tuple[int, int], ...]
 
 
+@dataclass(eq=False)
+class Limit(PlanNode):
+    """Keep only the first ``count`` results in the dialect's output order
+    (sorted distinct keys) — the logical top-k operator.  The physical
+    executors push the cutoff into the structural-join sweeps so
+    deep-chain queries stop the moment k results exist."""
+
+    input: PlanNode
+    count: int
+
+
+#: The aggregate operations :class:`Aggregate` supports.  ``count`` is
+#: the distinct result cardinality; the ``count_by_*`` forms group it by
+#: the result slot's name or depth column.
+AGGREGATE_OPS = ("count", "count_by_name", "count_by_depth")
+
+
+@dataclass(eq=False)
+class Aggregate(PlanNode):
+    """Fold the distinct result set to counts without materializing node
+    lists: ``op`` is one of :data:`AGGREGATE_OPS`, ``slot`` the result
+    slot whose name/depth column keys the grouped forms."""
+
+    input: PlanNode
+    op: str
+    slot: int
+
+
 # -- introspection helpers ----------------------------------------------------
 
 
@@ -482,4 +510,11 @@ def render(node: PlanNode, indent: int = 0) -> str:
     if isinstance(node, Distinct):
         key = ", ".join(f"s{s}.{COLUMN_NAMES[c]}" for s, c in node.key)
         return f"{pad}Distinct[{key}]\n" + render(node.input, indent + 2)
+    if isinstance(node, Limit):
+        return f"{pad}TopK[k={node.count}]\n" + render(node.input, indent + 2)
+    if isinstance(node, Aggregate):
+        return (
+            f"{pad}Aggregate[{node.op} over s{node.slot}]\n"
+            + render(node.input, indent + 2)
+        )
     raise TypeError(f"cannot render {node!r}")

@@ -43,6 +43,8 @@ from ..lpath.ast import (
 from ..lpath.axes import Axis
 from ..lpath.errors import LPathCompileError
 from .ir import (
+    AGGREGATE_OPS,
+    Aggregate,
     AllPred,
     AnyPred,
     BoolConst,
@@ -58,6 +60,7 @@ from .ir import (
     IsAttr,
     IsElement,
     Join,
+    Limit,
     NotPred,
     PlanNode,
     PositionPred,
@@ -66,7 +69,7 @@ from .ir import (
     TableScan,
     ValueCmpPred,
     ValueSeed,
-    I, L, N, P, R, T,
+    D, I, L, N, P, R, T,
 )
 from .schemes import Catalog, DOWNWARD_AXES, LabelScheme
 
@@ -83,22 +86,48 @@ class LoweredQuery:
 
 
 def lower_and_optimize(
-    lowerer: "Lowerer", query, pivot: bool = False, executor: str = "volcano"
+    lowerer: "Lowerer", query, pivot: bool = False, executor: str = "volcano",
+    limit: Optional[int] = None, agg: Optional[str] = None,
 ) -> tuple[PlanNode, LoweredQuery]:
     """The logical half of every compile: parse (if text), lower —
     pivoted when requested and applicable, plain otherwise — and
     optimize.  Shared by the monolithic compilers and the segmented
     driver so the pivot-fallback and optimizer invocation can never
     diverge between them.  ``executor`` reaches the optimizer so plans
-    bound for the batch executor carry their physical-join annotations."""
+    bound for the batch executor carry their physical-join annotations.
+
+    ``limit`` wraps the optimized plan in a :class:`~repro.plan.ir.Limit`
+    (top-k in output order); ``agg`` wraps it in an
+    :class:`~repro.plan.ir.Aggregate` — the grouped forms extend the
+    Distinct key with the grouping column, which is functionally
+    dependent on ``(tid, id)`` and so never changes the distinct result
+    cardinality.  The two are mutually exclusive (a truncated aggregate
+    has no defined semantics)."""
     from ..lpath.parser import parse
     from .optimizer import optimize
 
+    if limit is not None and agg is not None:
+        raise LPathCompileError("limit and agg cannot be combined")
+    if limit is not None and limit < 0:
+        raise LPathCompileError(f"limit must be non-negative, got {limit}")
+    if agg is not None and agg not in AGGREGATE_OPS:
+        raise LPathCompileError(
+            f"unknown aggregate {agg!r} (expected one of {', '.join(AGGREGATE_OPS)})"
+        )
     path = parse(query) if isinstance(query, str) else query
     lowered = lowerer.lower_pivot(path) if pivot else None
     if lowered is None:
         lowered = lowerer.lower(path)
     root = optimize(lowered.root, lowerer, pivot=pivot, executor=executor)
+    slot = lowered.result_slot
+    if agg in ("count_by_name", "count_by_depth"):
+        group_col = N if agg == "count_by_name" else D
+        if isinstance(root, Distinct) and root.key == ((slot, T), (slot, I)):
+            root.key = ((slot, T), (slot, I), (slot, group_col))
+    if agg is not None:
+        root = Aggregate(root, agg, slot)
+    elif limit is not None:
+        root = Limit(root, limit)
     return root, lowered
 
 

@@ -159,6 +159,8 @@ class RemoteTask(NamedTuple):
     executor: str
     force: Optional[str]
     kernels: Optional[str] = None    # the REPRO_KERNELS mode, same contract
+    limit: Optional[int] = None      # per-segment top-k (parent truncates)
+    agg: Optional[str] = None        # aggregate op (parent sums the dicts)
 
 
 #: Per-process caches for worker-side segment engines: one opened corpus
@@ -216,10 +218,13 @@ def _execute_segment(task: RemoteTask, index: int, kind: str):
             os.environ[env] = value
     try:
         compiled = cached_compile(
-            cache, compiler, task.query, task.pivot, executor=task.executor
+            cache, compiler, task.query, task.pivot, executor=task.executor,
+            limit=task.limit, agg=task.agg,
         )
         if kind == "count":
             return compiled.count()
+        if kind == "agg":
+            return compiled.aggregate()
         packed = array("q")
         for tid, node_id in compiled.rows():
             packed.append(tid)
@@ -326,12 +331,16 @@ class SegmentedQuery:
         logical: PlanNode,
         get_pool: Optional[Callable] = None,
         remote: Optional[RemoteTask] = None,
+        limit: Optional[int] = None,
+        agg: Optional[str] = None,
     ) -> None:
         self.parts = list(parts)
         self.description = description
         self.logical = logical
         self.get_pool = get_pool
         self.remote = remote
+        self.limit = limit
+        self.agg = agg
 
     def _map(self, task: Callable) -> list:
         pool = self.get_pool() if self.get_pool is not None else None
@@ -360,24 +369,52 @@ class SegmentedQuery:
         return [future.result() for future in futures]
 
     def rows(self) -> Iterable[tuple]:
-        """Distinct, sorted ``(tid, id)`` pairs across every segment."""
+        """Distinct, sorted ``(tid, id)`` pairs across every segment.
+
+        Under a top-k limit every segment already stops at its own first
+        k results (each could hold the k globally-smallest keys), so the
+        merge only has to truncate — identical output to a monolithic
+        top-k because the segments partition the tid space."""
         packed = self._map_remote("rows")
         if packed is not None:
             from ..columnar.kernels.api import merge_packed_pairs
 
             merged = merge_packed_pairs(packed)
-            if merged is not None:
-                return merged
-            return merge(*(_unpack_pairs(blob) for blob in packed))
-        return merge(*self._map(lambda part: part.rows()))
+            if merged is None:
+                merged = merge(*(_unpack_pairs(blob) for blob in packed))
+        else:
+            merged = merge(*self._map(lambda part: part.rows()))
+        if self.limit is not None:
+            return list(merged)[: self.limit]
+        return merged
 
     def count(self) -> int:
         """Total result size — per-segment counts simply add because the
         segments partition the tid space."""
+        if self.limit is not None:
+            return len(list(self.rows()))
         counts = self._map_remote("count")
         if counts is not None:
             return sum(counts)
         return sum(self._map(lambda part: part.count()))
+
+    def aggregate(self) -> dict:
+        """Merge per-segment aggregates: group counts add across the
+        disjoint tid shards (and ``{"count": n}`` is just the one-group
+        case)."""
+        if self.agg is None:
+            from ..lpath.errors import LPathCompileError
+
+            raise LPathCompileError("plan carries no aggregate")
+        results = self._map_remote("agg")
+        if results is None:
+            results = self._map(lambda part: part.aggregate())
+        from collections import Counter
+
+        merged: Counter = Counter()
+        for result in results:
+            merged.update(result)
+        return dict(merged)
 
     def explain(self) -> str:
         """The shared logical IR plus the first segment's physical plan
@@ -421,7 +458,8 @@ class SegmentedPlanCompiler:
         self.remote = remote
 
     def compile(
-        self, query, pivot: bool = False, executor: str = "volcano"
+        self, query, pivot: bool = False, executor: str = "volcano",
+        limit: Optional[int] = None, agg: Optional[str] = None,
     ) -> SegmentedQuery:
         """One logical compile, N physical compiles, one merged result.
 
@@ -431,7 +469,9 @@ class SegmentedPlanCompiler:
         Engines built over an ``LPDB0004`` file additionally attach a
         :class:`RemoteTask` so a process pool can re-run the same query
         worker-side without pickling any plan or store."""
-        root, lowered = lower_and_optimize(self.lowerer, query, pivot, executor)
+        root, lowered = lower_and_optimize(
+            self.lowerer, query, pivot, executor, limit=limit, agg=agg
+        )
         parts = [
             segment.compiler.compile_physical(root, lowered, executor)
             for segment in self.segments
@@ -448,7 +488,10 @@ class SegmentedPlanCompiler:
                 executor,
                 force_mode(),
                 os.environ.get(KERNELS_ENV) or None,
+                limit,
+                agg,
             )
         return SegmentedQuery(
-            parts, lowered.description, root, self.get_pool, remote_task
+            parts, lowered.description, root, self.get_pool, remote_task,
+            limit=limit, agg=agg,
         )

@@ -44,13 +44,18 @@ class ResultCache(PlanCache):
     def key(
         fingerprint: str, dialect: str, query: str, pivot: bool,
         executor: str = "columnar",
+        limit: Optional[int] = None, agg: Optional[str] = None,
     ) -> tuple:
         """The full result identity: serving dimensions + everything a
-        compiled plan's output depends on.  Raises
-        :class:`~repro.lpath.errors.LPathError` for an invalid
-        ``REPRO_KERNELS`` environment, exactly like compiling would."""
+        compiled plan's output depends on.  ``limit`` is the plan's
+        top-k — a top-k entry holds only the truncated k rows, so a
+        limited query can never pin a full result set in the cache (and
+        a full-result entry is never truncated to serve a limited
+        request).  Raises :class:`~repro.lpath.errors.LPathError` for an
+        invalid ``REPRO_KERNELS`` environment, exactly like compiling
+        would."""
         return (fingerprint, dialect) + compile_options_key(
-            query, pivot, executor
+            query, pivot, executor, limit=limit, agg=agg
         )
 
     def put_rows(self, key: tuple, rows: tuple) -> bool:

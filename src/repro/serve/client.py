@@ -84,6 +84,58 @@ class ServeClient:
             )
         return document
 
+    def _request_ndjson(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> list[dict]:
+        """Like :meth:`_request`, but for NDJSON streaming endpoints:
+        the de-chunked body is split on newlines and each line parsed as
+        its own document.  Error responses are plain JSON and surface
+        exactly as they do for ``_request``."""
+        payload = None
+        headers = {"Accept": "application/x-ndjson"}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = HTTPConnection(
+                    self._host, self._port, timeout=self._timeout
+                )
+            try:
+                self._connection.request(method, path, payload, headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, HTTPException, OSError) as error:
+                self.close()
+                if attempt:
+                    raise ServeClientError(
+                        0,
+                        f"cannot reach daemon at "
+                        f"http://{self._host}:{self._port}: {error}",
+                    )
+        try:
+            documents = [
+                json.loads(line)
+                for line in raw.decode("utf-8").splitlines()
+                if line.strip()
+            ]
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServeClientError(
+                response.status,
+                f"daemon returned non-NDJSON ({response.status}): "
+                f"{raw[:200]!r}",
+            )
+        if response.status != 200:
+            message = (
+                documents[0].get("error", "")
+                if documents else raw.decode("utf-8", "replace")
+            )
+            raise ServeClientError(
+                response.status, f"daemon error {response.status}: {message}"
+            )
+        return documents
+
     # -- the query surface --------------------------------------------------
 
     def query_page(self, query: str, offset: int = 0, **options) -> dict:
@@ -102,20 +154,74 @@ class ServeClient:
         limit: Optional[int] = None,
         store: Optional[str] = None,
         timeout_ms: Optional[int] = None,
+        top_k: Optional[int] = None,
     ) -> list[tuple[int, int]]:
         """All matching ``(tid, id)`` pairs, following pagination until
-        the daemon reports no next page."""
+        the daemon reports no next page.  ``top_k=k`` asks the server
+        for an early-terminating top-k plan (``limit`` is just the page
+        size)."""
         rows: list[tuple[int, int]] = []
         offset = 0
         while True:
             page = self.query_page(
                 query, offset=offset, dialect=dialect, pivot=pivot,
                 limit=limit, store=store, timeout_ms=timeout_ms,
+                top_k=top_k,
             )
             rows.extend(tuple(pair) for pair in page["matches"])
             if page.get("next_offset") is None:
                 return rows
             offset = page["next_offset"]
+
+    def aggregate(
+        self,
+        query: str,
+        agg: str = "count",
+        dialect: str = "lpath",
+        pivot: bool = False,
+        store: Optional[str] = None,
+        timeout_ms: Optional[int] = None,
+    ) -> dict:
+        """The server-side aggregate (``{"count": n}`` or ``{group: n}``),
+        evaluated without materializing or shipping any rows."""
+        page = self.query_page(
+            query, agg=agg, dialect=dialect, pivot=pivot, store=store,
+            timeout_ms=timeout_ms,
+        )
+        return {group: count for group, count in page["aggregate"]}
+
+    def query_batch(
+        self,
+        queries: list,
+        dialect: str = "lpath",
+        pivot: bool = False,
+        store: Optional[str] = None,
+        timeout_ms: Optional[int] = None,
+    ) -> list[dict]:
+        """Submit a whole batch to ``POST /batch`` and collect the
+        streamed per-query documents, in order (the trailing summary
+        document is validated and dropped).  Each entry is a query
+        string or an object with ``query`` plus optional ``top_k`` /
+        ``agg`` / ``pivot`` / ``count`` keys."""
+        body = {"queries": queries, "dialect": dialect, "pivot": pivot}
+        if store is not None:
+            body["store"] = store
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        documents = self._request_ndjson("POST", "/batch", body)
+        if not documents or "done" not in documents[-1]:
+            raise ServeClientError(
+                0, "batch stream ended without a summary document"
+            )
+        summary = documents.pop()
+        if len(documents) != len(queries) or not summary.get("done"):
+            raise ServeClientError(
+                0,
+                f"batch returned {summary.get('completed')} of "
+                f"{len(queries)} results: "
+                f"{documents[-1].get('error') if documents else 'no output'}",
+            )
+        return documents
 
     def count(
         self,

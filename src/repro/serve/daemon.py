@@ -11,7 +11,14 @@ Endpoints::
     GET  /query?q=//NP&count=1     query via the query string
     POST /query                    {"query": ..., "dialect": ..., "pivot": ...,
                                     "count": ..., "limit": ..., "offset": ...,
+                                    "top_k": ..., "agg": ...,
                                     "store": ..., "timeout_ms": ...}
+    POST /batch                    {"queries": ["//NP", {"query": ...,
+                                    "top_k": ..., "agg": ...}, ...], plus
+                                    batch-wide dialect/store/pivot/timeout_ms}
+                                   -> NDJSON stream, one document per query
+                                   as it completes (shared-scan execution),
+                                   then a summary document
 
 Every error is a JSON document ``{"error": "..."}`` with the status the
 service chose (400 bad request, 404 unknown store/path, 429 over
@@ -24,6 +31,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
@@ -63,7 +71,26 @@ class _Handler(BaseHTTPRequestHandler):
         for start in range(0, len(body), _CHUNK_BYTES):
             self.wfile.write(body[start:start + _CHUNK_BYTES])
 
+    def _respond_stream(self, documents) -> None:
+        """Stream NDJSON documents with chunked transfer encoding — one
+        chunk per document, flushed as each batch member completes, so
+        clients see results incrementally (``http.client`` de-chunks
+        transparently)."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for document in documents:
+            data = (json.dumps(document) + "\n").encode("utf-8")
+            self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+            self.wfile.write(data)
+            self.wfile.write(b"\r\n")
+            self.wfile.flush()
+        self.wfile.write(b"0\r\n\r\n")
+
     def _handle(self, params_from) -> None:
+        route = None
+        started = time.perf_counter()
         try:
             route, params = params_from()
             if route == "/healthz":
@@ -72,6 +99,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(200, self.service.stats())
             elif route == "/query":
                 self._respond(200, self.service.execute(params))
+            elif route == "/batch":
+                self._respond_stream(self.service.execute_batch(params))
             else:
                 self._respond(404, {"error": f"unknown path {route!r}"})
         except ServeError as error:
@@ -84,6 +113,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(
                 500, {"error": f"{type(error).__name__}: {error}"}
             )
+        finally:
+            if route in ("/healthz", "/stats", "/query", "/batch"):
+                self.service.record_latency(
+                    route, time.perf_counter() - started
+                )
 
     # -- verbs --------------------------------------------------------------
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ from typing import Optional, Sequence, Union
 
 from ..columnar.kernels import kernel_info
 from ..lpath.errors import LPathError
+from ..plan.ir import AGGREGATE_OPS
 from .cache import ResultCache
 
 DIALECTS = ("lpath", "xpath")
@@ -47,6 +49,12 @@ DIALECTS = ("lpath", "xpath")
 #: request can ask for in one page; deeper pagination streams the rest).
 DEFAULT_PAGE_ROWS = 1_000
 MAX_PAGE_ROWS = 50_000
+
+#: Queries one /batch request may carry.
+MAX_BATCH_QUERIES = 256
+
+#: Recent samples kept per endpoint for the latency percentiles.
+LATENCY_WINDOW = 2_048
 
 
 class ServeError(LPathError):
@@ -98,7 +106,7 @@ class QueryRequest:
 
     __slots__ = (
         "query", "dialect", "pivot", "count", "limit", "offset", "store",
-        "timeout",
+        "timeout", "top_k", "agg",
     )
 
     def __init__(self, params: dict) -> None:
@@ -119,6 +127,23 @@ class QueryRequest:
         )
         self.offset = _bounded_int(params, "offset", 0, 0, None)
         self.store = params.get("store") or None
+        # top_k compiles an early-terminating top-k plan (and caches only
+        # the truncated rows); agg evaluates an aggregate instead of rows.
+        top_k = params.get("top_k")
+        self.top_k = None if top_k is None else _as_int("top_k", top_k)
+        if self.top_k is not None and self.top_k < 0:
+            raise ServeError(400, f"top_k must be >= 0 (got {self.top_k})")
+        agg = params.get("agg") or None
+        if agg is not None and agg not in AGGREGATE_OPS:
+            raise ServeError(
+                400,
+                f"unknown agg {agg!r}; choose from {', '.join(AGGREGATE_OPS)}",
+            )
+        self.agg = agg
+        if self.agg is not None and self.top_k is not None:
+            raise ServeError(400, "top_k and agg cannot be combined")
+        if self.agg is not None and self.count:
+            raise ServeError(400, "count and agg cannot be combined")
         timeout = params.get("timeout_ms")
         if timeout is None:
             self.timeout = None
@@ -220,6 +245,8 @@ class QueryService:
         self.rejected = 0
         self.timeouts = 0
         self.errors = 0
+        # route -> [count, deque of recent seconds] for /stats percentiles.
+        self._latency: dict[str, list] = {}
         self._pool = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-serve"
         )
@@ -310,10 +337,20 @@ class QueryService:
         bug the transport maps to 500."""
         request = QueryRequest(params)
         handle = self._resolve(request.store)
+        key = self._result_key(handle, request)
+        started = time.perf_counter()
+        rows = self.results.get(key)
+        cached = rows is not None
+        if not cached:
+            rows = self._execute_uncached(handle, request, key)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        return self._page(rows, request, cached, elapsed_ms)
+
+    def _result_key(self, handle: StoreHandle, request: QueryRequest) -> tuple:
         try:
             key = self.results.key(
                 handle.fingerprint, request.dialect, request.query,
-                request.pivot,
+                request.pivot, limit=request.top_k, agg=request.agg,
             )
         except ServeError:
             raise
@@ -327,13 +364,168 @@ class QueryService:
                 f"store {handle.spec.path!r} serves dialect "
                 f"{handle.spec.dialect!r}, not {request.dialect!r}",
             )
-        started = time.perf_counter()
-        rows = self.results.get(key)
-        cached = rows is not None
-        if not cached:
-            rows = self._execute_uncached(handle, request, key)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
-        return self._page(rows, request, cached, elapsed_ms)
+        return key
+
+    def execute_batch(self, params: dict):
+        """Admit a whole batch of queries as one unit and return a
+        generator streaming one response document per query, in order,
+        as each completes (plus a final summary document).
+
+        The batch shares one admission ticket and one deadline; uncached
+        members execute through one shared-scan cache
+        (:mod:`repro.plan.batch`), so identical scans and common step
+        prefixes across the batch run once.  Result-cache integration is
+        per-query: members hit and populate the cache individually under
+        their own keys.  Validation errors raise :class:`ServeError`
+        before anything streams; per-member failures become
+        ``{"index": i, "error": ...}`` documents."""
+        raw = params.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise ServeError(400, "batch body needs a non-empty 'queries' list")
+        if len(raw) > MAX_BATCH_QUERIES:
+            raise ServeError(
+                400,
+                f"batch of {len(raw)} queries exceeds the "
+                f"{MAX_BATCH_QUERIES}-query ceiling",
+            )
+        defaults = {
+            name: params[name]
+            for name in ("dialect", "store", "pivot", "timeout_ms")
+            if name in params
+        }
+        members = []
+        for entry in raw:
+            if isinstance(entry, str):
+                entry = {"query": entry}
+            elif not isinstance(entry, dict):
+                raise ServeError(
+                    400, "each batch entry must be a query string or an object"
+                )
+            members.append(QueryRequest({**defaults, **entry}))
+        handle = self._resolve(members[0].store)
+        keys = [self._result_key(handle, member) for member in members]
+        if any(member.store != members[0].store for member in members):
+            raise ServeError(
+                400, "all queries in one batch must target the same store"
+            )
+        budget = self.timeout
+        timeouts = [m.timeout for m in members if m.timeout is not None]
+        if timeouts:
+            budget = min(budget, *timeouts)
+        ticket = _Ticket(time.monotonic() + budget)
+        self._admit(ticket)
+        return self._stream_batch(handle, members, keys, ticket)
+
+    def _stream_batch(self, handle, members, keys, ticket):
+        from ..plan.batch import BatchState
+
+        batch_started = time.perf_counter()
+        completed = 0
+        try:
+            # Compile every uncached member up front (through the plan
+            # cache) so the shared-prefix refcounts see the whole batch;
+            # a member that fails to compile streams an error document.
+            compiled: dict[int, object] = {}
+            failures: dict[int, str] = {}
+            for index, member in enumerate(members):
+                if keys[index] in self.results:  # hit counted on its turn
+                    continue
+                try:
+                    compiled[index] = handle.engine.compile(
+                        member.query, pivot=member.pivot,
+                        limit=member.top_k, agg=member.agg,
+                    )
+                except LPathError as error:
+                    failures[index] = str(error)
+            state = BatchState(list(compiled.values()))
+            for index, member in enumerate(members):
+                started = time.perf_counter()
+                if failures.get(index) is not None:
+                    with self._lock:
+                        self.errors += 1
+                    yield {"index": index, "error": failures[index]}
+                    continue
+                if ticket.remaining() <= 0:
+                    with self._lock:
+                        self.timeouts += 1
+                    yield {
+                        "index": index,
+                        "error": "batch exceeded its deadline",
+                    }
+                    break
+                rows = self.results.get(keys[index])
+                cached = rows is not None
+                try:
+                    if not cached:
+                        plan = compiled.get(index)
+                        if plan is None:
+                            # A racing request cached this result after
+                            # the upfront pass; recompile is a plan-cache
+                            # hit.
+                            plan = handle.engine.compile(
+                                member.query, pivot=member.pivot,
+                                limit=member.top_k, agg=member.agg,
+                            )
+                            rows = self._shape(state.execute_one(plan))
+                        else:
+                            rows = self._shape(state.execute_one(plan))
+                        self.results.put_rows(keys[index], rows)
+                        with self._lock:
+                            self.served += 1
+                except LPathError as error:
+                    with self._lock:
+                        self.errors += 1
+                    yield {"index": index, "error": str(error)}
+                    continue
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                document = self._page(rows, member, cached, elapsed_ms)
+                document["index"] = index
+                completed += 1
+                yield document
+            yield {
+                "done": completed == len(members),
+                "queries": len(members),
+                "completed": completed,
+                "elapsed_ms": round(
+                    (time.perf_counter() - batch_started) * 1000.0, 3
+                ),
+            }
+        finally:
+            self._release()
+
+    @staticmethod
+    def _shape(result) -> tuple:
+        """Normalize a batch member's result to the cacheable tuple shape
+        (:meth:`_evaluate`'s contract)."""
+        if isinstance(result, dict):
+            return tuple(sorted(result.items()))
+        return tuple(result)
+
+    def record_latency(self, route: str, seconds: float) -> None:
+        """Feed one request's wall time into the per-endpoint window
+        (the transport calls this once per handled request)."""
+        with self._lock:
+            bucket = self._latency.get(route)
+            if bucket is None:
+                bucket = self._latency[route] = [
+                    0, deque(maxlen=LATENCY_WINDOW)
+                ]
+            bucket[0] += 1
+            bucket[1].append(seconds)
+
+    def _endpoint_stats(self) -> dict:
+        """Per-endpoint counts and latency percentiles over the recent
+        window (caller holds the lock)."""
+        endpoints = {}
+        for route, (count, samples) in sorted(self._latency.items()):
+            ordered = sorted(samples)
+            last = len(ordered) - 1
+            endpoints[route] = {
+                "count": count,
+                "p50_ms": round(ordered[int(last * 0.50)] * 1000.0, 3),
+                "p99_ms": round(ordered[int(last * 0.99)] * 1000.0, 3),
+            }
+        return endpoints
 
     def _execute_uncached(
         self, handle: StoreHandle, request: QueryRequest, key: tuple
@@ -376,11 +568,26 @@ class QueryService:
         """The worker side: cooperative-cancellation checkpoints wrap
         the engine call (which itself is not interruptible)."""
         ticket.check()  # expired or abandoned while queued in the pool
-        rows = tuple(
-            handle.engine.query(request.query, pivot=request.pivot)
-        )
+        rows = self._evaluate(handle, request)
         ticket.check()  # abandoned mid-flight: never cache, never return
         return rows
+
+    @staticmethod
+    def _evaluate(handle: StoreHandle, request: QueryRequest) -> tuple:
+        """One engine call to the cacheable result shape: ``(tid, id)``
+        rows (already top-k-truncated under ``top_k``), or sorted
+        ``(group, count)`` pairs for an aggregate — the key's ``agg``
+        dimension disambiguates the two shapes on the way back out."""
+        if request.agg is not None:
+            result = handle.engine.aggregate(
+                request.query, agg=request.agg, pivot=request.pivot
+            )
+            return tuple(sorted(result.items()))
+        return tuple(
+            handle.engine.query(
+                request.query, pivot=request.pivot, limit=request.top_k
+            )
+        )
 
     def _admit(self, ticket: _Ticket) -> None:
         with self._turnstile:
@@ -423,6 +630,13 @@ class QueryService:
     def _page(
         rows: tuple, request: QueryRequest, cached: bool, elapsed_ms: float
     ) -> dict:
+        if request.agg is not None:
+            return {
+                "agg": request.agg,
+                "aggregate": [[group, count] for group, count in rows],
+                "cached": cached,
+                "elapsed_ms": round(elapsed_ms, 3),
+            }
         total = len(rows)
         if request.count:
             return {
@@ -461,8 +675,10 @@ class QueryService:
                 "errors": self.errors,
                 "uptime_seconds": round(time.monotonic() - self._started, 3),
             }
+            endpoints = self._endpoint_stats()
         return {
             "server": server,
+            "endpoints": endpoints,
             "result_cache": self.results.stats,
             "kernels": kernel_info(),
             "stores": [

@@ -169,7 +169,12 @@ class XPathEngine:
         return engine
 
     def compile(
-        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+        self,
+        query: Query,
+        pivot: bool = False,
+        executor: Optional[str] = None,
+        limit: Optional[int] = None,
+        agg: Optional[str] = None,
     ):
         """Compile to a shared-IR plan, via the per-engine plan cache."""
         if self._compiler is None:
@@ -180,16 +185,83 @@ class XPathEngine:
             query,
             pivot,
             executor=executor if executor is not None else self.executor,
+            limit=limit,
+            agg=agg,
         )
 
     def query(
-        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+        self,
+        query: Query,
+        pivot: bool = False,
+        executor: Optional[str] = None,
+        limit: Optional[int] = None,
     ) -> list[tuple[int, int]]:
-        """Distinct, sorted ``(tid, id)`` pairs matching the query."""
-        return [
-            tuple(row)
-            for row in self.compile(query, pivot=pivot, executor=executor).rows()
-        ]
+        """Distinct, sorted ``(tid, id)`` pairs matching the query
+        (``limit=k`` compiles an early-terminating top-k plan)."""
+        compiled = self.compile(
+            query, pivot=pivot, executor=executor, limit=limit
+        )
+        return [tuple(row) for row in compiled.rows()]
+
+    def aggregate(
+        self,
+        query: Query,
+        agg: str = "count",
+        pivot: bool = False,
+        executor: Optional[str] = None,
+    ) -> dict:
+        """Evaluate an aggregate without materializing rows (same
+        contract as :meth:`repro.lpath.LPathEngine.aggregate`)."""
+        return self.compile(
+            query, pivot=pivot, executor=executor, agg=agg
+        ).aggregate()
+
+    def query_batch(
+        self,
+        queries: Sequence,
+        pivot: bool = False,
+        executor: Optional[str] = None,
+    ) -> list:
+        """Shared-scan batch execution (same contract as
+        :meth:`repro.lpath.LPathEngine.query_batch`)."""
+        from ..plan.batch import run_batch
+
+        return run_batch(self._compile_batch(queries, pivot, executor))
+
+    def explain_batch(
+        self,
+        queries: Sequence,
+        pivot: bool = False,
+        executor: Optional[str] = None,
+    ) -> str:
+        """Render the shared-scan DAG :meth:`query_batch` would execute."""
+        from ..plan.batch import explain_batch
+
+        return explain_batch(self._compile_batch(queries, pivot, executor))
+
+    def _compile_batch(
+        self, queries: Sequence, pivot: bool, executor: Optional[str]
+    ) -> list:
+        if self._compiler is None:
+            raise LPathError("engine is closed")
+        compiled = []
+        for entry in queries:
+            options = {"pivot": pivot}
+            if isinstance(entry, dict):
+                spec = dict(entry)
+                query = spec.pop("query", None)
+                if query is None:
+                    raise LPathError("batch entry mapping needs a 'query' key")
+                unknown = set(spec) - {"limit", "agg", "pivot"}
+                if unknown:
+                    raise LPathError(
+                        f"unknown batch entry keys: {', '.join(sorted(unknown))}"
+                    )
+                options.update(spec)
+            else:
+                query = entry
+            compiled.append(self.compile(query, executor=executor, **options))
+        return compiled
 
     def count(
         self, query: Query, pivot: bool = False, executor: Optional[str] = None
@@ -200,11 +272,14 @@ class XPathEngine:
         return self.compile(query, pivot=pivot, executor=executor).count()
 
     def explain(
-        self, query: Query, pivot: bool = False, executor: Optional[str] = None
+        self, query: Query, pivot: bool = False, executor: Optional[str] = None,
+        limit: Optional[int] = None, agg: Optional[str] = None,
     ) -> str:
         """Logical-IR and physical plan description (same IR format as the
         LPath engine)."""
-        return self.compile(query, pivot=pivot, executor=executor).explain()
+        return self.compile(
+            query, pivot=pivot, executor=executor, limit=limit, agg=agg
+        ).explain()
 
     def cache_stats(self) -> dict[str, int]:
         """Plan-cache observability: hits, misses, evictions, size and

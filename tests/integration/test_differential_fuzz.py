@@ -222,6 +222,143 @@ class TestDaemonDifferentialFuzz:
             os.unlink(path)
 
 
+def _batch_entries(data, prefix: str) -> list:
+    """A random batch suite: plain row queries mixed with top-k limits
+    and aggregates (the three shapes ``query_batch`` accepts)."""
+    from repro.plan.ir import AGGREGATE_OPS
+
+    entries = []
+    for index in range(QUERIES_PER_EXAMPLE):
+        query = data.draw(lpath_queries(), label=f"{prefix} query {index}")
+        kind = data.draw(
+            st.sampled_from(("rows", "rows", "limit", "agg")),
+            label=f"{prefix} kind {index}",
+        )
+        if kind == "limit":
+            entries.append({
+                "query": query,
+                "limit": data.draw(
+                    st.integers(min_value=0, max_value=5),
+                    label=f"{prefix} k {index}",
+                ),
+            })
+        elif kind == "agg":
+            entries.append({
+                "query": query,
+                "agg": data.draw(
+                    st.sampled_from(AGGREGATE_OPS),
+                    label=f"{prefix} agg {index}",
+                ),
+            })
+        else:
+            entries.append(query)
+    return entries
+
+
+def _expected_per_query(engine: LPathEngine, entries) -> list:
+    """What each batch member produces standalone, one query at a time."""
+    expected = []
+    for entry in entries:
+        if isinstance(entry, str):
+            expected.append([tuple(row) for row in engine.query(entry)])
+        elif "agg" in entry:
+            expected.append(engine.aggregate(entry["query"], agg=entry["agg"]))
+        else:
+            expected.append([
+                tuple(row)
+                for row in engine.query(entry["query"], limit=entry["limit"])
+            ])
+    return expected
+
+
+class TestBatchDifferentialFuzz:
+    """Shared-scan batching is an optimization, never a semantics
+    change: for random suites mixing row queries, top-k limits and
+    aggregates, ``query_batch`` must be byte-identical to per-query
+    execution — across executors, kernel backends, segmented engines,
+    and the HTTP daemon."""
+
+    @given(data=st.data())
+    @settings(max_examples=max(5, FUZZ_EXAMPLES // 3), deadline=None)
+    def test_batch_matches_per_query_execution(self, data):
+        trees = data.draw(corpora(max_trees=3, max_depth=4), label="corpus")
+        entries = _batch_entries(data, "batch")
+        reference = LPathEngine(trees)
+        expected = _expected_per_query(reference, entries)
+        engines = {
+            "volcano": reference,
+            "columnar": LPathEngine(trees, executor="columnar"),
+            "segmented": LPathEngine(
+                trees, executor="columnar", segments=2
+            ),
+        }
+        results = {
+            name: engine.query_batch(entries)
+            for name, engine in engines.items()
+        }
+        with forced_join("merge"):
+            for backend in KERNEL_BACKENDS:
+                with forced_kernels(backend):
+                    results[f"columnar+merge+{backend}"] = (
+                        engines["columnar"].query_batch(entries)
+                    )
+        for name, batched in results.items():
+            for index, (got, want) in enumerate(zip(batched, expected)):
+                assert got == want, (
+                    f"query_batch[{index}] under {name} diverged from "
+                    f"per-query execution\nentry: {entries[index]!r}\n"
+                    f"batch:     {got!r}\nper-query: {want!r}\n"
+                    f"corpus:\n{_bracketed(trees)}"
+                )
+
+    @given(data=st.data())
+    @settings(max_examples=max(3, FUZZ_EXAMPLES // 5), deadline=None)
+    def test_daemon_batch_matches_in_process(self, data):
+        from repro.serve import QueryServer, QueryService, ServeClient
+
+        trees = data.draw(corpora(max_trees=3, max_depth=4), label="corpus")
+        entries = _batch_entries(data, "daemon")
+        requests = [
+            entry if isinstance(entry, str)
+            else {
+                ("top_k" if key == "limit" else key): value
+                for key, value in entry.items()
+            }
+            for entry in entries
+        ]
+        handle, path = tempfile.mkstemp(suffix=".lpdb")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                store.save_labels(
+                    list(label_corpus(trees)), stream, segments=2,
+                    format="lpdb0004",
+                )
+            with LPathEngine.from_store_mmap(path) as engine, \
+                    QueryServer(QueryService(path)).start() as server, \
+                    ServeClient(server.url) as client:
+                expected = _expected_per_query(engine, entries)
+                for round_name in ("cold", "cached"):
+                    documents = client.query_batch(requests)
+                    for index, (document, want) in enumerate(
+                        zip(documents, expected)
+                    ):
+                        if isinstance(want, dict):
+                            got = dict(document["aggregate"])
+                        else:
+                            got = [
+                                tuple(pair)
+                                for pair in document["matches"]
+                            ]
+                        assert got == want, (
+                            f"/batch[{index}] ({round_name}) diverged\n"
+                            f"entry: {entries[index]!r}\n"
+                            f"daemon:    {got!r}\nper-query: {want!r}\n"
+                            f"corpus:\n{_bracketed(trees)}"
+                        )
+        finally:
+            os.unlink(path)
+
+
 class TestXPathDifferentialFuzz:
     @given(data=st.data())
     @settings(max_examples=max(5, FUZZ_EXAMPLES // 3), deadline=None)

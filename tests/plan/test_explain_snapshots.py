@@ -16,6 +16,7 @@ from __future__ import annotations
 import difflib
 import os
 import pathlib
+import re
 
 import pytest
 
@@ -55,12 +56,46 @@ SNAPSHOTS = [
     ("lpath_columnar_deep_chain", "lpath", "//S//NP//N", {"executor": "columnar"}),
     ("lpath_columnar_ancestor", "lpath", "//Det\\ancestor::S", {"executor": "columnar"}),
     ("lpath_columnar_wildcard_child", "lpath", "//S/_", {"executor": "columnar"}),
+    ("lpath_topk", "lpath", "//S//NP//N", {"limit": 5, "executor": "columnar"}),
+    ("lpath_topk_volcano", "lpath", "//S//NP", {"limit": 3}),
+    ("lpath_aggregate_count", "lpath", "//S//NP", {"agg": "count"}),
+    ("lpath_aggregate_by_name", "lpath", "//S/_",
+     {"agg": "count_by_name", "executor": "columnar"}),
+    ("lpath_aggregate_by_depth", "lpath", "//NP",
+     {"agg": "count_by_depth", "executor": "columnar"}),
     ("xpath_child_chain", "xpath", "//NP/N", {}),
     ("xpath_two_step_scan_pivot", "xpath", "//S//V", {"pivot": True}),
     ("xpath_ancestor", "xpath", "//Det\\ancestor::S", {}),
     ("xpath_columnar_scan", "xpath", "//S//NP", {"executor": "columnar"}),
     ("xpath_columnar_deep_chain", "xpath", "//S//NP//N", {"executor": "columnar"}),
+    ("xpath_topk", "xpath", "//S//NP", {"limit": 3, "executor": "columnar"}),
+    ("xpath_aggregate_by_name", "xpath", "//NP/_",
+     {"agg": "count_by_name", "executor": "columnar"}),
 ]
+
+#: (slug, dialect, batch entries) for ``explain_batch`` DAG snapshots.
+#: The suites deliberately share scan/join prefixes so the reuse
+#: annotations are exercised, and mix row, top-k and aggregate members.
+BATCH_SNAPSHOTS = [
+    ("lpath_batch_dag", "lpath", [
+        "//S//NP",
+        "//S//VP",
+        {"query": "//S//NP//N", "limit": 3},
+        {"query": "//S//NP", "agg": "count"},
+        {"query": "//NP", "agg": "count_by_name"},
+        "//NP/N",
+    ]),
+    ("xpath_batch_dag", "xpath", [
+        "//S//NP",
+        {"query": "//S//NP/N", "limit": 2},
+        {"query": "//S//NP", "agg": "count_by_depth"},
+    ]),
+]
+
+#: The merge-join step description names the kernel backend that would
+#: run it (``kernel=native`` vs ``kernel=python``) — an environment
+#: fact, not a plan fact, so snapshots neutralize it.
+_KERNEL_TAG = re.compile(r"kernel=\w+")
 
 
 @pytest.fixture(scope="module")
@@ -76,13 +111,7 @@ def _snapshot_path(slug: str) -> pathlib.Path:
     return SNAPSHOT_DIR / f"{slug}.txt"
 
 
-@pytest.mark.parametrize(
-    "slug,dialect,query,kwargs",
-    SNAPSHOTS,
-    ids=[slug for slug, *_ in SNAPSHOTS],
-)
-def test_explain_snapshot(engines, slug, dialect, query, kwargs):
-    actual = engines[dialect].explain(query, **kwargs) + "\n"
+def _assert_matches_snapshot(slug: str, actual: str, subject: str) -> None:
     path = _snapshot_path(slug)
     if UPDATE or not path.exists():
         SNAPSHOT_DIR.mkdir(exist_ok=True)
@@ -100,16 +129,38 @@ def test_explain_snapshot(engines, slug, dialect, query, kwargs):
                 expected.splitlines(),
                 actual.splitlines(),
                 fromfile=f"snapshots/{path.name}",
-                tofile="explain()",
+                tofile=subject,
                 lineterm="",
             )
         )
         pytest.fail(
-            f"explain() drifted from the pinned snapshot for {query!r}:\n{diff}\n"
+            f"{subject} drifted from the pinned snapshot:\n{diff}\n"
             "(REPRO_UPDATE_SNAPSHOTS=1 regenerates after an intentional change)"
         )
 
 
+@pytest.mark.parametrize(
+    "slug,dialect,query,kwargs",
+    SNAPSHOTS,
+    ids=[slug for slug, *_ in SNAPSHOTS],
+)
+def test_explain_snapshot(engines, slug, dialect, query, kwargs):
+    actual = engines[dialect].explain(query, **kwargs) + "\n"
+    _assert_matches_snapshot(slug, actual, f"explain() for {query!r}")
+
+
+@pytest.mark.parametrize(
+    "slug,dialect,entries",
+    BATCH_SNAPSHOTS,
+    ids=[slug for slug, *_ in BATCH_SNAPSHOTS],
+)
+def test_explain_batch_snapshot(engines, slug, dialect, entries):
+    rendered = engines[dialect].explain_batch(entries, executor="columnar")
+    actual = _KERNEL_TAG.sub("kernel=<backend>", rendered) + "\n"
+    _assert_matches_snapshot(slug, actual, "explain_batch()")
+
+
 def test_snapshot_list_is_unique():
     slugs = [slug for slug, *_ in SNAPSHOTS]
+    slugs += [slug for slug, *_ in BATCH_SNAPSHOTS]
     assert len(slugs) == len(set(slugs))

@@ -137,6 +137,68 @@ class TestErrorDocuments:
             assert "Traceback" not in str(failure.value)
 
 
+class TestBatchEndpoint:
+    def test_batch_round_trip_matches_per_query(self, client, expected):
+        documents = client.query_batch([
+            "//NP",
+            {"query": "//VP//NP", "top_k": 3},
+            {"query": "//NP", "agg": "count"},
+        ])
+        assert [d["index"] for d in documents] == [0, 1, 2]
+        assert [tuple(p) for p in documents[0]["matches"]] == \
+            expected["//NP"]
+        assert [tuple(p) for p in documents[1]["matches"]] == \
+            sorted(expected["//VP//NP"])[:3]
+        assert dict(documents[2]["aggregate"]) == \
+            {"count": len(expected["//NP"])}
+
+    def test_batch_wire_format_is_chunked_ndjson(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port)
+        try:
+            connection.request(
+                "POST", "/batch",
+                json.dumps({"queries": ["//NP", "//VP//NP"]}),
+                {"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == \
+                "application/x-ndjson"
+            assert response.getheader("Transfer-Encoding") == "chunked"
+            documents = [
+                json.loads(line)
+                for line in response.read().decode("utf-8").splitlines()
+                if line
+            ]
+            assert len(documents) == 3
+            assert documents[-1]["done"] is True
+        finally:
+            connection.close()
+
+    def test_invalid_batch_member_is_400(self, client):
+        with pytest.raises(ServeClientError) as failure:
+            client.query_batch([
+                {"query": "//NP", "top_k": 1, "agg": "count"}
+            ])
+        assert failure.value.status == 400
+
+    def test_member_parse_error_streams_an_error_document(self, client):
+        documents = client._request_ndjson(
+            "POST", "/batch", {"queries": ["//NP", "//("]}
+        )
+        assert "error" in documents[1]
+        assert documents[-1]["done"] is False
+        # The strict client surface turns the partial batch into an error.
+        with pytest.raises(ServeClientError):
+            client.query_batch(["//NP", "//("])
+
+    def test_top_k_and_agg_round_trip_on_query_endpoint(
+        self, client, expected
+    ):
+        assert client.query("//NP", top_k=4) == sorted(expected["//NP"])[:4]
+        assert client.aggregate("//NP") == {"count": len(expected["//NP"])}
+
+
 class TestObservability:
     def test_healthz(self, client):
         assert client.health() == {"status": "ok"}
@@ -151,6 +213,15 @@ class TestObservability:
         (described,) = stats["stores"]
         assert described["fingerprint"].startswith("lpdb0004-")
         assert stats["kernels"]["backend"] in ("python", "native")
+
+    def test_stats_reports_per_endpoint_latency(self, client):
+        client.query_page("//NP")
+        client.query_batch(["//VP//NP"])
+        endpoints = client.stats()["endpoints"]
+        assert endpoints["/query"]["count"] >= 1
+        assert endpoints["/batch"]["count"] >= 1
+        for entry in endpoints.values():
+            assert entry["p99_ms"] >= entry["p50_ms"] >= 0.0
 
     def test_stats_is_json_clean(self, client):
         # Everything in /stats must survive a JSON round trip untouched.

@@ -15,6 +15,7 @@ from repro import store
 from repro.labeling.xpath_scheme import label_corpus as xpath_label_corpus
 from repro.lpath import LPathEngine
 from repro.serve import QueryService, ServeClient, ServeError, StoreSpec
+from repro.serve.service import LATENCY_WINDOW, MAX_BATCH_QUERIES
 from repro.xpath import XPathEngine
 
 QUERIES = ("//NP", "//VP//NP", "//S//NP//WHPP", "//_[.//NP]//VB")
@@ -108,6 +109,164 @@ class TestResultCache:
         page = service.execute({"query": "//NP", "count": True})
         assert page["cached"] is True
         assert page["total"] == len(reference["//NP"])
+
+
+class TestTopKAndAggregates:
+    def test_top_k_is_the_sorted_prefix(self, service, reference):
+        page = service.execute({"query": "//NP", "top_k": 5})
+        expected = sorted(reference["//NP"])[:5]
+        assert [tuple(pair) for pair in page["matches"]] == expected
+        assert page["total"] == 5
+
+    def test_aggregate_count_matches_row_count(self, service, reference):
+        page = service.execute({"query": "//NP", "agg": "count"})
+        assert page["agg"] == "count"
+        assert dict(
+            (group, count) for group, count in page["aggregate"]
+        ) == {"count": len(reference["//NP"])}
+        assert "matches" not in page
+
+    def test_grouped_aggregate_sums_to_count(self, service, reference):
+        page = service.execute({"query": "//VP//NP", "agg": "count_by_depth"})
+        assert sum(count for _, count in page["aggregate"]) == \
+            len(reference["//VP//NP"])
+
+    def test_top_k_caches_only_the_truncated_rows(self, store_path):
+        # The oversize guard sees the k truncated rows, not the full
+        # result set: a top-k query stays cacheable even when its full
+        # result would be rejected.
+        with QueryService(store_path, max_cached_rows=5) as service:
+            full = service.execute({"query": "//NP"})
+            top = service.execute({"query": "//NP", "top_k": 3})
+            again = service.execute({"query": "//NP", "top_k": 3})
+        assert full["total"] > 5
+        assert service.results.stats["oversize"] == 1
+        assert top["cached"] is False
+        assert again["cached"] is True
+        assert again["matches"] == top["matches"]
+
+    def test_top_k_and_full_results_never_collide(self, service):
+        # Distinct cache keys: the truncated entry must never answer the
+        # full query (nor the full entry get truncated to answer top-k).
+        service.execute({"query": "//VP//NP", "top_k": 2})
+        page = service.execute({"query": "//VP//NP"})
+        assert page["cached"] is False
+        assert page["total"] > 2
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {"query": "//NP", "top_k": 1, "agg": "count"},
+            {"query": "//NP", "count": True, "agg": "count"},
+            {"query": "//NP", "agg": "sum"},
+            {"query": "//NP", "top_k": -1},
+            {"query": "//NP", "top_k": "many"},
+        ],
+        ids=["topk+agg", "count+agg", "bad-agg", "negative-k", "non-int-k"],
+    )
+    def test_bad_top_k_and_agg_are_400(self, service, params):
+        with pytest.raises(ServeError) as failure:
+            service.execute(params)
+        assert failure.value.status == 400
+
+
+class TestBatchExecution:
+    def test_batch_matches_per_query_execution(self, service, reference):
+        queries = [
+            "//NP",
+            {"query": "//VP//NP", "top_k": 3},
+            {"query": "//NP", "agg": "count"},
+        ]
+        documents = list(service.execute_batch({"queries": queries}))
+        summary = documents.pop()
+        assert summary["done"] is True
+        assert summary["completed"] == summary["queries"] == 3
+        assert [d["index"] for d in documents] == [0, 1, 2]
+        assert [tuple(p) for p in documents[0]["matches"]] == \
+            reference["//NP"]
+        assert [tuple(p) for p in documents[1]["matches"]] == \
+            sorted(reference["//VP//NP"])[:3]
+        assert dict(
+            (group, count) for group, count in documents[2]["aggregate"]
+        ) == {"count": len(reference["//NP"])}
+
+    def test_batch_members_use_the_result_cache_individually(self, service):
+        service.execute({"query": "//NP"})
+        documents = list(
+            service.execute_batch({"queries": ["//NP", "//VP//NP"]})
+        )
+        assert documents[0]["cached"] is True
+        assert documents[1]["cached"] is False
+        # ...and a batch populates the cache for later singles/batches.
+        documents = list(service.execute_batch({"queries": ["//VP//NP"]}))
+        assert documents[0]["cached"] is True
+
+    def test_member_failure_is_a_document_not_an_abort(
+        self, service, reference
+    ):
+        documents = list(
+            service.execute_batch({"queries": ["//NP", "//(", "//VP//NP"]})
+        )
+        summary = documents.pop()
+        assert summary["done"] is False
+        assert summary["completed"] == 2
+        assert documents[1]["index"] == 1
+        assert "error" in documents[1]
+        assert [tuple(p) for p in documents[2]["matches"]] == \
+            reference["//VP//NP"]
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {},
+            {"queries": []},
+            {"queries": "//NP"},
+            {"queries": [7]},
+            {"queries": ["//NP"] * (MAX_BATCH_QUERIES + 1)},
+            {"queries": [{"query": "//NP", "top_k": 1, "agg": "count"}]},
+        ],
+        ids=["missing", "empty", "not-a-list", "bad-entry", "too-many",
+             "bad-member"],
+    )
+    def test_bad_batches_are_400_before_streaming(self, service, params):
+        with pytest.raises(ServeError) as failure:
+            service.execute_batch(params)
+        assert failure.value.status == 400
+
+    def test_batch_is_admitted_as_one_unit(self, store_path):
+        with QueryService(
+            store_path, max_inflight=1, max_queue=0
+        ) as service:
+            stream = service.execute_batch({"queries": ["//NP", "//VP//NP"]})
+            next(stream)
+            # The in-flight batch holds the only slot...
+            with pytest.raises(ServeError) as failure:
+                service.execute({"query": "//S//NP//WHPP"})
+            assert failure.value.status == 429
+            assert list(stream)[-1]["done"] is True
+            # ...and releases it when the stream completes.
+            assert service.execute({"query": "//S//NP//WHPP"})["total"] >= 0
+
+
+class TestEndpointLatency:
+    def test_latency_percentiles_surface_in_stats(self, service):
+        for milliseconds in (1.0, 2.0, 3.0):
+            service.record_latency("/query", milliseconds / 1000.0)
+        service.record_latency("/batch", 0.004)
+        endpoints = service.stats()["endpoints"]
+        assert endpoints["/query"]["count"] == 3
+        assert endpoints["/query"]["p50_ms"] == 2.0
+        assert endpoints["/query"]["p99_ms"] >= endpoints["/query"]["p50_ms"]
+        assert endpoints["/batch"] == {
+            "count": 1, "p50_ms": 4.0, "p99_ms": 4.0,
+        }
+
+    def test_latency_window_is_bounded_but_counts_everything(self, service):
+        for _ in range(LATENCY_WINDOW + 100):
+            service.record_latency("/healthz", 0.001)
+        endpoints = service.stats()["endpoints"]
+        assert endpoints["/healthz"]["count"] == LATENCY_WINDOW + 100
+        assert len(service._latency["/healthz"][1]) == LATENCY_WINDOW
 
 
 class TestValidation:
