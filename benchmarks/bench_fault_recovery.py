@@ -1,0 +1,329 @@
+"""Fault-recovery cost: executor respawn tail latency and quarantine
+isolation.
+
+Two gates turn the PR's robustness story into numbers:
+
+* **Post-kill p99.**  SIGKILLing every process-pool worker mid-run must
+  cost one recovery round trip, not a degraded steady state — the p99
+  over the post-kill request window stays within 2x the fault-free p99
+  (the recovery requests themselves sit above p99 by construction and
+  are reported separately as ``recovery_seconds``).
+* **Quarantine isolation.**  With one store quarantined (real on-disk
+  corruption caught by the readiness probe) and shed clients hammering
+  it, the 503 path must be cheap enough that the healthy store keeps
+  >= 90% of its solo QPS.  The shed arm models impatient-but-bounded
+  retry clients: far above what a Retry-After honoring client would
+  generate, far below a load test of the shed path itself.
+
+Both arms of each gate are measured ``repeats`` times and compared at
+the median, so a single scheduler hiccup can't fail (or pass) a gate;
+gates are asserted only on multi-core hosts, single-core runs record
+the numbers without gating (matching ``bench_serving``).  The healthy
+QPS is a closed-loop single client's ``1 / median latency`` — per-thread
+medians are far more stable than multi-client wall-clock throughput.
+
+Knobs: ``REPRO_BENCH_FAULT_REQUESTS`` (default 400, clamped to >= 200 so
+the recovery spikes stay above the p99 index) and
+``REPRO_BENCH_REQUESTS`` for the QPS arms.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import statistics
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro import store
+from repro.bench import datasets
+from repro.labeling import label_corpus
+from repro.lpath import LPathEngine
+from repro.serve import QueryServer, QueryService, ServeClient, ServeClientError
+
+from bench_serving import percentile
+
+#: Cheap nested-path queries, alternated so both windows mix plans.
+WORKLOAD = ("//VP//NP", "//NP")
+
+FAULT_REQUESTS = max(
+    200, int(os.environ.get("REPRO_BENCH_FAULT_REQUESTS", 400))
+)
+QPS_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", 200))
+
+P99_FACTOR_CEILING = 2.0
+QPS_RETENTION_FLOOR = 0.90
+
+#: One shed request per hammer thread per this interval — ~50/s total
+#: (everything shares one GIL, so shed traffic must stay a small
+#: fraction of the ~2500/s cache-hit capacity for retention to measure
+#: the shed path's cost, not its volume; a per-request disk re-probe
+#: regression would still cost several ms each and crater retention).
+SHED_INTERVAL_SECONDS = 0.04
+SHED_CLIENTS = 2
+
+
+@pytest.fixture(scope="module")
+def store_file():
+    trees = datasets.corpus("wsj")
+    handle, path = tempfile.mkstemp(suffix=".lpdb")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            store.save_labels(
+                list(label_corpus(trees)), stream, segments=2,
+                format="lpdb0004",
+            )
+        yield path
+    finally:
+        os.unlink(path)
+
+
+def _multicore() -> bool:
+    return (os.cpu_count() or 1) >= 2
+
+
+# -- gate 1: post-kill tail latency ---------------------------------------
+
+
+def _kill_workers(engine) -> None:
+    executor = engine._pool()
+    for pid in list(executor._processes):
+        os.kill(pid, signal.SIGKILL)
+
+
+def _timed_window(engine, expected, requests: int, kill_at=()) -> list:
+    timings = []
+    for index in range(requests):
+        if index in kill_at:
+            _kill_workers(engine)
+        query = WORKLOAD[index % len(WORKLOAD)]
+        started = time.perf_counter()
+        rows = engine.query(query)
+        timings.append(time.perf_counter() - started)
+        assert rows == expected[query]
+    return timings
+
+
+def test_post_kill_p99_within_2x(
+    store_file, write_result, write_json, repeats
+):
+    with LPathEngine.open(store_file) as plain:
+        expected = {query: plain.query(query) for query in WORKLOAD}
+
+    requests = FAULT_REQUESTS
+    # The kill costs one above-p99 recovery request per window; the p99
+    # index excludes it (plus a spare sample for a respawned worker's
+    # first warm request) as long as the window holds >= 200 requests.
+    kill_at = {requests // 2}
+
+    rounds = max(2, repeats)
+    fault_free_p99s, post_kill_p99s = [], []
+    recovery = 0.0
+    with LPathEngine.open(store_file, workers=2, mode="process") as engine:
+        for query in WORKLOAD:  # warm the pool and the plan cache
+            assert engine.query(query) == expected[query]
+        # Alternate the arms so drift hits both equally; compare medians.
+        for _ in range(rounds):
+            fault_free = sorted(_timed_window(engine, expected, requests))
+            fault_free_p99s.append(percentile(fault_free, 0.99))
+            post_kill = sorted(
+                _timed_window(engine, expected, requests, kill_at=kill_at)
+            )
+            post_kill_p99s.append(percentile(post_kill, 0.99))
+            recovery = max(recovery, post_kill[-1])
+        stats = engine._pool.stats()
+
+    p99_fault_free = statistics.median(fault_free_p99s)
+    p99_post_kill = statistics.median(post_kill_p99s)
+    factor = p99_post_kill / p99_fault_free if p99_fault_free else 0.0
+
+    gated = _multicore()
+    write_result(
+        "fault_recovery.txt",
+        "\n".join([
+            f"Post-kill tail latency: {rounds} x {requests} requests per "
+            f"arm, all workers SIGKILLed mid-window (median p99):",
+            f"  fault-free p99: {p99_fault_free * 1000:.2f}ms",
+            f"  post-kill  p99: {p99_post_kill * 1000:.2f}ms "
+            f"({factor:.2f}x)",
+            f"  slowest recovery request: {recovery * 1000:.2f}ms",
+            f"  pool: {stats['respawns']} respawns, mode {stats['mode']}",
+            f"  gate: p99 factor <= {P99_FACTOR_CEILING:g}"
+            + ("" if gated else " (recorded only: single-core host)"),
+        ]),
+    )
+    write_json(
+        "fault_recovery",
+        {
+            "requests_per_window": requests,
+            "rounds": rounds,
+            "p99_fault_free_seconds": p99_fault_free,
+            "p99_post_kill_seconds": p99_post_kill,
+            "recovery_seconds": recovery,
+            "p99_factor": factor,
+            "respawns": stats["respawns"],
+            "degraded": stats["degraded"],
+            "cores": os.cpu_count() or 1,
+            "gated": gated,
+        },
+    )
+
+    # Recovery happened on the process path — no silent degradation.
+    assert stats["respawns"] >= rounds
+    assert stats["mode"] == "process"
+    assert stats["degraded"] is False
+    if gated:
+        assert p99_post_kill <= P99_FACTOR_CEILING * p99_fault_free, (
+            f"post-kill p99 {p99_post_kill * 1000:.2f}ms is "
+            f"{factor:.2f}x the fault-free "
+            f"{p99_fault_free * 1000:.2f}ms (ceiling "
+            f"{P99_FACTOR_CEILING:g}x)"
+        )
+
+
+# -- gate 2: quarantined-store 503s leave healthy QPS alone ---------------
+
+
+def _flip_sidecar_byte(path: str, offset: int = 64) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ 0xFF]))
+
+
+def _healthy_arm(server, healthy: str, expected: dict, rounds: int):
+    """One closed-loop client against the healthy store, ``rounds``
+    times; returns (qps from the median per-request latency, that
+    median, the p99 of the pooled timings)."""
+    medians, pooled = [], []
+    for _ in range(rounds):
+        timings = []
+        with ServeClient(server.url, max_retries=0) as client:
+            for index in range(QPS_REQUESTS):
+                query = WORKLOAD[index % len(WORKLOAD)]
+                started = time.perf_counter()
+                count = client.count(query, store=healthy)
+                timings.append(time.perf_counter() - started)
+                assert count == expected[query]
+        medians.append(statistics.median(timings))
+        pooled.extend(timings)
+    median = statistics.median(medians)
+    return 1.0 / median, median, percentile(sorted(pooled), 0.99)
+
+
+def test_quarantined_store_does_not_drag_healthy_qps(
+    store_file, tmp_path, write_result, write_json, repeats
+):
+    healthy = str(tmp_path / "healthy.lpdb")
+    doomed = str(tmp_path / "doomed.lpdb")
+    shutil.copy(store_file, healthy)
+    shutil.copy(store_file, doomed)
+
+    # A long cooldown pins the quarantine for the whole mixed arm: shed
+    # requests must be answered from the handle's state, never re-probed.
+    service = QueryService(
+        [healthy, doomed], max_inflight=1 + SHED_CLIENTS,
+        max_queue=64, store_retry_after=300.0,
+    )
+    rounds = max(2, repeats)
+    with QueryServer(service).start() as server:
+        with ServeClient(server.url) as warmup:
+            expected = {
+                query: warmup.count(query, store=healthy)
+                for query in WORKLOAD
+            }
+            _flip_sidecar_byte(doomed)
+            probe = warmup.ready()
+            assert probe["ready"] is True  # healthy store still serves
+            assert probe["healthy_stores"] == 1
+
+        qps_alone, median_alone, p99_alone = _healthy_arm(
+            server, healthy, expected, rounds
+        )
+
+        stop = threading.Event()
+        shed_statuses: list = []
+
+        def hammer() -> None:
+            with ServeClient(server.url, max_retries=0) as client:
+                while not stop.is_set():
+                    try:
+                        client.count(WORKLOAD[0], store=doomed)
+                        shed_statuses.append(200)
+                    except ServeClientError as error:
+                        shed_statuses.append(error.status)
+                    stop.wait(SHED_INTERVAL_SECONDS)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(SHED_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            qps_mixed, median_mixed, p99_mixed = _healthy_arm(
+                server, healthy, expected, rounds
+            )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        stats = service.stats()
+
+    # Every shed request was refused with the quarantine 503 — none
+    # executed, none succeeded, none crashed the daemon.
+    assert shed_statuses, "the shed arm never got a request through"
+    assert set(shed_statuses) == {503}
+
+    retention = qps_mixed / qps_alone if qps_alone else 0.0
+    gated = _multicore()
+    write_result(
+        "quarantine_isolation.txt",
+        "\n".join([
+            f"Quarantine isolation: closed-loop client, {rounds} x "
+            f"{QPS_REQUESTS} requests per arm, {SHED_CLIENTS} shed "
+            f"clients at {1 / SHED_INTERVAL_SECONDS:.0f}/s each "
+            f"(QPS = 1 / median latency):",
+            f"  healthy store alone: {qps_alone:,.0f} QPS "
+            f"(median {median_alone * 1000:.2f}ms, "
+            f"p99 {p99_alone * 1000:.2f}ms)",
+            f"  with quarantined store shedding "
+            f"{len(shed_statuses)} x 503: {qps_mixed:,.0f} QPS "
+            f"(median {median_mixed * 1000:.2f}ms, "
+            f"p99 {p99_mixed * 1000:.2f}ms)",
+            f"  retention: {retention:.1%}",
+            f"  gate: >= {QPS_RETENTION_FLOOR:.0%} retention"
+            + ("" if gated else " (recorded only: single-core host)"),
+        ]),
+    )
+    write_json(
+        "quarantine_isolation",
+        {
+            "requests_per_round": QPS_REQUESTS,
+            "rounds": rounds,
+            "shed_clients": SHED_CLIENTS,
+            "shed_requests": len(shed_statuses),
+            "qps_alone": qps_alone,
+            "qps_mixed": qps_mixed,
+            "retention": retention,
+            "median_alone_seconds": median_alone,
+            "median_mixed_seconds": median_mixed,
+            "p99_alone_seconds": p99_alone,
+            "p99_mixed_seconds": p99_mixed,
+            "quarantines": stats["server"]["quarantines"],
+            "cores": os.cpu_count() or 1,
+            "gated": gated,
+        },
+    )
+
+    assert stats["server"]["quarantines"] >= 1
+    if gated:
+        assert qps_mixed >= QPS_RETENTION_FLOOR * qps_alone, (
+            f"healthy-store QPS fell to {retention:.1%} of its solo "
+            f"{qps_alone:,.0f} QPS under quarantined-store load "
+            f"(floor {QPS_RETENTION_FLOOR:.0%})"
+        )

@@ -551,25 +551,43 @@ def _run_remote_query(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def _command_serve(args: argparse.Namespace, out: TextIO) -> int:
-    """Run the query daemon until interrupted (then drain and exit 0)."""
+    """Run the query daemon until interrupted (then drain and exit 0).
+
+    Failures never escape as tracebacks: anything wrong with the
+    *configuration* (missing or malformed store, bad knob values, a
+    malformed ``REPRO_FAULTS`` spec, an unbindable address) is one line
+    on stderr and exit 2; a crash of the running daemon is one line and
+    exit 1.  ``--verbose`` adds the full traceback before the one-liner
+    for debugging."""
+    import traceback
+
+    from .faults import FAULTS_ENV, active_injector
+    from .lpath.errors import LPathError
     from .serve import QueryServer, QueryService, StoreSpec
 
     if args.kernels is not None:
         # The daemon owns its process: the override holds for its
         # lifetime (and is inherited by process-mode workers).
         os.environ[KERNELS_ENV] = args.kernels
-    service = QueryService(
-        [StoreSpec(path, args.dialect) for path in args.store],
-        workers=args.workers,
-        mode=args.mode,
-        max_inflight=args.max_inflight,
-        max_queue=args.max_queue,
-        timeout=args.timeout,
-        result_cache_size=args.result_cache,
-    )
-    server = QueryServer(
-        service, host=args.host, port=args.port, verbose=args.verbose
-    )
+    try:
+        active_injector()  # fail a malformed REPRO_FAULTS before binding
+        service = QueryService(
+            [StoreSpec(path, args.dialect) for path in args.store],
+            workers=args.workers,
+            mode=args.mode,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            timeout=args.timeout,
+            result_cache_size=args.result_cache,
+        )
+        server = QueryServer(
+            service, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except (LPathError, ValueError, OSError) as error:
+        if args.verbose:
+            traceback.print_exc(file=sys.stderr)
+        print(f"serve: configuration error: {error}", file=sys.stderr)
+        return 2
     info = kernel_info()
     print(
         f"serving {', '.join(args.store)} [{args.dialect}] on {server.url} "
@@ -577,13 +595,26 @@ def _command_serve(args: argparse.Namespace, out: TextIO) -> int:
         f"max_inflight={args.max_inflight})",
         file=out,
     )
+    if os.environ.get(FAULTS_ENV):
+        print(
+            f"fault injection active: {FAULTS_ENV}="
+            f"{os.environ[FAULTS_ENV]}",
+            file=out,
+        )
     out.flush()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("draining...", file=out)
-    finally:
+    except Exception as error:  # noqa: BLE001 — one line, not a traceback
+        if args.verbose:
+            traceback.print_exc(file=sys.stderr)
+        print(
+            f"serve: fatal: {type(error).__name__}: {error}", file=sys.stderr
+        )
         server.close(drain_timeout=args.drain_timeout)
+        return 1
+    server.close(drain_timeout=args.drain_timeout)
     return 0
 
 

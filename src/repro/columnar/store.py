@@ -34,6 +34,7 @@ from array import array
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, NamedTuple, Optional
 
+from ..faults import maybe_mmap_read_error
 from ..labeling.lpath_scheme import ATTRIBUTE_PREFIX
 
 #: Column positions, shared with :mod:`repro.plan.ir`.
@@ -637,3 +638,25 @@ class MappedColumnStore(ColumnStore):
         self._name_stats = stats
         self._by_value = None
         self._projections = {}
+
+    # -- fault checkpoints ----------------------------------------------------
+    #
+    # The mapped store is the one physical layer whose reads can fail at
+    # query time (the mapping is page-cache memory over a file another
+    # process — or a dying disk — may invalidate).  The three probe
+    # surfaces every plan passes through carry a ``mmap_read_error``
+    # checkpoint so the serving layer's classify-and-quarantine path can
+    # be driven deterministically; with REPRO_FAULTS unset each is one
+    # extra dict lookup per plan step (never per row).
+
+    def col(self, position: int):
+        maybe_mmap_read_error()
+        return ColumnStore.col(self, position)
+
+    def name_block(self, name: str) -> range:
+        maybe_mmap_read_error()
+        return ColumnStore.name_block(self, name)
+
+    def children_rows(self, tid: int, pid: int):
+        maybe_mmap_read_error()
+        return ColumnStore.children_rows(self, tid, pid)

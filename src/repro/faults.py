@@ -1,0 +1,242 @@
+"""Deterministic fault injection for the executor, store and serving layers.
+
+The fault-tolerance machinery (process-pool recovery in
+:mod:`repro.plan.segmented`, store quarantine and load shedding in
+:mod:`repro.serve`, retry/backoff in :class:`repro.serve.ServeClient`)
+only earns trust when its failure paths actually run.  This module turns
+them on deterministically: five *named injection points*, threaded
+through the code they exercise, fire according to an environment spec ::
+
+    REPRO_FAULTS=point:prob:seed[,point:prob:seed...]
+
+    REPRO_FAULTS=worker_kill:1.0:7          # every process worker dies
+    REPRO_FAULTS=socket_reset:0.25:42       # a quarter of responses reset
+    REPRO_FAULTS=mmap_read_error:0.5:3,segment_slow:0.5:3
+
+The points and where they bite:
+
+``worker_kill``
+    A process-pool worker SIGKILLs itself on entry to
+    :func:`repro.plan.segmented._execute_segment` — upstream sees
+    ``BrokenProcessPool`` and must respawn/retry/degrade.
+``segment_slow``
+    A per-segment execution (thread or process path) sleeps
+    :data:`SEGMENT_SLOW_SECONDS` first — exercises deadlines, queue
+    growth and the circuit breaker without any wrong answers.
+``mmap_read_error``
+    A :class:`repro.columnar.MappedColumnStore` read checkpoint raises
+    ``OSError`` — the shape of a failing disk or a lost mapping; the
+    daemon must classify it 503 and quarantine the store, never 500.
+``socket_reset``
+    The daemon abandons one ``/query``/``/batch`` response without
+    writing a byte, so the client sees the connection die mid-request
+    and must reconnect-and-retry.
+``cache_poison``
+    Rows being written to the serving result cache are corrupted
+    *after* their integrity digest was taken — the cache's checksum
+    must catch the poisoned entry on the way out and re-execute.
+
+Decisions are **seed-deterministic**: each point keeps a per-process
+call counter and draws ``blake2b(point:seed:counter)`` against the
+probability (a real hash, not a CRC — CRC32 is linear, so two seeds one
+bit apart would produce correlated firing sequences), and the same spec
+over the same (single-threaded) call sequence fires at exactly the same
+calls every run — a chaos matrix can pin seeds and assert
+byte-identical recovery.  Workers forked into a
+process pool inherit the environment and start their own counters at
+zero, which is exactly what makes a respawned pool's behavior
+reproducible too.
+
+This module imports only the standard library, so any layer (including
+:mod:`repro.columnar.store`, which must stay import-light) can thread a
+checkpoint through without cycles.  When ``REPRO_FAULTS`` is unset every
+checkpoint is one dict lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from typing import NamedTuple, Optional
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+FAULT_POINTS = (
+    "worker_kill",
+    "segment_slow",
+    "mmap_read_error",
+    "socket_reset",
+    "cache_poison",
+)
+
+#: How long a fired ``segment_slow`` sleeps.
+SEGMENT_SLOW_SECONDS = 0.05
+
+
+class FaultSpec(NamedTuple):
+    """One activated injection point: fire with ``probability`` on each
+    pass, drawn deterministically from ``seed`` and the call counter."""
+
+    point: str
+    probability: float
+    seed: int
+
+
+class FaultConfigError(ValueError):
+    """A malformed ``REPRO_FAULTS`` value — a configuration error (the
+    CLI exits 2), never a runtime crash."""
+
+
+def parse_fault_specs(raw: str) -> dict[str, FaultSpec]:
+    """Parse a ``point:prob:seed[,...]`` spec; raises
+    :class:`FaultConfigError` with the offending part spelled out."""
+    specs: dict[str, FaultSpec] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        if len(fields) != 3:
+            raise FaultConfigError(
+                f"bad {FAULTS_ENV} entry {part!r}: expected point:prob:seed"
+            )
+        point, prob_text, seed_text = fields
+        if point not in FAULT_POINTS:
+            raise FaultConfigError(
+                f"unknown fault point {point!r}; choose from "
+                f"{', '.join(FAULT_POINTS)}"
+            )
+        try:
+            probability = float(prob_text)
+        except ValueError:
+            raise FaultConfigError(
+                f"bad {FAULTS_ENV} probability {prob_text!r} for {point}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise FaultConfigError(
+                f"{point} probability must be in [0, 1], got {probability}"
+            )
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise FaultConfigError(
+                f"bad {FAULTS_ENV} seed {seed_text!r} for {point}"
+            ) from None
+        if point in specs:
+            raise FaultConfigError(f"duplicate fault point {point!r}")
+        specs[point] = FaultSpec(point, probability, seed)
+    return specs
+
+
+class Injector:
+    """The active fault plan plus one call counter per point."""
+
+    def __init__(self, specs: dict[str, FaultSpec]) -> None:
+        self.specs = specs
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def fires(self, point: str) -> bool:
+        spec = self.specs.get(point)
+        if spec is None:
+            return False
+        with self._lock:
+            count = self._counts.get(point, 0)
+            self._counts[point] = count + 1
+        if spec.probability >= 1.0:
+            return True
+        if spec.probability <= 0.0:
+            return False
+        token = f"{point}:{spec.seed}:{count}".encode("ascii")
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64 < spec.probability
+
+    def counts(self) -> dict[str, int]:
+        """Checkpoint passes per point (fired or not) — observability."""
+        with self._lock:
+            return dict(self._counts)
+
+
+#: The parsed injector for the current ``REPRO_FAULTS`` value, rebuilt
+#: whenever the raw value changes (tests flip the env mid-process).
+_ACTIVE: tuple[Optional[str], Optional[Injector]] = (None, None)
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_injector() -> Optional[Injector]:
+    """The process's injector, or ``None`` when no faults are configured.
+    Raises :class:`FaultConfigError` on a malformed spec."""
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return None
+    global _ACTIVE
+    cached_raw, injector = _ACTIVE
+    if cached_raw != raw:
+        with _ACTIVE_LOCK:
+            cached_raw, injector = _ACTIVE
+            if cached_raw != raw:
+                injector = Injector(parse_fault_specs(raw))
+                _ACTIVE = (raw, injector)
+    return injector
+
+
+def fires(point: str) -> bool:
+    """Advance ``point``'s counter and report whether it fires now."""
+    injector = active_injector()
+    return injector is not None and injector.fires(point)
+
+
+def fault_counts() -> dict[str, int]:
+    """Checkpoint passes per active point ({} when faults are off)."""
+    injector = active_injector()
+    return injector.counts() if injector is not None else {}
+
+
+# -- the injection helpers, one per point ---------------------------------
+
+
+def maybe_kill_worker() -> None:
+    """``worker_kill``: SIGKILL the calling process — only ever reached
+    inside process-pool workers, whose parent must survive it."""
+    if fires("worker_kill"):
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def maybe_delay_segment() -> None:
+    """``segment_slow``: stall one segment execution."""
+    if fires("segment_slow"):
+        time.sleep(SEGMENT_SLOW_SECONDS)
+
+
+def maybe_mmap_read_error() -> None:
+    """``mmap_read_error``: fail a mapped-store read the way a dying
+    disk or a revoked mapping would."""
+    if fires("mmap_read_error"):
+        raise OSError("injected fault: mmap read failed (mmap_read_error)")
+
+
+def maybe_reset_socket() -> bool:
+    """``socket_reset``: report whether the transport should abandon the
+    current response (the daemon closes the connection unanswered)."""
+    return fires("socket_reset")
+
+
+def poisoned_rows(rows: tuple) -> tuple:
+    """``cache_poison``: the rows to actually store in the result cache
+    — corrupted when the point fires, ``rows`` unchanged otherwise.
+    Callers digest the *original* rows first, modeling corruption that
+    lands after the checksum was taken."""
+    if not fires("cache_poison"):
+        return rows
+    if not rows:
+        return ((-1, -1),)
+    first = rows[0]
+    if isinstance(first, tuple) and len(first) == 2:
+        poisoned = ((first[0], -1 - first[1]),) + rows[1:]
+    else:  # aggregate shape or anything else: drop the first entry
+        poisoned = rows[1:]
+    return poisoned

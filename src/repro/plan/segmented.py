@@ -38,6 +38,19 @@ Fan-out comes in two pool flavors (:class:`SegmentPool`):
   compiles the query against its own segment, and ships results back as
   packed ``array('q')`` bytes.  The parent merges the sorted per-segment
   results exactly as in thread mode.
+
+The process path is additionally **self-healing**: a worker that dies
+mid-query (OOM-killed, SIGKILLed, crashed interpreter) surfaces as
+``BrokenProcessPool``, which poisons the whole executor.  Instead of
+handing that traceback to the caller, :meth:`SegmentedQuery._map_remote`
+respawns the pool (:meth:`SegmentPool.respawn`) and retries the fan-out
+up to :func:`process_retries` times; if the process path keeps dying it
+*degrades* the pool to in-process thread execution
+(:meth:`SegmentPool.degrade`) — every compiled query also holds its
+local per-segment plans, so the answer stays byte-identical, just
+slower.  With degradation disabled the exhausted retry budget raises a
+classified :class:`~repro.lpath.errors.ExecutorRecoveryError`
+(``transient=True``) — never a raw pool traceback.
 """
 
 from __future__ import annotations
@@ -45,14 +58,38 @@ from __future__ import annotations
 import os
 import threading
 from array import array
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from heapq import merge
 from typing import Callable, Iterable, NamedTuple, Optional, Sequence
 
+from ..faults import maybe_delay_segment, maybe_kill_worker
 from .ir import PlanNode, render
 from .lower import Lowerer, lower_and_optimize
 
 POOL_MODES = ("thread", "process")
+
+#: How many times a broken process pool is respawned and the fan-out
+#: retried before degrading (or raising, when degradation is off).
+PROCESS_RETRIES_ENV = "REPRO_PROCESS_RETRIES"
+DEFAULT_PROCESS_RETRIES = 2
+
+
+def process_retries() -> int:
+    """The bounded retry budget for broken process pools (>= 0)."""
+    raw = os.environ.get(PROCESS_RETRIES_ENV)
+    if raw is None:
+        return DEFAULT_PROCESS_RETRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{PROCESS_RETRIES_ENV} must be an integer >= 0, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{PROCESS_RETRIES_ENV} must be an integer >= 0, got {raw!r}"
+        )
+    return value
 
 
 def validate_segmentation(
@@ -87,7 +124,14 @@ class SegmentPool:
     ``mode="process"`` builds a ``ProcessPoolExecutor`` instead of a
     thread pool; queries only take the process path when they also carry
     a :class:`RemoteTask` (mmap-backed engines), since worker processes
-    re-open the store by path rather than unpickling it."""
+    re-open the store by path rather than unpickling it.
+
+    Two recovery transitions keep dead workers from reaching callers:
+    :meth:`respawn` replaces a broken process executor with a fresh one
+    (``respawns`` counts them), and :meth:`degrade` gives up on the
+    process path entirely, flipping the pool to ``mode="thread"`` for
+    the rest of its life (``allow_degrade=False`` disables this, turning
+    retry exhaustion into a classified error instead)."""
 
     def __init__(
         self, workers: Optional[int], segments: int, mode: str = "thread"
@@ -95,6 +139,9 @@ class SegmentPool:
         self.workers = workers
         self.segments = segments
         self.mode = mode if mode is not None else "thread"
+        self.allow_degrade = True
+        self.respawns = 0
+        self.degraded = False
         self._executor = None
         self._closed = False
         self._lock = threading.Lock()
@@ -125,6 +172,46 @@ class SegmentPool:
                         thread_name_prefix="repro-segment",
                     )
             return self._executor
+
+    def respawn(self) -> bool:
+        """Replace a (presumed broken) process executor with a fresh one
+        on next use; ``False`` when there is nothing to respawn (closed
+        pool, or already degraded to threads)."""
+        with self._lock:
+            if self._closed or self.mode != "process":
+                return False
+            executor, self._executor = self._executor, None
+            self.respawns += 1
+        if executor is not None:
+            # A broken pool's workers are already gone; don't wait on it.
+            executor.shutdown(wait=False)
+        return True
+
+    def degrade(self) -> bool:
+        """Abandon the process path for this pool's lifetime: future
+        fan-outs run on an in-process thread pool over the locally
+        compiled per-segment plans (byte-identical results, GIL-bound
+        speed).  ``False`` when degradation is disabled or moot."""
+        if not self.allow_degrade:
+            return False
+        with self._lock:
+            if self._closed or self.mode != "process":
+                return self.degraded
+            executor, self._executor = self._executor, None
+            self.mode = "thread"
+            self.degraded = True
+        if executor is not None:
+            executor.shutdown(wait=False)
+        return True
+
+    def stats(self) -> dict:
+        """Recovery counters for observability (/stats, tests)."""
+        with self._lock:
+            return {
+                "mode": self.mode,
+                "respawns": self.respawns,
+                "degraded": self.degraded,
+            }
 
     def shutdown(self) -> None:
         """Release the executor (if any) and stay sequential forever."""
@@ -208,6 +295,10 @@ def _execute_segment(task: RemoteTask, index: int, kind: str):
     from ..columnar.structural import FORCE_ENV
     from .cache import cached_compile
 
+    # Chaos checkpoints: a worker may kill itself (the parent's recovery
+    # path is what's under test) or stall before touching the store.
+    maybe_kill_worker()
+    maybe_delay_segment()
     compiler, cache = _worker_segment(task.spec, index)
     overrides = ((FORCE_ENV, task.force), (KERNELS_ENV, task.kernels))
     previous = {env: os.environ.get(env) for env, _value in overrides}
@@ -343,30 +434,66 @@ class SegmentedQuery:
         self.agg = agg
 
     def _map(self, task: Callable) -> list:
+        def run(part):
+            maybe_delay_segment()  # segment_slow bites the thread path too
+            return task(part)
+
         pool = self.get_pool() if self.get_pool is not None else None
         if pool is None or len(self.parts) <= 1:
-            return [task(part) for part in self.parts]
-        return list(pool.map(task, self.parts))
+            return [run(part) for part in self.parts]
+        return list(pool.map(run, self.parts))
 
     def _map_remote(self, kind: str) -> Optional[list]:
         """Fan the query out to worker *processes*, or ``None`` when the
         thread/sequential path should run instead (no pool, a thread
-        pool, or nothing to fan out over)."""
+        pool, or nothing to fan out over).
+
+        A ``BrokenProcessPool`` (worker SIGKILLed mid-query, or already
+        dead at submit time) never escapes: the pool is respawned and the
+        whole fan-out retried up to :func:`process_retries` times — the
+        per-segment work is read-only and idempotent, so re-running every
+        segment is safe.  When the process path keeps dying the pool
+        degrades to threads (``None`` return: the caller's local plans
+        run in-process, byte-identical), or, with degradation disabled,
+        raises a classified
+        :class:`~repro.lpath.errors.ExecutorRecoveryError`."""
         if (
             self.remote is None
             or self.get_pool is None
             or len(self.parts) <= 1
-            or getattr(self.get_pool, "mode", "thread") != "process"
         ):
             return None
-        pool = self.get_pool()
-        if pool is None:
+        pool_factory = self.get_pool
+        attempts = 1 + process_retries()
+        for _attempt in range(attempts):
+            if getattr(pool_factory, "mode", "thread") != "process":
+                return None  # a thread pool (possibly degraded mid-loop)
+            pool = pool_factory()
+            if pool is None:
+                return None
+            try:
+                futures = [
+                    pool.submit(_execute_segment, self.remote, index, kind)
+                    for index in range(len(self.parts))
+                ]
+                return [future.result() for future in futures]
+            except BrokenExecutor:
+                # Dead worker(s): the executor is poisoned.  Respawn and
+                # retry; anything else (engine errors shipped back from a
+                # live worker) propagates unchanged.
+                respawn = getattr(pool_factory, "respawn", None)
+                if respawn is None or not respawn():
+                    break
+        degrade = getattr(pool_factory, "degrade", None)
+        if degrade is not None and degrade():
             return None
-        futures = [
-            pool.submit(_execute_segment, self.remote, index, kind)
-            for index in range(len(self.parts))
-        ]
-        return [future.result() for future in futures]
+        from ..lpath.errors import ExecutorRecoveryError
+
+        raise ExecutorRecoveryError(
+            f"segment fan-out failed {attempts} time(s): process workers "
+            "keep dying and in-process degradation is disabled; the query "
+            "produced no results and is safe to retry"
+        )
 
     def rows(self) -> Iterable[tuple]:
         """Distinct, sorted ``(tid, id)`` pairs across every segment.

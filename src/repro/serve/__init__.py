@@ -6,19 +6,30 @@ daemon with admission control, per-query deadlines, pagination and a
 result cache.  ``repro serve <store>`` starts one from the CLI;
 ``repro query --url`` talks to it.
 
-* :class:`QueryService` — engines, admission, cache (transport-free);
+* :class:`QueryService` — engines, admission, cache, quarantine and
+  circuit-breaker load shedding (transport-free);
 * :class:`QueryServer` — the stdlib HTTP daemon around a service;
-* :class:`ServeClient` — a paginating keep-alive client;
-* :class:`ResultCache` — the LRU of materialized result sets.
+* :class:`ServeClient` — a paginating keep-alive client with
+  reconnect-and-retry plus capped, jittered exponential backoff;
+* :class:`ResultCache` — the LRU of integrity-checked result sets;
+* :class:`CircuitBreaker` — the sliding-window breaker behind 429
+  shedding.
 """
 
 from .cache import ResultCache
 from .client import ServeClient, ServeClientError
 from .daemon import QueryServer
-from .service import DIALECTS, QueryService, ServeError, StoreSpec
+from .service import (
+    DIALECTS,
+    CircuitBreaker,
+    QueryService,
+    ServeError,
+    StoreSpec,
+)
 
 __all__ = [
     "DIALECTS",
+    "CircuitBreaker",
     "QueryServer",
     "QueryService",
     "ResultCache",

@@ -17,13 +17,30 @@ even though every backend must return identical rows: the differential
 test layer deliberately queries the same store under both backends, and
 a result cached under one backend must never mask a divergence in the
 other.
+
+Every entry additionally carries a CRC-32 **integrity digest** taken at
+insert time and re-checked on every hit: a poisoned or torn entry (the
+``cache_poison`` fault point in :mod:`repro.faults`, or any real
+in-process corruption) is dropped and served as a miss — the query
+re-executes and the ``integrity_failures`` counter records the save.
+The cache can return a stale-but-correct result or nothing; it can
+never return corrupted rows.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
+from ..faults import poisoned_rows
 from ..plan.cache import PlanCache, compile_options_key
+
+
+def rows_digest(rows: tuple) -> int:
+    """A CRC-32 over the canonical text of a result tuple.  Results are
+    tuples of ``(tid, id)`` int pairs or sorted ``(group, count)`` pairs
+    — ``repr`` is deterministic for both."""
+    return zlib.crc32(repr(rows).encode("utf-8"))
 
 
 class ResultCache(PlanCache):
@@ -39,6 +56,7 @@ class ResultCache(PlanCache):
         super().__init__(maxsize)
         self.max_rows = max_rows
         self.oversize = 0
+        self.integrity_failures = 0
 
     @staticmethod
     def key(
@@ -60,20 +78,43 @@ class ResultCache(PlanCache):
 
     def put_rows(self, key: tuple, rows: tuple) -> bool:
         """Cache a result set unless it exceeds ``max_rows``; returns
-        whether the entry was stored."""
+        whether the entry was stored.  The entry carries a digest of the
+        rows as handed in — taken *before* the ``cache_poison`` fault
+        point gets a chance to corrupt what is stored, so injected
+        corruption is guaranteed detectable on the way out."""
         if len(rows) > self.max_rows:
             with self._lock:
                 self.oversize += 1
             return False
-        self.put(key, rows)
+        self.put(key, (rows_digest(rows), poisoned_rows(rows)))
         return True
+
+    def get_rows(self, key: tuple):
+        """The cached result set for ``key`` — integrity-checked — or
+        ``None``.  An entry whose rows no longer match their insert-time
+        digest is dropped and reported as a miss; the caller re-executes
+        and the corruption can never reach a client."""
+        entry = self.get(key)
+        if entry is None:
+            return None
+        digest, rows = entry
+        if rows_digest(rows) == digest:
+            return rows
+        with self._lock:
+            self.integrity_failures += 1
+            self.hits -= 1
+            self.misses += 1
+            self._entries.pop(key, None)
+        return None
 
     @property
     def stats(self) -> dict[str, int]:
-        """The PlanCache counters plus the oversize-rejection count."""
+        """The PlanCache counters plus the oversize-rejection and
+        integrity-failure counts."""
         snapshot = PlanCache.stats.fget(self)
         with self._lock:
             snapshot["oversize"] = self.oversize
+            snapshot["integrity_failures"] = self.integrity_failures
             snapshot["max_rows"] = self.max_rows
         return snapshot
 
@@ -83,4 +124,4 @@ def cached_rows(cache: Optional[ResultCache], key: tuple):
     — ``maxsize=0`` still counts lookups, keeping hit-rate math honest)."""
     if cache is None:
         return None
-    return cache.get(key)
+    return cache.get_rows(key)

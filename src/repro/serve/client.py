@@ -6,6 +6,24 @@ server error documents into :class:`ServeClientError` — an
 :class:`~repro.lpath.errors.LPathError`, so the CLI reports daemon
 failures through the same clean one-line path as local engine errors.
 
+The transport is fault-tolerant in two layers:
+
+1. A request that dies on a **reused** keep-alive connection before any
+   response arrives is retried once immediately on a fresh connection.
+   A stale keep-alive (the daemon restarted, or an idle connection
+   timed out under the client) says nothing about server health, so the
+   free retry doesn't consume a backoff attempt — and because the
+   request never started executing, the retry can't double-execute
+   anything.
+2. Transport failures on a *fresh* connection and transient server
+   answers (**429** overload/breaker, **503** draining/quarantine) are
+   retried up to ``max_retries`` times with capped exponential backoff
+   and deterministic jitter, honoring the server's ``Retry-After`` hint
+   (clamped to ``backoff_cap`` so a chaos run can't stall a test
+   suite).  Permanent errors (400/404) never retry.  ``max_retries=0``
+   turns layer 2 off — load tests that count 429s byte-for-byte want
+   exactly one attempt.
+
 Not thread-safe: give each load-generator thread its own client (the
 serving benchmark does exactly that).
 """
@@ -13,47 +31,112 @@ serving benchmark does exactly that).
 from __future__ import annotations
 
 import json
+import random
+import time
 from http.client import HTTPConnection, HTTPException
 from typing import Optional
 from urllib.parse import urlencode, urlsplit
 
 from ..lpath.errors import LPathError
 
+#: Statuses worth retrying: the condition is declared transient by the
+#: server (overload sheds, drains and quarantines end).
+TRANSIENT_STATUSES = (429, 503)
+
 
 class ServeClientError(LPathError):
-    """An error response from the daemon (or a transport failure)."""
+    """An error response from the daemon (or a transport failure).
 
-    def __init__(self, status: int, message: str) -> None:
+    ``transient`` mirrors the server's classification (transport
+    failures count as transient: the daemon may simply be restarting);
+    ``retry_after`` is the server's ``Retry-After`` hint in seconds when
+    one was sent."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        transient: Optional[bool] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        if transient is None:
+            transient = status == 0 or status in TRANSIENT_STATUSES
+        self.transient = transient
+        self.retry_after = retry_after
 
 
 class ServeClient:
-    """Query a running daemon at ``url`` (e.g. ``http://127.0.0.1:8411``)."""
+    """Query a running daemon at ``url`` (e.g. ``http://127.0.0.1:8411``).
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    ``max_retries`` bounds the backoff layer (see the module doc);
+    ``backoff_base``/``backoff_cap`` shape the exponential delay; the
+    jitter stream is seeded (``retry_seed``) so a chaos matrix replays
+    the same sleep schedule every run."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int = 0,
+    ) -> None:
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme != "http" or not parts.hostname:
             raise ServeClientError(
                 0, f"unsupported server url {url!r} (need http://host:port)"
             )
+        if max_retries < 0:
+            raise ServeClientError(
+                0, f"max_retries must be >= 0, got {max_retries!r}"
+            )
         self._host = parts.hostname
         self._port = parts.port or 80
         self._timeout = timeout
         self._connection: Optional[HTTPConnection] = None
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._jitter = random.Random(retry_seed)
+        #: Transport-level retry observability (tests assert on these).
+        self.reconnects = 0
+        self.backoffs = 0
 
     # -- transport ----------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None):
-        payload = None
-        headers = {"Accept": "application/json"}
-        if body is not None:
-            payload = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        # One retry on a dead keep-alive connection (the daemon may have
-        # been restarted, or an idle connection timed out).
-        for attempt in (0, 1):
-            if self._connection is None:
+    def _backoff_delay(
+        self, attempt: int, retry_after: Optional[str]
+    ) -> float:
+        """Capped exponential backoff with deterministic jitter in
+        [0.5x, 1.5x), raised to the server's ``Retry-After`` when that
+        is larger (but never past the cap)."""
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        delay *= 0.5 + self._jitter.random()
+        if retry_after:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        return min(delay, self.backoff_cap)
+
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        headers: dict,
+        retry_transient: bool = True,
+    ):
+        """One HTTP exchange under the full retry policy; returns
+        ``(response, raw_body)`` for any status the policy lets
+        through."""
+        attempt = 0
+        while True:
+            fresh = self._connection is None
+            if fresh:
                 self._connection = HTTPConnection(
                     self._host, self._port, timeout=self._timeout
                 )
@@ -61,15 +144,69 @@ class ServeClient:
                 self._connection.request(method, path, payload, headers)
                 response = self._connection.getresponse()
                 raw = response.read()
-                break
             except (ConnectionError, HTTPException, OSError) as error:
                 self.close()
-                if attempt:
+                if not fresh:
+                    # Stale keep-alive: retry immediately on a fresh
+                    # connection, outside the backoff budget.
+                    self.reconnects += 1
+                    continue
+                if not retry_transient or attempt >= self.max_retries:
                     raise ServeClientError(
                         0,
                         f"cannot reach daemon at "
                         f"http://{self._host}:{self._port}: {error}",
                     )
+                self.backoffs += 1
+                time.sleep(self._backoff_delay(attempt, None))
+                attempt += 1
+                continue
+            if (
+                retry_transient
+                and response.status in TRANSIENT_STATUSES
+                and attempt < self.max_retries
+            ):
+                self.backoffs += 1
+                time.sleep(
+                    self._backoff_delay(
+                        attempt, response.getheader("Retry-After")
+                    )
+                )
+                attempt += 1
+                continue
+            return response, raw
+
+    @staticmethod
+    def _error(response, document) -> "ServeClientError":
+        message = document.get("error", "") if isinstance(document, dict) \
+            else str(document)
+        retry_after = response.getheader("Retry-After")
+        return ServeClientError(
+            response.status,
+            f"daemon error {response.status}: {message}",
+            transient=(
+                document.get("transient")
+                if isinstance(document, dict) and "transient" in document
+                else None
+            ),
+            retry_after=float(retry_after) if retry_after else None,
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        retry_transient: bool = True,
+    ):
+        payload = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        response, raw = self._roundtrip(
+            method, path, payload, headers, retry_transient=retry_transient
+        )
         try:
             document = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -78,10 +215,7 @@ class ServeClient:
                 f"daemon returned non-JSON ({response.status}): {raw[:200]!r}",
             )
         if response.status != 200:
-            message = document.get("error", raw.decode("utf-8", "replace"))
-            raise ServeClientError(
-                response.status, f"daemon error {response.status}: {message}"
-            )
+            raise self._error(response, document)
         return document
 
     def _request_ndjson(
@@ -96,24 +230,7 @@ class ServeClient:
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
-            if self._connection is None:
-                self._connection = HTTPConnection(
-                    self._host, self._port, timeout=self._timeout
-                )
-            try:
-                self._connection.request(method, path, payload, headers)
-                response = self._connection.getresponse()
-                raw = response.read()
-                break
-            except (ConnectionError, HTTPException, OSError) as error:
-                self.close()
-                if attempt:
-                    raise ServeClientError(
-                        0,
-                        f"cannot reach daemon at "
-                        f"http://{self._host}:{self._port}: {error}",
-                    )
+        response, raw = self._roundtrip(method, path, payload, headers)
         try:
             documents = [
                 json.loads(line)
@@ -127,12 +244,8 @@ class ServeClient:
                 f"{raw[:200]!r}",
             )
         if response.status != 200:
-            message = (
-                documents[0].get("error", "")
-                if documents else raw.decode("utf-8", "replace")
-            )
-            raise ServeClientError(
-                response.status, f"daemon error {response.status}: {message}"
+            raise self._error(
+                response, documents[0] if documents else {}
             )
         return documents
 
@@ -247,7 +360,29 @@ class ServeClient:
         return self._request("GET", "/stats")
 
     def health(self) -> dict:
+        """Liveness (``/healthz``): answers while the daemon process is
+        up, regardless of store health."""
         return self._request("GET", "/healthz")
+
+    def ready(self) -> dict:
+        """Readiness (``/readyz``): the probe document, whatever the
+        status — a not-ready 503 is an *answer* here, not a failure, so
+        it is returned (``{"ready": false, ...}``) instead of raising or
+        retrying."""
+        response, raw = self._roundtrip(
+            "GET", "/readyz", None, {"Accept": "application/json"},
+            retry_transient=False,
+        )
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServeClientError(
+                response.status,
+                f"daemon returned non-JSON ({response.status}): {raw[:200]!r}",
+            )
+        if response.status not in (200, 503):
+            raise self._error(response, document)
+        return document
 
     def close(self) -> None:
         if self._connection is not None:

@@ -6,7 +6,12 @@ keep-alive (every response carries ``Content-Length``), JSON in and out.
 
 Endpoints::
 
-    GET  /healthz                  {"status": "ok" | "draining"}
+    GET  /healthz                  liveness: {"status": "ok" | "draining"},
+                                   always 200 while the process can answer
+    GET  /readyz                   readiness: actively re-verifies every
+                                   store's on-disk bytes; 200 when at least
+                                   one store is healthy and not draining,
+                                   503 (+ Retry-After) otherwise
     GET  /stats                    server/result-cache/plan-cache/kernel stats
     GET  /query?q=//NP&count=1     query via the query string
     POST /query                    {"query": ..., "dialect": ..., "pivot": ...,
@@ -22,19 +27,31 @@ Endpoints::
 
 Every error is a JSON document ``{"error": "..."}`` with the status the
 service chose (400 bad request, 404 unknown store/path, 429 over
-capacity, 503 draining/closed, 504 deadline) — clients never see a
-traceback.  Large result pages are written to the socket in bounded
-chunks rather than one giant ``bytes``.
+capacity or breaker open, 503 draining/closed/quarantined, 504
+deadline) — clients never see a traceback.  Transient errors (429/503)
+carry ``"transient": true`` and, when the service knows how long the
+condition lasts, a ``Retry-After`` header in seconds.  Large result
+pages are written to the socket in bounded chunks rather than one giant
+``bytes``.
+
+The ``socket_reset`` fault point (:mod:`repro.faults`) bites here: a
+fired checkpoint abandons a ``/query``/``/batch`` response before a
+byte is written, so clients exercise their reconnect-and-retry path
+against a real dropped connection.  ``/healthz`` is deliberately out of
+its blast radius — liveness must stay honest under chaos.
 """
 
 from __future__ import annotations
 
 import json
+import socket
+import struct
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
+from ..faults import maybe_reset_socket
 from ..lpath.errors import LPathError
 from .service import QueryService, ServeError
 
@@ -62,14 +79,32 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(
+        self, status: int, payload: dict, retry_after: "float | None" = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Whole seconds per RFC 9110; never 0, or clients busy-loop.
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
         self.end_headers()
         for start in range(0, len(body), _CHUNK_BYTES):
             self.wfile.write(body[start:start + _CHUNK_BYTES])
+
+    def _abandon(self) -> None:
+        """The fired ``socket_reset`` path: drop the connection without
+        writing a byte, the way a crashed peer or a mid-flight network
+        cut looks to the client."""
+        self.close_connection = True
+        try:
+            # RST on close rather than FIN: the abrupt variant.
+            self.connection.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:  # pragma: no cover - best effort
+            pass
 
     def _respond_stream(self, documents) -> None:
         """Stream NDJSON documents with chunked transfer encoding — one
@@ -93,8 +128,20 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         try:
             route, params = params_from()
+            if route in ("/query", "/batch") and maybe_reset_socket():
+                self._abandon()
+                return
             if route == "/healthz":
                 self._respond(200, self.service.health())
+            elif route == "/readyz":
+                ready, payload = self.service.readiness()
+                self._respond(
+                    200 if ready else 503, payload,
+                    retry_after=(
+                        None if ready
+                        else self.service.store_retry_after
+                    ),
+                )
             elif route == "/stats":
                 self._respond(200, self.service.stats())
             elif route == "/query":
@@ -104,7 +151,12 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._respond(404, {"error": f"unknown path {route!r}"})
         except ServeError as error:
-            self._respond(error.status, {"error": str(error)})
+            payload = {"error": str(error)}
+            if error.transient:
+                payload["transient"] = True
+            self._respond(
+                error.status, payload, retry_after=error.retry_after
+            )
         except LPathError as error:
             self._respond(400, {"error": str(error)})
         except BrokenPipeError:  # client went away mid-response
@@ -114,7 +166,7 @@ class _Handler(BaseHTTPRequestHandler):
                 500, {"error": f"{type(error).__name__}: {error}"}
             )
         finally:
-            if route in ("/healthz", "/stats", "/query", "/batch"):
+            if route in ("/healthz", "/readyz", "/stats", "/query", "/batch"):
                 self.service.record_latency(
                     route, time.perf_counter() - started
                 )

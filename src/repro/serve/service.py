@@ -26,6 +26,24 @@ Errors are typed by :class:`ServeError` carrying an HTTP status; engine
 and parse errors (:class:`~repro.lpath.errors.LPathError`) map to 400,
 a closed/draining service to 503, so clients always see a clean one-line
 error instead of a traceback.
+
+Failures are further classified **transient vs. permanent** (the
+``transient`` flag on every :class:`ServeError`, surfaced to clients so
+their retry policies never hammer a permanent 400):
+
+* a store whose reads fail (``OSError``/``ValueError`` out of the mmap
+  path — a dying disk, a truncated file, the ``mmap_read_error`` fault
+  point) answers **503** and is **quarantined** after
+  ``quarantine_after`` consecutive failures, or immediately when its
+  on-disk bytes no longer match the fingerprint taken at open; a
+  quarantined store keeps answering 503 (with a ``Retry-After`` hint)
+  while every other store serves normally, and recovers through
+  re-verification — lazily after its cooldown, or actively via
+  :meth:`QueryService.readiness` (the ``/readyz`` probe);
+* a sliding-window **circuit breaker** watches executed-query outcomes
+  and, past a failure-rate threshold, sheds load with **429** for a
+  cooldown instead of queueing doomed work; half-open trials re-close
+  it as soon as executions succeed again.
 """
 
 from __future__ import annotations
@@ -58,15 +76,128 @@ LATENCY_WINDOW = 2_048
 
 
 class ServeError(LPathError):
-    """A request-level failure with an HTTP status code."""
+    """A request-level failure with an HTTP status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``transient`` tells clients whether the same request is worth
+    retrying (defaults from the status: overload and unavailability
+    pass, bad requests don't); ``retry_after`` is an optional hint in
+    seconds the transport surfaces as a ``Retry-After`` header."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        transient: Optional[bool] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+        if transient is None:
+            transient = status in (429, 503)
+        self.transient = transient
 
 
 class QueryCancelled(Exception):
     """Raised inside a worker when its request gave up waiting."""
+
+
+class CircuitBreaker:
+    """A sliding-window circuit breaker over executed-query outcomes.
+
+    Closed: outcomes feed a window of the last ``window`` executions;
+    once at least ``min_samples`` are in and the failure rate exceeds
+    ``threshold``, the breaker opens.  Open: callers are shed (the
+    service answers 429 with a ``Retry-After``) for ``cooldown``
+    seconds.  Half-open: after the cooldown, one trial request per
+    cooldown period is let through — a success closes the breaker and
+    clears the window, a failure re-opens it.  Only *executed* queries
+    are recorded: admission-control rejections and client errors (4xx)
+    say nothing about backend health and never move the breaker.
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        threshold: float = 0.5,
+        min_samples: int = 20,
+        cooldown: float = 2.0,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise LPathError(
+                f"breaker threshold must be in (0, 1], got {threshold!r}"
+            )
+        if min_samples < 1 or window < min_samples:
+            raise LPathError(
+                "breaker needs window >= min_samples >= 1, got "
+                f"window={window!r} min_samples={min_samples!r}"
+            )
+        self.window = window
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self._samples: deque = deque(maxlen=window)
+        self._state = "closed"
+        self._since = time.monotonic()
+        self.opens = 0
+        self.shed = 0
+        self._lock = threading.Lock()
+
+    def allow(self) -> Optional[float]:
+        """``None`` to proceed, or the seconds to wait before retrying
+        when this request is being shed."""
+        with self._lock:
+            if self._state == "closed":
+                return None
+            now = time.monotonic()
+            elapsed = now - self._since
+            if elapsed >= self.cooldown:
+                # This request is the (next) half-open trial; resetting
+                # the clock spaces trials one cooldown apart, so a trial
+                # that never reports back cannot wedge the breaker.
+                self._state = "half_open"
+                self._since = now
+                return None
+            self.shed += 1
+            return max(self.cooldown - elapsed, 0.05)
+
+    def record(self, ok: bool) -> None:
+        with self._lock:
+            if self._state == "half_open":
+                if ok:
+                    self._state = "closed"
+                    self._samples.clear()
+                else:
+                    self._state = "open"
+                    self.opens += 1
+                self._since = time.monotonic()
+                return
+            self._samples.append(ok)
+            if self._state != "closed":
+                return
+            if len(self._samples) < self.min_samples:
+                return
+            failures = sum(1 for sample in self._samples if not sample)
+            if failures / len(self._samples) > self.threshold:
+                self._state = "open"
+                self._since = time.monotonic()
+                self.opens += 1
+                self._samples.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            failures = sum(1 for sample in self._samples if not sample)
+            return {
+                "state": self._state,
+                "window": self.window,
+                "samples": len(self._samples),
+                "failures": failures,
+                "threshold": self.threshold,
+                "min_samples": self.min_samples,
+                "cooldown_seconds": self.cooldown,
+                "opens": self.opens,
+                "shed": self.shed,
+            }
 
 
 @dataclass(frozen=True)
@@ -80,16 +211,50 @@ class StoreSpec:
 
 
 class StoreHandle:
-    """A served store: the shared engine plus its cached identity."""
+    """A served store: the shared engine, its cached identity, and its
+    health state (mutated only under the owning service's lock)."""
 
     def __init__(self, spec: StoreSpec, engine, fingerprint: str) -> None:
         self.spec = spec
         self.engine = engine
         self.fingerprint = fingerprint
+        #: Read failures since the last success; ``quarantine_after`` of
+        #: them in a row quarantines the store.
+        self.consecutive_failures = 0
+        #: Monotonic instant the quarantine cooldown ends (None = healthy).
+        self.quarantined_until: Optional[float] = None
+        self.quarantine_reason: Optional[str] = None
+        #: Times this store has entered quarantine over its lifetime.
+        self.quarantines = 0
+
+    def verify(self) -> tuple[bool, Optional[str]]:
+        """Re-fingerprint the on-disk file against the identity taken at
+        open — the integrity probe behind quarantine and recovery.  Runs
+        outside any lock (it reads the disk)."""
+        from .. import store as store_module
+
+        try:
+            current = store_module.store_fingerprint(self.spec.path)
+        except (OSError, ValueError) as error:
+            return False, f"store unreadable: {error}"
+        if current != self.fingerprint:
+            return False, (
+                f"on-disk bytes changed under the server (fingerprint "
+                f"{current} != served {self.fingerprint})"
+            )
+        return True, None
+
+    def health(self) -> dict:
+        return {
+            "quarantined": self.quarantined_until is not None,
+            "consecutive_failures": self.consecutive_failures,
+            "quarantines": self.quarantines,
+            "reason": self.quarantine_reason,
+        }
 
     def describe(self) -> dict:
         engine = self.engine
-        return {
+        document = {
             "path": self.spec.path,
             "dialect": self.spec.dialect,
             "fingerprint": self.fingerprint,
@@ -98,7 +263,12 @@ class StoreHandle:
             "mode": engine.mode,
             "executor": engine.executor,
             "plan_cache": engine.cache_stats(),
+            "health": self.health(),
         }
+        pool = getattr(engine, "_pool", None)
+        if pool is not None:
+            document["pool"] = pool.stats()
+        return document
 
 
 class QueryRequest:
@@ -219,6 +389,9 @@ class QueryService:
         timeout: float = 30.0,
         result_cache_size: int = 256,
         max_cached_rows: int = 100_000,
+        quarantine_after: int = 3,
+        store_retry_after: float = 1.0,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if max_inflight < 1:
             raise LPathError(
@@ -228,9 +401,20 @@ class QueryService:
             raise LPathError(f"max_queue must be >= 0, got {max_queue!r}")
         if timeout <= 0:
             raise LPathError(f"timeout must be positive, got {timeout!r}")
+        if quarantine_after < 1:
+            raise LPathError(
+                f"quarantine_after must be >= 1, got {quarantine_after!r}"
+            )
+        if store_retry_after <= 0:
+            raise LPathError(
+                f"store_retry_after must be positive, got {store_retry_after!r}"
+            )
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.timeout = float(timeout)
+        self.quarantine_after = quarantine_after
+        self.store_retry_after = float(store_retry_after)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.results = ResultCache(result_cache_size, max_cached_rows)
         self._stores: dict[str, StoreHandle] = {}
         self._default: Optional[str] = None
@@ -245,6 +429,9 @@ class QueryService:
         self.rejected = 0
         self.timeouts = 0
         self.errors = 0
+        self.shed = 0
+        self.store_failures = 0
+        self.quarantines = 0
         # route -> [count, deque of recent seconds] for /stats percentiles.
         self._latency: dict[str, list] = {}
         self._pool = ThreadPoolExecutor(
@@ -337,14 +524,93 @@ class QueryService:
         bug the transport maps to 500."""
         request = QueryRequest(params)
         handle = self._resolve(request.store)
+        self._check_store(handle)
         key = self._result_key(handle, request)
         started = time.perf_counter()
-        rows = self.results.get(key)
+        rows = self.results.get_rows(key)
         cached = rows is not None
         if not cached:
+            self._check_breaker()
             rows = self._execute_uncached(handle, request, key)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         return self._page(rows, request, cached, elapsed_ms)
+
+    def _check_breaker(self) -> None:
+        """Shed this request with 429 while the circuit breaker is open
+        (cache hits never get here — a sick backend can still serve its
+        hot set)."""
+        retry_after = self.breaker.allow()
+        if retry_after is None:
+            return
+        with self._lock:
+            self.rejected += 1
+            self.shed += 1
+        raise ServeError(
+            429,
+            "circuit breaker is open (recent executions kept failing); "
+            "retry after the cooldown",
+            retry_after=retry_after,
+        )
+
+    def _check_store(self, handle: StoreHandle) -> None:
+        """Answer 503 for a quarantined store; once its cooldown has
+        passed, probe the on-disk bytes and lift the quarantine if the
+        store verifies again."""
+        with self._lock:
+            until = handle.quarantined_until
+            if until is None:
+                return
+            now = time.monotonic()
+            if now < until:
+                reason = handle.quarantine_reason or "recent read failures"
+                raise ServeError(
+                    503,
+                    f"store {handle.spec.path!r} is quarantined: {reason}",
+                    retry_after=until - now,
+                )
+        ok, reason = handle.verify()  # cooldown over: probe off-lock
+        with self._lock:
+            if ok:
+                if handle.quarantined_until is not None:
+                    handle.quarantined_until = None
+                    handle.consecutive_failures = 0
+                    handle.quarantine_reason = None
+                return
+            handle.quarantined_until = (
+                time.monotonic() + self.store_retry_after
+            )
+            handle.quarantine_reason = reason
+            raise ServeError(
+                503,
+                f"store {handle.spec.path!r} is quarantined: {reason}",
+                retry_after=self.store_retry_after,
+            )
+
+    def _store_failure(self, handle: StoreHandle, error: Exception) -> str:
+        """Record one read failure against ``handle``; quarantine it
+        immediately when its on-disk bytes no longer verify, or after
+        ``quarantine_after`` consecutive failures.  Returns the message
+        to surface."""
+        message = f"store read failed: {error}"
+        with self._lock:
+            self.store_failures += 1
+            handle.consecutive_failures += 1
+            quarantine = handle.consecutive_failures >= self.quarantine_after
+        if not quarantine:
+            ok, reason = handle.verify()
+            if not ok:
+                quarantine = True
+                message = f"store read failed: {reason}"
+        if quarantine:
+            with self._lock:
+                if handle.quarantined_until is None:
+                    self.quarantines += 1
+                    handle.quarantines += 1
+                handle.quarantined_until = (
+                    time.monotonic() + self.store_retry_after
+                )
+                handle.quarantine_reason = message
+        return message
 
     def _result_key(self, handle: StoreHandle, request: QueryRequest) -> tuple:
         try:
@@ -403,11 +669,13 @@ class QueryService:
                 )
             members.append(QueryRequest({**defaults, **entry}))
         handle = self._resolve(members[0].store)
+        self._check_store(handle)
         keys = [self._result_key(handle, member) for member in members]
         if any(member.store != members[0].store for member in members):
             raise ServeError(
                 400, "all queries in one batch must target the same store"
             )
+        self._check_breaker()
         budget = self.timeout
         timeouts = [m.timeout for m in members if m.timeout is not None]
         if timeouts:
@@ -453,7 +721,7 @@ class QueryService:
                         "error": "batch exceeded its deadline",
                     }
                     break
-                rows = self.results.get(keys[index])
+                rows = self.results.get_rows(keys[index])
                 cached = rows is not None
                 try:
                     if not cached:
@@ -472,10 +740,23 @@ class QueryService:
                         self.results.put_rows(keys[index], rows)
                         with self._lock:
                             self.served += 1
+                            handle.consecutive_failures = 0
                 except LPathError as error:
                     with self._lock:
                         self.errors += 1
                     yield {"index": index, "error": str(error)}
+                    continue
+                except (OSError, ValueError) as error:
+                    # Same classification as the single-query path: a
+                    # store-read failure is counted (and may quarantine
+                    # the store), the member streams a clean error, and
+                    # the rest of the batch keeps going.
+                    with self._lock:
+                        self.errors += 1
+                    message = self._store_failure(handle, error)
+                    yield {
+                        "index": index, "error": message, "transient": True,
+                    }
                     continue
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
                 document = self._page(rows, member, cached, elapsed_ms)
@@ -543,23 +824,44 @@ class QueryService:
                 ticket.cancelled.set()
                 with self._lock:
                     self.timeouts += 1
+                self.breaker.record(False)
                 raise ServeError(
                     504,
                     f"query exceeded its {budget:g}s deadline "
                     "(still cancelling cooperatively)",
                 )
             except QueryCancelled:
+                self.breaker.record(False)
                 raise ServeError(504, "query was cancelled")
             except ServeError:
                 raise
             except LPathError as error:
                 with self._lock:
                     self.errors += 1
-                status = 503 if "closed" in str(error) else 400
-                raise ServeError(status, str(error))
+                if error.transient or "closed" in str(error):
+                    self.breaker.record(False)
+                    raise ServeError(503, str(error))
+                # A permanent query error: the backend executed fine, so
+                # the breaker records a healthy sample.
+                self.breaker.record(True)
+                raise ServeError(400, str(error))
+            except (OSError, ValueError) as error:
+                # The mmap read path failed underneath a healthy-looking
+                # engine — a dying disk, a truncated or corrupted file,
+                # or the mmap_read_error fault point.  Classify, count
+                # against the store, maybe quarantine; never a 500.
+                with self._lock:
+                    self.errors += 1
+                self.breaker.record(False)
+                message = self._store_failure(handle, error)
+                raise ServeError(
+                    503, message, retry_after=self.store_retry_after
+                )
             self.results.put_rows(key, rows)
             with self._lock:
                 self.served += 1
+                handle.consecutive_failures = 0
+            self.breaker.record(True)
             return rows
         finally:
             self._release()
@@ -673,6 +975,9 @@ class QueryService:
                 "rejected": self.rejected,
                 "timeouts": self.timeouts,
                 "errors": self.errors,
+                "shed": self.shed,
+                "store_failures": self.store_failures,
+                "quarantines": self.quarantines,
                 "uptime_seconds": round(time.monotonic() - self._started, 3),
             }
             endpoints = self._endpoint_stats()
@@ -680,6 +985,7 @@ class QueryService:
             "server": server,
             "endpoints": endpoints,
             "result_cache": self.results.stats,
+            "breaker": self.breaker.stats(),
             "kernels": kernel_info(),
             "stores": [
                 handle.describe() for handle in self._stores.values()
@@ -687,9 +993,52 @@ class QueryService:
         }
 
     def health(self) -> dict:
+        """Liveness: answers as long as the process can run Python —
+        never touches the disk, so a sick store can't fail it."""
         with self._lock:
             status = "draining" if self._draining else "ok"
         return {"status": status}
+
+    def readiness(self) -> tuple[bool, dict]:
+        """Readiness: actively verify every store's on-disk bytes
+        against the fingerprint taken at open.  A store that fails the
+        probe is quarantined on the spot; a quarantined store that
+        verifies again is restored.  Ready means not draining and at
+        least one store healthy — a daemon behind a load balancer keeps
+        taking traffic for its healthy stores while a corrupted one
+        sits out."""
+        with self._lock:
+            draining = self._draining or self._closed
+        stores = {}
+        healthy = 0
+        for handle in self._stores.values():
+            ok, reason = handle.verify()
+            with self._lock:
+                if ok:
+                    if handle.quarantined_until is not None:
+                        handle.quarantined_until = None
+                        handle.consecutive_failures = 0
+                        handle.quarantine_reason = None
+                    healthy += 1
+                else:
+                    if handle.quarantined_until is None:
+                        self.quarantines += 1
+                        handle.quarantines += 1
+                    handle.quarantined_until = (
+                        time.monotonic() + self.store_retry_after
+                    )
+                    handle.quarantine_reason = reason
+                stores[handle.spec.path] = handle.health()
+        ready = healthy > 0 and not draining
+        status = "draining" if draining else ("ok" if ready else "degraded")
+        if ready and healthy < len(stores):
+            status = "degraded"
+        return ready, {
+            "status": status,
+            "ready": ready,
+            "healthy_stores": healthy,
+            "stores": stores,
+        }
 
     # -- lifecycle ----------------------------------------------------------
 

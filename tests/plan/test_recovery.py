@@ -1,0 +1,179 @@
+"""Process-pool crash recovery (:mod:`repro.plan.segmented`).
+
+A worker SIGKILLed mid-query or already dead at submit time surfaces as
+``BrokenProcessPool`` inside the executor; none of that may reach a
+caller.  The pool respawns and retries the fan-out boundedly, degrades
+to in-process thread execution when the process path keeps dying, and —
+with degradation disabled — raises a classified, transient
+:class:`~repro.lpath.errors.ExecutorRecoveryError` instead of a raw
+pool traceback.  Results after any recovery are byte-identical to a
+fault-free run."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import store
+from repro.corpus import generate_corpus
+from repro.lpath import LPathEngine
+from repro.lpath.errors import ExecutorRecoveryError, LPathError
+from repro.plan.segmented import (
+    DEFAULT_PROCESS_RETRIES,
+    PROCESS_RETRIES_ENV,
+    process_retries,
+)
+
+QUERY = "//VP//NP"
+
+
+@pytest.fixture(scope="module")
+def mmap_store(tmp_path_factory) -> str:
+    trees = list(generate_corpus("wsj", sentences=30, seed=3))
+    path = tmp_path_factory.mktemp("recovery") / "corpus.lpdb"
+    store.save_corpus(trees, str(path), segments=2, format="lpdb0004")
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def expected(mmap_store):
+    with LPathEngine.open(mmap_store) as engine:
+        return engine.query(QUERY)
+
+
+def _worker_pids(pool) -> list[int]:
+    executor = pool()
+    assert executor is not None
+    return list(executor._processes)
+
+
+class TestRespawn:
+    def test_kill_at_submit_time_respawns_and_answers(
+        self, mmap_store, expected
+    ):
+        with LPathEngine.open(
+            mmap_store, workers=2, mode="process"
+        ) as engine:
+            assert engine.query(QUERY) == expected  # warm the pool
+            for pid in _worker_pids(engine._pool):
+                os.kill(pid, signal.SIGKILL)
+            # The next submit finds every worker dead: respawn + retry,
+            # same rows, still on the process path.
+            assert engine.query("//NP") == [
+                row for row in _plain(mmap_store, "//NP")
+            ]
+            stats = engine._pool.stats()
+            assert stats["respawns"] >= 1
+            assert stats["mode"] == "process"
+            assert stats["degraded"] is False
+
+    def test_kill_mid_query_recovers(self, mmap_store, expected, monkeypatch):
+        # segment_slow holds every worker in the segment for 50ms, so a
+        # kill 10ms after submit reliably lands mid-query.
+        monkeypatch.setenv("REPRO_FAULTS", "segment_slow:1.0:3")
+        with LPathEngine.open(
+            mmap_store, workers=2, mode="process"
+        ) as engine:
+            outcome = {}
+
+            def run():
+                outcome["rows"] = engine.query(QUERY)
+
+            runner = threading.Thread(target=run)
+            runner.start()
+            deadline = time.monotonic() + 2.0
+            while engine._pool._executor is None:
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            time.sleep(0.01)
+            for pid in _worker_pids(engine._pool):
+                os.kill(pid, signal.SIGKILL)
+            runner.join(timeout=30.0)
+            assert not runner.is_alive()
+            assert outcome["rows"] == expected
+            assert engine._pool.stats()["respawns"] >= 1
+
+
+class TestDegradation:
+    def test_unkillable_workers_degrade_to_threads(
+        self, mmap_store, expected, monkeypatch
+    ):
+        # Every worker kills itself on entry: the retry budget burns
+        # out and the pool flips to in-process threads — byte-identical
+        # rows, no exception.
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:1.0:7")
+        with LPathEngine.open(
+            mmap_store, workers=2, mode="process"
+        ) as engine:
+            assert engine.query(QUERY) == expected
+            stats = engine._pool.stats()
+            assert stats["degraded"] is True
+            assert stats["mode"] == "thread"
+            assert stats["respawns"] == 1 + DEFAULT_PROCESS_RETRIES
+            # Degradation is sticky: later queries stay in-process and
+            # never touch the (still lethal) worker path.
+            assert engine.query("//NP") == _plain(mmap_store, "//NP")
+            assert engine._pool.stats()["respawns"] == stats["respawns"]
+
+    def test_degradation_disabled_raises_classified_error(
+        self, mmap_store, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:1.0:7")
+        with LPathEngine.open(
+            mmap_store, workers=2, mode="process"
+        ) as engine:
+            engine._pool.allow_degrade = False
+            with pytest.raises(ExecutorRecoveryError) as failure:
+                engine.query(QUERY)
+            # Classified and transient — and clean: no executor guts.
+            assert isinstance(failure.value, LPathError)
+            assert failure.value.transient is True
+            message = str(failure.value)
+            assert "safe to retry" in message
+            assert "BrokenProcessPool" not in message
+            assert "Traceback" not in message
+
+    def test_retry_budget_is_bounded_by_env(self, mmap_store, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:1.0:7")
+        monkeypatch.setenv(PROCESS_RETRIES_ENV, "0")
+        with LPathEngine.open(
+            mmap_store, workers=2, mode="process"
+        ) as engine:
+            engine.query(QUERY)
+            stats = engine._pool.stats()
+            assert stats["respawns"] == 1  # one attempt, no retries
+            assert stats["degraded"] is True
+
+
+class TestRetryKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(PROCESS_RETRIES_ENV, raising=False)
+        assert process_retries() == DEFAULT_PROCESS_RETRIES
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv(PROCESS_RETRIES_ENV, "5")
+        assert process_retries() == 5
+
+    @pytest.mark.parametrize("raw", ["-1", "lots", "1.5"])
+    def test_invalid_values_raise(self, raw, monkeypatch):
+        monkeypatch.setenv(PROCESS_RETRIES_ENV, raw)
+        with pytest.raises(ValueError):
+            process_retries()
+
+
+class TestSlowSegments:
+    def test_segment_slow_never_changes_results(
+        self, mmap_store, expected, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "segment_slow:1.0:3")
+        with LPathEngine.open(mmap_store, workers=2) as engine:
+            assert engine.query(QUERY) == expected
+
+
+def _plain(path: str, query: str):
+    with LPathEngine.open(path) as engine:
+        return engine.query(query)

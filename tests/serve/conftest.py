@@ -37,5 +37,8 @@ def server(service):
 
 @pytest.fixture()
 def client(server):
-    with ServeClient(server.url) as built:
+    # max_retries=0 pins single-attempt semantics: tests that assert on
+    # exact statuses and counter books must not have 429/503 responses
+    # silently absorbed by the client's backoff layer.
+    with ServeClient(server.url, max_retries=0) as built:
         yield built

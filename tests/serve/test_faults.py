@@ -1,0 +1,354 @@
+"""Serving-layer fault tolerance: store quarantine (injected read
+errors and real on-disk corruption), circuit-breaker load shedding,
+result-cache integrity, the split liveness/readiness probes, and the
+client's reconnect/backoff policy."""
+
+from __future__ import annotations
+
+import shutil
+import time
+
+import pytest
+
+from repro.serve import (
+    CircuitBreaker,
+    QueryServer,
+    QueryService,
+    ServeClient,
+    ServeClientError,
+    ServeError,
+)
+
+QUERY = "//VP//NP"
+
+
+@pytest.fixture()
+def store_pair(store_path, tmp_path):
+    """Two byte-identical stores under distinct paths — one to corrupt,
+    one to prove unaffected."""
+    a = str(tmp_path / "a.lpdb")
+    b = str(tmp_path / "b.lpdb")
+    shutil.copy(store_path, a)
+    shutil.copy(store_path, b)
+    return a, b
+
+
+def _flip_sidecar_byte(path: str, offset: int = 64) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ 0xFF]))
+
+
+class TestQuarantine:
+    def test_read_errors_quarantine_after_threshold(
+        self, store_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "mmap_read_error:1.0:7")
+        with QueryService(
+            store_path, quarantine_after=3, store_retry_after=30.0
+        ) as service:
+            for attempt in range(3):
+                with pytest.raises(ServeError) as failure:
+                    service.execute({"query": QUERY, "top_k": attempt + 1})
+                assert failure.value.status == 503
+                assert failure.value.transient is True
+            # Threshold reached: the next request 503s *without*
+            # executing (a quarantined store is not probed per-request).
+            with pytest.raises(ServeError) as failure:
+                service.execute({"query": "//NP"})
+            assert "quarantined" in str(failure.value)
+            assert failure.value.retry_after is not None
+            stats = service.stats()
+            assert stats["server"]["store_failures"] == 3
+            assert stats["server"]["quarantines"] == 1
+            assert stats["stores"][0]["health"]["quarantined"] is True
+
+    def test_quarantine_lifts_after_cooldown_when_store_verifies(
+        self, store_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "mmap_read_error:1.0:7")
+        with QueryService(
+            store_path, quarantine_after=1, store_retry_after=0.05
+        ) as service:
+            with pytest.raises(ServeError):
+                service.execute({"query": QUERY})
+            # Still inside the cooldown: quarantined, not re-probed.
+            with pytest.raises(ServeError) as failure:
+                service.execute({"query": QUERY})
+            assert "quarantined" in str(failure.value)
+            monkeypatch.delenv("REPRO_FAULTS")
+            time.sleep(0.06)
+            # Cooldown over, on-disk bytes intact: the store recovers
+            # and serves again.
+            assert service.execute({"query": QUERY})["total"] >= 0
+            assert (
+                service.stats()["stores"][0]["health"]["quarantined"] is False
+            )
+
+    def test_corrupted_sidecar_quarantines_healthy_store_unaffected(
+        self, store_pair
+    ):
+        corrupt, healthy = store_pair
+        with QueryService([corrupt, healthy]) as service:
+            with QueryServer(service).start() as server:
+                with ServeClient(server.url, max_retries=0) as client:
+                    baseline = client.query(QUERY, store=healthy)
+                    _flip_sidecar_byte(corrupt)
+                    # The readiness probe detects the flipped byte and
+                    # quarantines the corrupt store on the spot.
+                    probe = client.ready()
+                    assert probe["ready"] is True
+                    assert probe["status"] == "degraded"
+                    assert probe["healthy_stores"] == 1
+                    assert probe["stores"][corrupt]["quarantined"] is True
+                    with pytest.raises(ServeClientError) as failure:
+                        client.query(QUERY, store=corrupt)
+                    assert failure.value.status == 503
+                    assert "quarantined" in str(failure.value)
+                    # The untouched store answers byte-identically and
+                    # the daemon's liveness never wavers.
+                    assert client.query(QUERY, store=healthy) == baseline
+                    assert client.health() == {"status": "ok"}
+                    assert client.stats()["server"]["quarantines"] == 1
+
+    def test_restored_store_recovers_via_readyz(self, store_pair):
+        corrupt, healthy = store_pair
+        with open(corrupt, "rb") as handle:
+            pristine = handle.read()
+        with QueryService([corrupt, healthy]) as service:
+            with QueryServer(service).start() as server:
+                with ServeClient(server.url, max_retries=0) as client:
+                    _flip_sidecar_byte(corrupt)
+                    assert client.ready()["stores"][corrupt]["quarantined"]
+                    with open(corrupt, "wb") as handle:
+                        handle.write(pristine)
+                    probe = client.ready()
+                    assert probe["status"] == "ok"
+                    assert probe["stores"][corrupt]["quarantined"] is False
+                    assert client.query(QUERY, store=corrupt)
+
+    def test_all_stores_quarantined_means_not_ready(self, store_path):
+        with QueryService(store_path) as service:
+            with QueryServer(service).start() as server:
+                with ServeClient(server.url, max_retries=0) as client:
+                    _flip_sidecar_byte(store_path)
+                    try:
+                        probe = client.ready()
+                        assert probe["ready"] is False
+                        assert probe["status"] == "degraded"
+                    finally:
+                        _flip_sidecar_byte(store_path)  # restore for peers
+
+
+class TestCircuitBreaker:
+    def test_failures_open_the_breaker_and_shed_with_429(
+        self, store_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "mmap_read_error:1.0:7")
+        breaker = CircuitBreaker(
+            window=8, threshold=0.5, min_samples=4, cooldown=30.0
+        )
+        with QueryService(
+            store_path, breaker=breaker, quarantine_after=1000
+        ) as service:
+            statuses = []
+            for attempt in range(6):
+                with pytest.raises(ServeError) as failure:
+                    service.execute({"query": QUERY, "top_k": attempt + 1})
+                statuses.append(failure.value.status)
+            assert statuses == [503, 503, 503, 503, 429, 429]
+            assert failure.value.retry_after is not None
+            stats = service.stats()
+            assert stats["breaker"]["state"] == "open"
+            assert stats["breaker"]["opens"] == 1
+            assert stats["server"]["shed"] == 2
+            # Shed requests also count as rejections: `rejected` stays
+            # the single source of truth for every 429.
+            assert stats["server"]["rejected"] == 2
+
+    def test_half_open_trial_closes_the_breaker(
+        self, store_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "mmap_read_error:1.0:7")
+        breaker = CircuitBreaker(
+            window=8, threshold=0.5, min_samples=2, cooldown=0.05
+        )
+        with QueryService(
+            store_path, breaker=breaker, quarantine_after=1000
+        ) as service:
+            for attempt in range(2):
+                with pytest.raises(ServeError):
+                    service.execute({"query": QUERY, "top_k": attempt + 1})
+            assert service.stats()["breaker"]["state"] == "open"
+            monkeypatch.delenv("REPRO_FAULTS")
+            time.sleep(0.06)
+            # The cooldown elapsed and the backend is healthy again: the
+            # half-open trial executes and re-closes the breaker.
+            assert service.execute({"query": QUERY})["total"] >= 0
+            assert service.stats()["breaker"]["state"] == "closed"
+
+    def test_client_errors_never_move_the_breaker(self, store_path):
+        breaker = CircuitBreaker(window=8, threshold=0.5, min_samples=2)
+        with QueryService(store_path, breaker=breaker) as service:
+            for _ in range(4):
+                with pytest.raises(ServeError) as failure:
+                    service.execute({"query": "//["})
+                assert failure.value.status == 400
+            assert service.stats()["breaker"]["state"] == "closed"
+
+    def test_cache_hits_bypass_an_open_breaker(
+        self, store_path, monkeypatch
+    ):
+        breaker = CircuitBreaker(
+            window=8, threshold=0.5, min_samples=2, cooldown=30.0
+        )
+        with QueryService(
+            store_path, breaker=breaker, quarantine_after=1000
+        ) as service:
+            expected = service.execute({"query": QUERY})  # populates cache
+            monkeypatch.setenv("REPRO_FAULTS", "mmap_read_error:1.0:7")
+            for attempt in range(2):
+                with pytest.raises(ServeError):
+                    service.execute({"query": QUERY, "top_k": attempt + 1})
+            assert service.stats()["breaker"]["state"] == "open"
+            # The hot set keeps serving from the cache even while every
+            # uncached execution is shed.
+            document = service.execute({"query": QUERY})
+            assert document["matches"] == expected["matches"]
+            assert document["cached"] is True
+
+    def test_breaker_knob_validation(self):
+        with pytest.raises(Exception):
+            CircuitBreaker(threshold=0.0)
+        with pytest.raises(Exception):
+            CircuitBreaker(window=4, min_samples=8)
+
+
+class TestCacheIntegrity:
+    def test_poisoned_entries_are_dropped_and_reexecuted(
+        self, store_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_poison:1.0:5")
+        with QueryService(store_path) as service:
+            first = service.execute({"query": QUERY})
+            # The cached entry was corrupted after its digest was taken;
+            # the integrity check catches it and re-executes instead of
+            # serving garbage.
+            second = service.execute({"query": QUERY})
+            assert second["matches"] == first["matches"]
+            assert second["cached"] is False
+            assert service.results.stats["integrity_failures"] >= 1
+
+    def test_clean_entries_still_hit(self, store_path):
+        with QueryService(store_path) as service:
+            first = service.execute({"query": QUERY})
+            second = service.execute({"query": QUERY})
+            assert second["matches"] == first["matches"]
+            assert second["cached"] is True
+            assert service.results.stats["integrity_failures"] == 0
+
+
+class TestClientBackoff:
+    def test_socket_resets_are_retried_to_identical_answers(
+        self, store_path, monkeypatch
+    ):
+        with QueryService(store_path) as service:
+            with QueryServer(service).start() as server:
+                with ServeClient(server.url, max_retries=0) as plain:
+                    baseline = plain.query(QUERY)
+                monkeypatch.setenv("REPRO_FAULTS", "socket_reset:0.5:42")
+                client = ServeClient(
+                    server.url, max_retries=5, backoff_base=0.01
+                )
+                with client:
+                    for _ in range(10):
+                        assert client.query(QUERY) == baseline
+                    assert client.health() == {"status": "ok"}
+                assert client.reconnects + client.backoffs > 0
+
+    def test_503_honors_retry_after_until_recovery(
+        self, store_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "mmap_read_error:1.0:7")
+        with QueryService(
+            store_path, quarantine_after=1, store_retry_after=0.1
+        ) as service:
+            with QueryServer(service).start() as server:
+                with ServeClient(
+                    server.url, max_retries=0
+                ) as impatient, pytest.raises(ServeClientError) as failure:
+                    impatient.query(QUERY)
+                assert failure.value.status == 503
+                monkeypatch.delenv("REPRO_FAULTS")
+                # A patient client rides out the quarantine: backoff +
+                # Retry-After until the store re-verifies, then the rows.
+                with ServeClient(
+                    server.url, max_retries=6, backoff_base=0.02,
+                    backoff_cap=0.3,
+                ) as patient:
+                    rows = patient.query(QUERY)
+                    assert rows
+                    assert patient.backoffs >= 1
+
+    def test_permanent_errors_never_retry(self, store_path):
+        with QueryService(store_path) as service:
+            with QueryServer(service).start() as server:
+                with ServeClient(server.url, max_retries=5) as client:
+                    with pytest.raises(ServeClientError) as failure:
+                        client.query("//[")
+                    assert failure.value.status == 400
+                    assert failure.value.transient is False
+                    assert client.backoffs == 0
+
+    def test_stale_keepalive_reconnects_without_backoff(self):
+        # A server that closes every connection after one exchange (a
+        # restart, an idle timeout) leaves the client holding a stale
+        # keep-alive; the free reconnect layer absorbs it even with the
+        # backoff budget at zero.
+        import socket
+        import threading
+
+        body = b'{"status": "ok"}'
+        response = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode("ascii")
+            + b"\r\n\r\n" + body
+        )
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        port = listener.getsockname()[1]
+
+        def serve_two_connections():
+            for _ in range(2):
+                connection, _address = listener.accept()
+                connection.recv(65536)
+                connection.sendall(response)
+                connection.close()  # no Connection: close header first
+
+        thread = threading.Thread(target=serve_two_connections, daemon=True)
+        thread.start()
+        try:
+            with ServeClient(
+                f"http://127.0.0.1:{port}", max_retries=0
+            ) as client:
+                assert client.health() == {"status": "ok"}
+                # The kept-alive connection is already dead server-side.
+                assert client.health() == {"status": "ok"}
+                assert client.reconnects == 1
+                assert client.backoffs == 0
+        finally:
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_backoff_delay_schedule_is_deterministic(self, store_path):
+        first = ServeClient("http://127.0.0.1:1", retry_seed=9)
+        second = ServeClient("http://127.0.0.1:1", retry_seed=9)
+        schedule = [first._backoff_delay(n, None) for n in range(5)]
+        assert schedule == [second._backoff_delay(n, None) for n in range(5)]
+        assert all(delay <= first.backoff_cap for delay in schedule)
+        retry_after = first._backoff_delay(0, "0.25")
+        assert retry_after >= 0.25

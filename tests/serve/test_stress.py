@@ -124,7 +124,9 @@ class TestDaemonStress:
             outcomes = []
 
             def hammer(seed: int):
-                with ServeClient(server.url) as client:
+                # max_retries=0: a retried-then-served 429 would break
+                # the rejected == outcomes.count(429) bookkeeping below.
+                with ServeClient(server.url, max_retries=0) as client:
                     # Same parse, distinct query text: defeats the
                     # result cache so every request really executes.
                     query = "//S//NP//WHPP" + " " * (seed + 1)

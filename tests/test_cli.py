@@ -411,17 +411,36 @@ class TestServeCLI:
         assert "error:" in capsys.readouterr().err
 
     def test_serve_non_store_file_is_clean_error(self, corpus_file, capsys):
+        # Configuration errors (a file that isn't a store) exit 2, with
+        # one clean line — runtime crashes of a running daemon exit 1.
         code, _ = run(["serve", corpus_file, "--port", "0"])
-        assert code == 1
+        assert code == 2
         err = capsys.readouterr().err
-        assert err.startswith("error: ")
+        assert err.startswith("serve: configuration error: ")
         assert "Traceback" not in err
 
     def test_serve_bad_admission_knobs(self, store_file, capsys):
         code, _ = run(["serve", store_file, "--port", "0",
                        "--max-inflight", "0"])
-        assert code == 1
+        assert code == 2
         assert "max_inflight" in capsys.readouterr().err
+
+    def test_serve_bad_faults_spec_is_config_error(
+        self, store_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:not-a-prob:1")
+        code, _ = run(["serve", store_file, "--port", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "REPRO_FAULTS" in err
+        assert "Traceback" not in err
+
+    def test_serve_verbose_adds_traceback(self, corpus_file, capsys):
+        code, _ = run(["serve", corpus_file, "--port", "0", "--verbose"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "Traceback" in err
+        assert "serve: configuration error: " in err
 
 
 class TestServeProcessLifecycle:
