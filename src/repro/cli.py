@@ -261,6 +261,21 @@ def _run_query(args: argparse.Namespace, out: TextIO) -> int:
             file=sys.stderr,
         )
         return 1
+    live_dir = compiled and os.path.isdir(args.corpus)
+    if live_dir and use_mmap:
+        print(
+            "error: a live (LPDB0005) directory already serves its base "
+            "segments zero-copy; drop --mmap",
+            file=sys.stderr,
+        )
+        return 1
+    if live_dir and segments is not None:
+        print(
+            "error: live corpora keep their on-disk segmentation "
+            "(base files + WAL delta); drop --segments",
+            file=sys.stderr,
+        )
+        return 1
     if use_mmap and segments is not None:
         print(
             "error: --mmap keeps the file's on-disk segments; it cannot "
@@ -289,6 +304,10 @@ def _run_query(args: argparse.Namespace, out: TextIO) -> int:
                 engine = LPathEngine.from_store_mmap(
                     args.corpus, workers=workers, mode=mode
                 )
+            elif live_dir and engine_name == "lpath" and executor == "columnar":
+                # mmap'd base segments + the WAL replayed into an
+                # in-memory delta store, merged like any segmented engine.
+                engine = LPathEngine.open(args.corpus, workers=workers)
             elif engine_name == "lpath" and executor == "columnar":
                 # Straight into columns — no per-row Label objects.  An
                 # LPDB0003 file keeps its on-disk shards unless an explicit
@@ -579,6 +598,7 @@ def _command_serve(args: argparse.Namespace, out: TextIO) -> int:
             max_queue=args.max_queue,
             timeout=args.timeout,
             result_cache_size=args.result_cache,
+            compact_rows=args.compact_rows,
         )
         server = QueryServer(
             service, host=args.host, port=args.port, verbose=args.verbose
@@ -677,6 +697,27 @@ def _command_store_info(args: argparse.Namespace, out: TextIO) -> int:
     print(f"rows: {info['rows']}", file=out)
     print(f"trees: {info['trees']}", file=out)
     print(f"distinct names: {info['distinct_names']}", file=out)
+    if "generation" in info:  # a live (LPDB0005) directory
+        print(f"generation: {info['generation']}", file=out)
+        print(
+            f"base: {info['base_rows']} rows in {info['base_segments']} "
+            "segment file(s)",
+            file=out,
+        )
+        print(
+            f"delta: {info['delta_rows']} rows in {info['wal_records']} "
+            f"WAL record(s) ({info['wal_bytes']} bytes)",
+            file=out,
+        )
+        print(f"next tid: {info['next_tid']}", file=out)
+        if info.get("wal_torn_bytes"):
+            print(
+                f"torn WAL tail: {info['wal_torn_bytes']} byte(s) "
+                "(truncated on the next writable open)",
+                file=out,
+            )
+        if info.get("last_recovery"):
+            print(f"last recovery: {info['last_recovery']}", file=out)
     if info["top_names"]:
         print(f"top {len(info['top_names'])} names by rows:", file=out)
         width = max(len(name) for name, _stats in info["top_names"])
@@ -692,6 +733,73 @@ def _command_store_info(args: argparse.Namespace, out: TextIO) -> int:
                 f"{max_partition:>7}  {min_depth}..{max_depth}",
                 file=out,
             )
+    return 0
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _command_append(args: argparse.Namespace, out: TextIO) -> int:
+    """Durably append bracketed trees to a live (LPDB0005) corpus —
+    locally (taking the writer lock) or through a running daemon's
+    ``POST /append`` (which additionally makes the rows queryable
+    immediately on the served engine)."""
+    from .store import StoreError
+
+    text = _read_text(args.trees)
+    if args.url is not None:
+        from .serve.client import ServeClient, ServeClientError
+
+        try:
+            with ServeClient(args.url) as client:
+                result = client.append(text, store=args.store or None)
+        except ServeClientError as error:
+            print(f"append: {error}", file=sys.stderr)
+            return 1
+    else:
+        from .live import LiveCorpus
+
+        try:
+            with LiveCorpus(args.store) as corpus:
+                result = corpus.append_trees(text)
+        except StoreError as error:
+            print(f"append: {error}", file=sys.stderr)
+            return 1
+    print(
+        f"appended {result['trees']} trees ({result['rows']} label rows) "
+        f"at tid {result['first_tid']} "
+        f"[generation {result['generation']}, "
+        f"{result['wal_records']} WAL records]",
+        file=out,
+    )
+    return 0
+
+
+def _command_compact(args: argparse.Namespace, out: TextIO) -> int:
+    """Fold a live corpus's WAL rows into a fresh immutable base
+    segment (a no-op when the delta is empty)."""
+    from .live import LiveCorpus
+    from .store import StoreError
+
+    try:
+        with LiveCorpus(args.store) as corpus:
+            result = corpus.compact(segments=args.segments or 1)
+    except StoreError as error:
+        print(f"compact: {error}", file=sys.stderr)
+        return 1
+    if not result["compacted_rows"]:
+        print("nothing to compact (empty delta)", file=out)
+        return 0
+    print(
+        f"compacted {result['compacted_rows']} rows into "
+        f"{result['segment']} [generation {result['generation']}, "
+        f"{result['seconds']:.3f}s]",
+        file=out,
+    )
     return 0
 
 
@@ -828,6 +936,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--result-cache", type=int, default=256, metavar="N",
                        help="result-cache capacity in entries (0 disables; "
                             "default 256)")
+    serve.add_argument("--compact-rows", type=int, default=0, metavar="N",
+                       help="live stores only: background-compact the "
+                            "WAL delta once it reaches N rows "
+                            "(default 0 = never; compact manually with "
+                            "'repro compact')")
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        metavar="SEC",
                        help="how long shutdown waits for in-flight "
@@ -858,13 +971,16 @@ def build_parser() -> argparse.ArgumentParser:
                                   "segments (default: one store)")
     compile_cmd.add_argument("--format",
                              choices=("auto", "lpdb0002", "lpdb0003",
-                                      "lpdb0004"),
+                                      "lpdb0004", "lpdb0005"),
                              default="auto",
                              help="on-disk revision: auto picks "
                                   "lpdb0002/lpdb0003 by --segments; "
                                   "lpdb0004 writes the zero-copy mmap "
                                   "layout (columns + statistics "
-                                  "pre-built, millisecond opens)")
+                                  "pre-built, millisecond opens); "
+                                  "lpdb0005 writes a live *directory* "
+                                  "(WAL-backed, appendable with "
+                                  "'repro append')")
     compile_cmd.set_defaults(handler=_command_compile)
 
     store_cmd = commands.add_parser(
@@ -880,6 +996,34 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--top", type=int, default=10, metavar="K",
                       help="names to list, ranked by row count (default 10)")
     info.set_defaults(handler=_command_store_info)
+
+    append_cmd = commands.add_parser(
+        "append",
+        help="durably append bracketed trees to a live (LPDB0005) corpus",
+    )
+    append_cmd.add_argument("store",
+                            help="live corpus directory (or, with --url, "
+                                 "the served store path)")
+    append_cmd.add_argument("trees",
+                            help="bracketed treebank file ('-' for stdin)")
+    append_cmd.add_argument("--url", default=None, metavar="URL",
+                            help="append through a running daemon's "
+                                 "POST /append instead of opening the "
+                                 "directory (read-your-writes on the "
+                                 "served engine)")
+    append_cmd.set_defaults(handler=_command_append)
+
+    compact_cmd = commands.add_parser(
+        "compact",
+        help="fold a live corpus's WAL delta into a fresh immutable "
+             "base segment",
+    )
+    compact_cmd.add_argument("store", help="live corpus directory")
+    compact_cmd.add_argument("--segments", type=int, default=None,
+                             metavar="N",
+                             help="internal segment count for the new "
+                                  "base file (default 1)")
+    compact_cmd.set_defaults(handler=_command_compact)
 
     stats = commands.add_parser("stats", help="dataset characteristics (Fig 6a/6b)")
     stats.add_argument("corpus", nargs="+")

@@ -35,6 +35,28 @@ The points and where they bite:
     Rows being written to the serving result cache are corrupted
     *after* their integrity digest was taken — the cache's checksum
     must catch the poisoned entry on the way out and re-execute.
+``torn_write``
+    A live-store WAL append writes only a prefix of its framed record
+    and dies (the shape of a crash mid-``write``) — recovery on the
+    next open must truncate the torn tail instead of decoding garbage.
+``fsync_fail``
+    A durability-barrier ``fsync`` raises ``OSError`` — the writer must
+    roll the unacknowledged bytes back and report the append failed,
+    never acknowledge rows the disk did not accept.
+``disk_full``
+    A WAL append fails up front with ``ENOSPC`` — the store must stay
+    clean (nothing written, nothing acknowledged) and the error must
+    classify as transient.
+``compactor_kill``
+    The live-store compactor SIGKILLs itself at its next durability
+    barrier — the crash-matrix tests run compaction in a subprocess and
+    assert the store reopens with zero acknowledged-row loss.
+
+Separately from the probabilistic schedule, ``REPRO_CRASH_POINT=<barrier>[:n]``
+SIGKILLs the process the ``n``-th time a *named durability barrier*
+(:func:`crash_point`) is crossed — the exhaustive
+kill-at-every-barrier subprocess matrix drives this, one barrier per
+child process, with no randomness at all.
 
 Decisions are **seed-deterministic**: each point keeps a per-process
 call counter and draws ``blake2b(point:seed:counter)`` against the
@@ -62,6 +84,7 @@ import time
 from typing import NamedTuple, Optional
 
 FAULTS_ENV = "REPRO_FAULTS"
+CRASH_ENV = "REPRO_CRASH_POINT"
 
 FAULT_POINTS = (
     "worker_kill",
@@ -69,6 +92,10 @@ FAULT_POINTS = (
     "mmap_read_error",
     "socket_reset",
     "cache_poison",
+    "torn_write",
+    "fsync_fail",
+    "disk_full",
+    "compactor_kill",
 )
 
 #: How long a fired ``segment_slow`` sleeps.
@@ -223,6 +250,76 @@ def maybe_reset_socket() -> bool:
     """``socket_reset``: report whether the transport should abandon the
     current response (the daemon closes the connection unanswered)."""
     return fires("socket_reset")
+
+
+def maybe_torn_write() -> bool:
+    """``torn_write``: report whether the writer should tear the record
+    it is about to persist (write a prefix, then act crashed)."""
+    return fires("torn_write")
+
+
+def maybe_fsync_fail() -> None:
+    """``fsync_fail``: fail a durability barrier the way a dying disk or
+    a thin-provisioned volume under pressure would."""
+    if fires("fsync_fail"):
+        raise OSError("injected fault: fsync failed (fsync_fail)")
+
+
+def maybe_disk_full() -> None:
+    """``disk_full``: refuse a write up front with ``ENOSPC``."""
+    if fires("disk_full"):
+        import errno
+
+        raise OSError(
+            errno.ENOSPC, "injected fault: no space left on device (disk_full)"
+        )
+
+
+def maybe_kill_compactor() -> None:
+    """``compactor_kill``: SIGKILL the process at a compaction barrier —
+    only meaningful when compaction runs in a sacrificial subprocess
+    (the crash matrix) or when the whole daemon is the blast radius
+    under test."""
+    if fires("compactor_kill"):
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+#: Per-process pass counters for :func:`crash_point` barriers.
+_BARRIER_COUNTS: dict[str, int] = {}
+_BARRIER_LOCK = threading.Lock()
+
+
+def crash_point(name: str) -> None:
+    """Cross the named durability barrier; SIGKILL the process when
+    ``REPRO_CRASH_POINT=name[:n]`` selects this barrier's ``n``-th pass
+    (1-based, default 1).
+
+    This is the deterministic sibling of the probabilistic fault points:
+    the kill-at-every-barrier matrix spawns one subprocess per
+    ``(barrier, occurrence)`` pair and asserts the store reopens with
+    zero acknowledged-row loss.  Unset, each barrier costs one dict
+    lookup."""
+    spec = os.environ.get(CRASH_ENV)
+    if not spec:
+        return
+    point, _, nth_text = spec.partition(":")
+    if point != name:
+        return
+    with _BARRIER_LOCK:
+        count = _BARRIER_COUNTS.get(name, 0) + 1
+        _BARRIER_COUNTS[name] = count
+    try:
+        nth = int(nth_text) if nth_text else 1
+    except ValueError:
+        raise FaultConfigError(
+            f"bad {CRASH_ENV} occurrence {nth_text!r}; expected barrier[:n]"
+        ) from None
+    if count == nth:
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 def poisoned_rows(rows: tuple) -> tuple:

@@ -250,11 +250,23 @@ class LPathEngine:
         """Open any compiled corpus file as a columnar engine.
 
         ``LPDB0004`` files are adopted zero-copy via
-        :meth:`from_store_mmap`; older revisions are decoded eagerly
-        (``mode="process"`` therefore requires an ``LPDB0004`` file —
-        worker processes re-open the store by path)."""
+        :meth:`from_store_mmap`; ``LPDB0005`` live directories open as a
+        snapshot over mmap'd base segments plus the WAL replayed into an
+        in-memory delta store (:func:`repro.live.open_live_engine`);
+        older revisions are decoded eagerly (``mode="process"``
+        therefore requires an ``LPDB0004`` file — worker processes
+        re-open the store by path)."""
+        import os as _os
+
         from .. import store as store_module
 
+        if _os.path.isdir(path):
+            from ..live import open_live_engine
+
+            return open_live_engine(
+                path, plan_cache_size=plan_cache_size,
+                workers=workers, mode=mode,
+            )
         if store_module.corpus_format(path) == "LPDB0004":
             return cls.from_store_mmap(
                 path, plan_cache_size=plan_cache_size,

@@ -341,15 +341,18 @@ class Segment:
     physical structures (and per-segment ``(name, tid)`` partition bounds)
     to query them independently."""
 
-    __slots__ = ("index", "compiler", "size")
+    __slots__ = ("index", "compiler", "size", "kind")
 
-    def __init__(self, index: int, compiler, size: int) -> None:
+    def __init__(
+        self, index: int, compiler, size: int, kind: str = "base"
+    ) -> None:
         self.index = index
         self.compiler = compiler  # a PlanCompiler over this shard only
         self.size = size          # label rows in the shard
+        self.kind = kind          # "base" (immutable store) or "delta" (WAL)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Segment {self.index} rows={self.size}>"
+        return f"<Segment {self.index} rows={self.size} kind={self.kind}>"
 
 
 class SegmentedCatalog:
@@ -424,6 +427,7 @@ class SegmentedQuery:
         remote: Optional[RemoteTask] = None,
         limit: Optional[int] = None,
         agg: Optional[str] = None,
+        kinds: Optional[Sequence[str]] = None,
     ) -> None:
         self.parts = list(parts)
         self.description = description
@@ -432,6 +436,7 @@ class SegmentedQuery:
         self.remote = remote
         self.limit = limit
         self.agg = agg
+        self.kinds = list(kinds) if kinds is not None else None
 
     def _map(self, task: Callable) -> list:
         def run(part):
@@ -549,8 +554,14 @@ class SegmentedQuery:
         parts = [self.description]
         if self.logical is not None:
             parts.append("logical plan:\n" + render(self.logical, indent=2))
+        mix = ""
+        if self.kinds is not None and "delta" in self.kinds:
+            base = sum(1 for kind in self.kinds if kind != "delta")
+            delta = len(self.kinds) - base
+            mix = f": {base} base + {delta} delta"
         parts.append(
-            f"physical plan (x{len(self.parts)} segments, segment 0 shown):\n"
+            f"physical plan (x{len(self.parts)} segments{mix}, "
+            "segment 0 shown):\n"
             + self.parts[0].plan.explain(indent=2)
         )
         return "\n".join(parts)
@@ -621,4 +632,5 @@ class SegmentedPlanCompiler:
         return SegmentedQuery(
             parts, lowered.description, root, self.get_pool, remote_task,
             limit=limit, agg=agg,
+            kinds=[segment.kind for segment in self.segments],
         )

@@ -286,6 +286,26 @@ class ServeClient:
                 return rows
             offset = page["next_offset"]
 
+    def append(
+        self,
+        trees: str,
+        store: Optional[str] = None,
+    ) -> dict:
+        """Durably append bracketed ``trees`` text to a served live
+        corpus; returns the daemon's acknowledgement (tree/row counts,
+        first tid, generation, fingerprint).
+
+        Appends are **not idempotent**, so the transient-retry policy is
+        off for this call: a 503 means the rows were not acknowledged
+        and the caller may retry explicitly, but an automatic replay
+        after an ambiguous transport failure could double-append."""
+        body: dict = {"trees": trees}
+        if store is not None:
+            body["store"] = store
+        return self._request(
+            "POST", "/append", body, retry_transient=False
+        )
+
     def aggregate(
         self,
         query: str,

@@ -148,6 +148,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(200, self.service.execute(params))
             elif route == "/batch":
                 self._respond_stream(self.service.execute_batch(params))
+            elif route == "/append":
+                if self.command != "POST":
+                    self._respond(
+                        405, {"error": "/append takes POST with a JSON body"}
+                    )
+                else:
+                    self._respond(200, self.service.execute_append(params))
             else:
                 self._respond(404, {"error": f"unknown path {route!r}"})
         except ServeError as error:
@@ -166,7 +173,10 @@ class _Handler(BaseHTTPRequestHandler):
                 500, {"error": f"{type(error).__name__}: {error}"}
             )
         finally:
-            if route in ("/healthz", "/readyz", "/stats", "/query", "/batch"):
+            if route in (
+                "/healthz", "/readyz", "/stats", "/query", "/batch",
+                "/append",
+            ):
                 self.service.record_latency(
                     route, time.perf_counter() - started
                 )

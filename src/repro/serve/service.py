@@ -48,6 +48,7 @@ their retry policies never hammer a permanent 400):
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -214,10 +215,15 @@ class StoreHandle:
     """A served store: the shared engine, its cached identity, and its
     health state (mutated only under the owning service's lock)."""
 
-    def __init__(self, spec: StoreSpec, engine, fingerprint: str) -> None:
+    def __init__(
+        self, spec: StoreSpec, engine, fingerprint: str, live=None
+    ) -> None:
         self.spec = spec
         self.engine = engine
         self.fingerprint = fingerprint
+        #: The :class:`repro.live.LiveEngineManager` when this store is a
+        #: writable LPDB0005 directory; ``None`` for immutable files.
+        self.live = live
         #: Read failures since the last success; ``quarantine_after`` of
         #: them in a row quarantines the store.
         self.consecutive_failures = 0
@@ -230,7 +236,14 @@ class StoreHandle:
     def verify(self) -> tuple[bool, Optional[str]]:
         """Re-fingerprint the on-disk file against the identity taken at
         open — the integrity probe behind quarantine and recovery.  Runs
-        outside any lock (it reads the disk)."""
+        outside any lock (it reads the disk).
+
+        Live stores delegate to their manager: the daemon holds the
+        exclusive writer lock, so *it* is the source of truth — a
+        divergence between disk and the manager's view is real
+        corruption, not a legitimate external write."""
+        if self.live is not None:
+            return self.live.verify()
         from .. import store as store_module
 
         try:
@@ -268,6 +281,8 @@ class StoreHandle:
         pool = getattr(engine, "_pool", None)
         if pool is not None:
             document["pool"] = pool.stats()
+        if self.live is not None:
+            document["live"] = self.live.status()
         return document
 
 
@@ -392,6 +407,7 @@ class QueryService:
         quarantine_after: int = 3,
         store_retry_after: float = 1.0,
         breaker: Optional[CircuitBreaker] = None,
+        compact_rows: int = 0,
     ) -> None:
         if max_inflight < 1:
             raise LPathError(
@@ -412,8 +428,14 @@ class QueryService:
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.timeout = float(timeout)
+        if compact_rows < 0:
+            raise LPathError(
+                f"compact_rows must be >= 0, got {compact_rows!r}"
+            )
         self.quarantine_after = quarantine_after
         self.store_retry_after = float(store_retry_after)
+        self.compact_rows = int(compact_rows)
+        self.appends = 0
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.results = ResultCache(result_cache_size, max_cached_rows)
         self._stores: dict[str, StoreHandle] = {}
@@ -462,6 +484,37 @@ class QueryService:
             )
         if spec.path in self._stores:
             raise LPathError(f"store {spec.path!r} is already being served")
+        if os.path.isdir(spec.path):
+            # A live LPDB0005 directory: the daemon takes the exclusive
+            # writer lock and serves through a manager that follows the
+            # log (appends and compactions swap the engine in place).
+            if spec.dialect != "lpath":
+                raise LPathError(
+                    "live (LPDB0005) corpora serve the lpath dialect only; "
+                    "compact and re-label for xpath serving"
+                )
+            if mode == "process":
+                raise LPathError(
+                    "live corpora fan out on threads (the in-memory delta "
+                    "segment cannot be re-opened by path in a worker "
+                    "process); drop --mode process or compact first"
+                )
+            from ..live import LiveEngineManager
+
+            try:
+                manager = LiveEngineManager(
+                    spec.path, writable=True, workers=workers,
+                    compact_rows=self.compact_rows,
+                )
+            except ValueError as error:  # StoreError: lock held, corrupt…
+                raise LPathError(str(error)) from error
+            self._warm(manager.engine)
+            self._stores[spec.path] = StoreHandle(
+                spec, manager.engine, manager.fingerprint(), live=manager
+            )
+            if self._default is None:
+                self._default = spec.path
+            return
         fingerprint = store_module.store_fingerprint(spec.path)
         engine = self._open_engine(spec, workers, mode)
         self._warm(engine)
@@ -504,14 +557,23 @@ class QueryService:
 
     def _resolve(self, path: Optional[str]) -> StoreHandle:
         if path is None:
-            return self._stores[self._default]
-        handle = self._stores.get(path)
-        if handle is None:
-            raise ServeError(
-                404,
-                f"store {path!r} is not served here "
-                f"(serving: {sorted(self._stores)})",
-            )
+            handle = self._stores[self._default]
+        else:
+            handle = self._stores.get(path)
+            if handle is None:
+                raise ServeError(
+                    404,
+                    f"store {path!r} is not served here "
+                    f"(serving: {sorted(self._stores)})",
+                )
+        if handle.live is not None:
+            # Follow the log: a background compaction (or an append on
+            # another connection) may have swapped the engine since this
+            # handle was last touched.  The fingerprint moves with it,
+            # which is what gives the result cache read-your-writes.
+            with self._lock:
+                handle.engine = handle.live.engine
+                handle.fingerprint = handle.live.fingerprint()
         return handle
 
     # -- the request path ---------------------------------------------------
@@ -534,6 +596,60 @@ class QueryService:
             rows = self._execute_uncached(handle, request, key)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         return self._page(rows, request, cached, elapsed_ms)
+
+    def execute_append(self, params: dict) -> dict:
+        """Durably append bracketed trees to a served live store and
+        swap the rebuilt engine in before answering, so the next query —
+        on any connection — sees the new rows (read-your-writes).
+
+        400 for a non-live store, empty input or a parse error; 503
+        (transient) when the WAL write itself fails — the rows were NOT
+        acknowledged and the client may retry."""
+        trees = params.get("trees")
+        if not isinstance(trees, str) or not trees.strip():
+            raise ServeError(
+                400, "append needs non-empty bracketed 'trees' text"
+            )
+        store = params.get("store")
+        if store is not None and not isinstance(store, str):
+            raise ServeError(400, f"store must be a string, got {store!r}")
+        handle = self._resolve(store)
+        if handle.live is None:
+            raise ServeError(
+                400,
+                f"store {handle.spec.path!r} is an immutable "
+                "compiled file; only live (LPDB0005) corpora accept "
+                "appends",
+            )
+        self._check_store(handle)
+        ticket = _Ticket(time.monotonic() + self.timeout)
+        self._admit(ticket)
+        try:
+            try:
+                result = handle.live.append_trees(trees)
+            except ValueError as error:
+                # StoreError subclasses ValueError: a failed durability
+                # barrier (fsync_fail / disk_full / torn_write) means
+                # nothing was acknowledged — transient, retryable.
+                # Anything else from the parser is a bad request.
+                from ..store import StoreError
+
+                if isinstance(error, StoreError):
+                    with self._lock:
+                        self.errors += 1
+                    message = self._store_failure(handle, error)
+                    raise ServeError(
+                        503, message, retry_after=self.store_retry_after
+                    ) from error
+                raise ServeError(400, str(error)) from error
+        finally:
+            self._release()
+        with self._lock:
+            self.appends += 1
+            handle.engine = handle.live.engine
+            handle.fingerprint = result["fingerprint"]
+            handle.consecutive_failures = 0
+        return result
 
     def _check_breaker(self) -> None:
         """Shed this request with 429 while the circuit breaker is open
@@ -972,6 +1088,7 @@ class QueryService:
                 "waiting": self._waiting,
                 "draining": self._draining,
                 "served": self.served,
+                "appends": self.appends,
                 "rejected": self.rejected,
                 "timeouts": self.timeouts,
                 "errors": self.errors,
@@ -1028,7 +1145,16 @@ class QueryService:
                         time.monotonic() + self.store_retry_after
                     )
                     handle.quarantine_reason = reason
-                stores[handle.spec.path] = handle.health()
+                health = handle.health()
+                if handle.live is not None:
+                    live_status = handle.live.status()
+                    health["live"] = {
+                        "generation": live_status["generation"],
+                        "delta_rows": live_status["delta_rows"],
+                        "compacting": live_status["compacting"],
+                        "compactions": live_status["compactions"],
+                    }
+                stores[handle.spec.path] = health
         ready = healthy > 0 and not draining
         status = "draining" if draining else ("ok" if ready else "degraded")
         if ready and healthy < len(stores):
@@ -1060,7 +1186,10 @@ class QueryService:
             self._closed = True
         self._pool.shutdown(wait=False)
         for handle in self._stores.values():
-            handle.engine.close()
+            if handle.live is not None:
+                handle.live.close()  # compactor, engines, maps, lock
+            else:
+                handle.engine.close()
 
     def __enter__(self) -> "QueryService":
         return self

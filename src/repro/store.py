@@ -26,7 +26,19 @@ re-labeling the treebank.  Four on-disk revisions exist:
   load time (``(tid, id)`` and children permutations, attribute/edge
   bitmaps, per-``(name, tid)`` partition bounds).  Opening the file
   (:func:`open_mapped_corpus`) ``mmap``\\ s it and adopts ``memoryview``\\ s
-  straight off the map — no per-row decode, no sort, no statistics scan.
+  straight off the map — no per-row decode, no sort, no statistics scan;
+* ``LPDB0005`` — the *live* layout (:mod:`repro.live`): a **directory**
+  of immutable base ``LPDB0004`` segment files, an append-only
+  write-ahead log of row batches (length+CRC-framed, fsync'd before
+  acknowledgement), and a generation-numbered manifest installed
+  atomically (write-temp → fsync → ``os.replace`` → fsync(dir)).  The
+  path-level helpers here (:func:`corpus_format`, :func:`corpus_info`,
+  :func:`store_fingerprint`, ...) dispatch directories to that module.
+
+Every *file* write goes through :func:`atomic_write`: the bytes land in
+a same-directory temp file, are fsync'd, and only then atomically
+renamed over the destination — a crash mid-save can leave a stray temp
+file but can never truncate a previously good store.
 
 Every revision is self-contained and versioned; the loaders verify the
 magic, the declared lengths and the checksums, so truncation and bit
@@ -47,6 +59,7 @@ one segment).
 
 from __future__ import annotations
 
+import contextlib
 import io
 import mmap as _mmap_module
 import os
@@ -54,7 +67,7 @@ import sys
 import zlib
 from array import array
 from dataclasses import dataclass, field
-from typing import BinaryIO, Iterable, Optional, Sequence
+from typing import BinaryIO, Iterable, Iterator, Optional, Sequence
 
 from .labeling.lpath_scheme import Label
 
@@ -62,15 +75,68 @@ MAGIC = b"LPDB0002"
 LEGACY_MAGIC = b"LPDB0001"
 SEGMENTED_MAGIC = b"LPDB0003"
 MMAP_MAGIC = b"LPDB0004"
+#: The live *directory* layout's manifest magic (:mod:`repro.live`).
+LIVE_MAGIC = b"LPDB0005"
 
-#: ``save_labels(format=...)`` spellings, newest last.
+#: ``save_labels(format=...)`` spellings, newest last (``lpdb0005`` is a
+#: directory layout, valid for :func:`save_corpus` but not for the
+#: stream-oriented :func:`save_labels`).
 FORMATS = ("lpdb0002", "lpdb0003", "lpdb0004")
+LIVE_FORMAT = "lpdb0005"
 #: String-table index meaning "no value" (element rows).
 _NO_VALUE = 0
 
 
 class StoreError(ValueError):
     """Raised for unreadable or corrupt corpus files."""
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a just-renamed/created entry is durable.
+
+    Best-effort on platforms whose directory handles refuse ``fsync``
+    (the rename itself is still atomic there)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_write(path: str) -> Iterator[BinaryIO]:
+    """Write ``path`` crash-safely: temp file in the same directory,
+    flush + fsync, then ``os.replace`` over the destination and fsync
+    the directory.
+
+    A crash (or an exception — the temp file is removed) at any point
+    before the rename leaves the previous contents of ``path``
+    untouched; after the rename the new contents are complete.  There is
+    no window in which ``path`` is truncated or half-written, which is
+    what makes re-saving over a live store safe."""
+    absolute = os.path.abspath(path)
+    directory = os.path.dirname(absolute)
+    temp = os.path.join(
+        directory, f".{os.path.basename(absolute)}.tmp-{os.getpid()}"
+    )
+    handle = open(temp, "wb")
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(temp)
+        raise
+    handle.close()
+    os.replace(temp, absolute)
+    fsync_directory(directory)
 
 
 def _write_varint(out: BinaryIO, value: int) -> None:
@@ -457,18 +523,29 @@ def save_corpus(
     """Label a corpus of trees and save it; returns the row count.
 
     ``segments > 1`` writes a segmented layout, sharded by tree;
-    ``format`` pins the on-disk revision (see :func:`save_labels`)."""
+    ``format`` pins the on-disk revision (see :func:`save_labels`;
+    ``"lpdb0005"`` creates a live *directory* via :mod:`repro.live`).
+    File formats are written through :func:`atomic_write`, so a crash
+    mid-save never destroys a previously good store at ``path``."""
     from .labeling.lpath_scheme import label_corpus
 
-    with open(path, "wb") as handle:
-        return save_labels(
-            list(label_corpus(trees)), handle, segments=segments,
-            format=format,
-        )
+    rows = list(label_corpus(trees))
+    if format is not None and format.lower() == LIVE_FORMAT:
+        from .live import create_live_corpus
+
+        create_live_corpus(path, rows, segments=segments)
+        return len(rows)
+    with atomic_write(path) as handle:
+        return save_labels(rows, handle, segments=segments, format=format)
 
 
 def load_corpus_labels(path: str) -> list[Label]:
-    """Load label rows from a compiled corpus file."""
+    """Load label rows from a compiled corpus file (for a live
+    directory: every base segment's rows plus the WAL delta)."""
+    if os.path.isdir(path):
+        from .live import load_live_labels
+
+        return load_live_labels(path)
     with open(path, "rb") as handle:
         return load_labels(handle)
 
@@ -486,21 +563,32 @@ def load_corpus_segments(path: str) -> list[LabelColumns]:
 
 
 def corpus_format(path: str) -> str:
-    """The on-disk revision name (``"LPDB0001"`` .. ``"LPDB0004"``), from
-    the magic alone."""
+    """The on-disk revision name (``"LPDB0001"`` .. ``"LPDB0005"``), from
+    the magic alone (for the live directory layout, from its manifest's
+    magic)."""
+    if os.path.isdir(path):
+        from .live import live_corpus_format
+
+        return live_corpus_format(path)
     with open(path, "rb") as handle:
         magic = handle.read(len(MAGIC))
     if magic in (MAGIC, LEGACY_MAGIC, SEGMENTED_MAGIC, MMAP_MAGIC):
         return magic.decode("ascii")
     raise StoreError(
         "not a compiled corpus file (bad magic; expected LPDB0002/LPDB0003/"
-        "LPDB0004)"
+        "LPDB0004, or an LPDB0005 directory)"
     )
 
 
 def corpus_segment_count(path: str) -> int:
-    """How many segments the file declares (1 for single-store formats),
-    from the header alone — no column payload is read or verified."""
+    """How many segments the file declares (1 for single-store formats;
+    for live directories, base segments plus the in-memory delta when
+    the WAL holds rows), from the header alone — no column payload is
+    read or verified."""
+    if os.path.isdir(path):
+        from .live import live_segment_count
+
+        return live_segment_count(path)
     with open(path, "rb") as handle:
         head = handle.read(len(SEGMENTED_MAGIC) + 10)
         if head.startswith((MAGIC, LEGACY_MAGIC)):
@@ -517,8 +605,14 @@ def corpus_segment_count(path: str) -> int:
 
 
 def is_compiled_corpus(path: str) -> bool:
-    """Cheap sniff: does the file start with an LPDB magic?"""
+    """Cheap sniff: does the file start with an LPDB magic (or is it a
+    live-corpus directory with a manifest)?"""
     try:
+        if os.path.isdir(path):
+            from .live import MANIFEST_NAME
+
+            with open(os.path.join(path, MANIFEST_NAME), "rb") as handle:
+                return handle.read(len(LIVE_MAGIC)) == LIVE_MAGIC
         with open(path, "rb") as handle:
             magic = handle.read(len(MAGIC))
             return magic in (MAGIC, LEGACY_MAGIC, SEGMENTED_MAGIC, MMAP_MAGIC)
@@ -545,8 +639,15 @@ def store_fingerprint(path: str) -> str:
     and tail windows — O(1) in the corpus size, in keeping with the
     zero-copy open — rather than hashing gigabytes of column blobs; the
     head window covers every revision's own length/CRC headers (the
-    whole LPDB0004 sidecar), so any re-save reshuffles it.  Raises
-    :class:`StoreError` for files without an LPDB magic."""
+    whole LPDB0004 sidecar), so any re-save reshuffles it.  Live
+    directories digest their manifest bytes plus the WAL size, so every
+    acknowledged append and every installed generation changes the
+    fingerprint (read-your-writes for the serving result cache).
+    Raises :class:`StoreError` for files without an LPDB magic."""
+    if os.path.isdir(path):
+        from .live import live_fingerprint
+
+        return live_fingerprint(path)
     revision = corpus_format(path)  # validates the magic
     size = os.path.getsize(path)
     with open(path, "rb") as handle:
@@ -1064,7 +1165,13 @@ def corpus_info(path: str, top: int = 10) -> dict:
 
     For ``LPDB0004`` everything comes from the sidecar — no column (let
     alone value) data is read.  Older revisions have no statistics on
-    disk, so their payloads are decoded and scanned."""
+    disk, so their payloads are decoded and scanned.  Live directories
+    add their manifest generation, WAL record/row counts, delta vs base
+    row split and last recovery action (:func:`repro.live.live_info`)."""
+    if os.path.isdir(path):
+        from .live import live_info
+
+        return live_info(path, top=top)
     revision = corpus_format(path)
     size = os.path.getsize(path)
     merged: dict[str, list] = {}

@@ -359,6 +359,147 @@ class TestBatchDifferentialFuzz:
             os.unlink(path)
 
 
+class TestLiveCorpusDifferentialFuzz:
+    """A live (LPDB0005) corpus is a deployment shape, never a
+    semantics change: for a random corpus split at a random point into
+    a base generation plus WAL-appended deltas, the live engine must
+    agree with the monolithic in-memory oracle — before compaction,
+    after appends that land *between* queries on a running engine
+    manager (snapshot isolation: the pre-append engine keeps answering
+    the old corpus), and after compaction.  The recovered label stream
+    must additionally be row-identical to the monolithic labeling, so a
+    re-save of the live corpus is byte-identical to a direct save."""
+
+    @given(data=st.data())
+    @settings(max_examples=max(5, FUZZ_EXAMPLES // 3), deadline=None)
+    def test_live_corpus_matches_monolithic(self, data):
+        import shutil
+
+        from repro import live
+        from repro.tree import iter_trees
+
+        trees = data.draw(corpora(max_trees=4, max_depth=4), label="corpus")
+        split = data.draw(
+            st.integers(min_value=0, max_value=len(trees)), label="split"
+        )
+        base_text = "".join(_bracketed([tree]) for tree in trees[:split])
+        delta_text = "".join(_bracketed([tree]) for tree in trees[split:])
+        reference = LPathEngine(trees)
+        # Stores canonicalize row order internally, so the recovered
+        # stream is compared as a sorted multiset.
+        expected_rows = sorted(tuple(row) for row in label_corpus(trees))
+        root = tempfile.mkdtemp()
+        live_path = os.path.join(root, "live.lpdb")
+
+        def check_against_reference(stage: str) -> None:
+            engine = LPathEngine.open(live_path)
+            try:
+                for index in range(QUERIES_PER_EXAMPLE):
+                    query = data.draw(
+                        lpath_queries(), label=f"{stage} query {index}"
+                    )
+                    expected = reference.query(query, backend="treewalk")
+                    results = {
+                        "monolithic/treewalk": expected,
+                        f"live/{stage}": engine.query(query),
+                        f"live/{stage}+pivot": engine.query(
+                            query, pivot=True
+                        ),
+                    }
+                    with forced_join("merge"):
+                        for backend in KERNEL_BACKENDS:
+                            with forced_kernels(backend):
+                                results[f"live/{stage}+merge+{backend}"] = (
+                                    engine.query(query)
+                                )
+                    with forced_join("probe"):
+                        results[f"live/{stage}+probe"] = engine.query(query)
+                    if any(
+                        rows != expected for rows in results.values()
+                    ):
+                        raise AssertionError(_report(trees, query, results))
+            finally:
+                engine.close()
+
+        try:
+            base_rows = list(label_corpus(iter_trees(base_text)))
+            live.create_live_corpus(live_path, base_rows, segments=2)
+            if delta_text.strip():
+                with live.LiveCorpus(live_path) as corpus:
+                    corpus.append_trees(delta_text)
+            recovered = sorted(
+                tuple(row) for row in store.load_corpus_labels(live_path)
+            )
+            assert recovered == expected_rows
+            check_against_reference("base+delta")
+
+            with live.LiveCorpus(live_path) as corpus:
+                corpus.compact()
+            recovered = sorted(
+                tuple(row) for row in store.load_corpus_labels(live_path)
+            )
+            assert recovered == expected_rows
+            check_against_reference("compacted")
+
+            # Byte-identity: re-saving the live corpus monolithically
+            # produces the exact file a direct monolithic save would.
+            resave = io.BytesIO()
+            store.save_labels(
+                store.load_corpus_labels(live_path), resave,
+                format="lpdb0004",
+            )
+            direct = io.BytesIO()
+            store.save_labels(
+                list(label_corpus(trees)), direct, format="lpdb0004"
+            )
+            assert resave.getvalue() == direct.getvalue()
+        finally:
+            shutil.rmtree(root)
+
+    @given(data=st.data())
+    @settings(max_examples=max(3, FUZZ_EXAMPLES // 5), deadline=None)
+    def test_append_between_queries_is_snapshot_isolated(self, data):
+        import shutil
+
+        from repro import live
+        from repro.tree import iter_trees
+
+        trees = data.draw(corpora(max_trees=4, max_depth=4), label="corpus")
+        split = data.draw(
+            st.integers(min_value=0, max_value=len(trees) - 1),
+            label="split",
+        )
+        base_text = "".join(_bracketed([tree]) for tree in trees[:split])
+        delta_text = "".join(_bracketed([tree]) for tree in trees[split:])
+        base_reference = LPathEngine(trees[:split])
+        full_reference = LPathEngine(trees)
+        root = tempfile.mkdtemp()
+        live_path = os.path.join(root, "live.lpdb")
+        try:
+            live.create_live_corpus(
+                live_path, list(label_corpus(iter_trees(base_text))),
+                segments=2,
+            )
+            manager = live.LiveEngineManager(live_path)
+            try:
+                query = data.draw(lpath_queries(), label="query")
+                snapshot = manager.engine
+                before = snapshot.query(query)
+                assert before == base_reference.query(query)
+                manager.append_trees(delta_text)
+                # The pre-append engine is retired but still answers
+                # with its original snapshot; the swapped-in engine
+                # sees base + delta.
+                assert snapshot.query(query) == before
+                assert manager.engine.query(query) == (
+                    full_reference.query(query)
+                )
+            finally:
+                manager.close()
+        finally:
+            shutil.rmtree(root)
+
+
 class TestXPathDifferentialFuzz:
     @given(data=st.data())
     @settings(max_examples=max(5, FUZZ_EXAMPLES // 3), deadline=None)
